@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the paper
+(see DESIGN.md, experiment index).  The benches print the same series the
+paper plots and assert the *qualitative* orderings — absolute numbers are not
+expected to match the paper because the data sets are synthetic stand-ins
+(DESIGN.md, substitutions).
+
+All benches run under ``pytest benchmarks/ --benchmark-only``; the heavy
+experiment of each bench is executed exactly once inside the ``benchmark``
+fixture (``pedantic`` with one round) so pytest-benchmark records its runtime
+without repeating it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Make the src/ layout importable when the package is not installed.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_heading(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

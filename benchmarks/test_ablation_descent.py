@@ -1,0 +1,48 @@
+"""Ablation A1 — descent strategies (paper §2.2).
+
+The paper evaluates breadth-first, depth-first and global-best descent with a
+geometric and a probabilistic priority measure and reports that global best
+descent (probabilistic priority) performs best.  This bench compares all four
+strategies on the pendigits stand-in with EM top-down bulk loading.
+"""
+
+import numpy as np
+from conftest import print_heading, run_once
+
+from repro.evaluation import ExperimentConfig, format_curve_table, run_bulkload_experiment
+
+CONFIG = ExperimentConfig(
+    dataset="pendigits",
+    size=1000,
+    max_nodes=60,
+    n_folds=3,
+    strategies=("em_topdown",),
+    descents=("glo", "glo-geometric", "bft", "dft"),
+    max_test_objects=25,
+    random_state=1,
+)
+
+
+def test_ablation_descent_strategies(benchmark):
+    result = run_once(benchmark, run_bulkload_experiment, CONFIG)
+
+    print_heading("Ablation A1 — descent strategies on pendigits (EM top-down trees)")
+    print(format_curve_table(result, nodes=(0, 5, 10, 20, 40, 60)))
+
+    curves = {descent: result.mean_curve("em_topdown", descent) for _, descent in result.curves}
+    means = {descent: curve.mean() for descent, curve in curves.items()}
+
+    for descent, curve in curves.items():
+        assert curve.shape == (CONFIG.max_nodes + 1,)
+        assert np.all((0.0 <= curve) & (curve <= 1.0)), descent
+        # All strategies start from the same root model.
+        assert curve[0] == curves["glo"][0]
+
+    # Global best (probabilistic priority) is the paper's best strategy; it
+    # should not lose to breadth-first or depth-first traversal by more than
+    # noise on the synthetic stand-in.
+    assert means["glo"] >= means["bft"] - 0.03
+    assert means["glo"] >= means["dft"] - 0.03
+
+    # The probabilistic priority measure is at least as good as the geometric one.
+    assert means["glo"] >= means["glo-geometric"] - 0.03

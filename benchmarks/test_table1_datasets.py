@@ -1,0 +1,46 @@
+"""Table 1 — data sets used in the experiments.
+
+Regenerates the paper's Table 1 (name, size, classes, features) for the
+synthetic stand-ins and reports both the paper's original sizes and the
+scaled-down sizes used by the benchmarks (see DESIGN.md, substitutions).
+"""
+
+from conftest import print_heading, run_once
+
+from repro.data import DATASET_SPECS
+from repro.evaluation import table1_rows
+
+#: Paper's Table 1 for cross-checking the stand-ins.
+PAPER_TABLE1 = {
+    "pendigits": {"size": 10_992, "classes": 10, "features": 16},
+    "letter": {"size": 20_000, "classes": 26, "features": 16},
+    "gender": {"size": 189_961, "classes": 2, "features": 9},
+    "covertype": {"size": 581_012, "classes": 7, "features": 10},
+}
+
+#: Scaled-down sizes the benchmark figures use.
+BENCH_SIZES = {"pendigits": 1200, "letter": 1560, "gender": 1000, "covertype": 1100}
+
+
+def test_table1_dataset_summary(benchmark):
+    rows = run_once(benchmark, table1_rows, sizes=BENCH_SIZES)
+
+    print_heading("Table 1 — data sets (paper vs. synthetic stand-in)")
+    header = f"{'name':12s}{'paper size':>12s}{'bench size':>12s}{'classes':>9s}{'features':>10s}"
+    print(header)
+    for row in rows:
+        print(
+            f"{row['name']:12s}{row['paper_size']:>12,d}{row['size']:>12,d}"
+            f"{row['classes']:>9d}{row['features']:>10d}"
+        )
+
+    by_name = {row["name"]: row for row in rows}
+    assert set(by_name) == set(PAPER_TABLE1)
+    for name, expected in PAPER_TABLE1.items():
+        row = by_name[name]
+        # Classes and features match the paper exactly; sizes are scaled down.
+        assert row["classes"] == expected["classes"]
+        assert row["features"] == expected["features"]
+        assert row["paper_size"] == expected["size"]
+        assert row["size"] == BENCH_SIZES[name]
+        assert DATASET_SPECS[name].paper_size == expected["size"]

@@ -1,0 +1,8 @@
+"""Ensure the src/ layout package is importable when running tests in-place."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

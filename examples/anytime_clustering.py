@@ -1,0 +1,64 @@
+"""Anytime stream clustering — the paper's future-work extension (§4.2).
+
+A ClusTree-style micro-clustering tree ingests an evolving data stream.  Three
+properties from the paper's outlook are demonstrated:
+
+* objects are inserted with an anytime hop budget; when the stream is too fast
+  the object is "parked" in a buffer and taken along by a later insertion,
+* exponential decay of the cluster features lets the model forget outdated
+  concepts (concept drift),
+* a density-based offline component turns the micro-clusters into
+  arbitrary-shape macro-clusters.
+
+Run with:  python examples/anytime_clustering.py
+"""
+
+import numpy as np
+
+from repro.clustering import ClusTree, assign_to_macro_clusters, clustering_purity, density_cluster
+from repro.data import make_blobs, make_drift_stream
+
+
+def cluster_stationary_stream() -> None:
+    centers = np.array([[0.0, 0.0], [12.0, 0.0], [6.0, 10.0]])
+    dataset = make_blobs(n_classes=3, per_class=250, n_features=2, random_state=1, centers=centers)
+    rng = np.random.default_rng(1)
+    order = rng.permutation(dataset.size)
+
+    print("=== stationary stream: three clusters, varying stream speed ===")
+    for label, max_hops in (("slow stream (unlimited descent)", None), ("fast stream (1 hop)", 1)):
+        tree = ClusTree(dimension=2, fanout=4, decay_rate=0.0)
+        for t, index in enumerate(order):
+            tree.insert(dataset.features[index], timestamp=float(t), max_hops=max_hops)
+        micro = tree.micro_clusters(min_weight=1.0)
+        macro = density_cluster(micro, epsilon=5.0, min_weight=20.0)
+        assignments = assign_to_macro_clusters(dataset.features[order], macro)
+        purity = clustering_purity(assignments, dataset.labels[order])
+        print(f"  {label:32s}: {len(micro):3d} micro-clusters, {len(macro)} macro-clusters, "
+              f"purity {purity:.3f}, parked insertions {tree.n_parked}")
+
+
+def cluster_drifting_stream() -> None:
+    print("\n=== drifting stream: exponential decay follows the concept ===")
+    stream = make_drift_stream(size=1500, n_classes=2, n_features=2, drift_speed=0.03, random_state=2)
+    for label, decay in (("no decay", 0.0), ("half-life 20 steps", 1.0 / 20.0)):
+        tree = ClusTree(dimension=2, fanout=4, decay_rate=decay)
+        for t in range(stream.size):
+            tree.insert(stream.features[t], timestamp=float(t))
+        micro = tree.micro_clusters(min_weight=0.5)
+        centers = np.array([m.mean for m in micro])
+        weights = np.array([m.weight for m in micro])
+        model_center = (weights[:, None] * centers).sum(axis=0) / weights.sum()
+        recent_center = stream.features[-150:].mean(axis=0)
+        drift_error = float(np.linalg.norm(model_center - recent_center))
+        print(f"  {label:22s}: {len(micro):3d} micro-clusters, total weight {weights.sum():7.1f}, "
+              f"distance of model to current concept {drift_error:.2f}")
+
+
+def main() -> None:
+    cluster_stationary_stream()
+    cluster_drifting_stream()
+
+
+if __name__ == "__main__":
+    main()

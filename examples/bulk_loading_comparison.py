@@ -1,0 +1,43 @@
+"""Bulk loading comparison — a small version of the paper's Figure 2.
+
+Builds the per-class Bayes trees with the four strategies the paper evaluates
+(iterative insertion, Hilbert packing, Goldberger mixture reduction, EM
+top-down) and prints the anytime classification accuracy after each node read,
+averaged over a 4-fold cross validation — exactly the protocol of §3.2.
+
+Run with:  python examples/bulk_loading_comparison.py
+"""
+
+from repro.evaluation import ExperimentConfig, format_curve_table, run_bulkload_experiment
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="pendigits",
+        size=800,                # scaled-down stand-in (see DESIGN.md)
+        max_nodes=50,
+        n_folds=4,
+        strategies=("em_topdown", "hilbert", "goldberger", "iterative"),
+        descents=("glo",),
+        max_test_objects=20,
+        random_state=0,
+    )
+    print("running 4-fold cross validation for four bulk loading strategies "
+          f"on the {config.dataset} stand-in ({config.size} objects) ...\n")
+    result = run_bulkload_experiment(config)
+
+    print(format_curve_table(result, nodes=(0, 5, 10, 20, 30, 40, 50)))
+    print()
+    ranking = sorted(
+        ((result.mean_accuracy(strategy), strategy) for strategy, _ in result.curves),
+        reverse=True,
+    )
+    print("ranking by mean anytime accuracy (area under the curve):")
+    for mean_accuracy, strategy in ranking:
+        print(f"  {strategy:12s}  {mean_accuracy:.3f}")
+    print("\nThe paper's finding: the EM top-down bulk load dominates, Hilbert packing")
+    print("helps over iterative insertion, and the Goldberger reduction does not pay off early.")
+
+
+if __name__ == "__main__":
+    main()

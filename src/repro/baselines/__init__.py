@@ -1,0 +1,7 @@
+"""Baseline classifiers the Bayes tree is compared against."""
+
+from .kernel_bayes import KernelBayesClassifier
+from .naive_bayes import GaussianNaiveBayes
+from .nearest_neighbor import AnytimeNearestNeighbor
+
+__all__ = ["KernelBayesClassifier", "GaussianNaiveBayes", "AnytimeNearestNeighbor"]

@@ -1,0 +1,72 @@
+"""Anytime nearest-neighbour classifier baseline.
+
+The paper's related work cites anytime nearest-neighbour classification (Ueno
+et al., ICDM 2006) as one of the existing anytime classifiers; we provide a
+simple version as an additional comparison point: the training objects are
+scanned in a fixed (random but reproducible) order and the prediction after a
+budget of ``t`` scanned objects is the majority label among the ``k`` nearest
+of the objects seen so far — more time, more objects scanned, better answer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["AnytimeNearestNeighbor"]
+
+
+class AnytimeNearestNeighbor:
+    """k-NN whose scan over the training data can be interrupted anytime."""
+
+    def __init__(self, k: int = 3, random_state: Optional[int] = None) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.random_state = random_state
+        self.points: Optional[np.ndarray] = None
+        self.labels: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.points is not None
+
+    def fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> "AnytimeNearestNeighbor":
+        points = np.asarray(points, dtype=float)
+        labels = np.asarray(labels)
+        if points.ndim != 2 or labels.shape[0] != points.shape[0]:
+            raise ValueError("points must be (n, d) with one label per row")
+        rng = np.random.default_rng(self.random_state)
+        order = rng.permutation(points.shape[0])
+        self.points = points[order]
+        self.labels = labels[order]
+        return self
+
+    def predict_anytime(self, x: Sequence[float] | np.ndarray, budget: int) -> Hashable:
+        """Prediction after scanning ``budget`` training objects (at least one)."""
+        if not self.is_fitted:
+            raise ValueError("classifier has not been fitted")
+        if budget < 1:
+            budget = 1
+        x = np.asarray(x, dtype=float)
+        scanned_points = self.points[: min(budget, self.points.shape[0])]
+        scanned_labels = self.labels[: scanned_points.shape[0]]
+        distances = np.linalg.norm(scanned_points - x, axis=1)
+        nearest = np.argsort(distances, kind="stable")[: self.k]
+        votes = Counter(scanned_labels[nearest].tolist())
+        best_count = max(votes.values())
+        candidates = sorted([label for label, count in votes.items() if count == best_count], key=repr)
+        return candidates[0]
+
+    def predict(self, x: Sequence[float] | np.ndarray) -> Hashable:
+        """Prediction using the complete training set (the classic k-NN answer)."""
+        assert self.points is not None
+        return self.predict_anytime(x, budget=self.points.shape[0])
+
+    def predict_batch(self, points: np.ndarray, budget: Optional[int] = None) -> List[Hashable]:
+        points = np.asarray(points, dtype=float)
+        if budget is None:
+            return [self.predict(x) for x in points]
+        return [self.predict_anytime(x, budget) for x in points]

@@ -1,0 +1,25 @@
+"""Bulk loading strategies for the Bayes tree (paper §3)."""
+
+from .base import BulkLoader, chunk_sizes, pack_entries_into_nodes, stack_levels
+from .em_topdown import EMTopDownBulkLoader
+from .goldberger import GoldbergerBulkLoader
+from .hilbert import HilbertBulkLoader
+from .iterative import IterativeInsertionLoader
+from .registry import BULK_LOADERS, make_bulk_loader
+from .str_pack import STRBulkLoader
+from .zcurve import ZCurveBulkLoader
+
+__all__ = [
+    "BulkLoader",
+    "chunk_sizes",
+    "pack_entries_into_nodes",
+    "stack_levels",
+    "EMTopDownBulkLoader",
+    "GoldbergerBulkLoader",
+    "HilbertBulkLoader",
+    "IterativeInsertionLoader",
+    "BULK_LOADERS",
+    "make_bulk_loader",
+    "STRBulkLoader",
+    "ZCurveBulkLoader",
+]

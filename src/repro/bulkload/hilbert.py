@@ -1,0 +1,51 @@
+"""Hilbert curve bulk loading (paper §3.1).
+
+"The bulk loading according to the Hilbert curve is a bottom up approach where
+in the first step the Hilbert value for each training set item is calculated.
+Next the items are ordered according to their Hilbert value and put into leaf
+nodes w.r.t. the page size.  After that the corresponding entry for each
+resulting node is created, i.e. MBR, cluster features (CF) and the pointer.
+These steps are repeated using the mean vectors as representatives until all
+entries fit into one node, the root node."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..curves.hilbert import hilbert_order
+from ..index.entry import DirectoryEntry
+from ..index.rstar import RStarTree
+from .base import BulkLoader, pack_entries_into_nodes, stack_levels
+
+__all__ = ["HilbertBulkLoader"]
+
+
+class HilbertBulkLoader(BulkLoader):
+    """Bottom-up packing along the Hilbert space-filling curve."""
+
+    name = "hilbert"
+
+    def __init__(self, config=None, bits: int = 10) -> None:
+        super().__init__(config)
+        if not (1 <= bits <= 32):
+            raise ValueError("bits must be between 1 and 32")
+        self.bits = bits
+
+    def _order_entries(self, entries: List[DirectoryEntry]) -> List[DirectoryEntry]:
+        means = np.array([entry.cluster_feature.mean() for entry in entries])
+        order = hilbert_order(means, bits=self.bits)
+        return [entries[i] for i in order]
+
+    def build_index(self, points: np.ndarray, label: Optional[object] = None) -> RStarTree:
+        points = np.asarray(points, dtype=float)
+        params = self.config.tree
+        order = hilbert_order(points, bits=self.bits)
+        leaf_entries = self._make_leaf_entries(points[order], label)
+        leaf_nodes = pack_entries_into_nodes(
+            leaf_entries, level=0, capacity=params.leaf_capacity, minimum=params.leaf_min
+        )
+        root = stack_levels(leaf_nodes, params, self._order_entries)
+        return RStarTree.from_root(root, dimension=points.shape[1], params=params)

@@ -1,0 +1,41 @@
+"""Registry mapping the paper's bulk-loading names to loader classes."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..core.config import BayesTreeConfig
+from .base import BulkLoader
+from .em_topdown import EMTopDownBulkLoader
+from .goldberger import GoldbergerBulkLoader
+from .hilbert import HilbertBulkLoader
+from .iterative import IterativeInsertionLoader
+from .str_pack import STRBulkLoader
+from .zcurve import ZCurveBulkLoader
+
+__all__ = ["BULK_LOADERS", "make_bulk_loader"]
+
+#: Name -> loader class.  The names match the labels used in the paper's
+#: figures ("Iterativ", "Hilbert", "Goldberger", "EMTopDown") plus the two
+#: additional traditional packings mentioned in §3.1.
+BULK_LOADERS: Dict[str, Type[BulkLoader]] = {
+    "iterative": IterativeInsertionLoader,
+    "hilbert": HilbertBulkLoader,
+    "zcurve": ZCurveBulkLoader,
+    "str": STRBulkLoader,
+    "goldberger": GoldbergerBulkLoader,
+    "em_topdown": EMTopDownBulkLoader,
+}
+
+
+def make_bulk_loader(
+    name: str, config: Optional[BayesTreeConfig] = None, **kwargs
+) -> BulkLoader:
+    """Instantiate a bulk loader by name (see :data:`BULK_LOADERS`)."""
+    try:
+        loader_class = BULK_LOADERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bulk loader {name!r}; expected one of {sorted(BULK_LOADERS)}"
+        ) from None
+    return loader_class(config=config, **kwargs)

@@ -1,0 +1,22 @@
+"""Anytime stream clustering extension (paper §4.2): decayed CFs, ClusTree, offline clustering."""
+
+from .clustree import ClusTree, ClusTreeEntry, ClusTreeNode, MicroCluster
+from .decay_cf import DecayedClusterFeature
+from .offline import (
+    MacroCluster,
+    assign_to_macro_clusters,
+    clustering_purity,
+    density_cluster,
+)
+
+__all__ = [
+    "ClusTree",
+    "ClusTreeEntry",
+    "ClusTreeNode",
+    "MicroCluster",
+    "DecayedClusterFeature",
+    "MacroCluster",
+    "assign_to_macro_clusters",
+    "clustering_purity",
+    "density_cluster",
+]

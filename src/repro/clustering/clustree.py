@@ -1,0 +1,373 @@
+"""Anytime hierarchical stream clustering (the paper's §4.2 extension).
+
+"A promising research direction ... is the extension of the Bayes tree to
+enable anytime clustering.  This can be achieved by modifying the entry
+structure such that we can 'park' insertion objects in inner nodes and take
+them along in a later descent.  Another great benefit of this modification is
+the property of self-adaptation ... the size of the tree will automatically
+adapt itself to the stream speed since insertion objects will descend as far
+as time permits, be parked there and hence no further splits occur."
+
+The implementation follows what later became ClusTree (Kranen, Assent, Baldauf
+& Seidl):
+
+* every entry keeps a time-decayed cluster feature summarising its subtree and
+  a *buffer* cluster feature holding objects parked at that entry,
+* an insertion descends towards the closest entry; each step down costs one
+  "hop" of the anytime budget,
+* when the budget runs out the object is merged into the current entry's
+  buffer instead of descending further,
+* when a later descent passes through an entry with a non-empty buffer, the
+  buffered aggregate is taken along as a hitchhiker and dropped at leaf level,
+* leaves split when they overflow, growing the tree exactly like an R-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .decay_cf import DecayedClusterFeature
+
+__all__ = ["ClusTreeEntry", "ClusTreeNode", "ClusTree", "MicroCluster"]
+
+
+@dataclass
+class MicroCluster:
+    """A leaf-level micro-cluster snapshot (weight, mean, variance)."""
+
+    weight: float
+    mean: np.ndarray
+    variance: np.ndarray
+
+
+@dataclass
+class ClusTreeEntry:
+    """Entry of the anytime clustering tree: summary CF, buffer CF, child pointer."""
+
+    summary: DecayedClusterFeature
+    buffer: DecayedClusterFeature
+    child: Optional["ClusTreeNode"] = None
+
+    @staticmethod
+    def empty(dimension: int, decay_rate: float, child: Optional["ClusTreeNode"] = None) -> "ClusTreeEntry":
+        return ClusTreeEntry(
+            summary=DecayedClusterFeature(dimension=dimension, decay_rate=decay_rate),
+            buffer=DecayedClusterFeature(dimension=dimension, decay_rate=decay_rate),
+            child=child,
+        )
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.child is None
+
+    def distance_to(self, point: np.ndarray) -> float:
+        """Euclidean distance from the entry's current mean to ``point``."""
+        if self.summary.is_empty:
+            return float("inf")
+        return float(np.linalg.norm(self.summary.mean() - point))
+
+
+@dataclass
+class ClusTreeNode:
+    """Node of the anytime clustering tree."""
+
+    level: int
+    entries: List[ClusTreeEntry] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def non_empty_entries(self) -> List[ClusTreeEntry]:
+        return [entry for entry in self.entries if not entry.summary.is_empty]
+
+
+class ClusTree:
+    """Anytime micro-clustering of a data stream with exponential decay.
+
+    Parameters
+    ----------
+    dimension:
+        Dimensionality of the stream objects.
+    fanout:
+        Maximum number of entries per node (split threshold).
+    decay_rate:
+        Exponent ``lambda`` of the ``2**(-lambda * dt)`` decay.
+    prune_threshold:
+        Entries whose decayed weight falls below this value may be re-used for
+        new data ("reuse node entries if their contribution is too
+        insignificant due to their age").
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        fanout: int = 3,
+        decay_rate: float = 0.01,
+        prune_threshold: float = 0.05,
+    ) -> None:
+        if dimension < 1:
+            raise ValueError("dimension must be positive")
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        if decay_rate < 0:
+            raise ValueError("decay_rate must be non-negative")
+        if prune_threshold < 0:
+            raise ValueError("prune_threshold must be non-negative")
+        self.dimension = dimension
+        self.fanout = fanout
+        self.decay_rate = decay_rate
+        self.prune_threshold = prune_threshold
+        self.root = ClusTreeNode(level=0)
+        self.current_time = 0.0
+        self._inserted = 0
+        self._parked = 0
+
+    # -- statistics ------------------------------------------------------------------------------
+    @property
+    def n_inserted(self) -> int:
+        """Number of stream objects inserted so far."""
+        return self._inserted
+
+    @property
+    def n_parked(self) -> int:
+        """Number of insertions that ended in a buffer because the budget ran out."""
+        return self._parked
+
+    def height(self) -> int:
+        return self.root.level + 1
+
+    def node_count(self) -> int:
+        def count(node: ClusTreeNode) -> int:
+            return 1 + sum(count(e.child) for e in node.entries if e.child is not None)
+
+        return count(self.root)
+
+    # -- insertion ---------------------------------------------------------------------------------
+    def insert(
+        self,
+        point: Sequence[float] | np.ndarray,
+        timestamp: Optional[float] = None,
+        max_hops: Optional[int] = None,
+    ) -> None:
+        """Insert one stream object with an anytime hop budget.
+
+        ``max_hops`` limits the number of levels the insertion may descend
+        (``None`` = descend to a leaf).  The stream speed therefore directly
+        controls how deep objects travel — the self-adaptation property.
+        """
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dimension,):
+            raise ValueError(f"point must have shape ({self.dimension},)")
+        if timestamp is None:
+            timestamp = self.current_time + 1.0
+        if timestamp < self.current_time:
+            raise ValueError("timestamps must be non-decreasing")
+        self.current_time = float(timestamp)
+        self._inserted += 1
+
+        carried = DecayedClusterFeature(dimension=self.dimension, decay_rate=self.decay_rate)
+        carried.add_point(point, now=self.current_time)
+        sibling = self._descend(self.root, carried, hops_left=max_hops)
+        if sibling is not None:
+            # The root itself split: grow the tree by one level.
+            old_root_entry = self._entry_for_node(self.root)
+            self.root = ClusTreeNode(level=self.root.level + 1, entries=[old_root_entry, sibling])
+
+    def _choose_entry(self, node: ClusTreeNode, point_mean: np.ndarray) -> Optional[ClusTreeEntry]:
+        candidates = node.non_empty_entries()
+        if not candidates:
+            return None
+        return min(candidates, key=lambda entry: entry.distance_to(point_mean))
+
+    def _entry_for_node(self, node: ClusTreeNode) -> ClusTreeEntry:
+        """Directory entry summarising ``node`` (summaries + buffers of its entries)."""
+        entry = ClusTreeEntry.empty(self.dimension, self.decay_rate, child=node)
+        for member in node.entries:
+            if not member.summary.is_empty:
+                entry.summary.absorb(member.summary, self.current_time)
+            if member.child is not None and not member.buffer.is_empty:
+                entry.summary.absorb(member.buffer, self.current_time)
+        return entry
+
+    def _refresh_entry(self, entry: ClusTreeEntry) -> None:
+        """Recompute an entry's summary from its child node (after a child split)."""
+        assert entry.child is not None
+        fresh = self._entry_for_node(entry.child)
+        # Objects parked at this entry itself are still part of its subtree count.
+        if not entry.buffer.is_empty:
+            fresh.summary.absorb(entry.buffer, self.current_time)
+        entry.summary = fresh.summary
+
+    def _descend(
+        self,
+        node: ClusTreeNode,
+        carried: DecayedClusterFeature,
+        hops_left: Optional[int],
+    ) -> Optional[ClusTreeEntry]:
+        """Insert ``carried`` below ``node``; returns a sibling entry if ``node`` split."""
+        now = self.current_time
+        mean = carried.mean()
+
+        if node.is_leaf:
+            return self._insert_into_leaf(node, carried)
+
+        entry = self._choose_entry(node, mean)
+        if entry is None or entry.child is None:
+            # Defensive: an inner node without usable directory entries parks the object.
+            target = entry or self._get_or_create_entry(node)
+            target.summary.absorb(carried, now)
+            target.buffer.absorb(carried, now)
+            self._parked += 1
+            return None
+
+        # The carried object (and any hitchhiker) now belongs to this subtree.
+        entry.summary.absorb(carried, now)
+
+        if hops_left is not None and hops_left <= 0:
+            # Out of time: park the object in the entry's buffer.
+            entry.buffer.absorb(carried, now)
+            self._parked += 1
+            return None
+
+        # Take along a previously parked aggregate (hitchhiker).
+        if not entry.buffer.is_empty:
+            carried.absorb(entry.buffer, now)
+            entry.buffer.clear(now)
+
+        next_hops = None if hops_left is None else hops_left - 1
+        child_sibling = self._descend(entry.child, carried, next_hops)
+        if child_sibling is None:
+            return None
+
+        # The child node split: its entry summary is stale, and the sibling
+        # entry joins this node (which may overflow and split in turn).
+        self._refresh_entry(entry)
+        node.entries.append(child_sibling)
+        if len(node.entries) > self.fanout:
+            return self._split_node(node)
+        return None
+
+    def _get_or_create_entry(self, node: ClusTreeNode) -> ClusTreeEntry:
+        # Prefer re-using a leaf entry whose contribution decayed into insignificance
+        # ("reuse node entries if their contribution is too insignificant due to their age").
+        for entry in node.entries:
+            if entry.child is None and (
+                entry.summary.is_empty
+                or entry.summary.weight(self.current_time) < self.prune_threshold
+            ):
+                entry.summary.clear(self.current_time)
+                entry.buffer.clear(self.current_time)
+                return entry
+        entry = ClusTreeEntry.empty(self.dimension, self.decay_rate)
+        node.entries.append(entry)
+        return entry
+
+    def _insert_into_leaf(
+        self, node: ClusTreeNode, carried: DecayedClusterFeature
+    ) -> Optional[ClusTreeEntry]:
+        """Insert into a leaf; returns a sibling entry if the leaf split."""
+        now = self.current_time
+        mean = carried.mean()
+        candidates = node.non_empty_entries()
+
+        if candidates:
+            closest = min(candidates, key=lambda entry: entry.distance_to(mean))
+            # Merge if the object falls within the cluster's spread (one RMS radius).
+            radius = max(np.sqrt(np.sum(closest.summary.variance())), 1.0)
+            if closest.distance_to(mean) <= radius:
+                closest.summary.absorb(carried, now)
+                return None
+
+        if len(node.entries) < self.fanout or self._has_reusable_entry(node):
+            entry = self._get_or_create_entry(node)
+            entry.summary.absorb(carried, now)
+            return None
+
+        # Leaf full and the object fits no existing micro-cluster: open a new
+        # entry and split the overflowing leaf.
+        entry = ClusTreeEntry.empty(self.dimension, self.decay_rate)
+        entry.summary.absorb(carried, now)
+        node.entries.append(entry)
+        return self._split_node(node)
+
+    def _has_reusable_entry(self, node: ClusTreeNode) -> bool:
+        return any(
+            entry.summary.is_empty
+            or entry.summary.weight(self.current_time) < self.prune_threshold
+            for entry in node.entries
+            if entry.child is None
+        )
+
+    def _split_node(self, node: ClusTreeNode) -> ClusTreeEntry:
+        """Split an overflowing node in place; returns the entry of the new sibling.
+
+        The entries are partitioned around the two farthest entry means
+        (quadratic-split seeds); ``node`` keeps the first group, the sibling
+        node receives the second and its summarising entry is returned so the
+        caller can hook it into the parent.
+        """
+        entries = list(node.entries)
+        means = np.array(
+            [
+                entry.summary.mean() if not entry.summary.is_empty else np.zeros(self.dimension)
+                for entry in entries
+            ]
+        )
+        seed_a = 0
+        seed_b = int(np.argmax(np.linalg.norm(means - means[seed_a], axis=1)))
+        seed_a = int(np.argmax(np.linalg.norm(means - means[seed_b], axis=1)))
+        if seed_a == seed_b:
+            middle = len(entries) // 2
+            group_a, group_b = entries[:middle], entries[middle:]
+        else:
+            group_a, group_b = [], []
+            for entry, mean in zip(entries, means):
+                if np.linalg.norm(mean - means[seed_a]) <= np.linalg.norm(mean - means[seed_b]):
+                    group_a.append(entry)
+                else:
+                    group_b.append(entry)
+            if not group_a or not group_b:
+                middle = len(entries) // 2
+                group_a, group_b = entries[:middle], entries[middle:]
+        node.entries = group_a
+        sibling = ClusTreeNode(level=node.level, entries=group_b)
+        return self._entry_for_node(sibling)
+
+    # -- views ----------------------------------------------------------------------------------------
+    def micro_clusters(self, min_weight: float = 1e-3) -> List[MicroCluster]:
+        """Current leaf-level micro-clusters (decayed to the current time).
+
+        Buffered (parked) aggregates are included: they represent objects that
+        have not reached a leaf yet but still belong to the model.
+        """
+        clusters: List[MicroCluster] = []
+
+        def visit(node: ClusTreeNode) -> None:
+            for entry in node.entries:
+                if entry.child is None:
+                    features = [entry.summary]
+                else:
+                    visit(entry.child)
+                    features = [entry.buffer] if not entry.buffer.is_empty else []
+                for feature in features:
+                    aged = feature.copy()
+                    aged.decay_to(self.current_time)
+                    if aged.weight() >= min_weight and not aged.is_empty:
+                        clusters.append(
+                            MicroCluster(
+                                weight=aged.weight(),
+                                mean=aged.mean(),
+                                variance=aged.variance(),
+                            )
+                        )
+
+        visit(self.root)
+        return clusters
+
+    def total_weight(self) -> float:
+        """Sum of decayed weights over all micro-clusters."""
+        return float(sum(cluster.weight for cluster in self.micro_clusters(min_weight=0.0)))

@@ -1,0 +1,110 @@
+"""Offline macro-clustering of micro-clusters.
+
+Paper §4.2: "using these fine grained CF representation we can find clusters
+of arbitrary shape by using density based clustering in an offline component
+as in [5]" (DenStream, Cao et al., SDM 2006).  The offline component here is a
+weighted DBSCAN over the micro-cluster centers: micro-clusters whose centers
+are within ``epsilon`` of each other are connected, connected components whose
+total weight reaches ``min_weight`` form macro-clusters, the rest is noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .clustree import MicroCluster
+
+__all__ = ["MacroCluster", "density_cluster", "assign_to_macro_clusters", "clustering_purity"]
+
+
+@dataclass
+class MacroCluster:
+    """A macro-cluster: member micro-clusters plus aggregate statistics."""
+
+    members: List[MicroCluster]
+
+    @property
+    def weight(self) -> float:
+        return float(sum(member.weight for member in self.members))
+
+    @property
+    def center(self) -> np.ndarray:
+        weights = np.array([member.weight for member in self.members])
+        means = np.array([member.mean for member in self.members])
+        return (weights[:, None] * means).sum(axis=0) / weights.sum()
+
+
+def density_cluster(
+    micro_clusters: Sequence[MicroCluster],
+    epsilon: float,
+    min_weight: float = 1.0,
+) -> List[MacroCluster]:
+    """Weighted density-based grouping of micro-clusters (DBSCAN over centers)."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    micro_clusters = list(micro_clusters)
+    if not micro_clusters:
+        return []
+    centers = np.array([cluster.mean for cluster in micro_clusters])
+    n = len(micro_clusters)
+
+    # Union-find over epsilon-connected micro-clusters.
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    for i in range(n):
+        distances = np.linalg.norm(centers - centers[i], axis=1)
+        for j in np.where(distances <= epsilon)[0]:
+            union(i, int(j))
+
+    groups: Dict[int, List[MicroCluster]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(micro_clusters[i])
+
+    macro = [MacroCluster(members=members) for members in groups.values()]
+    return [cluster for cluster in macro if cluster.weight >= min_weight]
+
+
+def assign_to_macro_clusters(
+    points: np.ndarray, clusters: Sequence[MacroCluster]
+) -> np.ndarray:
+    """Assign each point to the nearest macro-cluster center (-1 if none exist)."""
+    points = np.asarray(points, dtype=float)
+    if not clusters:
+        return np.full(points.shape[0], -1, dtype=int)
+    centers = np.array([cluster.center for cluster in clusters])
+    assignments = np.empty(points.shape[0], dtype=int)
+    for i, point in enumerate(points):
+        assignments[i] = int(np.argmin(np.linalg.norm(centers - point, axis=1)))
+    return assignments
+
+
+def clustering_purity(assignments: Sequence[int], labels: Sequence[object]) -> float:
+    """Cluster purity: fraction of points whose cluster's majority label matches theirs."""
+    assignments = list(assignments)
+    labels = list(labels)
+    if len(assignments) != len(labels):
+        raise ValueError("assignments and labels must have the same length")
+    if not labels:
+        raise ValueError("cannot compute purity of an empty assignment")
+    by_cluster: Dict[int, List[object]] = {}
+    for assignment, label in zip(assignments, labels):
+        by_cluster.setdefault(assignment, []).append(label)
+    correct = 0
+    for members in by_cluster.values():
+        counts: Dict[object, int] = {}
+        for label in members:
+            counts[label] = counts.get(label, 0) + 1
+        correct += max(counts.values())
+    return correct / len(labels)

@@ -1,0 +1,33 @@
+"""Core of the reproduction: the Bayes tree and the anytime Bayes classifiers."""
+
+from .bayes_tree import BayesTree
+from .classifier import AnytimeBayesClassifier, AnytimeClassification
+from .config import BayesTreeConfig, default_qbk_k
+from .descent import (
+    DESCENT_STRATEGIES,
+    BreadthFirstDescent,
+    DepthFirstDescent,
+    DescentStrategy,
+    GlobalBestDescent,
+    make_descent_strategy,
+)
+from .frontier import Frontier, FrontierItem, pdq
+from .single_tree import SingleTreeAnytimeClassifier
+
+__all__ = [
+    "BayesTree",
+    "AnytimeBayesClassifier",
+    "AnytimeClassification",
+    "BayesTreeConfig",
+    "default_qbk_k",
+    "DESCENT_STRATEGIES",
+    "BreadthFirstDescent",
+    "DepthFirstDescent",
+    "DescentStrategy",
+    "GlobalBestDescent",
+    "make_descent_strategy",
+    "Frontier",
+    "FrontierItem",
+    "pdq",
+    "SingleTreeAnytimeClassifier",
+]

@@ -1,0 +1,187 @@
+"""The Bayes tree: an R*-tree storing a hierarchy of Gaussian mixture models.
+
+Paper §2.2: the observations (kernel estimators) are stored at leaf level, the
+directory on top provides "a hierarchy of node entries, each of which is a
+Gaussian that represents the entire subtree below it".  Every level — and more
+generally every frontier — is a complete mixture model of the training data of
+one class, which is what enables anytime probability density queries.
+
+The class below wraps the index substrate with:
+
+* training (iterative insertion, the baseline the bulk loaders are compared
+  against, and incremental online learning of new objects),
+* kernel bandwidth management (Silverman's rule over the class's training
+  data),
+* frontier creation for anytime probability density queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..index.entry import DirectoryEntry, LeafEntry
+from ..index.node import Node
+from ..index.rstar import RStarTree
+from ..stats.kernel import silverman_bandwidth
+from .config import BayesTreeConfig
+from .frontier import Frontier, pdq
+
+__all__ = ["BayesTree"]
+
+
+class BayesTree:
+    """Hierarchical mixture model over the training objects of a single class."""
+
+    def __init__(self, dimension: int, config: Optional[BayesTreeConfig] = None) -> None:
+        self.config = config or BayesTreeConfig()
+        self.dimension = dimension
+        self.index = RStarTree(dimension=dimension, params=self.config.tree)
+        self._bandwidth: Optional[np.ndarray] = None
+        self._training_points: list[np.ndarray] = []
+
+    # -- basic properties -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.index)
+
+    @property
+    def n_objects(self) -> int:
+        """Number of stored observations."""
+        return len(self.index)
+
+    @property
+    def bandwidth(self) -> Optional[np.ndarray]:
+        """Current kernel bandwidth vector (None before any training data)."""
+        return self._bandwidth
+
+    @property
+    def root(self) -> Node:
+        return self.index.root
+
+    def node_count(self) -> int:
+        return self.index.node_count()
+
+    def height(self) -> int:
+        return self.index.height
+
+    def validate(self, enforce_fanout: bool = True, require_balance: bool = True) -> None:
+        """Check the structural invariants of the underlying index."""
+        self.index.validate(enforce_fanout=enforce_fanout, require_balance=require_balance)
+
+    # -- training ----------------------------------------------------------------------------
+    def fit(self, points: np.ndarray, label: Optional[object] = None) -> "BayesTree":
+        """Train from scratch by iterative insertion (the paper's baseline).
+
+        Bulk-loaded trees are built by the strategies in ``repro.bulkload``
+        and attached via :meth:`adopt_index` instead.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dimension:
+            raise ValueError(f"points must be an (n, {self.dimension}) array")
+        for point in points:
+            self.index.insert(point, label=label, kernel=self.config.kernel)
+            self._training_points.append(np.asarray(point, dtype=float))
+        self._refresh_bandwidth()
+        return self
+
+    def insert(self, point: Sequence[float] | np.ndarray, label: Optional[object] = None) -> None:
+        """Incremental online learning of a single new training object.
+
+        The bandwidth is recomputed from the updated training set, keeping the
+        kernel model consistent with the paper's data-independent rule.
+        """
+        point = np.asarray(point, dtype=float)
+        self.index.insert(point, label=label, kernel=self.config.kernel)
+        self._training_points.append(point)
+        self._refresh_bandwidth()
+
+    def adopt_index(self, index: RStarTree) -> "BayesTree":
+        """Replace the underlying index with a bulk-loaded one."""
+        if index.dimension != self.dimension:
+            raise ValueError("index dimensionality does not match the Bayes tree")
+        self.index = index
+        self._training_points = [entry.point for entry in index.iter_leaf_entries()]
+        self._refresh_bandwidth()
+        return self
+
+    def _refresh_bandwidth(self) -> None:
+        if not self._training_points:
+            self._bandwidth = None
+            return
+        points = np.asarray(self._training_points, dtype=float)
+        if points.shape[0] == 1:
+            # A single observation has no spread; fall back to unit bandwidth.
+            bandwidth = np.ones(self.dimension)
+        else:
+            bandwidth = silverman_bandwidth(points)
+        if self.config.kernel == "epanechnikov":
+            # Silverman's rule targets the Gaussian kernel; rescale by the
+            # ratio of canonical bandwidths (the Epanechnikov kernel needs a
+            # ~2.2x wider window for the same amount of smoothing).
+            bandwidth = bandwidth * 2.214
+        bandwidth = bandwidth * self.config.bandwidth_scale
+        self._bandwidth = bandwidth
+        for entry in self.index.iter_leaf_entries():
+            entry.bandwidth = bandwidth
+            entry.kernel = self.config.kernel
+
+    def _variance_inflation(self) -> Optional[np.ndarray]:
+        """Squared kernel bandwidth added to directory-entry Gaussians.
+
+        A directory entry summarises a subtree of kernel estimators; matching
+        the first two moments of that kernel mixture means its variance is the
+        cluster-feature variance *plus* the kernel variance.  This keeps every
+        frontier a proper smoothed density even for entries over few objects.
+        """
+        if self._bandwidth is None:
+            return None
+        return self._bandwidth ** 2
+
+    # -- queries ---------------------------------------------------------------------------------
+    def frontier(self, query: Sequence[float] | np.ndarray) -> Frontier:
+        """Anytime probability density query state, initialised at the root model."""
+        if self.n_objects == 0:
+            raise ValueError("cannot query an empty Bayes tree")
+        query = np.asarray(query, dtype=float)
+        if query.shape != (self.dimension,):
+            raise ValueError(f"query must have shape ({self.dimension},)")
+        return Frontier(
+            self.root.entries,
+            root_level=self.root.level,
+            query=query,
+            variance_inflation=self._variance_inflation(),
+        )
+
+    def density(self, query: Sequence[float] | np.ndarray, nodes: Optional[int] = None) -> float:
+        """Density estimate after reading ``nodes`` additional nodes (all if None).
+
+        ``nodes=None`` descends the complete tree and therefore returns the
+        full kernel density estimate; ``nodes=0`` evaluates the root model.
+        """
+        from .descent import GlobalBestDescent
+
+        frontier = self.frontier(query)
+        frontier.refine_fully(GlobalBestDescent(), max_nodes=nodes)
+        return frontier.density
+
+    def full_model_density(self, query: Sequence[float] | np.ndarray) -> float:
+        """Exact kernel density estimate (reads every node; the infinite-time model)."""
+        return self.density(query, nodes=None)
+
+    def level_model_density(self, query: Sequence[float] | np.ndarray, level: int) -> float:
+        """Density of the complete model stored at a single tree level.
+
+        Level ``self.root.level`` is the coarsest model (the root entries),
+        level 0 evaluates all leaf entries (the kernel model).  Used in tests
+        to verify that "each level of the tree stores ... a complete model of
+        the entire data".
+        """
+        query = np.asarray(query, dtype=float)
+        if not (0 <= level <= self.root.level):
+            raise ValueError(f"level must be between 0 and {self.root.level}")
+        entries = []
+        for node in self.index.iter_nodes():
+            if node.level == level:
+                entries.extend(node.entries)
+        return pdq(query, entries, variance_inflation=self._variance_inflation())

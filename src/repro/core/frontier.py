@@ -1,0 +1,220 @@
+"""Frontiers and probability density queries (paper Definitions 3 and §2.2).
+
+A *frontier* is a set of entries such that every kernel estimator stored in
+the tree is represented exactly once — either directly (a leaf entry in the
+frontier) or through exactly one ancestor directory entry.  Every frontier
+defines a Gaussian mixture model, and the probability density query
+
+``pdq(x, E) = sum_{e in E} (n_e / n) * g(x, mu_e, sigma_e)``
+
+evaluates that model at the query object.
+
+Refining the frontier replaces one directory entry by the entries of its child
+node (one additional node read); the density is updated incrementally by
+subtracting the refined entry's contribution and adding its children's — the
+constant-time update the paper highlights at the end of §2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..index.entry import DirectoryEntry, LeafEntry
+from ..index.node import AnyEntry
+from .descent import DescentStrategy
+
+__all__ = ["FrontierItem", "Frontier", "pdq"]
+
+
+@dataclass
+class FrontierItem:
+    """One frontier entry together with its cached density contribution.
+
+    Attributes
+    ----------
+    entry:
+        The tree entry (directory entry or leaf/kernel entry).
+    level:
+        Level of the node the entry points to (leaf entries have level -1,
+        directory entries the level of their child node).
+    order:
+        Monotonically increasing counter recording when the item joined the
+        frontier; breadth-first and depth-first descent use it for tie
+        breaking.
+    contribution:
+        Cached weighted density ``(n_e / n) * g(x, ...)`` of the entry for the
+        frontier's query object.
+    """
+
+    entry: AnyEntry
+    level: int
+    order: int
+    contribution: float
+
+    @property
+    def is_refinable(self) -> bool:
+        """Directory entries can be replaced by their children; kernels cannot."""
+        return isinstance(self.entry, DirectoryEntry)
+
+
+def _entry_density(
+    entry: AnyEntry, x: np.ndarray, variance_inflation: Optional[np.ndarray] = None
+) -> float:
+    """Unweighted density of an entry's model component at ``x``.
+
+    Directory entries are evaluated as the moment match of the kernel mixture
+    they summarise (cluster-feature variance plus the squared kernel
+    bandwidth, see :meth:`DirectoryEntry.to_gaussian`); leaf entries evaluate
+    their kernel directly.
+    """
+    if isinstance(entry, DirectoryEntry):
+        return entry.density(x, variance_inflation=variance_inflation)
+    return entry.density(x)
+
+
+def pdq(
+    x: np.ndarray,
+    entries: Sequence[AnyEntry],
+    total_objects: Optional[float] = None,
+    variance_inflation: Optional[np.ndarray] = None,
+) -> float:
+    """Probability density query over an arbitrary entry set (paper Def. 3)."""
+    entries = list(entries)
+    if not entries:
+        return 0.0
+    x = np.asarray(x, dtype=float)
+    if total_objects is None:
+        total_objects = float(sum(entry.n_objects for entry in entries))
+    if total_objects <= 0:
+        return 0.0
+    return float(
+        sum(
+            entry.n_objects / total_objects * _entry_density(entry, x, variance_inflation)
+            for entry in entries
+        )
+    )
+
+
+class Frontier:
+    """The evolving mixed-granularity model for one query object and one tree.
+
+    The frontier starts with the entries of the root node (the coarsest
+    complete model) and is refined one node at a time.  All density values are
+    maintained incrementally, so a refinement step costs O(fanout) density
+    evaluations — the work of reading a single node.
+    """
+
+    def __init__(
+        self,
+        root_entries: Sequence[AnyEntry],
+        root_level: int,
+        query: np.ndarray,
+        variance_inflation: Optional[np.ndarray] = None,
+    ) -> None:
+        self.query = np.asarray(query, dtype=float)
+        self.variance_inflation = (
+            None if variance_inflation is None else np.asarray(variance_inflation, dtype=float)
+        )
+        self.total_objects = float(sum(entry.n_objects for entry in root_entries))
+        self._counter = 0
+        self._items: List[FrontierItem] = []
+        self.nodes_read = 0
+        for entry in root_entries:
+            self._add_entry(entry, level=root_level - 1 if isinstance(entry, DirectoryEntry) else -1)
+        self._density = float(sum(item.contribution for item in self._items))
+
+    # -- construction helpers ---------------------------------------------------------
+    def _add_entry(self, entry: AnyEntry, level: int) -> FrontierItem:
+        weight = entry.n_objects / self.total_objects if self.total_objects > 0 else 0.0
+        contribution = weight * _entry_density(entry, self.query, self.variance_inflation)
+        item = FrontierItem(entry=entry, level=level, order=self._counter, contribution=contribution)
+        self._counter += 1
+        self._items.append(item)
+        return item
+
+    # -- inspection --------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[FrontierItem]:
+        return iter(self._items)
+
+    @property
+    def items(self) -> List[FrontierItem]:
+        return list(self._items)
+
+    @property
+    def density(self) -> float:
+        """Current probability density of the query under the frontier model."""
+        return self._density
+
+    def refinable_items(self) -> List[FrontierItem]:
+        """Frontier items that still have an unread child node."""
+        return [item for item in self._items if item.is_refinable]
+
+    @property
+    def is_fully_refined(self) -> bool:
+        """True once every kernel estimator is represented individually."""
+        return not any(item.is_refinable for item in self._items)
+
+    def density_from_scratch(self) -> float:
+        """Recompute the density non-incrementally (used for verification)."""
+        return float(sum(item.contribution for item in self._items))
+
+    def represented_objects(self) -> float:
+        """Total number of observations represented by the frontier (invariant)."""
+        return float(sum(item.entry.n_objects for item in self._items))
+
+    # -- refinement --------------------------------------------------------------------
+    def refine(self, strategy: DescentStrategy) -> Optional[FrontierItem]:
+        """Read one more node, chosen by ``strategy``; returns the refined item.
+
+        Returns ``None`` when the frontier is already fully refined (the model
+        equals the full kernel density estimate).
+        """
+        candidates = self.refinable_items()
+        if not candidates:
+            return None
+        item = strategy.choose(candidates, self.query)
+        return self.refine_item(item)
+
+    def refine_item(self, item: FrontierItem) -> FrontierItem:
+        """Replace ``item`` by the entries of its child node (paper §2.2).
+
+        The density is updated incrementally:
+        ``p_{t+1}(x) = p_t(x) - contribution(e_s) + sum_children contribution``.
+        """
+        if not item.is_refinable:
+            raise ValueError("cannot refine a leaf (kernel) entry")
+        if item not in self._items:
+            raise ValueError("item is not part of this frontier")
+        entry: DirectoryEntry = item.entry  # type: ignore[assignment]
+        child_node = entry.child
+        self._items.remove(item)
+        for child_entry in child_node.entries:
+            child_level = (
+                child_node.level - 1 if isinstance(child_entry, DirectoryEntry) else -1
+            )
+            self._add_entry(child_entry, level=child_level)
+        # The conceptual update is incremental (subtract the refined entry's
+        # contribution, add its children's, paper §2.2); summing the cached
+        # contributions keeps exactly that O(frontier) cost while avoiding the
+        # catastrophic cancellation the subtract-then-add form suffers from
+        # when one entry dominates the mixture density.
+        self._density = float(sum(existing.contribution for existing in self._items))
+        self.nodes_read += 1
+        return item
+
+    def refine_fully(self, strategy: DescentStrategy, max_nodes: Optional[int] = None) -> int:
+        """Refine until no directory entries remain (or ``max_nodes`` reads)."""
+        reads = 0
+        while not self.is_fully_refined:
+            if max_nodes is not None and reads >= max_nodes:
+                break
+            if self.refine(strategy) is None:
+                break
+            reads += 1
+        return reads

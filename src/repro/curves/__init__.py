@@ -1,0 +1,14 @@
+"""Space-filling curves (Hilbert and Z-order) used by the bulk loaders."""
+
+from .hilbert import hilbert_index, hilbert_order, hilbert_values
+from .zorder import quantise, z_order, z_value, z_values
+
+__all__ = [
+    "hilbert_index",
+    "hilbert_order",
+    "hilbert_values",
+    "quantise",
+    "z_order",
+    "z_value",
+    "z_values",
+]

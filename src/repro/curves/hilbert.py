@@ -1,0 +1,110 @@
+"""d-dimensional Hilbert space-filling curve.
+
+Used by the Hilbert bulk load (paper §3.1): "the Hilbert value for each
+training set item is calculated, next the items are ordered according to their
+Hilbert value and put into leaf nodes w.r.t. the page size".
+
+The transformation between grid coordinates and the Hilbert index follows the
+classic algorithm of Skilling (2004), "Programming the Hilbert curve", which
+maps a point on a ``2**bits`` grid in ``d`` dimensions to its position along
+the curve using only bit operations (implemented here on Python integers, so
+any number of dimensions/bits is supported).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .zorder import quantise
+
+__all__ = ["hilbert_index", "hilbert_values", "hilbert_order"]
+
+
+def _transpose_to_axes(transpose: list[int], bits: int) -> list[int]:
+    """Inverse of the Skilling transform (Hilbert transpose -> grid axes)."""
+    dimensions = len(transpose)
+    x = list(transpose)
+    n = 2 << (bits - 1)
+    # Gray decode by H ^ (H/2)
+    t = x[dimensions - 1] >> 1
+    for i in range(dimensions - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+    # Undo excess work
+    q = 2
+    while q != n:
+        p = q - 1
+        for i in range(dimensions - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return x
+
+
+def _axes_to_transpose(axes: Sequence[int], bits: int) -> list[int]:
+    """Skilling transform: grid axes -> Hilbert transpose form."""
+    dimensions = len(axes)
+    x = [int(a) for a in axes]
+    m = 1 << (bits - 1)
+    # Inverse undo excess work
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(dimensions):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+    # Gray encode
+    for i in range(1, dimensions):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = m
+    while q > 1:
+        if x[dimensions - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(dimensions):
+        x[i] ^= t
+    return x
+
+
+def _transpose_to_index(transpose: Sequence[int], bits: int) -> int:
+    """Interleave the transpose form into a single Hilbert index."""
+    dimensions = len(transpose)
+    index = 0
+    for bit in range(bits - 1, -1, -1):
+        for value in transpose:
+            index = (index << 1) | ((value >> bit) & 1)
+    return index
+
+
+def hilbert_index(coordinates: Sequence[int], bits: int) -> int:
+    """Hilbert curve index of one grid cell with ``bits`` bits per dimension."""
+    if not coordinates:
+        raise ValueError("coordinates must not be empty")
+    if any(c < 0 or c >= (1 << bits) for c in coordinates):
+        raise ValueError(f"coordinates must lie in [0, 2**{bits})")
+    transpose = _axes_to_transpose(coordinates, bits)
+    return _transpose_to_index(transpose, bits)
+
+
+def hilbert_values(points: np.ndarray, bits: int = 10) -> np.ndarray:
+    """Hilbert keys for every row of ``points`` (quantised to ``bits`` bits)."""
+    grid = quantise(points, bits)
+    return np.array([hilbert_index(list(row), bits) for row in grid], dtype=object)
+
+
+def hilbert_order(points: np.ndarray, bits: int = 10) -> np.ndarray:
+    """Indices that sort the points along the Hilbert curve (stable)."""
+    keys = hilbert_values(points, bits)
+    return np.array(sorted(range(len(keys)), key=lambda i: keys[i]), dtype=int)

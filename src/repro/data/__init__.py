@@ -1,0 +1,22 @@
+"""Data sets and splits: synthetic stand-ins for the paper's Table 1."""
+
+from .splits import Fold, stratified_k_fold
+from .synthetic import (
+    DATASET_SPECS,
+    Dataset,
+    DatasetSpec,
+    make_blobs,
+    make_dataset,
+    make_drift_stream,
+)
+
+__all__ = [
+    "Fold",
+    "stratified_k_fold",
+    "DATASET_SPECS",
+    "Dataset",
+    "DatasetSpec",
+    "make_blobs",
+    "make_dataset",
+    "make_drift_stream",
+]

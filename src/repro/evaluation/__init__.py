@@ -1,0 +1,33 @@
+"""Evaluation harness: metrics, cross-validation and the figure experiments."""
+
+from .anytime_eval import (
+    CrossValidatedCurve,
+    anytime_accuracy_curve,
+    build_bulkloaded_classifier,
+    cross_validated_anytime_curve,
+)
+from .experiment import (
+    DEFAULT_EXPERIMENT_CONFIG,
+    BulkloadExperimentResult,
+    ExperimentConfig,
+    format_curve_table,
+    run_bulkload_experiment,
+    table1_rows,
+)
+from .metrics import accuracy, anytime_curve_summary, confusion_matrix
+
+__all__ = [
+    "CrossValidatedCurve",
+    "anytime_accuracy_curve",
+    "build_bulkloaded_classifier",
+    "cross_validated_anytime_curve",
+    "DEFAULT_EXPERIMENT_CONFIG",
+    "BulkloadExperimentResult",
+    "ExperimentConfig",
+    "format_curve_table",
+    "run_bulkload_experiment",
+    "table1_rows",
+    "accuracy",
+    "anytime_curve_summary",
+    "confusion_matrix",
+]

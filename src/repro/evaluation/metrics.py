@@ -1,0 +1,56 @@
+"""Classification metrics used in the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion_matrix", "anytime_curve_summary"]
+
+
+def accuracy(predictions: Sequence[Hashable], labels: Sequence[Hashable]) -> float:
+    """Fraction of predictions equal to the true labels."""
+    predictions = list(predictions)
+    labels = list(labels)
+    if len(predictions) != len(labels):
+        raise ValueError("predictions and labels must have the same length")
+    if not labels:
+        raise ValueError("cannot compute accuracy of zero predictions")
+    return float(np.mean([p == l for p, l in zip(predictions, labels)]))
+
+
+def confusion_matrix(
+    predictions: Sequence[Hashable], labels: Sequence[Hashable]
+) -> Tuple[np.ndarray, List[Hashable]]:
+    """Confusion matrix ``C[i, j]`` = #objects of true class i predicted as class j."""
+    predictions = list(predictions)
+    labels = list(labels)
+    if len(predictions) != len(labels):
+        raise ValueError("predictions and labels must have the same length")
+    classes = sorted(set(labels) | set(predictions), key=repr)
+    index = {label: i for i, label in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=int)
+    for prediction, label in zip(predictions, labels):
+        matrix[index[label], index[prediction]] += 1
+    return matrix, classes
+
+
+def anytime_curve_summary(curve: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of an accuracy-vs-nodes curve.
+
+    * ``initial`` — accuracy using only the root models (node 0),
+    * ``final`` — accuracy at the largest evaluated budget,
+    * ``best`` — maximum over the curve,
+    * ``mean`` — average accuracy over the node axis (the area under the
+      anytime curve, the scalar we use to rank bulk-loading strategies).
+    """
+    curve = np.asarray(list(curve), dtype=float)
+    if curve.size == 0:
+        raise ValueError("curve must contain at least one value")
+    return {
+        "initial": float(curve[0]),
+        "final": float(curve[-1]),
+        "best": float(curve.max()),
+        "mean": float(curve.mean()),
+    }

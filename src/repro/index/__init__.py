@@ -1,0 +1,21 @@
+"""Index substrate: MBRs, cluster features, entries, nodes and the R*-tree."""
+
+from .cluster_feature import ClusterFeature
+from .entry import DirectoryEntry, LeafEntry
+from .mbr import MBR
+from .node import AnyEntry, Node
+from .rstar import RStarTree, TreeParameters
+from .split import SplitResult, rstar_split
+
+__all__ = [
+    "ClusterFeature",
+    "DirectoryEntry",
+    "LeafEntry",
+    "MBR",
+    "AnyEntry",
+    "Node",
+    "RStarTree",
+    "TreeParameters",
+    "SplitResult",
+    "rstar_split",
+]

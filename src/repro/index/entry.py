@@ -1,0 +1,162 @@
+"""Node entries of the Bayes tree / R*-tree substrate.
+
+Paper Definition 1: an entry stores the MBR of the objects in its subtree, a
+pointer to the subtree and the cluster feature (n, LS, SS) of those objects.
+Leaf nodes store the observations themselves (d-dimensional kernels), which we
+model as :class:`LeafEntry` carrying the raw point, its class label and the
+kernel bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from ..stats.gaussian import Gaussian
+from .cluster_feature import ClusterFeature
+from .mbr import MBR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+
+__all__ = ["LeafEntry", "DirectoryEntry"]
+
+
+@dataclass(eq=False)
+class LeafEntry:
+    """A stored observation: a d-dimensional kernel estimator at leaf level.
+
+    Attributes
+    ----------
+    point:
+        The observation vector (also the kernel center).
+    label:
+        Optional class label; kept so a single tree can hold several classes
+        (the structural modification discussed in paper §4.1).
+    bandwidth:
+        Kernel bandwidth vector ``h``.  May be ``None`` while the tree is
+        being built and filled in once the training set bandwidth is known.
+    kernel:
+        Name of the kernel family (``"gaussian"`` or ``"epanechnikov"``).
+    """
+
+    point: np.ndarray
+    label: Optional[object] = None
+    bandwidth: Optional[np.ndarray] = None
+    kernel: str = "gaussian"
+
+    def __post_init__(self) -> None:
+        self.point = np.asarray(self.point, dtype=float)
+        if self.point.ndim != 1:
+            raise ValueError("point must be a 1-d vector")
+        if self.bandwidth is not None:
+            self.bandwidth = np.asarray(self.bandwidth, dtype=float)
+            if self.bandwidth.shape != self.point.shape:
+                raise ValueError("bandwidth must have the same shape as point")
+
+    @property
+    def dimension(self) -> int:
+        return self.point.shape[0]
+
+    @property
+    def n_objects(self) -> float:
+        """Number of observations represented by this entry (always one)."""
+        return 1.0
+
+    @property
+    def mbr(self) -> MBR:
+        """Degenerate MBR covering just the stored point."""
+        return MBR.from_point(self.point)
+
+    @property
+    def cluster_feature(self) -> ClusterFeature:
+        return ClusterFeature.from_point(self.point)
+
+    def to_gaussian(self, weight: float = 1.0) -> Gaussian:
+        """Kernel estimator viewed as a Gaussian component.
+
+        For a Gaussian kernel this is exact (variance ``h**2``); for an
+        Epanechnikov kernel the Gaussian is moment matched (variance
+        ``h**2 / 5``), which is only used when the entry is aggregated — the
+        density evaluation path uses :meth:`density` instead.
+        """
+        if self.bandwidth is None:
+            raise ValueError("leaf entry has no bandwidth assigned yet")
+        if self.kernel == "epanechnikov":
+            variance = self.bandwidth ** 2 / 5.0
+        else:
+            variance = self.bandwidth ** 2
+        return Gaussian(mean=self.point, variance=variance, weight=weight)
+
+    def density(self, x: Sequence[float] | np.ndarray) -> float:
+        """Kernel density contribution of this observation at ``x``."""
+        from ..stats.kernel import make_kernel
+
+        if self.bandwidth is None:
+            raise ValueError("leaf entry has no bandwidth assigned yet")
+        return make_kernel(self.kernel, self.point, self.bandwidth).pdf(x)
+
+
+@dataclass(eq=False)
+class DirectoryEntry:
+    """An inner-node entry: MBR + subtree pointer + cluster feature (Def. 1)."""
+
+    mbr: MBR
+    cluster_feature: ClusterFeature
+    child: "Node"
+
+    @property
+    def dimension(self) -> int:
+        return self.mbr.dimension
+
+    @property
+    def n_objects(self) -> float:
+        """Number of leaf observations stored in the subtree."""
+        return self.cluster_feature.n
+
+    def to_gaussian(
+        self, weight: float | None = None, variance_inflation: Optional[np.ndarray] = None
+    ) -> Gaussian:
+        """Gaussian summarising the entry's subtree.
+
+        The mean and variance come from the cluster feature (``LS/n`` and
+        ``SS/n - (LS/n)^2``, paper Def. 1).  ``variance_inflation`` — normally
+        the squared kernel bandwidth of the tree — is added to the variance so
+        the entry is the exact moment match of the mixture of kernels stored
+        in its subtree; without it, entries over very few objects degenerate
+        to near-delta spikes.
+        """
+        gaussian = self.cluster_feature.to_gaussian(weight=weight)
+        if variance_inflation is None:
+            return gaussian
+        return Gaussian(
+            mean=gaussian.mean,
+            variance=gaussian.variance + np.asarray(variance_inflation, dtype=float),
+            weight=gaussian.weight,
+        )
+
+    def density(
+        self, x: Sequence[float] | np.ndarray, variance_inflation: Optional[np.ndarray] = None
+    ) -> float:
+        """Unweighted Gaussian density of the subtree summary at ``x``."""
+        return self.to_gaussian(weight=1.0, variance_inflation=variance_inflation).pdf(x)
+
+    def refresh(self) -> None:
+        """Recompute MBR and CF bottom-up from the child node.
+
+        Used after splits and by the bulk loaders, which build subtrees first
+        and derive the parent entries afterwards.
+        """
+        self.mbr = self.child.compute_mbr()
+        self.cluster_feature = self.child.compute_cluster_feature()
+
+    @staticmethod
+    def for_node(node: "Node") -> "DirectoryEntry":
+        """Create an entry summarising ``node``."""
+        return DirectoryEntry(
+            mbr=node.compute_mbr(),
+            cluster_feature=node.compute_cluster_feature(),
+            child=node,
+        )

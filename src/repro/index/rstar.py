@@ -1,0 +1,284 @@
+"""R*-tree with cluster features — the index substrate of the Bayes tree.
+
+This is the balanced multidimensional index of paper Definition 2: inner nodes
+hold between ``m`` and ``M`` directory entries, leaf nodes between ``l`` and
+``L`` observations, every entry carries the MBR, subtree pointer and cluster
+feature of Definition 1, and all leaves are on the same level.
+
+Insertion follows the R*-tree (Beckmann et al., 1990):
+
+* *ChooseSubtree* descends into the child whose MBR needs the least overlap
+  enlargement (at the level above the leaves) or the least area enlargement
+  (higher up), with ties broken by area.
+* Overflows are first handled by *forced reinsertion* of the entries farthest
+  from the node's center (once per level per insertion), then by the R*
+  topological split.
+* Cluster features and MBRs are maintained along the full insertion path, so
+  every directory entry always summarises its subtree exactly — that property
+  is what makes the frontier mixture models of the Bayes tree consistent.
+
+The class is deliberately agnostic of classification; the Bayes tree in
+``repro.core`` wraps it with kernels, descent strategies and the anytime
+classifier logic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cluster_feature import ClusterFeature
+from .entry import DirectoryEntry, LeafEntry
+from .mbr import MBR
+from .node import AnyEntry, Node
+from .split import rstar_split
+
+__all__ = ["RStarTree", "TreeParameters"]
+
+
+@dataclass(frozen=True)
+class TreeParameters:
+    """Fanout and capacity parameters (m, M, l, L) of paper Definition 2."""
+
+    max_fanout: int = 8
+    min_fanout: int = 3
+    leaf_capacity: int = 8
+    leaf_min: int = 3
+    reinsert_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.max_fanout < 2:
+            raise ValueError("max_fanout must be at least 2")
+        if not (1 <= self.min_fanout <= self.max_fanout // 2):
+            raise ValueError("min_fanout must satisfy 1 <= m <= M/2")
+        if self.leaf_capacity < 2:
+            raise ValueError("leaf_capacity must be at least 2")
+        if not (1 <= self.leaf_min <= self.leaf_capacity // 2):
+            raise ValueError("leaf_min must satisfy 1 <= l <= L/2")
+        if not (0.0 <= self.reinsert_fraction < 1.0):
+            raise ValueError("reinsert_fraction must be in [0, 1)")
+
+    def capacity(self, node: Node) -> Tuple[int, int]:
+        """(min, max) number of entries allowed in ``node``."""
+        if node.is_leaf:
+            return self.leaf_min, self.leaf_capacity
+        return self.min_fanout, self.max_fanout
+
+
+class RStarTree:
+    """Balanced R*-tree over weighted points with cluster-feature maintenance."""
+
+    def __init__(self, dimension: int, params: TreeParameters | None = None) -> None:
+        if dimension < 1:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+        self.params = params or TreeParameters()
+        self.root: Node = Node(level=0)
+        self._size = 0
+
+    # -- basic properties -------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a tree holding only the empty root has height 1)."""
+        return self.root.level + 1
+
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+    def iter_leaf_entries(self) -> Iterator[LeafEntry]:
+        return self.root.iter_leaf_entries()
+
+    def iter_nodes(self) -> Iterator[Node]:
+        return self.root.iter_nodes()
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    # -- insertion ----------------------------------------------------------------------
+    def insert(
+        self,
+        point: Sequence[float] | np.ndarray,
+        label: Optional[object] = None,
+        bandwidth: Optional[np.ndarray] = None,
+        kernel: str = "gaussian",
+    ) -> LeafEntry:
+        """Insert an observation and return its leaf entry."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dimension,):
+            raise ValueError(f"point must have shape ({self.dimension},), got {point.shape}")
+        entry = LeafEntry(point=point, label=label, bandwidth=bandwidth, kernel=kernel)
+        self._insert_entry(entry, target_level=0, reinserted_levels=set())
+        self._size += 1
+        return entry
+
+    def extend(self, points: np.ndarray, labels: Optional[Sequence[object]] = None) -> None:
+        """Insert several observations one by one (the paper's iterative insertion)."""
+        points = np.asarray(points, dtype=float)
+        for i, point in enumerate(points):
+            self.insert(point, label=None if labels is None else labels[i])
+
+    # The insertion machinery -------------------------------------------------------------
+    def _insert_entry(self, entry: AnyEntry, target_level: int, reinserted_levels: set) -> None:
+        path = self._choose_path(entry, target_level)
+        node = path[-1][0]
+        node.entries.append(entry)
+        self._adjust_path(path, entry)
+        self._handle_overflow(path, reinserted_levels)
+
+    def _choose_path(self, entry: AnyEntry, target_level: int) -> List[Tuple[Node, Optional[DirectoryEntry]]]:
+        """Descend from the root to the node at ``target_level`` best suited for ``entry``.
+
+        Returns the list of (node, parent_entry) pairs from the root to the
+        chosen node; the root's parent entry is ``None``.
+        """
+        path: List[Tuple[Node, Optional[DirectoryEntry]]] = [(self.root, None)]
+        node = self.root
+        while node.level > target_level:
+            parent_entry = self._choose_subtree(node, entry)
+            node = parent_entry.child
+            path.append((node, parent_entry))
+        return path
+
+    def _choose_subtree(self, node: Node, entry: AnyEntry) -> DirectoryEntry:
+        """R* ChooseSubtree among the directory entries of ``node``."""
+        candidates: List[DirectoryEntry] = node.entries  # type: ignore[assignment]
+        entry_mbr = entry.mbr
+        if node.level == 1:
+            # children are leaves: minimise overlap enlargement.
+            def overlap(candidate: DirectoryEntry, rect: MBR) -> float:
+                return sum(
+                    rect.intersection_area(other.mbr)
+                    for other in candidates
+                    if other is not candidate
+                )
+
+            def key(candidate: DirectoryEntry) -> Tuple[float, float, float]:
+                enlarged = candidate.mbr.union(entry_mbr)
+                return (
+                    overlap(candidate, enlarged) - overlap(candidate, candidate.mbr),
+                    candidate.mbr.enlargement(entry_mbr),
+                    candidate.mbr.area(),
+                )
+
+        else:
+            def key(candidate: DirectoryEntry) -> Tuple[float, float, float]:
+                return (
+                    candidate.mbr.enlargement(entry_mbr),
+                    candidate.mbr.area(),
+                    candidate.n_objects,
+                )
+
+        return min(candidates, key=key)
+
+    def _adjust_path(self, path: List[Tuple[Node, Optional[DirectoryEntry]]], entry: AnyEntry) -> None:
+        """Extend MBRs and cluster features of all ancestors of the inserted entry."""
+        entry_cf = entry.cluster_feature
+        entry_mbr = entry.mbr
+        for node, parent_entry in path:
+            if parent_entry is None:
+                continue
+            parent_entry.mbr = parent_entry.mbr.union(entry_mbr)
+            parent_entry.cluster_feature = parent_entry.cluster_feature + entry_cf
+
+    def _handle_overflow(
+        self, path: List[Tuple[Node, Optional[DirectoryEntry]]], reinserted_levels: set
+    ) -> None:
+        """Resolve overflowing nodes bottom-up along the insertion path."""
+        for depth in range(len(path) - 1, -1, -1):
+            node, parent_entry = path[depth]
+            _, max_entries = self.params.capacity(node)
+            if len(node.entries) <= max_entries:
+                continue
+            can_reinsert = (
+                node is not self.root
+                and node.level not in reinserted_levels
+                and self.params.reinsert_fraction > 0.0
+            )
+            if can_reinsert:
+                reinserted_levels.add(node.level)
+                self._reinsert(node, path[: depth + 1], reinserted_levels)
+            else:
+                self._split_node(path, depth)
+                # splitting may push the parent over capacity; continue upwards.
+
+    def _reinsert(
+        self,
+        node: Node,
+        path_prefix: List[Tuple[Node, Optional[DirectoryEntry]]],
+        reinserted_levels: set,
+    ) -> None:
+        """R* forced reinsert: remove the farthest entries and insert them again."""
+        center = node.compute_mbr().center
+        count = max(1, int(round(self.params.reinsert_fraction * len(node.entries))))
+        ordered = sorted(
+            node.entries,
+            key=lambda e: float(np.linalg.norm(e.mbr.center - center)),
+            reverse=True,
+        )
+        to_reinsert = ordered[:count]
+        removed_ids = {id(e) for e in to_reinsert}
+        node.entries = [e for e in node.entries if id(e) not in removed_ids]
+        # The removal shrinks the summaries of all ancestors along the path;
+        # refresh them bottom-up (each refresh is O(fanout)).
+        for _, parent_entry in reversed(path_prefix):
+            if parent_entry is not None:
+                parent_entry.refresh()
+        for entry in to_reinsert:
+            self._insert_entry(entry, target_level=node.level, reinserted_levels=reinserted_levels)
+
+    def _split_node(self, path: List[Tuple[Node, Optional[DirectoryEntry]]], depth: int) -> None:
+        """Split the overflowing node at ``path[depth]`` and update its parent."""
+        node, parent_entry = path[depth]
+        min_entries, _ = self.params.capacity(node)
+        result = rstar_split(node.entries, min_entries)
+        node.entries = result.first
+        sibling = Node(level=node.level, entries=result.second)
+
+        if parent_entry is None:
+            # Node is the root: grow the tree by one level.
+            new_root = Node(level=node.level + 1)
+            new_root.entries = [DirectoryEntry.for_node(node), DirectoryEntry.for_node(sibling)]
+            self.root = new_root
+            return
+
+        parent_entry.refresh()
+        parent_node = path[depth - 1][0]
+        parent_node.entries.append(DirectoryEntry.for_node(sibling))
+        # Ancestors of the parent keep their (now conservative) MBRs; the CFs
+        # are still exact because the observations below them did not change.
+
+    # -- validation -------------------------------------------------------------------------
+    def validate(self, enforce_fanout: bool = True, require_balance: bool = True) -> None:
+        """Check all structural invariants; raises ``AssertionError`` on violation."""
+        if self.is_empty():
+            return
+        self.root.check_invariants(
+            min_fanout=self.params.min_fanout,
+            max_fanout=self.params.max_fanout,
+            leaf_min=self.params.leaf_min,
+            leaf_max=self.params.leaf_capacity,
+            is_root=True,
+            enforce_fanout=enforce_fanout,
+            require_balance=require_balance,
+        )
+        leaf_count = sum(1 for _ in self.iter_leaf_entries())
+        if leaf_count != self._size:
+            raise AssertionError(f"tree stores {leaf_count} observations, expected {self._size}")
+        leaf_levels = {node.level for node in self.iter_nodes() if node.is_leaf}
+        if leaf_levels and leaf_levels != {0}:
+            raise AssertionError("all leaves must be at level 0")
+
+    # -- construction from prebuilt structure (bulk loading) --------------------------------
+    @classmethod
+    def from_root(cls, root: Node, dimension: int, params: TreeParameters | None = None) -> "RStarTree":
+        """Wrap an externally built node hierarchy (used by the bulk loaders)."""
+        tree = cls(dimension=dimension, params=params)
+        tree.root = root
+        tree._size = int(round(root.n_objects)) if root.entries else 0
+        return tree

@@ -1,0 +1,94 @@
+"""R*-tree node split heuristics.
+
+The Bayes tree "extends the R*-tree" (paper §2.2), so overflowing nodes are
+split with the R* topological split (Beckmann et al., SIGMOD 1990):
+
+1. *Choose split axis*: for every dimension, sort the entries by their lower
+   and by their upper MBR boundary and consider all legal distributions into
+   two groups; the axis with the minimum total margin is chosen.
+2. *Choose split index*: along the chosen axis, the distribution with the
+   minimum overlap between the two group MBRs is chosen (ties broken by the
+   minimum combined area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .entry import DirectoryEntry, LeafEntry
+from .mbr import MBR
+from .node import AnyEntry
+
+__all__ = ["SplitResult", "rstar_split"]
+
+
+@dataclass
+class SplitResult:
+    """The two entry groups produced by a node split."""
+
+    first: List[AnyEntry]
+    second: List[AnyEntry]
+
+
+def _group_mbr(entries: Sequence[AnyEntry]) -> MBR:
+    return MBR.union_of(entry.mbr for entry in entries)
+
+
+def _distributions(
+    sorted_entries: List[AnyEntry], min_entries: int
+) -> List[Tuple[List[AnyEntry], List[AnyEntry]]]:
+    """All legal (first, second) group splits of an ordered entry list."""
+    total = len(sorted_entries)
+    splits = []
+    for first_size in range(min_entries, total - min_entries + 1):
+        splits.append((sorted_entries[:first_size], sorted_entries[first_size:]))
+    return splits
+
+
+def rstar_split(entries: Sequence[AnyEntry], min_entries: int) -> SplitResult:
+    """Split an overflowing entry list into two groups using the R* heuristic.
+
+    Parameters
+    ----------
+    entries:
+        The ``M + 1`` entries of the overflowing node.
+    min_entries:
+        Minimum number of entries each resulting group must contain.
+    """
+    entries = list(entries)
+    if len(entries) < 2 * min_entries:
+        raise ValueError(
+            f"cannot split {len(entries)} entries with a minimum group size of {min_entries}"
+        )
+    dimension = entries[0].mbr.dimension
+
+    # 1. choose the split axis by minimum total margin.
+    best_axis = 0
+    best_margin = np.inf
+    for axis in range(dimension):
+        margin = 0.0
+        for key in (lambda e: e.mbr.lower[axis], lambda e: e.mbr.upper[axis]):
+            ordered = sorted(entries, key=key)
+            for first, second in _distributions(ordered, min_entries):
+                margin += _group_mbr(first).margin() + _group_mbr(second).margin()
+        if margin < best_margin:
+            best_margin = margin
+            best_axis = axis
+
+    # 2. choose the distribution on that axis by minimum overlap, then area.
+    best: Tuple[float, float, SplitResult] | None = None
+    for key in (lambda e: e.mbr.lower[best_axis], lambda e: e.mbr.upper[best_axis]):
+        ordered = sorted(entries, key=key)
+        for first, second in _distributions(ordered, min_entries):
+            mbr_first = _group_mbr(first)
+            mbr_second = _group_mbr(second)
+            overlap = mbr_first.intersection_area(mbr_second)
+            area = mbr_first.area() + mbr_second.area()
+            candidate = (overlap, area, SplitResult(first=list(first), second=list(second)))
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+    assert best is not None
+    return best[2]

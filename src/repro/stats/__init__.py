@@ -1,0 +1,33 @@
+"""Statistical substrate: Gaussians, kernels, mixtures, KL divergence and EM."""
+
+from .em import EMResult, fit_gmm, hard_assignments, kmeans_plus_plus_centers
+from .gaussian import MIN_VARIANCE, Gaussian, gaussian_pdf, log_gaussian_pdf
+from .kernel import (
+    KERNEL_NAMES,
+    EpanechnikovKernel,
+    GaussianKernel,
+    make_kernel,
+    silverman_bandwidth,
+)
+from .kl import kl_gaussian, kl_matching_distance, kl_mixture_monte_carlo
+from .mixture import GaussianMixture
+
+__all__ = [
+    "EMResult",
+    "fit_gmm",
+    "hard_assignments",
+    "kmeans_plus_plus_centers",
+    "MIN_VARIANCE",
+    "Gaussian",
+    "gaussian_pdf",
+    "log_gaussian_pdf",
+    "KERNEL_NAMES",
+    "EpanechnikovKernel",
+    "GaussianKernel",
+    "make_kernel",
+    "silverman_bandwidth",
+    "kl_gaussian",
+    "kl_matching_distance",
+    "kl_mixture_monte_carlo",
+    "GaussianMixture",
+]

@@ -1,0 +1,187 @@
+"""Expectation-Maximisation for diagonal-covariance Gaussian mixtures.
+
+The EMTopDown bulk load (paper §3.1) repeatedly runs EM on (subsets of) the
+training data to split it into at most ``M`` clusters, where ``M`` is the tree
+fanout.  The paper relies on a standard EM implementation (Dempster, Laird &
+Rubin, 1977); we implement it from scratch here with the couple of practical
+details the bulk load needs:
+
+* k-means++-style seeding so runs are reproducible given a seed,
+* empty-cluster handling (an empty cluster is re-seeded on the point with the
+  lowest likelihood),
+* the possibility that EM effectively returns *fewer* clusters than requested
+  (components whose weight collapses are dropped), which the bulk load
+  compensates for by re-splitting the biggest cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .gaussian import MIN_VARIANCE, Gaussian
+from .mixture import GaussianMixture
+
+__all__ = ["EMResult", "fit_gmm", "kmeans_plus_plus_centers", "hard_assignments"]
+
+
+@dataclass
+class EMResult:
+    """Outcome of an EM run.
+
+    Attributes
+    ----------
+    mixture:
+        The fitted Gaussian mixture (weights sum to one, components whose
+        weight collapsed below ``min_weight`` removed).
+    responsibilities:
+        (n, k) array of posterior component memberships for the training
+        points, aligned with ``mixture.components``.
+    log_likelihood:
+        Final per-point average log likelihood.
+    iterations:
+        Number of EM iterations performed.
+    converged:
+        Whether the log-likelihood improvement dropped below the tolerance.
+    """
+
+    mixture: GaussianMixture
+    responsibilities: np.ndarray
+    log_likelihood: float
+    iterations: int
+    converged: bool
+
+
+def kmeans_plus_plus_centers(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Choose ``k`` initial centers with the k-means++ heuristic."""
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if n == 0:
+        raise ValueError("cannot seed centers from an empty point set")
+    k = min(k, n)
+    centers = [points[rng.integers(n)]]
+    for _ in range(1, k):
+        distances = np.min(
+            [np.sum((points - center) ** 2, axis=1) for center in centers], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:
+            # All remaining points coincide with an existing center; pick any.
+            centers.append(points[rng.integers(n)])
+            continue
+        probabilities = distances / total
+        centers.append(points[rng.choice(n, p=probabilities)])
+    return np.array(centers)
+
+
+def _log_density_matrix(points: np.ndarray, means: np.ndarray, variances: np.ndarray) -> np.ndarray:
+    """(n, k) matrix of per-component log densities, vectorised."""
+    variances = np.maximum(variances, MIN_VARIANCE)
+    # points: (n, d), means/variances: (k, d)
+    diff = points[:, None, :] - means[None, :, :]
+    log_norm = -0.5 * np.sum(np.log(2.0 * math.pi * variances), axis=1)  # (k,)
+    quad = -0.5 * np.sum(diff * diff / variances[None, :, :], axis=2)  # (n, k)
+    return log_norm[None, :] + quad
+
+
+def fit_gmm(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 100,
+    tolerance: float = 1e-4,
+    min_weight: float = 1e-6,
+    variance_floor: float = 1e-6,
+) -> EMResult:
+    """Fit a ``k``-component diagonal GMM to ``points`` with EM.
+
+    Components whose mixing weight collapses below ``min_weight`` are removed
+    from the returned mixture, so the result may contain fewer than ``k``
+    components — exactly the situation the EMTopDown bulk load has to handle
+    by re-splitting the biggest cluster.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    n, d = points.shape
+    k = max(1, min(k, n))
+
+    means = kmeans_plus_plus_centers(points, k, rng)
+    k = means.shape[0]
+    global_variance = np.maximum(points.var(axis=0), variance_floor)
+    variances = np.tile(global_variance, (k, 1))
+    weights = np.full(k, 1.0 / k)
+
+    previous_ll = -math.inf
+    converged = False
+    iterations = 0
+    responsibilities = np.full((n, k), 1.0 / k)
+
+    for iterations in range(1, max_iterations + 1):
+        # E step ------------------------------------------------------------------
+        log_densities = _log_density_matrix(points, means, variances)
+        log_weighted = log_densities + np.log(np.maximum(weights, 1e-300))[None, :]
+        peak = log_weighted.max(axis=1, keepdims=True)
+        log_norm = peak + np.log(np.sum(np.exp(log_weighted - peak), axis=1, keepdims=True))
+        responsibilities = np.exp(log_weighted - log_norm)
+        log_likelihood = float(np.mean(log_norm))
+
+        # M step ------------------------------------------------------------------
+        counts = responsibilities.sum(axis=0)
+        for j in range(k):
+            if counts[j] <= min_weight * n:
+                # Re-seed a collapsed component on the worst-explained point.
+                worst = int(np.argmin(log_norm[:, 0]))
+                means[j] = points[worst]
+                variances[j] = global_variance
+                counts[j] = 1.0
+                responsibilities[:, j] = 0.0
+                responsibilities[worst, j] = 1.0
+            else:
+                means[j] = responsibilities[:, j] @ points / counts[j]
+                diff = points - means[j]
+                variances[j] = np.maximum(
+                    responsibilities[:, j] @ (diff * diff) / counts[j], variance_floor
+                )
+        weights = counts / counts.sum()
+
+        if abs(log_likelihood - previous_ll) < tolerance:
+            converged = True
+            previous_ll = log_likelihood
+            break
+        previous_ll = log_likelihood
+
+    keep = weights > min_weight
+    if not np.all(keep):
+        means = means[keep]
+        variances = variances[keep]
+        weights = weights[keep]
+        weights = weights / weights.sum()
+        responsibilities = responsibilities[:, keep]
+        row_sums = responsibilities.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0] = 1.0
+        responsibilities = responsibilities / row_sums
+
+    mixture = GaussianMixture(
+        [
+            Gaussian(mean=means[j].copy(), variance=variances[j].copy(), weight=float(weights[j]))
+            for j in range(means.shape[0])
+        ]
+    )
+    return EMResult(
+        mixture=mixture,
+        responsibilities=responsibilities,
+        log_likelihood=previous_ll,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def hard_assignments(result: EMResult) -> np.ndarray:
+    """Most likely component index per training point."""
+    return np.argmax(result.responsibilities, axis=1)

@@ -1,0 +1,132 @@
+"""Multivariate Gaussian densities with diagonal covariance.
+
+The Bayes tree (Kranen, VLDB 2009) represents every node entry by the mean
+and per-dimension variance of the objects in its subtree, i.e. a diagonal
+(axis-aligned) multivariate normal distribution.  This module provides that
+density, both as a light-weight value object (:class:`Gaussian`) and as
+vectorised free functions used in inner loops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Gaussian",
+    "gaussian_pdf",
+    "log_gaussian_pdf",
+    "MIN_VARIANCE",
+]
+
+#: Variances below this value are clamped before evaluating a density.  The
+#: paper's kernels at leaf level have a data driven bandwidth; in degenerate
+#: synthetic cases (duplicate points, constant features) the empirical
+#: variance can collapse to zero, which would make the density undefined.
+MIN_VARIANCE = 1e-9
+
+
+def _as_vector(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be a 1-d vector, got shape {array.shape}")
+    return array
+
+
+def log_gaussian_pdf(x: np.ndarray, mean: np.ndarray, variance: np.ndarray) -> float:
+    """Log density of a diagonal-covariance Gaussian at ``x``.
+
+    Parameters
+    ----------
+    x, mean, variance:
+        Vectors of identical dimensionality.  ``variance`` holds the
+        per-dimension variances (the diagonal of the covariance matrix).
+    """
+    variance = np.maximum(variance, MIN_VARIANCE)
+    diff = x - mean
+    return float(
+        -0.5 * np.sum(np.log(2.0 * math.pi * variance))
+        - 0.5 * np.sum(diff * diff / variance)
+    )
+
+
+def gaussian_pdf(x: np.ndarray, mean: np.ndarray, variance: np.ndarray) -> float:
+    """Density of a diagonal-covariance Gaussian at ``x``."""
+    return math.exp(log_gaussian_pdf(np.asarray(x, float), np.asarray(mean, float), np.asarray(variance, float)))
+
+
+@dataclass(frozen=True)
+class Gaussian:
+    """A weighted diagonal-covariance Gaussian component.
+
+    Attributes
+    ----------
+    mean:
+        Component mean vector.
+    variance:
+        Per-dimension variance vector (diagonal covariance).
+    weight:
+        Mixing weight; components inside a mixture normally sum to one but the
+        class does not enforce that on its own.
+    """
+
+    mean: np.ndarray
+    variance: np.ndarray
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        mean = _as_vector(self.mean, "mean")
+        variance = _as_vector(self.variance, "variance")
+        if mean.shape != variance.shape:
+            raise ValueError(
+                f"mean and variance must have the same shape, got {mean.shape} vs {variance.shape}"
+            )
+        if np.any(variance < 0):
+            raise ValueError("variance must be non-negative")
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "variance", np.maximum(variance, 0.0))
+
+    @property
+    def dimension(self) -> int:
+        """Number of dimensions of the component."""
+        return self.mean.shape[0]
+
+    def pdf(self, x: Sequence[float] | np.ndarray) -> float:
+        """Unweighted density at ``x``."""
+        return gaussian_pdf(np.asarray(x, float), self.mean, self.variance)
+
+    def log_pdf(self, x: Sequence[float] | np.ndarray) -> float:
+        """Unweighted log density at ``x``."""
+        return log_gaussian_pdf(np.asarray(x, float), self.mean, self.variance)
+
+    def weighted_pdf(self, x: Sequence[float] | np.ndarray) -> float:
+        """Density at ``x`` multiplied by the component weight."""
+        return self.weight * self.pdf(x)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` samples from the component."""
+        std = np.sqrt(np.maximum(self.variance, MIN_VARIANCE))
+        return rng.normal(self.mean, std, size=(size, self.dimension))
+
+    def with_weight(self, weight: float) -> "Gaussian":
+        """Return a copy of this component with a different weight."""
+        return Gaussian(mean=self.mean.copy(), variance=self.variance.copy(), weight=weight)
+
+    @staticmethod
+    def from_points(points: np.ndarray, weight: float = 1.0) -> "Gaussian":
+        """Fit a single Gaussian to a set of points by moments.
+
+        Uses the biased (maximum likelihood) variance estimator, matching the
+        cluster-feature arithmetic of the Bayes tree (SS/n - (LS/n)^2).
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        mean = points.mean(axis=0)
+        variance = points.var(axis=0)
+        return Gaussian(mean=mean, variance=variance, weight=weight)

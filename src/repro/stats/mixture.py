@@ -1,0 +1,154 @@
+"""Gaussian mixture models.
+
+A *frontier* of the Bayes tree (paper Def. 3) defines a Gaussian mixture model
+whose components are node entries weighted by the fraction of objects they
+represent.  This module provides the mixture abstraction used both by the tree
+and by the bulk-loading algorithms (Goldberger reduction, EM top-down).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .gaussian import Gaussian, log_gaussian_pdf
+
+__all__ = ["GaussianMixture"]
+
+
+@dataclass
+class GaussianMixture:
+    """A finite mixture of diagonal-covariance Gaussian components."""
+
+    components: List[Gaussian] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.components = list(self.components)
+        if self.components:
+            dim = self.components[0].dimension
+            for component in self.components:
+                if component.dimension != dim:
+                    raise ValueError("all mixture components must share a dimension")
+
+    # -- basic container behaviour -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __iter__(self):
+        return iter(self.components)
+
+    def __getitem__(self, index: int) -> Gaussian:
+        return self.components[index]
+
+    @property
+    def dimension(self) -> int:
+        if not self.components:
+            raise ValueError("empty mixture has no dimension")
+        return self.components[0].dimension
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Vector of component weights in component order."""
+        return np.array([c.weight for c in self.components], dtype=float)
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(c.weight for c in self.components))
+
+    # -- construction helpers ------------------------------------------------------
+    @staticmethod
+    def from_points(points: np.ndarray, bandwidth: np.ndarray | None = None) -> "GaussianMixture":
+        """Kernel-density style mixture: one equally weighted component per point.
+
+        If ``bandwidth`` is None the components are degenerate (zero variance)
+        and should only be used as an intermediate representation.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError("points must be an (n, d) array")
+        n, d = points.shape
+        if bandwidth is None:
+            variance = np.zeros(d)
+        else:
+            bandwidth = np.asarray(bandwidth, dtype=float)
+            variance = bandwidth ** 2
+        weight = 1.0 / n if n else 0.0
+        components = [Gaussian(mean=p, variance=variance.copy(), weight=weight) for p in points]
+        return GaussianMixture(components)
+
+    def normalised(self) -> "GaussianMixture":
+        """Return a copy whose weights sum to one."""
+        total = self.total_weight
+        if total <= 0:
+            raise ValueError("cannot normalise a mixture with non-positive total weight")
+        return GaussianMixture([c.with_weight(c.weight / total) for c in self.components])
+
+    # -- densities ------------------------------------------------------------------
+    def pdf(self, x: Sequence[float] | np.ndarray) -> float:
+        """Mixture density at ``x`` (weights used as given, not re-normalised)."""
+        x = np.asarray(x, dtype=float)
+        return float(sum(c.weight * c.pdf(x) for c in self.components))
+
+    def log_pdf(self, x: Sequence[float] | np.ndarray) -> float:
+        """Numerically stable mixture log density at ``x``."""
+        x = np.asarray(x, dtype=float)
+        if not self.components:
+            return -math.inf
+        log_terms = np.array(
+            [
+                (math.log(c.weight) if c.weight > 0 else -math.inf) + c.log_pdf(x)
+                for c in self.components
+            ]
+        )
+        finite = log_terms[np.isfinite(log_terms)]
+        if finite.size == 0:
+            return -math.inf
+        peak = finite.max()
+        return float(peak + math.log(np.sum(np.exp(finite - peak))))
+
+    def responsibilities(self, x: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Posterior probability of each component given ``x``."""
+        x = np.asarray(x, dtype=float)
+        densities = np.array([c.weight * c.pdf(x) for c in self.components], dtype=float)
+        total = densities.sum()
+        if total <= 0:
+            return np.full(len(self.components), 1.0 / max(len(self.components), 1))
+        return densities / total
+
+    # -- sampling --------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` samples from the (normalised) mixture."""
+        if not self.components:
+            raise ValueError("cannot sample from an empty mixture")
+        weights = self.weights
+        weights = weights / weights.sum()
+        choices = rng.choice(len(self.components), size=size, p=weights)
+        samples = np.empty((size, self.dimension))
+        for i, component_index in enumerate(choices):
+            samples[i] = self.components[component_index].sample(rng, 1)[0]
+        return samples
+
+    # -- summary statistics ------------------------------------------------------------
+    def mean(self) -> np.ndarray:
+        """Overall mean of the (normalised) mixture."""
+        weights = self.weights
+        weights = weights / weights.sum()
+        return np.sum([w * c.mean for w, c in zip(weights, self.components)], axis=0)
+
+    def merged(self) -> Gaussian:
+        """Moment-matched single Gaussian representing the whole mixture."""
+        weights = self.weights
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("cannot merge a mixture with non-positive total weight")
+        weights = weights / total
+        mean = np.sum([w * c.mean for w, c in zip(weights, self.components)], axis=0)
+        second_moment = np.sum(
+            [w * (c.variance + c.mean ** 2) for w, c in zip(weights, self.components)],
+            axis=0,
+        )
+        variance = np.maximum(second_moment - mean ** 2, 0.0)
+        return Gaussian(mean=mean, variance=variance, weight=float(total))

@@ -1,0 +1,17 @@
+"""Stream substrate: arrival processes, data streams and the anytime driver."""
+
+from .anytime import StreamRunResult, StreamStepResult, run_anytime_stream
+from .arrival import ArrivalProcess, ConstantArrival, PoissonArrival, gaps_to_node_budgets
+from .stream import DataStream, StreamItem
+
+__all__ = [
+    "StreamRunResult",
+    "StreamStepResult",
+    "run_anytime_stream",
+    "ArrivalProcess",
+    "ConstantArrival",
+    "PoissonArrival",
+    "gaps_to_node_budgets",
+    "DataStream",
+    "StreamItem",
+]

@@ -1,0 +1,107 @@
+"""Anytime stream classification driver.
+
+Glues together a :class:`~repro.stream.stream.DataStream` and an anytime
+classifier: every arriving object is classified with exactly the node budget
+dictated by the stream's arrival process, and (in the supervised setting) the
+classifier may afterwards learn from the revealed label — the combination of
+anytime classification and incremental online learning that defines the Bayes
+tree's stream scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+from .stream import DataStream, StreamItem
+
+__all__ = ["StreamStepResult", "StreamRunResult", "run_anytime_stream"]
+
+
+@dataclass(frozen=True)
+class StreamStepResult:
+    """Outcome of classifying one stream object."""
+
+    item: StreamItem
+    prediction: Hashable
+    correct: Optional[bool]
+    nodes_read: int
+
+
+@dataclass
+class StreamRunResult:
+    """Aggregate outcome of a stream run."""
+
+    steps: List[StreamStepResult] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        evaluated = [step for step in self.steps if step.correct is not None]
+        if not evaluated:
+            return float("nan")
+        return float(np.mean([step.correct for step in evaluated]))
+
+    @property
+    def mean_budget(self) -> float:
+        if not self.steps:
+            return float("nan")
+        return float(np.mean([step.item.budget for step in self.steps]))
+
+    @property
+    def mean_nodes_read(self) -> float:
+        if not self.steps:
+            return float("nan")
+        return float(np.mean([step.nodes_read for step in self.steps]))
+
+    def accuracy_by_budget(self) -> dict:
+        """Accuracy grouped by the node budget the stream allowed."""
+        buckets: dict = {}
+        for step in self.steps:
+            if step.correct is None:
+                continue
+            buckets.setdefault(step.item.budget, []).append(step.correct)
+        return {budget: float(np.mean(values)) for budget, values in sorted(buckets.items())}
+
+
+def run_anytime_stream(
+    classifier,
+    stream: DataStream,
+    limit: Optional[int] = None,
+    online_learning: bool = False,
+) -> StreamRunResult:
+    """Classify every stream object under its anytime budget.
+
+    Parameters
+    ----------
+    classifier:
+        Any object with ``classify_anytime(x, max_nodes)`` returning an
+        :class:`~repro.core.classifier.AnytimeClassification` and (when
+        ``online_learning`` is requested) ``partial_fit(x, label)``.
+    stream:
+        The data stream to process.
+    limit:
+        Optional cap on the number of processed objects.
+    online_learning:
+        When true, the revealed label is used to update the classifier after
+        each prediction (test-then-train evaluation).
+    """
+    result = StreamRunResult()
+    for item in stream:
+        classification = classifier.classify_anytime(item.features, max_nodes=item.budget)
+        prediction = classification.final_prediction
+        correct = None if item.label is None else bool(prediction == item.label)
+        result.steps.append(
+            StreamStepResult(
+                item=item,
+                prediction=prediction,
+                correct=correct,
+                nodes_read=classification.nodes_read,
+            )
+        )
+        if online_learning and item.label is not None:
+            classifier.partial_fit(item.features, item.label)
+        if limit is not None and len(result.steps) >= limit:
+            break
+    return result

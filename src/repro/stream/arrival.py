@@ -1,0 +1,70 @@
+"""Stream arrival processes.
+
+Paper §1 distinguishes "constant streams, where the time between two
+consecutive stream data items is constant, and varying streams, where the
+amount of data per time unit is varying".  The anytime classifier is motivated
+by the varying case: the time available to classify one object is the gap to
+the next arrival, so a Poisson stream yields exponentially distributed budgets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["ArrivalProcess", "ConstantArrival", "PoissonArrival", "gaps_to_node_budgets"]
+
+
+class ArrivalProcess(ABC):
+    """Generator of inter-arrival times (in abstract time units)."""
+
+    @abstractmethod
+    def gaps(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``count`` inter-arrival gaps."""
+
+
+class ConstantArrival(ArrivalProcess):
+    """Constant stream: every object arrives after the same gap."""
+
+    def __init__(self, gap: float) -> None:
+        if gap <= 0:
+            raise ValueError("gap must be positive")
+        self.gap = gap
+
+    def gaps(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.full(count, self.gap)
+
+
+class PoissonArrival(ArrivalProcess):
+    """Varying stream: exponentially distributed gaps with the given rate."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def gaps(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return rng.exponential(scale=1.0 / self.rate, size=count)
+
+
+def gaps_to_node_budgets(gaps: np.ndarray, nodes_per_time_unit: float, max_nodes: Optional[int] = None) -> np.ndarray:
+    """Convert inter-arrival gaps into per-object node-read budgets.
+
+    The paper measures anytime cost in *nodes read*; a processing speed of
+    ``nodes_per_time_unit`` translates the time until the next arrival into
+    the number of nodes the classifier may read for the current object.
+    """
+    gaps = np.asarray(gaps, dtype=float)
+    if nodes_per_time_unit <= 0:
+        raise ValueError("nodes_per_time_unit must be positive")
+    budgets = np.floor(gaps * nodes_per_time_unit).astype(int)
+    budgets = np.maximum(budgets, 0)
+    if max_nodes is not None:
+        budgets = np.minimum(budgets, int(max_nodes))
+    return budgets

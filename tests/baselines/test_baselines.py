@@ -1,0 +1,125 @@
+"""Tests for the baseline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AnytimeNearestNeighbor, GaussianNaiveBayes, KernelBayesClassifier
+from repro.data import make_blobs
+
+
+BLOB_CENTERS = np.array([[0.0, 0.0], [8.0, 8.0], [0.0, 8.0]])
+
+
+def blob_data(seed=0, per_class=60):
+    dataset = make_blobs(
+        n_classes=3, per_class=per_class, n_features=2, random_state=seed, centers=BLOB_CENTERS
+    )
+    return dataset.features, dataset.labels
+
+
+class TestGaussianNaiveBayes:
+    def test_high_accuracy_on_separable_blobs(self):
+        X, y = blob_data(seed=0)
+        model = GaussianNaiveBayes().fit(X, y)
+        test_X, test_y = blob_data(seed=1, per_class=20)
+        predictions = model.predict_batch(test_X)
+        assert np.mean(np.array(predictions) == test_y) > 0.95
+
+    def test_priors_reflect_class_frequencies(self):
+        X = np.vstack([np.zeros((30, 2)), np.ones((10, 2)) * 5])
+        y = [0] * 30 + [1] * 10
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.priors[0] == pytest.approx(0.75)
+        assert model.priors[1] == pytest.approx(0.25)
+
+    def test_validates_inputs_and_fit_state(self):
+        model = GaussianNaiveBayes()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), [0, 1])
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(2))
+
+    def test_log_posterior_prefers_own_class_center(self):
+        X, y = blob_data(seed=2)
+        model = GaussianNaiveBayes().fit(X, y)
+        center_class0 = X[np.array(y) == 0].mean(axis=0)
+        scores = model.log_posterior(center_class0)
+        assert max(scores, key=scores.get) == 0
+
+
+class TestKernelBayesClassifier:
+    def test_high_accuracy_on_separable_blobs(self):
+        X, y = blob_data(seed=3)
+        model = KernelBayesClassifier().fit(X, y)
+        test_X, test_y = blob_data(seed=4, per_class=15)
+        predictions = model.predict_batch(test_X)
+        assert np.mean(np.array(predictions) == test_y) > 0.95
+
+    def test_posterior_unnormalised_weights_by_prior(self):
+        X = np.vstack([np.zeros((40, 1)), np.full((10, 1), 0.5)])
+        y = [0] * 40 + [1] * 10
+        model = KernelBayesClassifier().fit(X, y)
+        posterior = model.posterior(np.array([0.25]))
+        assert set(posterior) == {0, 1}
+        assert all(v >= 0 for v in posterior.values())
+
+    def test_epanechnikov_kernel_supported(self):
+        X, y = blob_data(seed=5)
+        model = KernelBayesClassifier(kernel="epanechnikov").fit(X, y)
+        prediction = model.predict(X[0])
+        assert prediction in {0, 1, 2}
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            KernelBayesClassifier(bandwidth_scale=0.0)
+        model = KernelBayesClassifier()
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(2))
+
+    def test_matches_fully_refined_bayes_tree(self):
+        """The Bayes tree at full refinement equals the kernel Bayes classifier."""
+        from repro.core import AnytimeBayesClassifier, BayesTreeConfig
+        from repro.index import TreeParameters
+
+        X, y = blob_data(seed=6, per_class=30)
+        kernel_model = KernelBayesClassifier().fit(X, y)
+        tree_model = AnytimeBayesClassifier(
+            config=BayesTreeConfig(
+                tree=TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
+            )
+        ).fit(X, y)
+        rng = np.random.default_rng(7)
+        queries = rng.normal(scale=6.0, size=(25, 2))
+        agreements = sum(kernel_model.predict(q) == tree_model.predict(q) for q in queries)
+        assert agreements >= 24
+
+
+class TestAnytimeNearestNeighbor:
+    def test_full_budget_matches_classic_knn_accuracy(self):
+        X, y = blob_data(seed=8)
+        model = AnytimeNearestNeighbor(k=3, random_state=0).fit(X, y)
+        test_X, test_y = blob_data(seed=9, per_class=15)
+        predictions = model.predict_batch(test_X)
+        assert np.mean(np.array(predictions) == test_y) > 0.95
+
+    def test_anytime_budget_improves_with_more_time(self):
+        X, y = blob_data(seed=10, per_class=100)
+        model = AnytimeNearestNeighbor(k=5, random_state=1).fit(X, y)
+        test_X, test_y = blob_data(seed=11, per_class=30)
+        small = np.mean(np.array(model.predict_batch(test_X, budget=3)) == test_y)
+        large = np.mean(np.array(model.predict_batch(test_X, budget=300)) == test_y)
+        assert large >= small
+
+    def test_budget_of_zero_clamped_to_one(self):
+        X, y = blob_data(seed=12)
+        model = AnytimeNearestNeighbor(k=1, random_state=2).fit(X, y)
+        assert model.predict_anytime(X[0], budget=0) in {0, 1, 2}
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            AnytimeNearestNeighbor(k=0)
+        model = AnytimeNearestNeighbor()
+        with pytest.raises(ValueError):
+            model.predict_anytime(np.zeros(2), budget=5)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 2)), [0, 1])

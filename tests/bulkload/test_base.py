@@ -1,0 +1,74 @@
+"""Tests for the shared bulk-loading helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulkload import chunk_sizes, pack_entries_into_nodes, stack_levels
+from repro.index import DirectoryEntry, LeafEntry, Node, TreeParameters
+
+
+def test_chunk_sizes_single_chunk_when_it_fits():
+    assert chunk_sizes(5, capacity=8, minimum=3) == [5]
+    assert chunk_sizes(1, capacity=8, minimum=3) == [1]
+
+
+def test_chunk_sizes_rebalances_small_tail():
+    sizes = chunk_sizes(9, capacity=8, minimum=3)
+    assert sum(sizes) == 9
+    assert all(size >= 3 for size in sizes)
+    assert all(size <= 8 for size in sizes)
+
+
+def test_chunk_sizes_exact_multiple():
+    assert chunk_sizes(16, capacity=8, minimum=3) == [8, 8]
+
+
+def test_chunk_sizes_validation():
+    with pytest.raises(ValueError):
+        chunk_sizes(0, 8, 3)
+    with pytest.raises(ValueError):
+        chunk_sizes(10, 4, 5)
+    with pytest.raises(ValueError):
+        chunk_sizes(10, 0, 0)
+
+
+@settings(deadline=None, max_examples=100)
+@given(st.integers(1, 500), st.integers(2, 20))
+def test_chunk_sizes_property(total, capacity):
+    minimum = max(1, capacity // 2)
+    sizes = chunk_sizes(total, capacity, minimum)
+    assert sum(sizes) == total
+    assert all(size <= capacity for size in sizes)
+    if len(sizes) > 1:
+        assert all(size >= minimum for size in sizes)
+
+
+def test_pack_entries_into_nodes_counts():
+    entries = [LeafEntry(point=np.array([float(i), 0.0])) for i in range(10)]
+    nodes = pack_entries_into_nodes(entries, level=0, capacity=4, minimum=2)
+    assert sum(len(node.entries) for node in nodes) == 10
+    assert all(node.level == 0 for node in nodes)
+    assert all(2 <= len(node.entries) <= 4 for node in nodes)
+
+
+def test_stack_levels_builds_single_root():
+    rng = np.random.default_rng(0)
+    entries = [LeafEntry(point=p) for p in rng.normal(size=(40, 2))]
+    params = TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
+    leaves = pack_entries_into_nodes(entries, level=0, capacity=4, minimum=2)
+    root = stack_levels(leaves, params, order_nodes=lambda e: e)
+    assert root.level >= 1
+    assert root.n_objects == 40
+    # Every leaf entry is reachable exactly once.
+    assert sum(1 for _ in root.iter_leaf_entries()) == 40
+
+
+def test_stack_levels_single_leaf_is_its_own_root():
+    entries = [LeafEntry(point=np.array([0.0, 0.0]))]
+    params = TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
+    leaves = pack_entries_into_nodes(entries, level=0, capacity=4, minimum=2)
+    root = stack_levels(leaves, params, order_nodes=lambda e: e)
+    assert root.level == 0
+    assert len(root.entries) == 1

@@ -1,0 +1,164 @@
+"""Tests for the anytime clustering tree and the offline component."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    ClusTree,
+    assign_to_macro_clusters,
+    clustering_purity,
+    density_cluster,
+)
+from repro.data import make_blobs, make_drift_stream
+
+
+def stream_blobs(seed=0, per_class=150):
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+    dataset = make_blobs(n_classes=3, per_class=per_class, n_features=2, random_state=seed, centers=centers)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.size)
+    return dataset.features[order], dataset.labels[order]
+
+
+class TestClusTreeBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusTree(dimension=0)
+        with pytest.raises(ValueError):
+            ClusTree(dimension=2, fanout=1)
+        with pytest.raises(ValueError):
+            ClusTree(dimension=2, decay_rate=-1.0)
+        with pytest.raises(ValueError):
+            ClusTree(dimension=2, prune_threshold=-1.0)
+
+    def test_insert_rejects_wrong_dimension_and_backwards_time(self):
+        tree = ClusTree(dimension=2)
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros(3))
+        tree.insert(np.zeros(2), timestamp=5.0)
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros(2), timestamp=1.0)
+
+    def test_insert_counts_objects(self):
+        tree = ClusTree(dimension=2)
+        points, _ = stream_blobs(per_class=20)
+        for t, point in enumerate(points):
+            tree.insert(point, timestamp=float(t))
+        assert tree.n_inserted == len(points)
+        assert tree.total_weight() > 0
+
+    def test_total_weight_matches_insertions_without_decay(self):
+        tree = ClusTree(dimension=2, decay_rate=0.0)
+        points, _ = stream_blobs(seed=1, per_class=30)
+        for t, point in enumerate(points):
+            tree.insert(point, timestamp=float(t))
+        assert tree.total_weight() == pytest.approx(tree.n_inserted, rel=1e-6)
+
+    def test_tree_grows_beyond_a_single_node(self):
+        tree = ClusTree(dimension=2, fanout=3, decay_rate=0.0)
+        points, _ = stream_blobs(seed=2, per_class=60)
+        for t, point in enumerate(points):
+            tree.insert(point, timestamp=float(t))
+        assert tree.height() >= 2
+        assert tree.node_count() >= 3
+
+
+class TestAnytimeBehaviour:
+    def test_zero_hop_budget_parks_objects(self):
+        tree = ClusTree(dimension=2, fanout=3, decay_rate=0.0)
+        points, _ = stream_blobs(seed=3, per_class=60)
+        # Grow the tree first with unconstrained insertions.
+        for t, point in enumerate(points[:120]):
+            tree.insert(point, timestamp=float(t))
+        parked_before = tree.n_parked
+        for t, point in enumerate(points[120:150]):
+            tree.insert(point, timestamp=float(120 + t), max_hops=0)
+        assert tree.n_parked > parked_before
+        # Parked objects still count towards the model weight.
+        assert tree.total_weight() == pytest.approx(150.0, rel=1e-6)
+
+    def test_parked_objects_are_taken_along_later(self):
+        tree = ClusTree(dimension=2, fanout=3, decay_rate=0.0)
+        points, _ = stream_blobs(seed=4, per_class=60)
+        for t, point in enumerate(points[:120]):
+            tree.insert(point, timestamp=float(t))
+        for t, point in enumerate(points[120:140]):
+            tree.insert(point, timestamp=float(120 + t), max_hops=0)
+        # Unconstrained insertions afterwards pick the buffers up as hitchhikers.
+        for t, point in enumerate(points[140:180]):
+            tree.insert(point, timestamp=float(140 + t))
+        assert tree.total_weight() == pytest.approx(180.0, rel=1e-6)
+
+    def test_faster_stream_means_fewer_micro_clusters(self):
+        """Self-adaptation: smaller budgets produce a coarser model."""
+        points, _ = stream_blobs(seed=5, per_class=100)
+        slow = ClusTree(dimension=2, fanout=3, decay_rate=0.0)
+        fast = ClusTree(dimension=2, fanout=3, decay_rate=0.0)
+        for t, point in enumerate(points):
+            slow.insert(point, timestamp=float(t))          # unlimited time
+            fast.insert(point, timestamp=float(t), max_hops=1)  # very fast stream
+        assert len(fast.micro_clusters()) <= len(slow.micro_clusters())
+
+    def test_decay_forgets_old_concepts(self):
+        tree = ClusTree(dimension=2, fanout=3, decay_rate=0.5)
+        old = np.random.default_rng(0).normal(loc=0.0, size=(100, 2))
+        new = np.random.default_rng(1).normal(loc=20.0, size=(100, 2))
+        t = 0.0
+        for point in old:
+            tree.insert(point, timestamp=t)
+            t += 1.0
+        weight_after_old = tree.total_weight()
+        for point in new:
+            tree.insert(point, timestamp=t)
+            t += 1.0
+        # The old concept (inserted ~100 time units ago with half-life 2) has
+        # decayed to essentially nothing: total weight ~ recent objects only.
+        assert tree.total_weight() < weight_after_old + 10
+
+
+class TestOfflineComponent:
+    def test_micro_clusters_recover_the_three_blobs(self):
+        tree = ClusTree(dimension=2, fanout=4, decay_rate=0.0)
+        points, labels = stream_blobs(seed=6, per_class=100)
+        for t, point in enumerate(points):
+            tree.insert(point, timestamp=float(t))
+        micro = tree.micro_clusters(min_weight=1.0)
+        assert len(micro) >= 3
+        macro = density_cluster(micro, epsilon=4.0, min_weight=5.0)
+        assert len(macro) == 3
+        assignments = assign_to_macro_clusters(points, macro)
+        assert clustering_purity(assignments, labels) > 0.95
+
+    def test_density_cluster_validation_and_empty_input(self):
+        assert density_cluster([], epsilon=1.0) == []
+        with pytest.raises(ValueError):
+            density_cluster([], epsilon=0.0)
+
+    def test_assign_without_clusters_returns_noise(self):
+        assignments = assign_to_macro_clusters(np.zeros((5, 2)), [])
+        assert np.all(assignments == -1)
+
+    def test_clustering_purity_bounds_and_validation(self):
+        assert clustering_purity([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+        assert clustering_purity([0, 0, 0, 0], ["a", "a", "b", "b"]) == 0.5
+        with pytest.raises(ValueError):
+            clustering_purity([0], [])
+        with pytest.raises(ValueError):
+            clustering_purity([], [])
+
+    def test_purity_on_drift_stream_with_decay_beats_no_decay(self):
+        """With drift, forgetting old data should not hurt the current model."""
+        dataset = make_drift_stream(size=600, n_classes=2, n_features=2, drift_speed=0.05, random_state=0)
+        decayed = ClusTree(dimension=2, fanout=4, decay_rate=0.2)
+        for t in range(dataset.size):
+            decayed.insert(dataset.features[t], timestamp=float(t))
+        micro = decayed.micro_clusters(min_weight=0.5)
+        assert len(micro) >= 1
+        # Current model should sit near the *recent* data, not the old start.
+        recent = dataset.features[-100:]
+        centers = np.array([m.mean for m in micro])
+        weights = np.array([m.weight for m in micro])
+        model_center = (weights[:, None] * centers).sum(axis=0) / weights.sum()
+        distance_to_recent = np.linalg.norm(model_center - recent.mean(axis=0))
+        distance_to_old = np.linalg.norm(model_center - dataset.features[:100].mean(axis=0))
+        assert distance_to_recent < distance_to_old

@@ -1,0 +1,110 @@
+"""Tests for time-decayed cluster features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import DecayedClusterFeature
+
+
+def test_starts_empty():
+    cf = DecayedClusterFeature(dimension=3, decay_rate=0.1)
+    assert cf.is_empty
+    assert cf.weight() == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DecayedClusterFeature(dimension=0)
+    with pytest.raises(ValueError):
+        DecayedClusterFeature(dimension=2, decay_rate=-0.1)
+
+
+def test_add_point_sets_mean():
+    cf = DecayedClusterFeature(dimension=2, decay_rate=0.0)
+    cf.add_point([1.0, 2.0], now=0.0)
+    cf.add_point([3.0, 4.0], now=1.0)
+    np.testing.assert_allclose(cf.mean(), [2.0, 3.0])
+    assert cf.weight() == pytest.approx(2.0)
+
+
+def test_weight_halves_after_half_life():
+    cf = DecayedClusterFeature(dimension=1, decay_rate=0.5)  # half-life of 2 time units
+    cf.add_point([0.0], now=0.0)
+    assert cf.weight(now=2.0) == pytest.approx(0.5)
+    cf.decay_to(2.0)
+    assert cf.weight() == pytest.approx(0.5)
+
+
+def test_zero_decay_rate_never_forgets():
+    cf = DecayedClusterFeature(dimension=1, decay_rate=0.0)
+    cf.add_point([5.0], now=0.0)
+    cf.decay_to(1000.0)
+    assert cf.weight() == pytest.approx(1.0)
+    np.testing.assert_allclose(cf.mean(), [5.0])
+
+
+def test_decay_preserves_mean_and_variance():
+    rng = np.random.default_rng(0)
+    cf = DecayedClusterFeature(dimension=3, decay_rate=0.1)
+    points = rng.normal(size=(20, 3))
+    for point in points:
+        cf.add_point(point, now=0.0)
+    mean_before, var_before = cf.mean(), cf.variance()
+    cf.decay_to(10.0)
+    np.testing.assert_allclose(cf.mean(), mean_before)
+    np.testing.assert_allclose(cf.variance(), var_before, atol=1e-9)
+
+
+def test_time_cannot_run_backwards():
+    cf = DecayedClusterFeature(dimension=1, decay_rate=0.1)
+    cf.add_point([0.0], now=5.0)
+    with pytest.raises(ValueError):
+        cf.decay_to(4.0)
+
+
+def test_newer_points_dominate_the_mean_under_decay():
+    cf = DecayedClusterFeature(dimension=1, decay_rate=1.0)  # half-life of 1
+    cf.add_point([0.0], now=0.0)
+    cf.add_point([10.0], now=10.0)
+    # The old point's weight decayed to ~2^-10, so the mean is almost 10.
+    assert cf.mean()[0] == pytest.approx(10.0, abs=0.01)
+
+
+def test_absorb_merges_and_respects_timestamps():
+    a = DecayedClusterFeature(dimension=2, decay_rate=0.0)
+    b = DecayedClusterFeature(dimension=2, decay_rate=0.0)
+    a.add_point([0.0, 0.0], now=0.0)
+    b.add_point([2.0, 2.0], now=0.0)
+    a.absorb(b, now=1.0)
+    assert a.weight() == pytest.approx(2.0)
+    np.testing.assert_allclose(a.mean(), [1.0, 1.0])
+    with pytest.raises(ValueError):
+        a.absorb(DecayedClusterFeature(dimension=3), now=2.0)
+
+
+def test_clear_resets_content():
+    cf = DecayedClusterFeature(dimension=2, decay_rate=0.1)
+    cf.add_point([1.0, 1.0], now=0.0)
+    cf.clear(now=5.0)
+    assert cf.is_empty
+    assert cf.last_update == 5.0
+
+
+def test_copy_is_independent():
+    cf = DecayedClusterFeature(dimension=1, decay_rate=0.1)
+    cf.add_point([1.0], now=0.0)
+    duplicate = cf.copy()
+    duplicate.add_point([5.0], now=1.0)
+    assert cf.weight() == pytest.approx(1.0)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.floats(0.0, 1.0), st.floats(0.0, 20.0), st.integers(1, 20))
+def test_weight_is_monotonically_non_increasing_in_time(decay_rate, elapsed, count):
+    cf = DecayedClusterFeature(dimension=1, decay_rate=decay_rate)
+    for _ in range(count):
+        cf.add_point([0.0], now=0.0)
+    assert cf.weight(now=elapsed) <= cf.weight(now=0.0) + 1e-12
+    assert cf.weight(now=elapsed) >= 0.0

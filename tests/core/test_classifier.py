@@ -1,0 +1,186 @@
+"""Tests for the anytime Bayes classifier (multi-tree, qbk strategy)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnytimeBayesClassifier,
+    BayesTree,
+    BayesTreeConfig,
+    default_qbk_k,
+)
+from repro.index import TreeParameters
+
+
+def small_config():
+    return BayesTreeConfig(
+        tree=TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
+    )
+
+
+def gaussian_blobs(seed=0, per_class=80, centers=((0.0, 0.0), (6.0, 6.0), (0.0, 6.0))):
+    rng = np.random.default_rng(seed)
+    points, labels = [], []
+    for label, center in enumerate(centers):
+        points.append(rng.normal(loc=center, scale=1.0, size=(per_class, 2)))
+        labels.extend([label] * per_class)
+    return np.vstack(points), np.array(labels)
+
+
+def fitted_classifier(seed=0, **kwargs):
+    points, labels = gaussian_blobs(seed)
+    classifier = AnytimeBayesClassifier(config=small_config(), **kwargs)
+    return classifier.fit(points, labels), points, labels
+
+
+class TestDefaultQbkK:
+    def test_matches_paper_rule(self):
+        assert default_qbk_k(10) == 2   # pendigits
+        assert default_qbk_k(26) == 2   # letter
+        assert default_qbk_k(7) == 2    # covertype
+        assert default_qbk_k(2) == 2    # gender (paper §3.2: k = 2)
+        assert default_qbk_k(1) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            default_qbk_k(0)
+
+
+class TestTraining:
+    def test_one_tree_per_class_and_priors(self):
+        classifier, points, labels = fitted_classifier()
+        assert set(classifier.classes) == {0, 1, 2}
+        assert sum(classifier.priors.values()) == pytest.approx(1.0)
+        for label in classifier.classes:
+            assert classifier.priors[label] == pytest.approx(1 / 3)
+            assert classifier.trees[label].n_objects == 80
+
+    def test_fit_validates_inputs(self):
+        classifier = AnytimeBayesClassifier(config=small_config())
+        with pytest.raises(ValueError):
+            classifier.fit(np.zeros((5, 2)), [0, 1])
+        with pytest.raises(ValueError):
+            classifier.fit(np.zeros(5), [0] * 5)
+
+    def test_unfitted_classifier_rejects_queries(self):
+        classifier = AnytimeBayesClassifier(config=small_config())
+        with pytest.raises(ValueError):
+            classifier.classify_anytime(np.zeros(2), max_nodes=5)
+
+    def test_partial_fit_learns_new_classes_online(self):
+        rng = np.random.default_rng(1)
+        classifier = AnytimeBayesClassifier(config=small_config())
+        for _ in range(30):
+            classifier.partial_fit(rng.normal(loc=0.0, size=2), label="a")
+        for _ in range(30):
+            classifier.partial_fit(rng.normal(loc=8.0, size=2), label="b")
+        assert set(classifier.classes) == {"a", "b"}
+        assert classifier.predict(np.array([8.0, 8.0]), node_budget=10) == "b"
+        assert classifier.predict(np.array([0.0, 0.0]), node_budget=10) == "a"
+
+    def test_set_tree_attaches_external_tree(self):
+        points, labels = gaussian_blobs()
+        classifier = AnytimeBayesClassifier(config=small_config())
+        for label in (0, 1, 2):
+            tree = BayesTree(dimension=2, config=small_config()).fit(points[labels == label])
+            classifier.set_tree(label, tree)
+        assert classifier.is_fitted
+        assert sum(classifier.priors.values()) == pytest.approx(1.0)
+        assert classifier.predict(np.array([6.0, 6.0]), node_budget=10) == 1
+
+
+class TestAnytimeClassification:
+    def test_predictions_recorded_after_every_node(self):
+        classifier, points, labels = fitted_classifier()
+        result = classifier.classify_anytime(points[0], max_nodes=15)
+        assert len(result.predictions) == result.nodes_read + 1
+        assert len(result.posteriors) == len(result.predictions)
+        assert result.nodes_read <= 15
+
+    def test_prediction_after_clamps(self):
+        classifier, points, _ = fitted_classifier()
+        result = classifier.classify_anytime(points[0], max_nodes=5)
+        assert result.prediction_after(0) == result.predictions[0]
+        assert result.prediction_after(10_000) == result.final_prediction
+
+    def test_rejects_negative_budget(self):
+        classifier, points, _ = fitted_classifier()
+        with pytest.raises(ValueError):
+            classifier.classify_anytime(points[0], max_nodes=-1)
+
+    def test_zero_budget_still_gives_a_prediction(self):
+        classifier, points, _ = fitted_classifier()
+        result = classifier.classify_anytime(points[0], max_nodes=0)
+        assert len(result.predictions) == 1
+        assert result.nodes_read == 0
+
+    def test_accuracy_on_separable_blobs_is_high(self):
+        classifier, points, labels = fitted_classifier(seed=3)
+        rng = np.random.default_rng(99)
+        test_points, test_labels = gaussian_blobs(seed=123, per_class=20)
+        predictions = [classifier.predict(p, node_budget=20) for p in test_points]
+        accuracy = np.mean(np.array(predictions) == test_labels)
+        assert accuracy > 0.9
+
+    def test_more_nodes_never_hurts_on_average(self):
+        """Anytime property: accuracy after many reads >= accuracy at the root (on average)."""
+        classifier, _, _ = fitted_classifier(seed=4)
+        test_points, test_labels = gaussian_blobs(seed=321, per_class=25)
+        correct_start, correct_end = 0, 0
+        for point, label in zip(test_points, test_labels):
+            result = classifier.classify_anytime(point, max_nodes=25)
+            correct_start += result.predictions[0] == label
+            correct_end += result.final_prediction == label
+        assert correct_end >= correct_start - 2  # allow tiny fluctuations
+
+    def test_budget_exhausts_gracefully_when_trees_are_small(self):
+        rng = np.random.default_rng(5)
+        points = np.vstack([rng.normal(size=(6, 2)), rng.normal(loc=5.0, size=(6, 2))])
+        labels = [0] * 6 + [1] * 6
+        classifier = AnytimeBayesClassifier(config=small_config()).fit(points, labels)
+        result = classifier.classify_anytime(points[0], max_nodes=1000)
+        assert result.nodes_read < 1000  # stopped early: everything refined
+        for label in (0, 1):
+            assert result.posteriors[-1][label] >= 0
+
+    def test_posterior_probabilities_normalised(self):
+        classifier, points, _ = fitted_classifier(seed=6)
+        posterior = classifier.posterior_probabilities(points[0], node_budget=10)
+        assert sum(posterior.values()) == pytest.approx(1.0)
+        assert all(0 <= value <= 1 for value in posterior.values())
+
+    def test_posterior_far_from_data_falls_back_to_uniform(self):
+        classifier, _, _ = fitted_classifier(seed=7)
+        posterior = classifier.posterior_probabilities(np.full(2, 1e6), node_budget=5)
+        assert sum(posterior.values()) == pytest.approx(1.0)
+        for value in posterior.values():
+            assert value == pytest.approx(1 / 3)
+
+    def test_predict_batch(self):
+        classifier, points, labels = fitted_classifier(seed=8)
+        predictions = classifier.predict_batch(points[:10], node_budget=10)
+        assert len(predictions) == 10
+
+    def test_qbk_refines_only_top_k_classes(self):
+        classifier, points, labels = fitted_classifier(seed=9, qbk_k=1)
+        query = points[0]  # clearly class 0
+        frontier_reads = {label: 0 for label in classifier.classes}
+
+        # Monkey-patch style check: run the anytime loop manually.
+        frontiers = {label: tree.frontier(query) for label, tree in classifier.trees.items()}
+        posterior = classifier._posterior(frontiers)
+        for turn in range(10):
+            refined = classifier._refine_one(frontiers, posterior, k=1, turn=turn)
+            if refined is None:
+                break
+            frontier_reads[refined] += 1
+            posterior = classifier._posterior(frontiers)
+        # With k=1 all reads go to the most probable class (class 0 here).
+        assert frontier_reads[0] == max(frontier_reads.values())
+        assert frontier_reads[0] >= 8
+
+    def test_descent_strategy_configurable(self):
+        for name in ("bft", "dft", "glo", "glo-geometric"):
+            classifier, points, _ = fitted_classifier(seed=10, descent=name)
+            result = classifier.classify_anytime(points[0], max_nodes=5)
+            assert len(result.predictions) >= 1

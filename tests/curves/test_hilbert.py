@@ -1,0 +1,116 @@
+"""Unit tests for the Hilbert curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import hilbert_index, hilbert_order, hilbert_values
+
+
+def test_hilbert_index_is_bijective_on_small_grid():
+    bits, dim = 3, 2
+    size = 1 << bits
+    keys = {hilbert_index((x, y), bits) for x in range(size) for y in range(size)}
+    assert keys == set(range(size * size))
+
+
+def test_hilbert_index_is_bijective_in_3d():
+    bits, dim = 2, 3
+    size = 1 << bits
+    keys = {
+        hilbert_index((x, y, z), bits)
+        for x in range(size)
+        for y in range(size)
+        for z in range(size)
+    }
+    assert keys == set(range(size ** 3))
+
+
+def test_hilbert_curve_neighbouring_indices_are_adjacent_cells():
+    """Consecutive Hilbert indices differ by exactly one grid step (locality)."""
+    bits = 3
+    size = 1 << bits
+    cells_by_index = {}
+    for x in range(size):
+        for y in range(size):
+            cells_by_index[hilbert_index((x, y), bits)] = (x, y)
+    for index in range(size * size - 1):
+        x1, y1 = cells_by_index[index]
+        x2, y2 = cells_by_index[index + 1]
+        assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+def test_hilbert_index_input_validation():
+    with pytest.raises(ValueError):
+        hilbert_index((), 3)
+    with pytest.raises(ValueError):
+        hilbert_index((8, 0), 3)
+    with pytest.raises(ValueError):
+        hilbert_index((-1, 0), 3)
+
+
+def test_hilbert_order_is_a_permutation():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(123, 4))
+    order = hilbert_order(points, bits=6)
+    assert sorted(order.tolist()) == list(range(123))
+
+
+def test_hilbert_order_sorts_1d_data_monotonically():
+    rng = np.random.default_rng(1)
+    points = rng.uniform(size=(64, 1))
+    order = hilbert_order(points, bits=10)
+    sorted_points = points[order, 0]
+    # Points falling into the same quantisation cell may keep their original
+    # relative order, so allow inversions up to one grid cell.
+    cell = 1.0 / (2**10 - 1)
+    assert np.all(np.diff(sorted_points) >= -cell)
+
+
+def test_hilbert_order_groups_clusters_contiguously():
+    rng = np.random.default_rng(2)
+    a = rng.uniform(0.0, 1.0, size=(25, 2))
+    b = rng.uniform(50.0, 51.0, size=(25, 2))
+    points = np.vstack([a, b])
+    order = hilbert_order(points, bits=10)
+    group = [0 if i < 25 else 1 for i in order]
+    switches = sum(1 for i in range(1, len(group)) if group[i] != group[i - 1])
+    assert switches == 1
+
+
+def test_hilbert_values_distinct_for_distinct_cells():
+    points = np.array([[float(x), float(y)] for x in range(8) for y in range(8)])
+    keys = hilbert_values(points, bits=3)
+    assert len(set(int(k) for k in keys)) == 64
+
+
+def test_hilbert_locality_better_than_random_order():
+    """Average coordinate jump along the Hilbert order should beat a shuffled order."""
+    rng = np.random.default_rng(3)
+    points = rng.uniform(size=(300, 2))
+    order = hilbert_order(points, bits=8)
+    hilbert_jumps = np.linalg.norm(np.diff(points[order], axis=0), axis=1).mean()
+    shuffled = rng.permutation(300)
+    random_jumps = np.linalg.norm(np.diff(points[shuffled], axis=0), axis=1).mean()
+    assert hilbert_jumps < random_jumps
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(0, 10_000), st.integers(1, 5), st.integers(2, 40))
+def test_hilbert_order_always_permutation(seed, dim, count):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(count, dim))
+    order = hilbert_order(points, bits=5)
+    assert sorted(order.tolist()) == list(range(count))
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 10_000))
+def test_hilbert_index_unique_per_cell_random_probe(dim, bits, seed):
+    rng = np.random.default_rng(seed)
+    size = 1 << bits
+    cells = {tuple(rng.integers(0, size, size=dim)) for _ in range(20)}
+    keys = [hilbert_index(cell, bits) for cell in cells]
+    assert len(set(keys)) == len(cells)
+    assert all(0 <= k < size ** dim for k in keys)

@@ -1,0 +1,85 @@
+"""Unit tests for the Z-order curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import quantise, z_order, z_value, z_values
+
+
+def test_quantise_maps_bounding_box_corners():
+    points = np.array([[0.0, 0.0], [1.0, 2.0], [0.5, 1.0]])
+    grid = quantise(points, bits=4)
+    np.testing.assert_array_equal(grid[0], [0, 0])
+    np.testing.assert_array_equal(grid[1], [15, 15])
+    np.testing.assert_array_equal(grid[2], [8, 8])
+
+
+def test_quantise_constant_dimension_maps_to_zero():
+    points = np.array([[1.0, 5.0], [2.0, 5.0]])
+    grid = quantise(points, bits=3)
+    assert set(grid[:, 1]) == {0}
+
+
+def test_quantise_validates_input():
+    with pytest.raises(ValueError):
+        quantise(np.empty((0, 2)), bits=4)
+    with pytest.raises(ValueError):
+        quantise(np.zeros((3, 2)), bits=0)
+    with pytest.raises(ValueError):
+        quantise(np.zeros(3), bits=4)
+
+
+def test_z_value_interleaves_bits():
+    # 2-d, 2 bits: cell (1, 0) -> binary interleave x=01, y=00 -> 0b0010? depends
+    # on order; check the known total ordering of the 2x2 grid instead.
+    keys = {(x, y): z_value((x, y), bits=1) for x in (0, 1) for y in (0, 1)}
+    assert sorted(keys.values()) == [0, 1, 2, 3]
+    assert keys[(0, 0)] == 0
+    assert keys[(1, 1)] == 3
+
+
+def test_z_values_unique_for_distinct_cells():
+    points = np.array([[float(x), float(y)] for x in range(4) for y in range(4)])
+    keys = z_values(points, bits=2)
+    assert len(set(int(k) for k in keys)) == 16
+
+
+def test_z_order_sorts_1d_data_monotonically():
+    rng = np.random.default_rng(0)
+    points = rng.uniform(size=(50, 1))
+    order = z_order(points, bits=10)
+    sorted_points = points[order, 0]
+    # Points falling into the same quantisation cell may keep their original
+    # relative order, so allow inversions up to one grid cell.
+    cell = 1.0 / (2**10 - 1)
+    assert np.all(np.diff(sorted_points) >= -cell)
+
+
+def test_z_order_is_a_permutation():
+    rng = np.random.default_rng(1)
+    points = rng.normal(size=(77, 3))
+    order = z_order(points, bits=8)
+    assert sorted(order.tolist()) == list(range(77))
+
+
+def test_z_order_groups_nearby_points():
+    # Two far-apart clusters must form contiguous runs in z-order.
+    rng = np.random.default_rng(2)
+    a = rng.uniform(0.0, 1.0, size=(20, 2))
+    b = rng.uniform(100.0, 101.0, size=(20, 2))
+    points = np.vstack([a, b])
+    order = z_order(points, bits=10)
+    group = [0 if i < 20 else 1 for i in order]
+    switches = sum(1 for i in range(1, len(group)) if group[i] != group[i - 1])
+    assert switches == 1
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(0, 10_000), st.integers(1, 4), st.integers(2, 40))
+def test_z_order_always_permutation(seed, dim, count):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(count, dim))
+    order = z_order(points, bits=6)
+    assert sorted(order.tolist()) == list(range(count))

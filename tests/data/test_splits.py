@@ -1,0 +1,69 @@
+"""Tests for stratified k-fold splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import stratified_k_fold
+
+
+def test_folds_partition_all_indices():
+    labels = np.array([0] * 20 + [1] * 12 + [2] * 8)
+    folds = stratified_k_fold(labels, n_folds=4, random_state=0)
+    assert len(folds) == 4
+    all_test = np.concatenate([fold.test_indices for fold in folds])
+    assert sorted(all_test.tolist()) == list(range(40))
+
+
+def test_train_and_test_are_disjoint_and_complete():
+    labels = np.array([0] * 16 + [1] * 16)
+    for fold in stratified_k_fold(labels, n_folds=4, random_state=1):
+        assert set(fold.train_indices) & set(fold.test_indices) == set()
+        assert len(fold.train_indices) + len(fold.test_indices) == 32
+
+
+def test_stratification_keeps_class_proportions():
+    labels = np.array([0] * 40 + [1] * 8)
+    for fold in stratified_k_fold(labels, n_folds=4, random_state=2):
+        test_labels = labels[fold.test_indices]
+        assert np.sum(test_labels == 0) == 10
+        assert np.sum(test_labels == 1) == 2
+
+
+def test_every_class_present_in_every_training_fold():
+    labels = np.array(list(range(5)) * 4)
+    for fold in stratified_k_fold(labels, n_folds=4, random_state=3):
+        assert set(labels[fold.train_indices]) == set(range(5))
+
+
+def test_rejects_classes_smaller_than_fold_count():
+    labels = np.array([0] * 10 + [1] * 2)
+    with pytest.raises(ValueError):
+        stratified_k_fold(labels, n_folds=4)
+
+
+def test_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        stratified_k_fold(np.array([]), n_folds=4)
+    with pytest.raises(ValueError):
+        stratified_k_fold(np.array([0, 1, 0, 1]), n_folds=1)
+
+
+def test_reproducible_with_seed():
+    labels = np.array([0] * 12 + [1] * 12)
+    a = stratified_k_fold(labels, n_folds=4, random_state=5)
+    b = stratified_k_fold(labels, n_folds=4, random_state=5)
+    for fold_a, fold_b in zip(a, b):
+        np.testing.assert_array_equal(fold_a.test_indices, fold_b.test_indices)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(0, 1000), st.integers(2, 5), st.integers(2, 6))
+def test_partition_property(seed, n_folds, n_classes):
+    rng = np.random.default_rng(seed)
+    labels = np.repeat(np.arange(n_classes), n_folds + rng.integers(0, 5, size=n_classes).max())
+    rng.shuffle(labels)
+    folds = stratified_k_fold(labels, n_folds=n_folds, random_state=seed)
+    all_test = np.concatenate([fold.test_indices for fold in folds])
+    assert sorted(all_test.tolist()) == list(range(len(labels)))

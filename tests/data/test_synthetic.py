@@ -1,0 +1,123 @@
+"""Tests for the synthetic data set generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import DATASET_SPECS, make_blobs, make_dataset, make_drift_stream
+
+
+def test_specs_match_paper_table1():
+    """The stand-ins mirror Table 1 of the paper (classes and features)."""
+    assert DATASET_SPECS["pendigits"].n_classes == 10
+    assert DATASET_SPECS["pendigits"].n_features == 16
+    assert DATASET_SPECS["pendigits"].paper_size == 10_992
+    assert DATASET_SPECS["letter"].n_classes == 26
+    assert DATASET_SPECS["letter"].n_features == 16
+    assert DATASET_SPECS["letter"].paper_size == 20_000
+    assert DATASET_SPECS["gender"].n_classes == 2
+    assert DATASET_SPECS["gender"].n_features == 9
+    assert DATASET_SPECS["gender"].paper_size == 189_961
+    assert DATASET_SPECS["covertype"].n_classes == 7
+    assert DATASET_SPECS["covertype"].n_features == 10
+    assert DATASET_SPECS["covertype"].paper_size == 581_012
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_SPECS))
+def test_generated_dataset_shape_and_labels(name):
+    spec = DATASET_SPECS[name]
+    dataset = make_dataset(name, size=300, random_state=0)
+    assert dataset.features.shape == (300, spec.n_features)
+    assert dataset.labels.shape == (300,)
+    assert dataset.n_classes == spec.n_classes
+    assert set(np.unique(dataset.labels)) == set(range(spec.n_classes))
+    assert dataset.size == 300
+    assert dataset.n_features == spec.n_features
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ValueError):
+        make_dataset("mnist")
+
+
+def test_size_must_cover_all_classes():
+    with pytest.raises(ValueError):
+        make_dataset("letter", size=10)
+
+
+def test_generation_is_reproducible():
+    a = make_dataset("pendigits", size=200, random_state=7)
+    b = make_dataset("pendigits", size=200, random_state=7)
+    np.testing.assert_allclose(a.features, b.features)
+    np.testing.assert_array_equal(a.labels, b.labels)
+    c = make_dataset("pendigits", size=200, random_state=8)
+    assert not np.allclose(a.features, c.features)
+
+
+def test_class_weights_bias_label_distribution():
+    dataset = make_dataset("gender", size=2000, random_state=0, class_weights=[0.9, 0.1])
+    fraction_class0 = np.mean(dataset.labels == 0)
+    assert fraction_class0 > 0.8
+
+
+def test_class_weights_validation():
+    with pytest.raises(ValueError):
+        make_dataset("gender", size=100, class_weights=[0.5, 0.3, 0.2])
+    with pytest.raises(ValueError):
+        make_dataset("gender", size=100, class_weights=[-1.0, 2.0])
+
+
+def test_classes_are_separable_by_a_simple_classifier():
+    """The synthetic stand-ins carry real class structure (not pure noise)."""
+    from repro.baselines import GaussianNaiveBayes
+
+    dataset = make_dataset("pendigits", size=800, random_state=1)
+    rng = np.random.default_rng(2)
+    train, test = dataset.split(0.75, rng)
+    model = GaussianNaiveBayes().fit(train.features, train.labels)
+    predictions = model.predict_batch(test.features)
+    accuracy = np.mean(np.array(predictions) == test.labels)
+    assert accuracy > 0.5  # far above the 10% random-guess baseline
+
+
+def test_summary_row_matches_table1_columns():
+    dataset = make_dataset("covertype", size=250, random_state=0)
+    row = dataset.summary_row()
+    assert row == {"name": "covertype", "size": 250, "classes": 7, "features": 10}
+
+
+def test_split_partitions_the_dataset():
+    dataset = make_dataset("gender", size=400, random_state=0)
+    rng = np.random.default_rng(1)
+    train, test = dataset.split(0.7, rng)
+    assert train.size + test.size == 400
+    assert train.size == 280
+    with pytest.raises(ValueError):
+        dataset.split(1.5, rng)
+
+
+def test_make_blobs_structure():
+    dataset = make_blobs(n_classes=3, per_class=50, n_features=4, random_state=0)
+    assert dataset.features.shape == (150, 4)
+    assert sorted(set(dataset.labels)) == [0, 1, 2]
+    with pytest.raises(ValueError):
+        make_blobs(n_classes=0, per_class=5)
+
+
+def test_make_drift_stream_centers_move():
+    dataset = make_drift_stream(size=2000, n_classes=1, n_features=2, drift_speed=0.05, random_state=0)
+    early = dataset.features[:200].mean(axis=0)
+    late = dataset.features[-200:].mean(axis=0)
+    assert np.linalg.norm(late - early) > 1.0
+    with pytest.raises(ValueError):
+        make_drift_stream(size=0)
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.sampled_from(sorted(DATASET_SPECS)), st.integers(0, 10_000))
+def test_generated_features_are_finite(name, seed):
+    spec = DATASET_SPECS[name]
+    dataset = make_dataset(name, size=max(60, spec.n_classes * 2), random_state=seed)
+    assert np.all(np.isfinite(dataset.features))
+    assert len(np.unique(dataset.labels)) == spec.n_classes

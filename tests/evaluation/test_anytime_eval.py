@@ -1,0 +1,119 @@
+"""Tests for the anytime evaluation harness (curves, CV, experiment runner)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BayesTreeConfig
+from repro.data import make_blobs, make_dataset
+from repro.evaluation import (
+    ExperimentConfig,
+    anytime_accuracy_curve,
+    build_bulkloaded_classifier,
+    cross_validated_anytime_curve,
+    format_curve_table,
+    run_bulkload_experiment,
+    table1_rows,
+)
+from repro.index import TreeParameters
+
+SMALL_CONFIG = BayesTreeConfig(
+    tree=TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
+)
+
+
+BLOB_CENTERS = np.array([[0.0, 0.0], [9.0, 9.0], [0.0, 9.0]])
+
+
+def blobs(seed=0, per_class=40):
+    return make_blobs(
+        n_classes=3, per_class=per_class, n_features=2, random_state=seed, centers=BLOB_CENTERS
+    )
+
+
+def test_anytime_accuracy_curve_shape_and_range():
+    dataset = blobs()
+    classifier = build_bulkloaded_classifier(
+        dataset.features, dataset.labels, strategy="hilbert", config=SMALL_CONFIG
+    )
+    test = blobs(seed=1, per_class=10)
+    curve = anytime_accuracy_curve(classifier, test.features, test.labels, max_nodes=15)
+    assert curve.shape == (16,)
+    assert np.all((0.0 <= curve) & (curve <= 1.0))
+    assert curve[-1] > 0.8  # separable blobs are classified well
+
+
+def test_anytime_accuracy_curve_validates_inputs():
+    dataset = blobs()
+    classifier = build_bulkloaded_classifier(dataset.features, dataset.labels, config=SMALL_CONFIG)
+    with pytest.raises(ValueError):
+        anytime_accuracy_curve(classifier, dataset.features[:3], dataset.labels[:2], max_nodes=5)
+    with pytest.raises(ValueError):
+        anytime_accuracy_curve(classifier, np.empty((0, 2)), [], max_nodes=5)
+    with pytest.raises(ValueError):
+        anytime_accuracy_curve(classifier, dataset.features[:2], dataset.labels[:2], max_nodes=-1)
+
+
+def test_build_bulkloaded_classifier_has_one_tree_per_class():
+    dataset = blobs(seed=2)
+    for strategy in ("iterative", "hilbert", "em_topdown"):
+        classifier = build_bulkloaded_classifier(
+            dataset.features, dataset.labels, strategy=strategy, config=SMALL_CONFIG, random_state=0
+        )
+        assert set(classifier.classes) == {0, 1, 2}
+        assert sum(classifier.priors.values()) == pytest.approx(1.0)
+
+
+def test_cross_validated_curve_averages_folds():
+    dataset = make_dataset("gender", size=160, random_state=0)
+    result = cross_validated_anytime_curve(
+        dataset,
+        strategy="hilbert",
+        max_nodes=10,
+        n_folds=4,
+        config=SMALL_CONFIG,
+        random_state=0,
+        max_test_objects=10,
+    )
+    assert len(result.fold_curves) == 4
+    assert result.mean_curve.shape == (11,)
+    np.testing.assert_allclose(
+        result.mean_curve, np.mean(np.vstack(result.fold_curves), axis=0)
+    )
+
+
+def test_experiment_runner_produces_all_requested_curves():
+    config = ExperimentConfig(
+        dataset="gender",
+        size=120,
+        max_nodes=8,
+        n_folds=2,
+        strategies=("iterative", "hilbert"),
+        descents=("glo", "bft"),
+        max_test_objects=8,
+        random_state=0,
+        tree_config=SMALL_CONFIG,
+    )
+    result = run_bulkload_experiment(config)
+    assert set(result.curves) == {
+        ("iterative", "glo"),
+        ("iterative", "bft"),
+        ("hilbert", "glo"),
+        ("hilbert", "bft"),
+    }
+    summary = result.summary()
+    for stats in summary.values():
+        assert 0.0 <= stats["mean"] <= 1.0
+    assert 0.0 <= result.mean_accuracy("hilbert", "glo") <= 1.0
+    table = format_curve_table(result, nodes=(0, 4, 8))
+    assert "hilbert (glo)" in table
+    assert "n=8" in table
+
+
+def test_table1_rows_report_paper_and_generated_sizes():
+    rows = table1_rows(sizes={"pendigits": 80, "letter": 60, "gender": 50, "covertype": 70})
+    by_name = {row["name"]: row for row in rows}
+    assert set(by_name) == {"pendigits", "letter", "gender", "covertype"}
+    assert by_name["pendigits"]["paper_size"] == 10_992
+    assert by_name["pendigits"]["size"] == 80
+    assert by_name["letter"]["classes"] == 26
+    assert by_name["covertype"]["features"] == 10

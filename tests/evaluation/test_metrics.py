@@ -1,0 +1,51 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import accuracy, anytime_curve_summary, confusion_matrix
+
+
+def test_accuracy_basic():
+    assert accuracy([1, 0, 1, 1], [1, 0, 0, 1]) == pytest.approx(0.75)
+    assert accuracy(["a"], ["a"]) == 1.0
+
+
+def test_accuracy_validates_inputs():
+    with pytest.raises(ValueError):
+        accuracy([1, 2], [1])
+    with pytest.raises(ValueError):
+        accuracy([], [])
+
+
+def test_confusion_matrix_counts():
+    matrix, classes = confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+    assert classes == [0, 1]
+    # true 0 predicted 0 once, true 0 predicted 1 once ... rows = true class.
+    assert matrix[0, 0] == 1
+    assert matrix[0, 1] == 1
+    assert matrix[1, 1] == 2
+    assert matrix[1, 0] == 1
+    assert matrix.sum() == 5
+
+
+def test_confusion_matrix_handles_unseen_predicted_class():
+    matrix, classes = confusion_matrix(["a", "c"], ["a", "b"])
+    assert set(classes) == {"a", "b", "c"}
+    assert matrix.sum() == 2
+
+
+def test_confusion_matrix_validates_lengths():
+    with pytest.raises(ValueError):
+        confusion_matrix([1], [1, 2])
+
+
+def test_anytime_curve_summary():
+    curve = [0.5, 0.6, 0.9, 0.8]
+    summary = anytime_curve_summary(curve)
+    assert summary["initial"] == 0.5
+    assert summary["final"] == 0.8
+    assert summary["best"] == 0.9
+    assert summary["mean"] == pytest.approx(np.mean(curve))
+    with pytest.raises(ValueError):
+        anytime_curve_summary([])

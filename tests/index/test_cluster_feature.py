@@ -1,0 +1,127 @@
+"""Unit tests for repro.index.cluster_feature."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import ClusterFeature
+
+
+def test_zero_is_empty():
+    cf = ClusterFeature.zero(3)
+    assert cf.is_empty
+    assert cf.dimension == 3
+    with pytest.raises(ValueError):
+        cf.mean()
+    with pytest.raises(ValueError):
+        cf.variance()
+
+
+def test_from_point_moments():
+    cf = ClusterFeature.from_point([1.0, 2.0])
+    np.testing.assert_allclose(cf.mean(), [1.0, 2.0])
+    np.testing.assert_allclose(cf.variance(), [0.0, 0.0])
+    assert cf.n == 1.0
+
+
+def test_from_points_matches_numpy_moments():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(100, 4))
+    cf = ClusterFeature.from_points(points)
+    np.testing.assert_allclose(cf.mean(), points.mean(axis=0))
+    np.testing.assert_allclose(cf.variance(), points.var(axis=0), atol=1e-10)
+
+
+def test_addition_equals_union_of_point_sets():
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=(30, 3))
+    b = rng.normal(size=(50, 3)) + 5.0
+    combined = ClusterFeature.from_points(a) + ClusterFeature.from_points(b)
+    expected = ClusterFeature.from_points(np.vstack([a, b]))
+    assert combined.n == expected.n
+    np.testing.assert_allclose(combined.mean(), expected.mean())
+    np.testing.assert_allclose(combined.variance(), expected.variance(), atol=1e-10)
+
+
+def test_addition_requires_same_dimension():
+    with pytest.raises(ValueError):
+        ClusterFeature.zero(2) + ClusterFeature.zero(3)
+
+
+def test_sum_of_rejects_empty_sequence():
+    with pytest.raises(ValueError):
+        ClusterFeature.sum_of([])
+
+
+def test_add_point_incremental_matches_batch():
+    rng = np.random.default_rng(2)
+    points = rng.normal(size=(20, 2))
+    incremental = ClusterFeature.zero(2)
+    for point in points:
+        incremental.add_point(point)
+    batch = ClusterFeature.from_points(points)
+    np.testing.assert_allclose(incremental.mean(), batch.mean())
+    np.testing.assert_allclose(incremental.variance(), batch.variance(), atol=1e-10)
+
+
+def test_weighted_point_counts_fractionally():
+    cf = ClusterFeature.from_point([2.0], weight=0.5)
+    assert cf.n == 0.5
+    np.testing.assert_allclose(cf.mean(), [2.0])
+
+
+def test_scaled_decay_preserves_mean_and_variance():
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(40, 3))
+    cf = ClusterFeature.from_points(points)
+    decayed = cf.scaled(0.25)
+    assert decayed.n == pytest.approx(10.0)
+    np.testing.assert_allclose(decayed.mean(), cf.mean())
+    np.testing.assert_allclose(decayed.variance(), cf.variance(), atol=1e-10)
+
+
+def test_scaled_rejects_negative_factor():
+    with pytest.raises(ValueError):
+        ClusterFeature.from_point([0.0]).scaled(-1.0)
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        ClusterFeature(n=-1.0, linear_sum=np.zeros(2), squared_sum=np.zeros(2))
+
+
+def test_to_gaussian_uses_cf_moments_and_weight():
+    points = np.array([[0.0, 0.0], [2.0, 4.0]])
+    cf = ClusterFeature.from_points(points)
+    gaussian = cf.to_gaussian()
+    np.testing.assert_allclose(gaussian.mean, [1.0, 2.0])
+    np.testing.assert_allclose(gaussian.variance, [1.0, 4.0])
+    assert gaussian.weight == 2.0
+    assert cf.to_gaussian(weight=0.3).weight == 0.3
+
+
+def test_radius_zero_for_single_point_and_positive_for_spread():
+    assert ClusterFeature.from_point([1.0, 1.0]).radius() == 0.0
+    spread = ClusterFeature.from_points(np.array([[0.0, 0.0], [2.0, 2.0]]))
+    assert spread.radius() > 0.0
+
+
+def test_variance_never_negative_despite_rounding():
+    # Large offsets provoke catastrophic cancellation in SS/n - mean^2.
+    points = np.full((10, 2), 1e8) + np.linspace(0, 1e-3, 10)[:, None]
+    cf = ClusterFeature.from_points(points)
+    assert np.all(cf.variance() >= 0)
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.integers(0, 100_000), st.integers(1, 4), st.integers(2, 30), st.integers(2, 30))
+def test_additivity_property(seed, dim, n_a, n_b):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n_a, dim))
+    b = rng.normal(size=(n_b, dim)) * 2 + 1
+    combined = ClusterFeature.from_points(a) + ClusterFeature.from_points(b)
+    expected = ClusterFeature.from_points(np.vstack([a, b]))
+    assert combined.n == pytest.approx(expected.n)
+    np.testing.assert_allclose(combined.linear_sum, expected.linear_sum, rtol=1e-9)
+    np.testing.assert_allclose(combined.squared_sum, expected.squared_sum, rtol=1e-9)

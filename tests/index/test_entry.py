@@ -1,0 +1,90 @@
+"""Tests for leaf and directory entries (including variance inflation)."""
+
+import numpy as np
+import pytest
+
+from repro.index import ClusterFeature, DirectoryEntry, LeafEntry, MBR, Node
+
+
+def make_leaf_node(points, bandwidth=None):
+    entries = [LeafEntry(point=np.asarray(p, float), bandwidth=bandwidth) for p in points]
+    return Node(level=0, entries=entries)
+
+
+class TestLeafEntry:
+    def test_basic_properties(self):
+        entry = LeafEntry(point=np.array([1.0, 2.0]), label="a", bandwidth=np.array([0.5, 0.5]))
+        assert entry.dimension == 2
+        assert entry.n_objects == 1.0
+        assert entry.label == "a"
+        assert entry.mbr == MBR.from_point([1.0, 2.0])
+        np.testing.assert_allclose(entry.cluster_feature.mean(), [1.0, 2.0])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            LeafEntry(point=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            LeafEntry(point=np.zeros(2), bandwidth=np.ones(3))
+
+    def test_to_gaussian_requires_bandwidth(self):
+        entry = LeafEntry(point=np.zeros(2))
+        with pytest.raises(ValueError):
+            entry.to_gaussian()
+        with pytest.raises(ValueError):
+            entry.density(np.zeros(2))
+
+    def test_gaussian_kernel_variance_is_bandwidth_squared(self):
+        entry = LeafEntry(point=np.zeros(2), bandwidth=np.array([0.5, 2.0]))
+        gaussian = entry.to_gaussian()
+        np.testing.assert_allclose(gaussian.variance, [0.25, 4.0])
+
+    def test_epanechnikov_moment_matched_variance(self):
+        entry = LeafEntry(point=np.zeros(1), bandwidth=np.array([1.0]), kernel="epanechnikov")
+        gaussian = entry.to_gaussian()
+        np.testing.assert_allclose(gaussian.variance, [0.2])
+        # Density outside the support is exactly zero for the kernel itself.
+        assert entry.density(np.array([2.0])) == 0.0
+
+
+class TestDirectoryEntry:
+    def test_for_node_summarises_children(self):
+        node = make_leaf_node([[0.0, 0.0], [2.0, 2.0]])
+        entry = DirectoryEntry.for_node(node)
+        assert entry.n_objects == 2.0
+        np.testing.assert_allclose(entry.cluster_feature.mean(), [1.0, 1.0])
+        assert entry.mbr.contains_point([0.0, 0.0])
+        assert entry.mbr.contains_point([2.0, 2.0])
+
+    def test_refresh_follows_child_changes(self):
+        node = make_leaf_node([[0.0, 0.0], [2.0, 2.0]])
+        entry = DirectoryEntry.for_node(node)
+        node.entries.append(LeafEntry(point=np.array([10.0, 10.0])))
+        entry.refresh()
+        assert entry.n_objects == 3.0
+        assert entry.mbr.contains_point([10.0, 10.0])
+
+    def test_variance_inflation_adds_kernel_variance(self):
+        node = make_leaf_node([[0.0], [1.0]])
+        entry = DirectoryEntry.for_node(node)
+        plain = entry.to_gaussian(weight=1.0)
+        inflated = entry.to_gaussian(weight=1.0, variance_inflation=np.array([0.09]))
+        np.testing.assert_allclose(inflated.variance, plain.variance + 0.09)
+        np.testing.assert_allclose(inflated.mean, plain.mean)
+
+    def test_inflation_prevents_degenerate_spikes(self):
+        """A single-object subtree has zero CF variance; inflation keeps it usable."""
+        node = make_leaf_node([[0.0, 0.0]])
+        entry = DirectoryEntry.for_node(node)
+        query = np.array([0.5, 0.5])
+        without = entry.density(query)
+        with_inflation = entry.density(query, variance_inflation=np.array([0.25, 0.25]))
+        assert without == pytest.approx(0.0, abs=1e-12)
+        assert with_inflation > 0.01
+
+    def test_density_with_inflation_matches_gaussian(self):
+        node = make_leaf_node([[0.0, 0.0], [1.0, 3.0], [2.0, 1.0]])
+        entry = DirectoryEntry.for_node(node)
+        inflation = np.array([0.04, 0.04])
+        query = np.array([1.0, 1.0])
+        expected = entry.to_gaussian(weight=1.0, variance_inflation=inflation).pdf(query)
+        assert entry.density(query, variance_inflation=inflation) == pytest.approx(expected)

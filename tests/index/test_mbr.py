@@ -1,0 +1,130 @@
+"""Unit tests for repro.index.mbr."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import MBR
+
+
+def unit_square():
+    return MBR(lower=np.array([0.0, 0.0]), upper=np.array([1.0, 1.0]))
+
+
+def test_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        MBR(lower=np.array([1.0, 0.0]), upper=np.array([0.0, 1.0]))
+
+
+def test_rejects_mismatched_shapes():
+    with pytest.raises(ValueError):
+        MBR(lower=np.zeros(2), upper=np.ones(3))
+
+
+def test_from_point_is_degenerate():
+    rect = MBR.from_point([1.0, 2.0, 3.0])
+    assert rect.area() == 0.0
+    assert rect.contains_point([1.0, 2.0, 3.0])
+    np.testing.assert_allclose(rect.center, [1.0, 2.0, 3.0])
+
+
+def test_from_points_covers_all_points():
+    points = np.array([[0.0, 5.0], [2.0, 1.0], [-1.0, 3.0]])
+    rect = MBR.from_points(points)
+    np.testing.assert_allclose(rect.lower, [-1.0, 1.0])
+    np.testing.assert_allclose(rect.upper, [2.0, 5.0])
+    for point in points:
+        assert rect.contains_point(point)
+
+
+def test_area_and_margin():
+    rect = MBR(lower=np.array([0.0, 0.0]), upper=np.array([2.0, 3.0]))
+    assert rect.area() == pytest.approx(6.0)
+    assert rect.margin() == pytest.approx(5.0)
+
+
+def test_union_and_enlargement():
+    a = unit_square()
+    b = MBR(lower=np.array([2.0, 2.0]), upper=np.array([3.0, 3.0]))
+    union = a.union(b)
+    np.testing.assert_allclose(union.lower, [0.0, 0.0])
+    np.testing.assert_allclose(union.upper, [3.0, 3.0])
+    assert a.enlargement(b) == pytest.approx(union.area() - a.area())
+    assert a.enlargement(a) == pytest.approx(0.0)
+
+
+def test_union_of_multiple():
+    rects = [unit_square(), MBR.from_point([5.0, -1.0])]
+    union = MBR.union_of(rects)
+    assert union.contains(rects[0])
+    assert union.contains_point([5.0, -1.0])
+    with pytest.raises(ValueError):
+        MBR.union_of([])
+
+
+def test_intersection_area():
+    a = unit_square()
+    b = MBR(lower=np.array([0.5, 0.5]), upper=np.array([2.0, 2.0]))
+    c = MBR(lower=np.array([5.0, 5.0]), upper=np.array([6.0, 6.0]))
+    assert a.intersection_area(b) == pytest.approx(0.25)
+    assert a.intersection_area(c) == 0.0
+    assert a.intersection_area(a) == pytest.approx(1.0)
+
+
+def test_contains_relations():
+    outer = MBR(lower=np.array([0.0, 0.0]), upper=np.array([10.0, 10.0]))
+    inner = unit_square()
+    assert outer.contains(inner)
+    assert not inner.contains(outer)
+    assert outer.contains(outer)
+
+
+def test_include_point_extends_bounds():
+    rect = unit_square().include_point([2.0, -1.0])
+    np.testing.assert_allclose(rect.lower, [0.0, -1.0])
+    np.testing.assert_allclose(rect.upper, [2.0, 1.0])
+
+
+def test_min_distance_zero_inside_and_euclidean_outside():
+    rect = unit_square()
+    assert rect.min_distance([0.5, 0.5]) == 0.0
+    assert rect.min_distance([1.0, 1.0]) == 0.0
+    assert rect.min_distance([2.0, 1.0]) == pytest.approx(1.0)
+    assert rect.min_distance([2.0, 2.0]) == pytest.approx(np.sqrt(2.0))
+    assert rect.min_distance([-3.0, 0.5]) == pytest.approx(3.0)
+
+
+def test_center_distance():
+    rect = unit_square()
+    assert rect.center_distance([0.5, 0.5]) == pytest.approx(0.0)
+    assert rect.center_distance([1.5, 0.5]) == pytest.approx(1.0)
+
+
+def test_equality_is_by_value():
+    assert unit_square() == unit_square()
+    assert unit_square() != MBR.from_point([0.0, 0.0])
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.integers(0, 100_000), st.integers(1, 5), st.integers(2, 20))
+def test_union_contains_all_members_and_mindist_lower_bounds_center_dist(seed, dim, count):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(count, dim)) * 5
+    rect = MBR.from_points(points)
+    for point in points:
+        assert rect.contains_point(point)
+    query = rng.normal(size=dim) * 10
+    assert rect.min_distance(query) <= rect.center_distance(query) + 1e-9
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.integers(0, 100_000))
+def test_union_is_commutative_and_monotone_in_area(seed):
+    rng = np.random.default_rng(seed)
+    a = MBR.from_points(rng.normal(size=(3, 3)))
+    b = MBR.from_points(rng.normal(size=(3, 3)))
+    ab = a.union(b)
+    ba = b.union(a)
+    assert ab == ba
+    assert ab.area() >= max(a.area(), b.area()) - 1e-12

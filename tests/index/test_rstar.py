@@ -1,0 +1,181 @@
+"""Unit and property tests for the R*-tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import LeafEntry, RStarTree, TreeParameters
+
+
+def build_tree(points, labels=None, params=None):
+    points = np.asarray(points, dtype=float)
+    tree = RStarTree(dimension=points.shape[1], params=params)
+    for i, point in enumerate(points):
+        tree.insert(point, label=None if labels is None else labels[i])
+    return tree
+
+
+class TestParameters:
+    def test_defaults_are_valid(self):
+        TreeParameters()
+
+    def test_min_fanout_bounds(self):
+        with pytest.raises(ValueError):
+            TreeParameters(max_fanout=8, min_fanout=5)
+        with pytest.raises(ValueError):
+            TreeParameters(max_fanout=8, min_fanout=0)
+
+    def test_leaf_bounds(self):
+        with pytest.raises(ValueError):
+            TreeParameters(leaf_capacity=8, leaf_min=5)
+        with pytest.raises(ValueError):
+            TreeParameters(leaf_capacity=1)
+
+    def test_reinsert_fraction_range(self):
+        with pytest.raises(ValueError):
+            TreeParameters(reinsert_fraction=1.0)
+        TreeParameters(reinsert_fraction=0.0)
+
+
+class TestBasicInsertion:
+    def test_empty_tree(self):
+        tree = RStarTree(dimension=2)
+        assert len(tree) == 0
+        assert tree.is_empty()
+        tree.validate()
+
+    def test_rejects_bad_dimension(self):
+        tree = RStarTree(dimension=2)
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros(3))
+        with pytest.raises(ValueError):
+            RStarTree(dimension=0)
+
+    def test_single_insert(self):
+        tree = RStarTree(dimension=2)
+        entry = tree.insert([1.0, 2.0], label="a")
+        assert len(tree) == 1
+        assert isinstance(entry, LeafEntry)
+        assert entry.label == "a"
+        tree.validate()
+
+    def test_size_matches_number_of_inserts(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(150, 3))
+        tree = build_tree(points)
+        assert len(tree) == 150
+        assert sum(1 for _ in tree.iter_leaf_entries()) == 150
+
+    def test_all_points_are_retrievable(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(80, 2))
+        tree = build_tree(points)
+        stored = np.array(sorted([tuple(e.point) for e in tree.iter_leaf_entries()]))
+        expected = np.array(sorted([tuple(p) for p in points]))
+        np.testing.assert_allclose(stored, expected)
+
+    def test_labels_preserved(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(40, 2))
+        labels = [i % 3 for i in range(40)]
+        tree = build_tree(points, labels)
+        stored = sorted(e.label for e in tree.iter_leaf_entries())
+        assert stored == sorted(labels)
+
+    def test_extend_batch_insert(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(60, 2))
+        tree = RStarTree(dimension=2)
+        tree.extend(points, labels=list(range(60)))
+        assert len(tree) == 60
+        tree.validate()
+
+
+class TestStructure:
+    def test_tree_grows_in_height(self):
+        rng = np.random.default_rng(4)
+        params = TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
+        tree = build_tree(rng.normal(size=(200, 2)), params=params)
+        assert tree.height >= 3
+        tree.validate()
+
+    def test_structural_invariants_small_fanout(self):
+        rng = np.random.default_rng(5)
+        params = TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
+        tree = build_tree(rng.normal(size=(300, 3)), params=params)
+        tree.validate()
+
+    def test_structural_invariants_without_reinsert(self):
+        rng = np.random.default_rng(6)
+        params = TreeParameters(
+            max_fanout=5, min_fanout=2, leaf_capacity=5, leaf_min=2, reinsert_fraction=0.0
+        )
+        tree = build_tree(rng.normal(size=(250, 2)), params=params)
+        tree.validate()
+
+    def test_root_cluster_feature_counts_everything(self):
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(120, 2))
+        tree = build_tree(points)
+        cf = tree.root.compute_cluster_feature()
+        assert cf.n == pytest.approx(120)
+        np.testing.assert_allclose(cf.mean(), points.mean(axis=0), atol=1e-9)
+        np.testing.assert_allclose(cf.variance(), points.var(axis=0), atol=1e-9)
+
+    def test_root_mbr_covers_all_points(self):
+        rng = np.random.default_rng(8)
+        points = rng.normal(size=(100, 4)) * 3
+        tree = build_tree(points)
+        mbr = tree.root.compute_mbr()
+        for point in points:
+            assert mbr.contains_point(point)
+
+    def test_node_count_and_height_consistency(self):
+        rng = np.random.default_rng(9)
+        tree = build_tree(rng.normal(size=(100, 2)))
+        node_levels = {node.level for node in tree.iter_nodes()}
+        assert node_levels == set(range(tree.height))
+        assert tree.node_count() >= tree.height
+
+    def test_duplicate_points_are_allowed(self):
+        points = np.tile(np.array([[1.0, 1.0]]), (50, 1))
+        tree = build_tree(points)
+        assert len(tree) == 50
+        tree.validate()
+
+    def test_collinear_points(self):
+        points = np.column_stack([np.linspace(0, 1, 64), np.zeros(64)])
+        tree = build_tree(points)
+        tree.validate()
+
+    def test_from_root_wraps_existing_hierarchy(self):
+        rng = np.random.default_rng(10)
+        source = build_tree(rng.normal(size=(50, 2)))
+        wrapped = RStarTree.from_root(source.root, dimension=2, params=source.params)
+        assert len(wrapped) == 50
+        wrapped.validate()
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    seed=st.integers(0, 10_000),
+    count=st.integers(1, 180),
+    dim=st.integers(1, 4),
+    max_fanout=st.integers(4, 10),
+)
+def test_property_invariants_hold_for_random_insertions(seed, count, dim, max_fanout):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(count, dim)) * rng.uniform(0.5, 5.0)
+    params = TreeParameters(
+        max_fanout=max_fanout,
+        min_fanout=2,
+        leaf_capacity=max_fanout,
+        leaf_min=2,
+    )
+    tree = build_tree(points, params=params)
+    tree.validate()
+    assert len(tree) == count
+    cf = tree.root.compute_cluster_feature()
+    assert cf.n == pytest.approx(count)
+    np.testing.assert_allclose(cf.linear_sum, points.sum(axis=0), rtol=1e-8, atol=1e-8)

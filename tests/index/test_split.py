@@ -1,0 +1,74 @@
+"""Unit tests for repro.index.split (R* topological split)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import LeafEntry, MBR, rstar_split
+
+
+def make_entries(points):
+    return [LeafEntry(point=np.asarray(p, dtype=float)) for p in points]
+
+
+def test_split_requires_enough_entries():
+    entries = make_entries([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+    with pytest.raises(ValueError):
+        rstar_split(entries, min_entries=2)
+
+
+def test_split_partitions_all_entries_exactly_once():
+    rng = np.random.default_rng(0)
+    entries = make_entries(rng.normal(size=(9, 2)))
+    result = rstar_split(entries, min_entries=3)
+    assert len(result.first) + len(result.second) == 9
+    all_ids = {id(e) for e in entries}
+    split_ids = {id(e) for e in result.first} | {id(e) for e in result.second}
+    assert all_ids == split_ids
+
+
+def test_split_respects_minimum_group_size():
+    rng = np.random.default_rng(1)
+    entries = make_entries(rng.normal(size=(10, 3)))
+    result = rstar_split(entries, min_entries=4)
+    assert len(result.first) >= 4
+    assert len(result.second) >= 4
+
+
+def test_split_separates_two_obvious_clusters():
+    cluster_a = [[0.0, 0.0], [0.1, 0.1], [0.2, 0.0], [0.0, 0.2]]
+    cluster_b = [[10.0, 10.0], [10.1, 10.1], [10.2, 10.0], [10.0, 10.2]]
+    entries = make_entries(cluster_a + cluster_b)
+    result = rstar_split(entries, min_entries=2)
+    groups = []
+    for group in (result.first, result.second):
+        xs = sorted(float(e.point[0]) for e in group)
+        groups.append(xs)
+    # One group should hold only small coordinates, the other only large ones.
+    lows = [g for g in groups if all(x < 5 for x in g)]
+    highs = [g for g in groups if all(x > 5 for x in g)]
+    assert len(lows) == 1 and len(highs) == 1
+
+
+def test_split_groups_have_small_overlap_on_separable_data():
+    rng = np.random.default_rng(2)
+    left = rng.uniform(0.0, 1.0, size=(6, 2))
+    right = rng.uniform(5.0, 6.0, size=(6, 2))
+    entries = make_entries(np.vstack([left, right]))
+    result = rstar_split(entries, min_entries=3)
+    mbr_first = MBR.union_of(e.mbr for e in result.first)
+    mbr_second = MBR.union_of(e.mbr for e in result.second)
+    assert mbr_first.intersection_area(mbr_second) == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(0, 100_000), st.integers(1, 4), st.integers(2, 5))
+def test_split_is_a_partition_for_random_inputs(seed, dim, min_entries):
+    rng = np.random.default_rng(seed)
+    count = rng.integers(2 * min_entries, 4 * min_entries + 1)
+    entries = make_entries(rng.normal(size=(count, dim)))
+    result = rstar_split(entries, min_entries=min_entries)
+    assert len(result.first) + len(result.second) == count
+    assert len(result.first) >= min_entries
+    assert len(result.second) >= min_entries

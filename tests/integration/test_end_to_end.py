@@ -1,0 +1,126 @@
+"""Integration tests: full pipelines across data, bulk loading, classification and streams."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GaussianNaiveBayes, KernelBayesClassifier
+from repro.core import AnytimeBayesClassifier, BayesTreeConfig, SingleTreeAnytimeClassifier
+from repro.data import make_dataset, stratified_k_fold
+from repro.evaluation import (
+    anytime_accuracy_curve,
+    build_bulkloaded_classifier,
+    accuracy,
+)
+from repro.index import TreeParameters
+from repro.stream import ConstantArrival, DataStream, PoissonArrival, run_anytime_stream
+
+SMALL_CONFIG = BayesTreeConfig(
+    tree=TreeParameters(max_fanout=6, min_fanout=2, leaf_capacity=6, leaf_min=2)
+)
+
+
+@pytest.fixture(scope="module")
+def gender_data():
+    return make_dataset("gender", size=400, random_state=11)
+
+
+@pytest.fixture(scope="module")
+def pendigits_data():
+    return make_dataset("pendigits", size=500, random_state=12)
+
+
+class TestBulkloadedPipelines:
+    @pytest.mark.parametrize("strategy", ["iterative", "hilbert", "em_topdown", "goldberger", "zcurve", "str"])
+    def test_every_bulkload_produces_a_working_classifier(self, gender_data, strategy):
+        folds = stratified_k_fold(gender_data.labels, n_folds=4, random_state=0)
+        fold = folds[0]
+        classifier = build_bulkloaded_classifier(
+            gender_data.features[fold.train_indices],
+            gender_data.labels[fold.train_indices],
+            strategy=strategy,
+            config=SMALL_CONFIG,
+            random_state=0,
+        )
+        test = fold.test_indices[:40]
+        curve = anytime_accuracy_curve(
+            classifier, gender_data.features[test], gender_data.labels[test], max_nodes=20
+        )
+        # Far better than the 50% coin flip at every budget, and the anytime
+        # property holds (no collapse with more reads).
+        assert curve[0] > 0.6
+        assert curve[-1] > 0.6
+        assert curve[-1] >= curve[0] - 0.1
+
+    def test_bayes_tree_beats_naive_bayes_with_enough_nodes(self, pendigits_data):
+        rng = np.random.default_rng(0)
+        train, test = pendigits_data.split(0.75, rng)
+        naive = GaussianNaiveBayes().fit(train.features, train.labels)
+        anytime = build_bulkloaded_classifier(
+            train.features, train.labels, strategy="em_topdown", config=SMALL_CONFIG, random_state=0
+        )
+        subset = rng.choice(test.size, size=40, replace=False)
+        naive_accuracy = accuracy(naive.predict_batch(test.features[subset]), test.labels[subset])
+        curve = anytime_accuracy_curve(
+            anytime, test.features[subset], test.labels[subset], max_nodes=40
+        )
+        assert curve[-1] >= naive_accuracy - 0.05
+        assert curve.max() >= naive_accuracy
+
+    def test_full_refinement_agrees_with_kernel_bayes(self, gender_data):
+        rng = np.random.default_rng(1)
+        train, test = gender_data.split(0.7, rng)
+        kernel = KernelBayesClassifier().fit(train.features, train.labels)
+        anytime = AnytimeBayesClassifier(config=SMALL_CONFIG).fit(train.features, train.labels)
+        subset = rng.choice(test.size, size=30, replace=False)
+        agreements = sum(
+            kernel.predict(x) == anytime.predict(x) for x in test.features[subset]
+        )
+        assert agreements >= 27
+
+    def test_single_tree_variant_handles_real_dataset(self, gender_data):
+        rng = np.random.default_rng(2)
+        train, test = gender_data.split(0.7, rng)
+        classifier = SingleTreeAnytimeClassifier(config=SMALL_CONFIG).fit(train.features, train.labels)
+        subset = rng.choice(test.size, size=30, replace=False)
+        predictions = [classifier.predict(x, node_budget=20) for x in test.features[subset]]
+        assert accuracy(predictions, test.labels[subset]) > 0.6
+
+
+class TestStreamPipelines:
+    def test_varying_stream_with_online_learning_end_to_end(self, gender_data):
+        rng = np.random.default_rng(3)
+        warmup, streaming = gender_data.split(0.3, rng)
+        classifier = AnytimeBayesClassifier(config=SMALL_CONFIG).fit(warmup.features, warmup.labels)
+        stream = DataStream(
+            streaming,
+            arrival=PoissonArrival(rate=1.0),
+            nodes_per_time_unit=6.0,
+            max_budget=25,
+            random_state=3,
+        )
+        result = run_anytime_stream(classifier, stream, limit=120, online_learning=True)
+        assert len(result.steps) == 120
+        assert result.accuracy > 0.7
+        # Online learning actually grew the model.
+        assert sum(tree.n_objects for tree in classifier.trees.values()) == warmup.size + 120
+
+    def test_constant_stream_budgets_are_respected(self, gender_data):
+        rng = np.random.default_rng(4)
+        train, test = gender_data.split(0.6, rng)
+        classifier = AnytimeBayesClassifier(config=SMALL_CONFIG).fit(train.features, train.labels)
+        stream = DataStream(
+            test, arrival=ConstantArrival(gap=1.0), nodes_per_time_unit=4.0, random_state=4
+        )
+        result = run_anytime_stream(classifier, stream, limit=50)
+        assert all(step.nodes_read <= step.item.budget for step in result.steps)
+        assert result.accuracy > 0.7
+
+    def test_larger_budgets_do_not_hurt_on_average(self, pendigits_data):
+        rng = np.random.default_rng(5)
+        train, test = pendigits_data.split(0.75, rng)
+        classifier = AnytimeBayesClassifier(config=SMALL_CONFIG).fit(train.features, train.labels)
+        subset = rng.choice(test.size, size=40, replace=False)
+        curve = anytime_accuracy_curve(
+            classifier, test.features[subset], test.labels[subset], max_nodes=30
+        )
+        assert curve[30] >= curve[0] - 0.05

@@ -1,0 +1,129 @@
+"""Unit tests for repro.stats.em."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import fit_gmm, hard_assignments, kmeans_plus_plus_centers
+
+
+def two_blob_data(rng, n_per_blob=200, separation=10.0):
+    a = rng.normal(loc=0.0, scale=1.0, size=(n_per_blob, 2))
+    b = rng.normal(loc=separation, scale=1.0, size=(n_per_blob, 2))
+    return np.vstack([a, b])
+
+
+def test_kmeans_pp_returns_requested_number_of_centers():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(100, 3))
+    centers = kmeans_plus_plus_centers(points, 5, rng)
+    assert centers.shape == (5, 3)
+
+
+def test_kmeans_pp_caps_at_number_of_points():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(3, 2))
+    centers = kmeans_plus_plus_centers(points, 10, rng)
+    assert centers.shape == (3, 2)
+
+
+def test_kmeans_pp_handles_duplicate_points():
+    rng = np.random.default_rng(0)
+    points = np.zeros((10, 2))
+    centers = kmeans_plus_plus_centers(points, 3, rng)
+    assert centers.shape == (3, 2)
+    np.testing.assert_allclose(centers, 0.0)
+
+
+def test_kmeans_pp_rejects_empty_and_nonpositive_k():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        kmeans_plus_plus_centers(np.empty((0, 2)), 2, rng)
+    with pytest.raises(ValueError):
+        kmeans_plus_plus_centers(np.zeros((5, 2)), 0, rng)
+
+
+def test_em_separates_well_separated_blobs():
+    rng = np.random.default_rng(1)
+    points = two_blob_data(rng)
+    result = fit_gmm(points, 2, rng)
+    assert len(result.mixture) == 2
+    means = sorted(float(c.mean[0]) for c in result.mixture)
+    assert means[0] == pytest.approx(0.0, abs=0.5)
+    assert means[1] == pytest.approx(10.0, abs=0.5)
+    np.testing.assert_allclose(result.mixture.weights, [0.5, 0.5], atol=0.05)
+
+
+def test_em_hard_assignments_partition_blobs():
+    rng = np.random.default_rng(2)
+    points = two_blob_data(rng, n_per_blob=100)
+    result = fit_gmm(points, 2, rng)
+    labels = hard_assignments(result)
+    first_half = labels[:100]
+    second_half = labels[100:]
+    # Each blob should be (almost) uniformly assigned to one component.
+    assert np.mean(first_half == np.bincount(first_half).argmax()) > 0.95
+    assert np.mean(second_half == np.bincount(second_half).argmax()) > 0.95
+    assert np.bincount(first_half).argmax() != np.bincount(second_half).argmax()
+
+
+def test_em_likelihood_improves_over_single_component():
+    rng = np.random.default_rng(3)
+    points = two_blob_data(rng)
+    single = fit_gmm(points, 1, np.random.default_rng(3))
+    double = fit_gmm(points, 2, np.random.default_rng(3))
+    assert double.log_likelihood > single.log_likelihood
+
+
+def test_em_single_component_matches_moments():
+    rng = np.random.default_rng(4)
+    points = rng.normal(loc=2.0, scale=1.5, size=(500, 3))
+    result = fit_gmm(points, 1, rng)
+    component = result.mixture[0]
+    np.testing.assert_allclose(component.mean, points.mean(axis=0), atol=1e-6)
+    np.testing.assert_allclose(component.variance, points.var(axis=0), atol=1e-6)
+
+
+def test_em_k_larger_than_n_is_capped():
+    rng = np.random.default_rng(5)
+    points = rng.normal(size=(3, 2))
+    result = fit_gmm(points, 10, rng)
+    assert 1 <= len(result.mixture) <= 3
+
+
+def test_em_rejects_empty_input():
+    rng = np.random.default_rng(6)
+    with pytest.raises(ValueError):
+        fit_gmm(np.empty((0, 2)), 2, rng)
+
+
+def test_em_weights_sum_to_one_and_responsibilities_are_normalised():
+    rng = np.random.default_rng(7)
+    points = two_blob_data(rng, n_per_blob=80)
+    result = fit_gmm(points, 3, rng)
+    assert result.mixture.total_weight == pytest.approx(1.0)
+    np.testing.assert_allclose(result.responsibilities.sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_em_handles_duplicate_points_without_nan():
+    rng = np.random.default_rng(8)
+    points = np.tile(np.array([[1.0, 2.0]]), (50, 1))
+    result = fit_gmm(points, 2, rng)
+    for component in result.mixture:
+        assert np.all(np.isfinite(component.mean))
+        assert np.all(np.isfinite(component.variance))
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 1000), st.integers(1, 4), st.integers(20, 60))
+def test_em_always_returns_valid_mixture(seed, k, n):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 2)) + rng.integers(0, 3) * 4
+    result = fit_gmm(points, k, rng, max_iterations=30)
+    assert 1 <= len(result.mixture) <= k
+    assert result.mixture.total_weight == pytest.approx(1.0)
+    assert result.responsibilities.shape == (n, len(result.mixture))
+    for component in result.mixture:
+        assert np.all(np.isfinite(component.mean))
+        assert np.all(component.variance > 0)

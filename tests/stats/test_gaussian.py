@@ -1,0 +1,125 @@
+"""Unit tests for repro.stats.gaussian."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import Gaussian, gaussian_pdf, log_gaussian_pdf
+
+
+def test_pdf_matches_univariate_formula():
+    mean = np.array([0.0])
+    variance = np.array([1.0])
+    value = gaussian_pdf(np.array([0.0]), mean, variance)
+    assert value == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+
+def test_pdf_matches_scipy_for_diagonal_case():
+    scipy_stats = pytest.importorskip("scipy.stats")
+    rng = np.random.default_rng(0)
+    mean = rng.normal(size=4)
+    variance = rng.uniform(0.5, 2.0, size=4)
+    x = rng.normal(size=4)
+    expected = scipy_stats.multivariate_normal(mean=mean, cov=np.diag(variance)).pdf(x)
+    assert gaussian_pdf(x, mean, variance) == pytest.approx(expected, rel=1e-9)
+
+
+def test_log_pdf_is_log_of_pdf():
+    rng = np.random.default_rng(1)
+    mean = rng.normal(size=3)
+    variance = rng.uniform(0.1, 1.0, size=3)
+    x = rng.normal(size=3)
+    assert math.exp(log_gaussian_pdf(x, mean, variance)) == pytest.approx(
+        gaussian_pdf(x, mean, variance)
+    )
+
+
+def test_zero_variance_is_clamped_not_nan():
+    value = gaussian_pdf(np.array([0.0, 0.0]), np.array([0.0, 0.0]), np.array([0.0, 1.0]))
+    assert np.isfinite(value)
+    assert value > 0
+
+
+def test_gaussian_requires_matching_shapes():
+    with pytest.raises(ValueError):
+        Gaussian(mean=np.zeros(3), variance=np.ones(2))
+
+
+def test_gaussian_rejects_negative_variance():
+    with pytest.raises(ValueError):
+        Gaussian(mean=np.zeros(2), variance=np.array([1.0, -0.5]))
+
+
+def test_gaussian_rejects_negative_weight():
+    with pytest.raises(ValueError):
+        Gaussian(mean=np.zeros(2), variance=np.ones(2), weight=-1.0)
+
+
+def test_gaussian_rejects_matrix_mean():
+    with pytest.raises(ValueError):
+        Gaussian(mean=np.zeros((2, 2)), variance=np.ones((2, 2)))
+
+
+def test_weighted_pdf_scales_linearly():
+    g = Gaussian(mean=np.zeros(2), variance=np.ones(2), weight=0.25)
+    x = np.array([0.3, -0.2])
+    assert g.weighted_pdf(x) == pytest.approx(0.25 * g.pdf(x))
+
+
+def test_with_weight_preserves_parameters():
+    g = Gaussian(mean=np.array([1.0, 2.0]), variance=np.array([0.5, 0.25]), weight=1.0)
+    h = g.with_weight(0.1)
+    assert h.weight == 0.1
+    np.testing.assert_allclose(h.mean, g.mean)
+    np.testing.assert_allclose(h.variance, g.variance)
+
+
+def test_from_points_uses_ml_moments():
+    points = np.array([[0.0, 0.0], [2.0, 4.0]])
+    g = Gaussian.from_points(points)
+    np.testing.assert_allclose(g.mean, [1.0, 2.0])
+    np.testing.assert_allclose(g.variance, [1.0, 4.0])
+
+
+def test_from_points_rejects_empty():
+    with pytest.raises(ValueError):
+        Gaussian.from_points(np.empty((0, 3)))
+
+
+def test_sampling_mean_converges():
+    rng = np.random.default_rng(42)
+    g = Gaussian(mean=np.array([1.0, -2.0]), variance=np.array([0.5, 2.0]))
+    samples = g.sample(rng, 20000)
+    np.testing.assert_allclose(samples.mean(axis=0), g.mean, atol=0.05)
+    np.testing.assert_allclose(samples.var(axis=0), g.variance, atol=0.1)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    mean=st.lists(st.floats(-5, 5), min_size=1, max_size=5),
+    scale=st.floats(0.1, 3.0),
+    offset=st.lists(st.floats(-3, 3), min_size=1, max_size=5),
+)
+def test_density_is_maximal_at_the_mean(mean, scale, offset):
+    dim = min(len(mean), len(offset))
+    mean_vector = np.array(mean[:dim])
+    offset_vector = np.array(offset[:dim])
+    variance = np.full(dim, scale)
+    at_mean = gaussian_pdf(mean_vector, mean_vector, variance)
+    away = gaussian_pdf(mean_vector + offset_vector, mean_vector, variance)
+    assert at_mean >= away
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.integers(1, 4), st.integers(0, 1000))
+def test_pdf_is_always_non_negative_and_finite(dim, seed):
+    rng = np.random.default_rng(seed)
+    mean = rng.normal(size=dim)
+    variance = rng.uniform(0.01, 5.0, size=dim)
+    x = rng.normal(size=dim) * 3
+    value = gaussian_pdf(x, mean, variance)
+    assert value >= 0
+    assert np.isfinite(value)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.stats.kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    EpanechnikovKernel,
+    GaussianKernel,
+    make_kernel,
+    silverman_bandwidth,
+)
+
+
+def test_silverman_bandwidth_shrinks_with_sample_size():
+    rng = np.random.default_rng(0)
+    small = rng.normal(size=(50, 3))
+    large = rng.normal(size=(5000, 3))
+    h_small = silverman_bandwidth(small)
+    h_large = silverman_bandwidth(large)
+    assert np.all(h_large < h_small)
+
+
+def test_silverman_bandwidth_scales_with_spread():
+    rng = np.random.default_rng(1)
+    base = rng.normal(size=(200, 2))
+    wide = base * 10.0
+    np.testing.assert_allclose(silverman_bandwidth(wide), 10 * silverman_bandwidth(base), rtol=1e-9)
+
+
+def test_silverman_bandwidth_handles_constant_dimension():
+    points = np.zeros((100, 2))
+    points[:, 0] = np.linspace(0, 1, 100)
+    h = silverman_bandwidth(points)
+    assert np.all(h > 0)
+
+
+def test_silverman_rejects_empty_input():
+    with pytest.raises(ValueError):
+        silverman_bandwidth(np.empty((0, 2)))
+
+
+def test_gaussian_kernel_is_gaussian_with_h_squared_variance():
+    kernel = GaussianKernel(center=np.array([1.0, 2.0]), bandwidth=np.array([0.5, 2.0]))
+    gaussian = kernel.as_gaussian()
+    np.testing.assert_allclose(gaussian.variance, [0.25, 4.0])
+    x = np.array([1.2, 1.5])
+    assert kernel.pdf(x) == pytest.approx(gaussian.pdf(x))
+
+
+def test_gaussian_kernel_accepts_scalar_bandwidth():
+    kernel = GaussianKernel(center=np.zeros(3), bandwidth=np.asarray(0.7))
+    np.testing.assert_allclose(kernel.bandwidth, [0.7, 0.7, 0.7])
+
+
+def test_gaussian_kernel_rejects_non_positive_bandwidth():
+    with pytest.raises(ValueError):
+        GaussianKernel(center=np.zeros(2), bandwidth=np.array([1.0, 0.0]))
+
+
+def test_epanechnikov_kernel_zero_outside_support():
+    kernel = EpanechnikovKernel(center=np.zeros(2), bandwidth=np.ones(2))
+    assert kernel.pdf(np.array([2.0, 0.0])) == 0.0
+    assert kernel.pdf(np.array([0.5, 0.5])) > 0.0
+
+
+def test_epanechnikov_kernel_integrates_to_one_1d():
+    kernel = EpanechnikovKernel(center=np.array([0.0]), bandwidth=np.array([1.5]))
+    xs = np.linspace(-2, 2, 4001)
+    values = np.array([kernel.pdf(np.array([x])) for x in xs])
+    integral = np.trapezoid(values, xs)
+    assert integral == pytest.approx(1.0, abs=1e-3)
+
+
+def test_gaussian_kernel_integrates_to_one_1d():
+    kernel = GaussianKernel(center=np.array([0.3]), bandwidth=np.array([0.8]))
+    xs = np.linspace(-5, 6, 4001)
+    values = np.array([kernel.pdf(np.array([x])) for x in xs])
+    integral = np.trapezoid(values, xs)
+    assert integral == pytest.approx(1.0, abs=1e-3)
+
+
+def test_make_kernel_dispatch():
+    gaussian = make_kernel("gaussian", np.zeros(2), np.ones(2))
+    epan = make_kernel("epanechnikov", np.zeros(2), np.ones(2))
+    assert isinstance(gaussian, GaussianKernel)
+    assert isinstance(epan, EpanechnikovKernel)
+    with pytest.raises(ValueError):
+        make_kernel("tophat", np.zeros(2), np.ones(2))
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(0, 10_000), st.floats(0.1, 2.0))
+def test_kernels_peak_at_center(seed, bandwidth):
+    rng = np.random.default_rng(seed)
+    center = rng.normal(size=2)
+    for name in ("gaussian", "epanechnikov"):
+        kernel = make_kernel(name, center, np.full(2, bandwidth))
+        peak = kernel.pdf(center)
+        away = kernel.pdf(center + bandwidth / 2)
+        assert peak >= away >= 0

@@ -1,0 +1,111 @@
+"""Unit tests for repro.stats.kl."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    Gaussian,
+    GaussianMixture,
+    kl_gaussian,
+    kl_matching_distance,
+    kl_mixture_monte_carlo,
+)
+
+
+def test_kl_is_zero_for_identical_gaussians():
+    g = Gaussian(mean=np.array([1.0, -1.0]), variance=np.array([0.5, 2.0]))
+    assert kl_gaussian(g, g) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_kl_univariate_closed_form():
+    p = Gaussian(mean=np.array([0.0]), variance=np.array([1.0]))
+    q = Gaussian(mean=np.array([1.0]), variance=np.array([2.0]))
+    expected = 0.5 * (np.log(2.0) + (1.0 + 1.0) / 2.0 - 1.0)
+    assert kl_gaussian(p, q) == pytest.approx(expected)
+
+
+def test_kl_is_asymmetric_in_general():
+    p = Gaussian(mean=np.array([0.0]), variance=np.array([1.0]))
+    q = Gaussian(mean=np.array([0.0]), variance=np.array([4.0]))
+    assert kl_gaussian(p, q) != pytest.approx(kl_gaussian(q, p))
+
+
+def test_kl_requires_matching_dimensions():
+    with pytest.raises(ValueError):
+        kl_gaussian(
+            Gaussian(mean=np.zeros(2), variance=np.ones(2)),
+            Gaussian(mean=np.zeros(3), variance=np.ones(3)),
+        )
+
+
+def test_kl_additive_over_independent_dimensions():
+    p1 = Gaussian(mean=np.array([0.0]), variance=np.array([1.0]))
+    q1 = Gaussian(mean=np.array([0.5]), variance=np.array([1.5]))
+    p2 = Gaussian(mean=np.array([2.0]), variance=np.array([0.7]))
+    q2 = Gaussian(mean=np.array([1.0]), variance=np.array([0.9]))
+    p = Gaussian(mean=np.array([0.0, 2.0]), variance=np.array([1.0, 0.7]))
+    q = Gaussian(mean=np.array([0.5, 1.0]), variance=np.array([1.5, 0.9]))
+    assert kl_gaussian(p, q) == pytest.approx(kl_gaussian(p1, q1) + kl_gaussian(p2, q2))
+
+
+def test_matching_distance_zero_when_coarse_contains_fine_components():
+    components = [
+        Gaussian(mean=np.array([0.0, 0.0]), variance=np.ones(2), weight=0.5),
+        Gaussian(mean=np.array([3.0, 3.0]), variance=np.ones(2), weight=0.5),
+    ]
+    fine = GaussianMixture(components)
+    coarse = GaussianMixture([c.with_weight(1.0) for c in components])
+    assert kl_matching_distance(fine, coarse) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_matching_distance_decreases_with_better_approximation():
+    fine = GaussianMixture(
+        [
+            Gaussian(mean=np.array([0.0]), variance=np.array([1.0]), weight=0.5),
+            Gaussian(mean=np.array([10.0]), variance=np.array([1.0]), weight=0.5),
+        ]
+    )
+    bad = GaussianMixture([Gaussian(mean=np.array([5.0]), variance=np.array([1.0]))])
+    good = GaussianMixture(
+        [
+            Gaussian(mean=np.array([0.5]), variance=np.array([1.0])),
+            Gaussian(mean=np.array([9.5]), variance=np.array([1.0])),
+        ]
+    )
+    assert kl_matching_distance(fine, good) < kl_matching_distance(fine, bad)
+
+
+def test_matching_distance_requires_nonempty_coarse():
+    fine = GaussianMixture([Gaussian(mean=np.zeros(1), variance=np.ones(1))])
+    with pytest.raises(ValueError):
+        kl_matching_distance(fine, GaussianMixture([]))
+
+
+def test_monte_carlo_kl_near_zero_for_identical_mixtures():
+    rng = np.random.default_rng(0)
+    mixture = GaussianMixture(
+        [
+            Gaussian(mean=np.array([0.0, 0.0]), variance=np.ones(2), weight=0.4),
+            Gaussian(mean=np.array([4.0, 4.0]), variance=np.ones(2), weight=0.6),
+        ]
+    )
+    estimate = kl_mixture_monte_carlo(mixture, mixture, rng, samples=500)
+    assert estimate == pytest.approx(0.0, abs=1e-9)
+
+
+def test_monte_carlo_kl_positive_for_different_mixtures():
+    rng = np.random.default_rng(1)
+    p = GaussianMixture([Gaussian(mean=np.array([0.0]), variance=np.array([1.0]))])
+    q = GaussianMixture([Gaussian(mean=np.array([5.0]), variance=np.array([1.0]))])
+    assert kl_mixture_monte_carlo(p, q, rng, samples=2000) > 1.0
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(0, 5000), st.integers(1, 4))
+def test_kl_non_negative(seed, dim):
+    rng = np.random.default_rng(seed)
+    p = Gaussian(mean=rng.normal(size=dim), variance=rng.uniform(0.1, 3.0, size=dim))
+    q = Gaussian(mean=rng.normal(size=dim), variance=rng.uniform(0.1, 3.0, size=dim))
+    assert kl_gaussian(p, q) >= -1e-10

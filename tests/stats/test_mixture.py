@@ -1,0 +1,135 @@
+"""Unit tests for repro.stats.mixture."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import Gaussian, GaussianMixture
+
+
+def two_component_mixture():
+    return GaussianMixture(
+        [
+            Gaussian(mean=np.array([0.0, 0.0]), variance=np.ones(2), weight=0.3),
+            Gaussian(mean=np.array([5.0, 5.0]), variance=np.ones(2) * 2.0, weight=0.7),
+        ]
+    )
+
+
+def test_pdf_is_weighted_sum_of_components():
+    mixture = two_component_mixture()
+    x = np.array([1.0, -1.0])
+    expected = 0.3 * mixture[0].pdf(x) + 0.7 * mixture[1].pdf(x)
+    assert mixture.pdf(x) == pytest.approx(expected)
+
+
+def test_log_pdf_matches_log_of_pdf():
+    mixture = two_component_mixture()
+    x = np.array([4.0, 4.5])
+    assert mixture.log_pdf(x) == pytest.approx(math.log(mixture.pdf(x)))
+
+
+def test_log_pdf_stable_far_from_all_components():
+    mixture = two_component_mixture()
+    x = np.array([500.0, -500.0])
+    assert mixture.pdf(x) == pytest.approx(0.0)
+    assert np.isfinite(mixture.log_pdf(x))
+
+
+def test_empty_mixture_log_pdf_is_minus_infinity():
+    assert GaussianMixture([]).log_pdf(np.zeros(2)) == -math.inf
+
+
+def test_components_must_share_dimension():
+    with pytest.raises(ValueError):
+        GaussianMixture(
+            [
+                Gaussian(mean=np.zeros(2), variance=np.ones(2)),
+                Gaussian(mean=np.zeros(3), variance=np.ones(3)),
+            ]
+        )
+
+
+def test_normalised_weights_sum_to_one():
+    mixture = GaussianMixture(
+        [
+            Gaussian(mean=np.zeros(1), variance=np.ones(1), weight=2.0),
+            Gaussian(mean=np.ones(1), variance=np.ones(1), weight=6.0),
+        ]
+    )
+    normalised = mixture.normalised()
+    assert normalised.total_weight == pytest.approx(1.0)
+    np.testing.assert_allclose(normalised.weights, [0.25, 0.75])
+
+
+def test_responsibilities_sum_to_one_and_favor_nearest_component():
+    mixture = two_component_mixture()
+    r = mixture.responsibilities(np.array([5.0, 5.0]))
+    assert r.sum() == pytest.approx(1.0)
+    assert r[1] > r[0]
+
+
+def test_from_points_creates_one_component_per_point():
+    points = np.array([[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]])
+    mixture = GaussianMixture.from_points(points, bandwidth=np.array([1.0, 1.0]))
+    assert len(mixture) == 3
+    assert mixture.total_weight == pytest.approx(1.0)
+    np.testing.assert_allclose(mixture[1].mean, [2.0, 3.0])
+    np.testing.assert_allclose(mixture[1].variance, [1.0, 1.0])
+
+
+def test_merged_matches_population_moments():
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(500, 3))
+    mixture = GaussianMixture.from_points(points, bandwidth=None)
+    merged = mixture.merged()
+    np.testing.assert_allclose(merged.mean, points.mean(axis=0), atol=1e-9)
+    np.testing.assert_allclose(merged.variance, points.var(axis=0), atol=1e-9)
+
+
+def test_mean_is_weighted_average():
+    mixture = two_component_mixture()
+    np.testing.assert_allclose(mixture.mean(), 0.3 * np.zeros(2) + 0.7 * np.array([5.0, 5.0]))
+
+
+def test_sampling_respects_weights():
+    rng = np.random.default_rng(7)
+    mixture = two_component_mixture()
+    samples = mixture.sample(rng, 5000)
+    distance_to_first = np.linalg.norm(samples - np.array([0.0, 0.0]), axis=1)
+    distance_to_second = np.linalg.norm(samples - np.array([5.0, 5.0]), axis=1)
+    fraction_second = np.mean(distance_to_second < distance_to_first)
+    assert fraction_second == pytest.approx(0.7, abs=0.05)
+
+
+def test_mixture_1d_integrates_to_one():
+    mixture = GaussianMixture(
+        [
+            Gaussian(mean=np.array([-1.0]), variance=np.array([0.5]), weight=0.4),
+            Gaussian(mean=np.array([2.0]), variance=np.array([1.0]), weight=0.6),
+        ]
+    )
+    xs = np.linspace(-8, 9, 6001)
+    values = np.array([mixture.pdf(np.array([x])) for x in xs])
+    assert np.trapezoid(values, xs) == pytest.approx(1.0, abs=1e-3)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(0, 10_000), st.integers(1, 6))
+def test_merged_preserves_total_weight_and_nonnegative_variance(seed, k):
+    rng = np.random.default_rng(seed)
+    components = [
+        Gaussian(
+            mean=rng.normal(size=2),
+            variance=rng.uniform(0.1, 2.0, size=2),
+            weight=float(rng.uniform(0.1, 1.0)),
+        )
+        for _ in range(k)
+    ]
+    mixture = GaussianMixture(components)
+    merged = mixture.merged()
+    assert merged.weight == pytest.approx(mixture.total_weight)
+    assert np.all(merged.variance >= 0)

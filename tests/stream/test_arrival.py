@@ -1,0 +1,54 @@
+"""Tests for stream arrival processes and budget conversion."""
+
+import numpy as np
+import pytest
+
+from repro.stream import ConstantArrival, PoissonArrival, gaps_to_node_budgets
+
+
+def test_constant_arrival_produces_identical_gaps():
+    rng = np.random.default_rng(0)
+    gaps = ConstantArrival(gap=2.5).gaps(10, rng)
+    np.testing.assert_allclose(gaps, 2.5)
+
+
+def test_constant_arrival_validates_gap_and_count():
+    with pytest.raises(ValueError):
+        ConstantArrival(gap=0.0)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        ConstantArrival(gap=1.0).gaps(-1, rng)
+
+
+def test_poisson_arrival_mean_matches_rate():
+    rng = np.random.default_rng(1)
+    gaps = PoissonArrival(rate=4.0).gaps(20_000, rng)
+    assert gaps.mean() == pytest.approx(0.25, rel=0.05)
+    assert np.all(gaps >= 0)
+
+
+def test_poisson_arrival_is_varying():
+    rng = np.random.default_rng(2)
+    gaps = PoissonArrival(rate=1.0).gaps(100, rng)
+    assert gaps.std() > 0
+
+
+def test_poisson_arrival_validates_rate():
+    with pytest.raises(ValueError):
+        PoissonArrival(rate=-1.0)
+
+
+def test_gaps_to_node_budgets_scaling_and_cap():
+    gaps = np.array([0.0, 0.5, 1.0, 3.0])
+    budgets = gaps_to_node_budgets(gaps, nodes_per_time_unit=10, max_nodes=20)
+    np.testing.assert_array_equal(budgets, [0, 5, 10, 20])
+
+
+def test_gaps_to_node_budgets_validates_speed():
+    with pytest.raises(ValueError):
+        gaps_to_node_budgets(np.array([1.0]), nodes_per_time_unit=0)
+
+
+def test_budgets_are_never_negative():
+    budgets = gaps_to_node_budgets(np.array([-1.0, 0.1]), nodes_per_time_unit=10)
+    assert np.all(budgets >= 0)

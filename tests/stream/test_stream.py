@@ -1,0 +1,115 @@
+"""Tests for the data stream abstraction and the anytime stream driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnytimeBayesClassifier, BayesTreeConfig
+from repro.data import make_blobs
+from repro.index import TreeParameters
+from repro.stream import ConstantArrival, DataStream, PoissonArrival, run_anytime_stream
+
+
+def small_config():
+    return BayesTreeConfig(
+        tree=TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
+    )
+
+
+BLOB_CENTERS = np.array([[0.0, 0.0], [9.0, 9.0]])
+
+
+def blob_dataset(seed=0, per_class=60):
+    return make_blobs(
+        n_classes=2, per_class=per_class, n_features=2, random_state=seed, centers=BLOB_CENTERS
+    )
+
+
+def test_stream_yields_every_object_exactly_once():
+    dataset = blob_dataset()
+    stream = DataStream(dataset, random_state=0)
+    items = stream.items()
+    assert len(items) == dataset.size
+    assert sorted(item.index for item in items) == list(range(dataset.size))
+
+
+def test_stream_arrival_times_are_increasing():
+    dataset = blob_dataset(seed=1)
+    stream = DataStream(dataset, arrival=PoissonArrival(rate=2.0), random_state=1)
+    items = stream.items()
+    times = [item.arrival_time for item in items]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+def test_constant_stream_has_constant_budgets():
+    dataset = blob_dataset(seed=2)
+    stream = DataStream(dataset, arrival=ConstantArrival(gap=1.0), nodes_per_time_unit=7, random_state=2)
+    budgets = {item.budget for item in stream.items(20)}
+    assert budgets == {7}
+
+
+def test_poisson_stream_has_varying_budgets():
+    dataset = blob_dataset(seed=3)
+    stream = DataStream(dataset, arrival=PoissonArrival(rate=1.0), nodes_per_time_unit=10, random_state=3)
+    budgets = [item.budget for item in stream.items(100)]
+    assert len(set(budgets)) > 3
+
+
+def test_stream_is_reproducible_given_seed():
+    dataset = blob_dataset(seed=4)
+    a = DataStream(dataset, arrival=PoissonArrival(rate=1.0), random_state=9).items(10)
+    b = DataStream(dataset, arrival=PoissonArrival(rate=1.0), random_state=9).items(10)
+    assert [i.index for i in a] == [i.index for i in b]
+    assert [i.budget for i in a] == [i.budget for i in b]
+
+
+def test_max_budget_is_respected():
+    dataset = blob_dataset(seed=5)
+    stream = DataStream(
+        dataset, arrival=PoissonArrival(rate=0.1), nodes_per_time_unit=100, max_budget=15, random_state=5
+    )
+    assert all(item.budget <= 15 for item in stream.items(50))
+
+
+def test_run_anytime_stream_classifies_and_reports_accuracy():
+    dataset = blob_dataset(seed=6)
+    train = dataset.features[:80], dataset.labels[:80]
+    classifier = AnytimeBayesClassifier(config=small_config()).fit(*train)
+    test_dataset = blob_dataset(seed=7, per_class=20)
+    stream = DataStream(test_dataset, arrival=ConstantArrival(gap=1.0), nodes_per_time_unit=10, random_state=6)
+    result = run_anytime_stream(classifier, stream)
+    assert len(result.steps) == test_dataset.size
+    assert result.accuracy > 0.9
+    assert result.mean_budget == pytest.approx(10.0)
+    assert 0 <= result.mean_nodes_read <= 10.0
+
+
+def test_run_anytime_stream_with_limit_and_budget_buckets():
+    dataset = blob_dataset(seed=8)
+    classifier = AnytimeBayesClassifier(config=small_config()).fit(dataset.features, dataset.labels)
+    stream = DataStream(dataset, arrival=PoissonArrival(rate=1.0), nodes_per_time_unit=5, random_state=8)
+    result = run_anytime_stream(classifier, stream, limit=30)
+    assert len(result.steps) == 30
+    buckets = result.accuracy_by_budget()
+    assert all(0.0 <= value <= 1.0 for value in buckets.values())
+
+
+def test_run_anytime_stream_online_learning_grows_the_model():
+    dataset = blob_dataset(seed=9, per_class=30)
+    # Start with a tiny training set and learn online from the stream.
+    classifier = AnytimeBayesClassifier(config=small_config()).fit(
+        dataset.features[:10], dataset.labels[:10]
+    )
+    before = sum(tree.n_objects for tree in classifier.trees.values())
+    stream = DataStream(dataset, arrival=ConstantArrival(gap=1.0), nodes_per_time_unit=5, random_state=9)
+    run_anytime_stream(classifier, stream, limit=20, online_learning=True)
+    after = sum(tree.n_objects for tree in classifier.trees.values())
+    assert after == before + 20
+
+
+def test_empty_stream_run_result_statistics_are_nan():
+    from repro.stream.anytime import StreamRunResult
+
+    result = StreamRunResult()
+    assert np.isnan(result.accuracy)
+    assert np.isnan(result.mean_budget)
+    assert np.isnan(result.mean_nodes_read)
