@@ -11,7 +11,7 @@ from .descent import (
     GlobalBestDescent,
     make_descent_strategy,
 )
-from .frontier import Frontier, FrontierItem, pdq
+from .frontier import Frontier, FrontierArrays, FrontierItem, log_pdq, pdq, pdq_scalar
 from .single_tree import SingleTreeAnytimeClassifier
 
 __all__ = [
@@ -27,7 +27,10 @@ __all__ = [
     "GlobalBestDescent",
     "make_descent_strategy",
     "Frontier",
+    "FrontierArrays",
     "FrontierItem",
     "pdq",
+    "pdq_scalar",
+    "log_pdq",
     "SingleTreeAnytimeClassifier",
 ]

@@ -17,16 +17,18 @@ The class below wraps the index substrate with:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import math
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..index.entry import DirectoryEntry, LeafEntry
 from ..index.node import Node
 from ..index.rstar import RStarTree
+from ..stats.gaussian import logsumexp
 from ..stats.kernel import silverman_bandwidth
 from .config import BayesTreeConfig
-from .frontier import Frontier, pdq
+from .frontier import Frontier, _entry_batch_params, component_log_densities, pdq
 
 __all__ = ["BayesTree"]
 
@@ -40,6 +42,7 @@ class BayesTree:
         self.index = RStarTree(dimension=dimension, params=self.config.tree)
         self._bandwidth: Optional[np.ndarray] = None
         self._training_points: list[np.ndarray] = []
+        self._leaf_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
 
     # -- basic properties -----------------------------------------------------------------
     def __len__(self) -> int:
@@ -106,6 +109,7 @@ class BayesTree:
         return self
 
     def _refresh_bandwidth(self) -> None:
+        self._leaf_arrays = None
         if not self._training_points:
             self._bandwidth = None
             return
@@ -152,6 +156,44 @@ class BayesTree:
             query=query,
             variance_inflation=self._variance_inflation(),
         )
+
+    def leaf_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Packed ``(means, scales, kinds, log_weights)`` over all leaf entries.
+
+        The arrays back the fully-refined (full kernel density estimate) batch
+        evaluation path; they are cached and invalidated whenever the training
+        set or the bandwidth changes.
+        """
+        if self._leaf_arrays is None:
+            entries = list(self.index.iter_leaf_entries())
+            if not entries:
+                raise ValueError("cannot pack leaf arrays of an empty Bayes tree")
+            means, scales, kinds, n_objects = _entry_batch_params(entries, None)
+            log_weights = np.log(n_objects) - math.log(float(n_objects.sum()))
+            self._leaf_arrays = (means, scales, kinds, log_weights)
+        return self._leaf_arrays
+
+    def log_density_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Full-model log densities for a batch of queries, fully vectorised.
+
+        Equivalent to refining a frontier per query until no directory entries
+        remain, but evaluates the complete kernel model with one batched call
+        over the packed leaf arrays — the fast path of
+        :meth:`AnytimeBayesClassifier.predict_batch` with an unlimited budget.
+        """
+        queries = np.asarray(queries, dtype=float)
+        single = queries.ndim == 1
+        queries = np.atleast_2d(queries)
+        if queries.shape[1] != self.dimension:
+            raise ValueError(f"queries must have shape (m, {self.dimension})")
+        means, scales, kinds, log_weights = self.leaf_arrays()
+        logs = component_log_densities(queries, means, scales, kinds)
+        result = logsumexp(logs + log_weights[None, :], axis=1)
+        return result[0] if single else result
+
+    def density_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Linear-space counterpart of :meth:`log_density_batch`."""
+        return np.exp(self.log_density_batch(queries))
 
     def density(self, query: Sequence[float] | np.ndarray, nodes: Optional[int] = None) -> float:
         """Density estimate after reading ``nodes`` additional nodes (all if None).

@@ -11,21 +11,39 @@ The classifier follows the paper exactly:
   classes the right to refine "in turns" (§2.2),
 * interrupting at any point yields the prediction of the current models — the
   anytime property.
+
+All posteriors are computed and compared in **log space**
+(``log P(c) + log pdq_c(x)``): in high dimensions the linear-space product
+underflows to exact zero for every class, which used to degrade the argmax to
+a tie-break by label repr.  ``classify_anytime_batch`` additionally advances
+many queries' frontiers in lockstep so that queries reading the same tree node
+share one vectorised evaluation of its children (see DESIGN.md, batch API).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..stats.gaussian import logsumexp, safe_exp
 from .bayes_tree import BayesTree
 from .config import BayesTreeConfig, default_qbk_k
-from .descent import DescentStrategy, GlobalBestDescent, make_descent_strategy
-from .frontier import Frontier
+from .descent import DescentStrategy, make_descent_strategy
+from .frontier import Frontier, FrontierItem, _entry_batch_params, component_log_densities
 
 __all__ = ["AnytimeClassification", "AnytimeBayesClassifier"]
+
+#: Queries processed per lockstep round in the budgeted predict_batch path;
+#: bounds the number of simultaneously live frontiers and per-step records.
+BATCH_CHUNK_QUERIES = 256
+
+
+def _exp_values(log_posterior: Dict[Hashable, float]) -> Dict[Hashable, float]:
+    """Linear-space view of a log-posterior dict (saturates instead of raising)."""
+    return {label: safe_exp(value) for label, value in log_posterior.items()}
 
 
 @dataclass
@@ -39,18 +57,31 @@ class AnytimeClassification:
     predictions:
         ``predictions[t]`` is the predicted label after ``t`` additional node
         reads (``predictions[0]`` uses only the root models).
-    posteriors:
-        Per-step dictionaries mapping class label to (unnormalised) posterior
-        ``P(c) * pdq_c(x)``.
+    log_posteriors:
+        Per-step dictionaries with the exact log-space posteriors
+        ``log P(c) + log pdq_c(x)`` that drive the predictions.
     nodes_read:
         Total number of node reads performed (may be smaller than requested
         when every tree is fully refined).
+
+    ``posteriors`` exposes the linear-space view (which may underflow to 0.0
+    or saturate to inf); it is derived lazily so the classification hot path
+    only records log values.
     """
 
     query: np.ndarray
     predictions: List[Hashable] = field(default_factory=list)
-    posteriors: List[Dict[Hashable, float]] = field(default_factory=list)
+    log_posteriors: List[Dict[Hashable, float]] = field(default_factory=list)
     nodes_read: int = 0
+
+    @property
+    def posteriors(self) -> Tuple[Dict[Hashable, float], ...]:
+        """Linear-space unnormalised posteriors ``P(c) * pdq_c(x)`` per step.
+
+        A derived, read-only view (a tuple, so appending to it — the old
+        mutable-field API — fails loudly instead of silently vanishing).
+        """
+        return tuple(_exp_values(log_posterior) for log_posterior in self.log_posteriors)
 
     @property
     def final_prediction(self) -> Hashable:
@@ -58,8 +89,62 @@ class AnytimeClassification:
 
     def prediction_after(self, nodes: int) -> Hashable:
         """Prediction available after ``nodes`` node reads (clamped to the end)."""
+        if nodes < self.nodes_read and len(self.predictions) < self.nodes_read + 1:
+            raise ValueError(
+                "per-step history was not recorded (record_history=False); "
+                "only final_prediction is available"
+            )
         index = min(nodes, len(self.predictions) - 1)
         return self.predictions[index]
+
+
+class _QbkRotation:
+    """Explicit bookkeeping for the qbk "in turns" rotation (paper §2.2).
+
+    The previous implementation re-ranked the classes every step and indexed
+    the fresh top-k list with a global turn counter; whenever a frontier
+    exhausted or the posterior ranking reordered, classes were skipped or
+    served twice in a row instead of refining "in turns".  Tracking how often
+    each class has been served and always picking the least-served member of
+    the current top-k (posterior rank breaking ties) restores a fair rotation
+    that is robust to both.  Serve counts are clamped to one below the
+    current top-k maximum, so a class entering the top-k late joins the
+    rotation at parity (at most one catch-up read) instead of monopolising
+    refinement until its historical count catches up.
+    """
+
+    __slots__ = ("_serves",)
+
+    def __init__(self) -> None:
+        self._serves: Dict[Hashable, int] = {}
+
+    def serves(self, label: Hashable) -> int:
+        """How often ``label`` has been granted a node read so far."""
+        return self._serves.get(label, 0)
+
+    def next(self, ranked_top: Sequence[Hashable]) -> Hashable:
+        """Pick the next class from the current top-k (best-first order)."""
+        if not ranked_top:
+            raise ValueError("ranked_top must not be empty")
+        floor = max(self._serves.get(label, 0) for label in ranked_top) - 1
+        effective = [
+            max(self._serves.get(label, 0), floor) for label in ranked_top
+        ]
+        index = min(range(len(ranked_top)), key=lambda i: (effective[i], i))
+        label = ranked_top[index]
+        self._serves[label] = effective[index] + 1
+        return label
+
+
+@dataclass
+class _BatchQueryState:
+    """Per-query bookkeeping of the lockstep batch classification driver."""
+
+    frontiers: Dict[Hashable, Frontier]
+    rotation: _QbkRotation
+    log_posterior: Dict[Hashable, float]
+    result: AnytimeClassification
+    active: bool = True
 
 
 class AnytimeBayesClassifier:
@@ -75,8 +160,9 @@ class AnytimeBayesClassifier:
         self.descent = descent if isinstance(descent, DescentStrategy) else make_descent_strategy(descent)
         self.qbk_k = qbk_k
         self.trees: Dict[Hashable, BayesTree] = {}
-        self.priors: Dict[Hashable, float] = {}
         self.dimension: Optional[int] = None
+        self._priors_cache: Optional[Dict[Hashable, float]] = None
+        self._log_priors_cache: Optional[Dict[Hashable, float]] = None
 
     # -- training -------------------------------------------------------------------------------
     @property
@@ -106,7 +192,7 @@ class AnytimeBayesClassifier:
             tree = BayesTree(dimension=self.dimension, config=self.config)
             tree.fit(points[mask], label=label)
             self.trees[label] = tree
-        self._refresh_priors()
+        self._invalidate_priors()
         return self
 
     def set_tree(self, label: Hashable, tree: BayesTree) -> None:
@@ -116,24 +202,53 @@ class AnytimeBayesClassifier:
         if tree.dimension != self.dimension:
             raise ValueError("tree dimensionality does not match the classifier")
         self.trees[label] = tree
-        self._refresh_priors()
+        self._invalidate_priors()
 
     def partial_fit(self, point: Sequence[float] | np.ndarray, label: Hashable) -> None:
-        """Incremental online learning from one new labelled object (stream training)."""
+        """Incremental online learning from one new labelled object (stream training).
+
+        Only invalidates the prior cache (O(1)); the priors are re-derived
+        from the trees' object counts the next time they are read, instead of
+        rebuilding an O(n_classes) dictionary on every streamed insert.
+        """
         point = np.asarray(point, dtype=float)
         if self.dimension is None:
             self.dimension = point.shape[0]
         if label not in self.trees:
             self.trees[label] = BayesTree(dimension=self.dimension, config=self.config)
         self.trees[label].insert(point, label=label)
-        self._refresh_priors()
+        self._invalidate_priors()
 
-    def _refresh_priors(self) -> None:
+    def _invalidate_priors(self) -> None:
+        self._priors_cache = None
+        self._log_priors_cache = None
+
+    def _rebuild_priors(self) -> None:
         total = float(sum(tree.n_objects for tree in self.trees.values()))
         if total <= 0:
-            self.priors = {label: 0.0 for label in self.trees}
-            return
-        self.priors = {label: tree.n_objects / total for label, tree in self.trees.items()}
+            self._priors_cache = {label: 0.0 for label in self.trees}
+        else:
+            self._priors_cache = {
+                label: tree.n_objects / total for label, tree in self.trees.items()
+            }
+        self._log_priors_cache = {
+            label: math.log(prior) if prior > 0 else -math.inf
+            for label, prior in self._priors_cache.items()
+        }
+
+    @property
+    def priors(self) -> Dict[Hashable, float]:
+        """Class priors P(c) (relative class frequencies), rebuilt lazily."""
+        if self._priors_cache is None:
+            self._rebuild_priors()
+        return self._priors_cache
+
+    @property
+    def log_priors(self) -> Dict[Hashable, float]:
+        """Log class priors, rebuilt lazily alongside :attr:`priors`."""
+        if self._log_priors_cache is None:
+            self._rebuild_priors()
+        return self._log_priors_cache
 
     # -- anytime classification -------------------------------------------------------------------
     def _effective_k(self) -> int:
@@ -141,9 +256,11 @@ class AnytimeBayesClassifier:
             return max(1, min(self.qbk_k, self.n_classes))
         return min(default_qbk_k(self.n_classes), self.n_classes)
 
-    def _posterior(self, frontiers: Dict[Hashable, Frontier]) -> Dict[Hashable, float]:
+    def _log_posterior(self, frontiers: Dict[Hashable, Frontier]) -> Dict[Hashable, float]:
+        """Unnormalised log posteriors ``log P(c) + log pdq_c(x)``."""
+        log_priors = self.log_priors
         return {
-            label: self.priors[label] * frontier.density
+            label: log_priors[label] + frontier.log_density
             for label, frontier in frontiers.items()
         }
 
@@ -151,6 +268,11 @@ class AnytimeBayesClassifier:
     def _argmax(posterior: Dict[Hashable, float]) -> Hashable:
         # Deterministic tie breaking by label repr keeps experiments reproducible.
         return max(sorted(posterior.keys(), key=repr), key=lambda label: posterior[label])
+
+    @staticmethod
+    def _record(result: AnytimeClassification, log_posterior: Dict[Hashable, float]) -> None:
+        result.predictions.append(AnytimeBayesClassifier._argmax(log_posterior))
+        result.log_posteriors.append(dict(log_posterior))
 
     def classify_anytime(
         self,
@@ -170,47 +292,184 @@ class AnytimeBayesClassifier:
         frontiers = {label: tree.frontier(query) for label, tree in self.trees.items()}
         result = AnytimeClassification(query=query)
 
-        posterior = self._posterior(frontiers)
-        result.predictions.append(self._argmax(posterior))
-        result.posteriors.append(dict(posterior))
+        log_posterior = self._log_posterior(frontiers)
+        self._record(result, log_posterior)
 
         k = self._effective_k()
-        turn = 0
+        rotation = _QbkRotation()
         for _ in range(max_nodes):
-            refined = self._refine_one(frontiers, posterior, k, turn)
+            refined = self._refine_one(frontiers, log_posterior, k, rotation)
             if refined is None:
                 break
-            turn += 1
             result.nodes_read += 1
-            posterior = self._posterior(frontiers)
-            result.predictions.append(self._argmax(posterior))
-            result.posteriors.append(dict(posterior))
+            log_posterior = self._log_posterior(frontiers)
+            self._record(result, log_posterior)
         return result
 
-    def _refine_one(
+    def _choose_refinement(
         self,
         frontiers: Dict[Hashable, Frontier],
-        posterior: Dict[Hashable, float],
+        log_posterior: Dict[Hashable, float],
         k: int,
-        turn: int,
+        rotation: _QbkRotation,
     ) -> Optional[Hashable]:
-        """Perform one node read following the qbk improvement strategy.
-
-        The k most probable classes (by the current posterior) refine in
-        turns; classes whose frontier is exhausted are skipped.  Returns the
-        refined class label, or None when no tree can be refined any more.
-        """
+        """Pick the class whose frontier gets the next node read (qbk, §2.2)."""
         refinable = [label for label, frontier in frontiers.items() if not frontier.is_fully_refined]
         if not refinable:
             return None
         ranked = sorted(
             refinable,
-            key=lambda label: (-posterior[label], repr(label)),
+            key=lambda label: (-log_posterior[label], repr(label)),
         )
         top = ranked[: max(1, min(k, len(ranked)))]
-        label = top[turn % len(top)]
+        return rotation.next(top)
+
+    def _refine_one(
+        self,
+        frontiers: Dict[Hashable, Frontier],
+        log_posterior: Dict[Hashable, float],
+        k: int,
+        rotation: _QbkRotation,
+    ) -> Optional[Hashable]:
+        """Perform one node read following the qbk improvement strategy.
+
+        The k most probable classes (by the current log posterior) refine in
+        turns, with the rotation tracked explicitly by ``rotation``; classes
+        whose frontier is exhausted are skipped without disturbing the
+        rotation of the remaining ones.  Returns the refined class label, or
+        None when no tree can be refined any more.
+        """
+        label = self._choose_refinement(frontiers, log_posterior, k, rotation)
+        if label is None:
+            return None
         frontiers[label].refine(self.descent)
         return label
+
+    # -- batch anytime classification --------------------------------------------------------------
+    def classify_anytime_batch(
+        self,
+        queries: np.ndarray,
+        max_nodes: int,
+        record_history: bool = True,
+    ) -> List[AnytimeClassification]:
+        """Classify many queries at once, advancing their frontiers in lockstep.
+
+        Produces exactly the same per-query results as calling
+        :meth:`classify_anytime` in a loop (each query's refinement sequence
+        is independent of the others), but amortises the work: per round every
+        active query performs one node read, the reads are grouped by tree
+        node, and each node's children are evaluated against all queries in
+        the group with a single batched log density call.  Queries advance in
+        lockstep in chunks of ``BATCH_CHUNK_QUERIES``, bounding the number of
+        simultaneously live frontier buffers for arbitrarily large batches.
+
+        ``record_history=False`` records only the final step of each query
+        (``final_prediction`` and the last posteriors) instead of the full
+        per-node-read trace — the budgeted :meth:`predict_batch` path uses it
+        to skip the per-step record allocations entirely.
+        """
+        if not self.is_fitted:
+            raise ValueError("classifier has not been fitted")
+        if max_nodes < 0:
+            raise ValueError("max_nodes must be non-negative")
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2:
+            raise ValueError("queries must be an (m, d) array")
+        k = self._effective_k()
+        results: List[AnytimeClassification] = []
+        for start in range(0, queries.shape[0], BATCH_CHUNK_QUERIES):
+            results.extend(
+                self._classify_anytime_batch_chunk(
+                    queries[start : start + BATCH_CHUNK_QUERIES],
+                    max_nodes,
+                    k,
+                    record_history,
+                )
+            )
+        return results
+
+    def _classify_anytime_batch_chunk(
+        self, queries: np.ndarray, max_nodes: int, k: int, record_history: bool
+    ) -> List[AnytimeClassification]:
+        """Lockstep batch driver for one bounded chunk of queries."""
+        states: List[_BatchQueryState] = []
+        for query in queries:
+            frontiers = {label: tree.frontier(query) for label, tree in self.trees.items()}
+            result = AnytimeClassification(query=query)
+            log_posterior = self._log_posterior(frontiers)
+            if record_history:
+                self._record(result, log_posterior)
+            states.append(
+                _BatchQueryState(
+                    frontiers=frontiers,
+                    rotation=_QbkRotation(),
+                    log_posterior=log_posterior,
+                    result=result,
+                )
+            )
+
+        for _ in range(max_nodes):
+            # Each active query chooses its next node read exactly as the
+            # sequential driver would (qbk rotation + descent strategy).
+            plans: List[Tuple[_BatchQueryState, Frontier, FrontierItem]] = []
+            for state in states:
+                if not state.active:
+                    continue
+                label = self._choose_refinement(
+                    state.frontiers, state.log_posterior, k, state.rotation
+                )
+                if label is None:
+                    state.active = False
+                    continue
+                frontier = state.frontiers[label]
+                item = self.descent.choose(frontier.refinable_items(), frontier.query)
+                plans.append((state, frontier, item))
+            if not plans:
+                break
+
+            # Group the planned reads by tree node: all queries reading the
+            # same node share one vectorised evaluation of its children.
+            groups: Dict[int, List[Tuple[_BatchQueryState, Frontier, FrontierItem]]] = {}
+            for plan in plans:
+                groups.setdefault(id(plan[2].entry.child), []).append(plan)
+            for members in groups.values():
+                self._refine_group(members)
+
+            for state, _, _ in plans:
+                state.result.nodes_read += 1
+                state.log_posterior = self._log_posterior(state.frontiers)
+                if record_history:
+                    self._record(state.result, state.log_posterior)
+        if not record_history:
+            for state in states:
+                self._record(state.result, state.log_posterior)
+        return [state.result for state in states]
+
+    @staticmethod
+    def _refine_group(
+        members: List[Tuple[_BatchQueryState, Frontier, FrontierItem]],
+    ) -> None:
+        """Refine one tree node for every query in ``members`` with one evaluation.
+
+        All members read the same node of the same class tree, so the
+        children's component parameters (including the tree's variance
+        inflation) are identical across the group and the children's log
+        densities for all member queries form one batched call.
+        """
+        _, first_frontier, first_item = members[0]
+        children = list(first_item.entry.child.entries)  # type: ignore[union-attr]
+        if len(members) == 1 or not children:
+            for _, frontier, item in members:
+                frontier.refine_item(item)
+            return
+        params = _entry_batch_params(children, first_frontier.variance_inflation)
+        means, scales, kinds, _ = params
+        batch = np.stack([frontier.query for _, frontier, _ in members])
+        log_densities = component_log_densities(batch, means, scales, kinds)
+        for row, (_, frontier, item) in enumerate(members):
+            frontier.refine_item(
+                item, child_log_densities=log_densities[row], child_params=params
+            )
 
     # -- convenience prediction APIs -----------------------------------------------------------------
     def predict(self, query: Sequence[float] | np.ndarray, node_budget: Optional[int] = None) -> Hashable:
@@ -222,19 +481,55 @@ class AnytimeBayesClassifier:
     def predict_batch(
         self, queries: np.ndarray, node_budget: Optional[int] = None
     ) -> List[Hashable]:
-        """Predict labels for several queries with the same node budget."""
+        """Predict labels for several queries with the same node budget.
+
+        ``node_budget=None`` (full refinement) takes the flat vectorised path:
+        every class's complete kernel model is evaluated for all queries with
+        one batched call over the tree's packed leaf arrays, skipping the tree
+        descent entirely.  A finite budget goes through
+        :meth:`classify_anytime_batch`.
+        """
         queries = np.asarray(queries, dtype=float)
-        return [self.predict(query, node_budget) for query in queries]
+        if queries.ndim != 2:
+            raise ValueError("queries must be an (m, d) array")
+        if not self.is_fitted:
+            raise ValueError("classifier has not been fitted")
+        if node_budget is None:
+            return self._predict_batch_full(queries)
+        results = self.classify_anytime_batch(
+            queries, max_nodes=node_budget, record_history=False
+        )
+        return [result.final_prediction for result in results]
+
+    def _predict_batch_full(self, queries: np.ndarray) -> List[Hashable]:
+        """Fully-refined batch prediction straight from the leaf arrays."""
+        labels = sorted(self.trees.keys(), key=repr)
+        log_priors = self.log_priors
+        scores = np.empty((queries.shape[0], len(labels)))
+        for column, label in enumerate(labels):
+            scores[:, column] = log_priors[label] + self.trees[label].log_density_batch(queries)
+        # Labels are repr-sorted and np.argmax returns the first maximum, so
+        # ties break exactly like :meth:`_argmax`.
+        best = np.argmax(scores, axis=1)
+        return [labels[index] for index in best]
 
     def posterior_probabilities(
         self, query: Sequence[float] | np.ndarray, node_budget: Optional[int] = None
     ) -> Dict[Hashable, float]:
-        """Normalised posterior P(c | x) after spending the given node budget."""
+        """Normalised posterior P(c | x) after spending the given node budget.
+
+        Normalisation happens in log space (log-sum-exp), so queries far from
+        the training data yield exact posteriors instead of the historical
+        all-zero underflow; the uniform fallback only remains for densities
+        that are exactly zero (e.g. outside every Epanechnikov support).
+        """
         if node_budget is None:
             node_budget = sum(tree.node_count() for tree in self.trees.values())
         result = self.classify_anytime(query, max_nodes=node_budget)
-        raw = result.posteriors[-1]
-        total = sum(raw.values())
-        if total <= 0:
-            return {label: 1.0 / len(raw) for label in raw}
-        return {label: value / total for label, value in raw.items()}
+        log_raw = result.log_posteriors[-1]
+        labels = list(log_raw.keys())
+        values = np.array([log_raw[label] for label in labels])
+        if not np.any(np.isfinite(values)):
+            return {label: 1.0 / len(labels) for label in labels}
+        normalised = np.exp(values - logsumexp(values))
+        return {label: float(p) for label, p in zip(labels, normalised)}

@@ -94,8 +94,21 @@ class GlobalBestDescent(DescentStrategy):
         if self.measure == "probabilistic":
             # Highest weighted density first: the entry currently contributing
             # the most to the query's density is the most promising to refine.
-            return max(candidates, key=lambda item: item.contribution)
-        return min(candidates, key=lambda item: item.entry.mbr.min_distance(query))
+            # Ranking happens on the log contributions — linear-space densities
+            # all underflow to 0.0 in high dimensions, which used to collapse
+            # this choice into an arbitrary first-candidate pick.
+            scores = np.fromiter(
+                (item.log_contribution for item in candidates),
+                dtype=float,
+                count=len(candidates),
+            )
+            return candidates[int(np.argmax(scores))]
+        distances = np.fromiter(
+            (item.entry.mbr.min_distance(query) for item in candidates),
+            dtype=float,
+            count=len(candidates),
+        )
+        return candidates[int(np.argmin(distances))]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"GlobalBestDescent(measure={self.measure!r})"

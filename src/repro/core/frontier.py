@@ -13,20 +13,210 @@ Refining the frontier replaces one directory entry by the entries of its child
 node (one additional node read); the density is updated incrementally by
 subtracting the refined entry's contribution and adding its children's — the
 constant-time update the paper highlights at the end of §2.2.
+
+The implementation keeps the entire query side in **log space** and evaluates
+whole entry batches at once: every frontier owns a :class:`FrontierArrays`
+buffer packing the entries' means, variances and mixture weights into
+contiguous numpy arrays, each refinement evaluates all children of the read
+node with one batched ``log_gaussian_pdf`` call, and the mixture density is a
+log-sum-exp over the cached per-entry log contributions.  Linear-space
+densities underflow to exact zero in high dimensions; the log-space path keeps
+them exact (see DESIGN.md, log-space engine).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..index.entry import DirectoryEntry, LeafEntry
+from ..index.entry import DirectoryEntry
 from ..index.node import AnyEntry
+from ..stats.gaussian import log_gaussian_pdf_batch, logsumexp, safe_exp
+from ..stats.kernel import log_epanechnikov_pdf_batch
 from .descent import DescentStrategy
 
-__all__ = ["FrontierItem", "Frontier", "pdq"]
+__all__ = [
+    "FrontierItem",
+    "Frontier",
+    "FrontierArrays",
+    "component_log_densities",
+    "entry_component_params",
+    "pdq",
+    "pdq_scalar",
+    "log_pdq",
+]
+
+#: Component kinds stored in :class:`FrontierArrays`.  Gaussian rows keep the
+#: per-dimension *variance* in the scale column, Epanechnikov rows keep the
+#: kernel *bandwidth* (their density is not a Gaussian and is dispatched to
+#: the batched Epanechnikov evaluator instead).
+GAUSSIAN_KIND = 0
+EPANECHNIKOV_KIND = 1
+
+
+def entry_component_params(
+    entry: AnyEntry, variance_inflation: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """``(mean, scale, kind)`` of the entry's mixture component.
+
+    Directory entries are the moment match of the kernel mixture they
+    summarise (cluster-feature variance plus the squared kernel bandwidth,
+    see :meth:`DirectoryEntry.to_gaussian`); Gaussian leaf entries are exact
+    Gaussians with variance ``h**2``; Epanechnikov leaves keep their bandwidth
+    and are flagged with :data:`EPANECHNIKOV_KIND`.
+    """
+    if isinstance(entry, DirectoryEntry):
+        feature = entry.cluster_feature
+        variance = feature.variance()
+        if variance_inflation is not None:
+            variance = variance + variance_inflation
+        return feature.mean(), variance, GAUSSIAN_KIND
+    if entry.bandwidth is None:
+        raise ValueError("leaf entry has no bandwidth assigned yet")
+    if entry.kernel == "epanechnikov":
+        return entry.point, entry.bandwidth, EPANECHNIKOV_KIND
+    return entry.point, entry.bandwidth ** 2, GAUSSIAN_KIND
+
+
+def component_log_densities(
+    x: np.ndarray, means: np.ndarray, scales: np.ndarray, kinds: np.ndarray
+) -> np.ndarray:
+    """Unweighted log densities of mixed-kind components, batched.
+
+    ``x`` is one query ``(d,)`` or a batch ``(m, d)``; the result has shape
+    ``(n,)`` respectively ``(m, n)``.  Pure-Gaussian batches (the paper's
+    default kernel) take a single vectorised call; mixed batches dispatch the
+    Epanechnikov rows separately.
+    """
+    kinds = np.asarray(kinds)
+    if not np.any(kinds == EPANECHNIKOV_KIND):
+        return log_gaussian_pdf_batch(x, means, scales)
+    gaussian_mask = kinds == GAUSSIAN_KIND
+    x = np.asarray(x, dtype=float)
+    single = x.ndim == 1
+    queries = x[None, :] if single else x
+    out = np.empty((queries.shape[0], len(kinds)))
+    if np.any(gaussian_mask):
+        out[:, gaussian_mask] = log_gaussian_pdf_batch(
+            queries, means[gaussian_mask], scales[gaussian_mask]
+        )
+    epanechnikov_mask = ~gaussian_mask
+    out[:, epanechnikov_mask] = log_epanechnikov_pdf_batch(
+        queries, means[epanechnikov_mask], scales[epanechnikov_mask]
+    )
+    return out[0] if single else out
+
+
+class FrontierArrays:
+    """Contiguous structure-of-arrays buffer behind a :class:`Frontier`.
+
+    Holds one row per frontier entry — mean, scale (variance or bandwidth),
+    kind, log mixture weight and cached log contribution — in amortised-growth
+    numpy arrays.  Rows are appended in batches (one batch per node read) and
+    removed in O(1) by swapping with the last row, so the buffer stays packed
+    across arbitrarily many refinements and every whole-frontier reduction
+    (log-sum-exp density, descent argmax) is a single vectorised operation.
+    """
+
+    __slots__ = ("dimension", "size", "_means", "_scales", "_kinds", "_log_weights", "_log_contribs")
+
+    def __init__(self, dimension: int, capacity: int = 32) -> None:
+        capacity = max(1, int(capacity))
+        self.dimension = dimension
+        self.size = 0
+        self._means = np.empty((capacity, dimension))
+        self._scales = np.empty((capacity, dimension))
+        self._kinds = np.empty(capacity, dtype=np.int8)
+        self._log_weights = np.empty(capacity)
+        self._log_contribs = np.empty(capacity)
+
+    # -- views ------------------------------------------------------------------------
+    @property
+    def means(self) -> np.ndarray:
+        return self._means[: self.size]
+
+    @property
+    def scales(self) -> np.ndarray:
+        return self._scales[: self.size]
+
+    @property
+    def kinds(self) -> np.ndarray:
+        return self._kinds[: self.size]
+
+    @property
+    def log_weights(self) -> np.ndarray:
+        return self._log_weights[: self.size]
+
+    @property
+    def log_contributions(self) -> np.ndarray:
+        return self._log_contribs[: self.size]
+
+    # -- mutation ---------------------------------------------------------------------
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self.size + extra
+        capacity = self._log_contribs.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, 2 * capacity)
+        for name in ("_means", "_scales"):
+            old = getattr(self, name)
+            grown = np.empty((new_capacity, self.dimension), dtype=old.dtype)
+            grown[: self.size] = old[: self.size]
+            setattr(self, name, grown)
+        for name in ("_kinds", "_log_weights", "_log_contribs"):
+            old = getattr(self, name)
+            grown = np.empty(new_capacity, dtype=old.dtype)
+            grown[: self.size] = old[: self.size]
+            setattr(self, name, grown)
+
+    def append_batch(
+        self,
+        means: np.ndarray,
+        scales: np.ndarray,
+        kinds: np.ndarray,
+        log_weights: np.ndarray,
+        log_densities: np.ndarray,
+    ) -> int:
+        """Append rows for one batch of entries; returns the first new slot."""
+        count = len(log_weights)
+        self._ensure_capacity(count)
+        start = self.size
+        self._means[start : start + count] = means
+        self._scales[start : start + count] = scales
+        self._kinds[start : start + count] = kinds
+        self._log_weights[start : start + count] = log_weights
+        self._log_contribs[start : start + count] = log_weights + log_densities
+        self.size += count
+        return start
+
+    def swap_remove(self, slot: int) -> Optional[int]:
+        """Remove row ``slot`` by swapping the last row into its place.
+
+        Returns the previous index of the row that moved into ``slot`` (so the
+        owner can update its bookkeeping), or ``None`` when the removed row was
+        already the last one.
+        """
+        last = self.size - 1
+        if not (0 <= slot <= last):
+            raise IndexError(f"slot {slot} out of range for size {self.size}")
+        moved: Optional[int] = None
+        if slot != last:
+            self._means[slot] = self._means[last]
+            self._scales[slot] = self._scales[last]
+            self._kinds[slot] = self._kinds[last]
+            self._log_weights[slot] = self._log_weights[last]
+            self._log_contribs[slot] = self._log_contribs[last]
+            moved = last
+        self.size = last
+        return moved
+
+    # -- reductions --------------------------------------------------------------------
+    def log_density(self) -> float:
+        """Log mixture density: log-sum-exp over the cached log contributions."""
+        return float(logsumexp(self.log_contributions))
 
 
 @dataclass
@@ -44,15 +234,24 @@ class FrontierItem:
         Monotonically increasing counter recording when the item joined the
         frontier; breadth-first and depth-first descent use it for tie
         breaking.
-    contribution:
-        Cached weighted density ``(n_e / n) * g(x, ...)`` of the entry for the
-        frontier's query object.
+    log_contribution:
+        Cached log of the weighted density ``(n_e / n) * g(x, ...)`` of the
+        entry for the frontier's query object; the canonical quantity on the
+        log-space query path (never underflows).
+    slot:
+        Row index of the entry inside the frontier's :class:`FrontierArrays`.
     """
 
     entry: AnyEntry
     level: int
     order: int
-    contribution: float
+    log_contribution: float
+    slot: int = -1
+
+    @property
+    def contribution(self) -> float:
+        """Linear-space contribution (may underflow to 0.0 in high dimensions)."""
+        return safe_exp(self.log_contribution)
 
     @property
     def is_refinable(self) -> bool:
@@ -63,25 +262,30 @@ class FrontierItem:
 def _entry_density(
     entry: AnyEntry, x: np.ndarray, variance_inflation: Optional[np.ndarray] = None
 ) -> float:
-    """Unweighted density of an entry's model component at ``x``.
+    """Unweighted density of an entry's model component at ``x`` (scalar path).
 
     Directory entries are evaluated as the moment match of the kernel mixture
     they summarise (cluster-feature variance plus the squared kernel
     bandwidth, see :meth:`DirectoryEntry.to_gaussian`); leaf entries evaluate
-    their kernel directly.
+    their kernel directly.  Retained as the reference implementation the
+    vectorised engine is tested against.
     """
     if isinstance(entry, DirectoryEntry):
         return entry.density(x, variance_inflation=variance_inflation)
     return entry.density(x)
 
 
-def pdq(
+def pdq_scalar(
     x: np.ndarray,
     entries: Sequence[AnyEntry],
     total_objects: Optional[float] = None,
     variance_inflation: Optional[np.ndarray] = None,
 ) -> float:
-    """Probability density query over an arbitrary entry set (paper Def. 3)."""
+    """Linear-space scalar probability density query (reference implementation).
+
+    One ``math.exp`` per entry; kept verbatim from the pre-vectorisation
+    engine so property tests can pin the vectorised :func:`pdq` against it.
+    """
     entries = list(entries)
     if not entries:
         return 0.0
@@ -98,13 +302,77 @@ def pdq(
     )
 
 
+def _entry_batch_params(
+    entries: Sequence[AnyEntry],
+    variance_inflation: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pack ``(means, scales, kinds, n_objects)`` arrays for a batch of entries."""
+    first_mean, _, _ = entry_component_params(entries[0], variance_inflation)
+    dimension = first_mean.shape[0]
+    count = len(entries)
+    means = np.empty((count, dimension))
+    scales = np.empty((count, dimension))
+    kinds = np.empty(count, dtype=np.int8)
+    n_objects = np.empty(count)
+    for i, entry in enumerate(entries):
+        mean, scale, kind = entry_component_params(entry, variance_inflation)
+        means[i] = mean
+        scales[i] = scale
+        kinds[i] = kind
+        n_objects[i] = entry.n_objects
+    return means, scales, kinds, n_objects
+
+
+def log_pdq(
+    x: np.ndarray,
+    entries: Sequence[AnyEntry],
+    total_objects: Optional[float] = None,
+    variance_inflation: Optional[np.ndarray] = None,
+) -> float:
+    """Log-space probability density query over an arbitrary entry set.
+
+    Evaluates all entries with one batched log density call and mixes them via
+    log-sum-exp; returns ``-inf`` for an empty entry set (density zero).
+    """
+    entries = list(entries)
+    if not entries:
+        return -math.inf
+    x = np.asarray(x, dtype=float)
+    means, scales, kinds, n_objects = _entry_batch_params(entries, variance_inflation)
+    if total_objects is None:
+        total_objects = float(n_objects.sum())
+    if total_objects <= 0:
+        return -math.inf
+    with np.errstate(divide="ignore"):
+        log_weights = np.log(n_objects) - math.log(total_objects)
+    return float(logsumexp(log_weights + component_log_densities(x, means, scales, kinds)))
+
+
+def pdq(
+    x: np.ndarray,
+    entries: Sequence[AnyEntry],
+    total_objects: Optional[float] = None,
+    variance_inflation: Optional[np.ndarray] = None,
+) -> float:
+    """Probability density query over an arbitrary entry set (paper Def. 3).
+
+    Vectorised log-space implementation; agrees with :func:`pdq_scalar` to
+    floating-point round-off and is the hot path of level-model and baseline
+    density evaluations.
+    """
+    return safe_exp(log_pdq(x, entries, total_objects, variance_inflation))
+
+
 class Frontier:
     """The evolving mixed-granularity model for one query object and one tree.
 
     The frontier starts with the entries of the root node (the coarsest
     complete model) and is refined one node at a time.  All density values are
-    maintained incrementally, so a refinement step costs O(fanout) density
-    evaluations — the work of reading a single node.
+    maintained incrementally in log space: each node read evaluates the read
+    node's children with one batched call against the query and the mixture
+    density is a log-sum-exp over the packed per-entry log contributions, so a
+    refinement step costs O(fanout) vectorised density evaluations — the work
+    of reading a single node.
     """
 
     def __init__(
@@ -119,21 +387,72 @@ class Frontier:
             None if variance_inflation is None else np.asarray(variance_inflation, dtype=float)
         )
         self.total_objects = float(sum(entry.n_objects for entry in root_entries))
+        self._log_total = math.log(self.total_objects) if self.total_objects > 0 else None
         self._counter = 0
         self._items: List[FrontierItem] = []
+        self._slot_items: List[FrontierItem] = []
         self.nodes_read = 0
-        for entry in root_entries:
-            self._add_entry(entry, level=root_level - 1 if isinstance(entry, DirectoryEntry) else -1)
-        self._density = float(sum(item.contribution for item in self._items))
+        self.arrays = FrontierArrays(
+            dimension=self.query.shape[0], capacity=max(32, 2 * len(root_entries))
+        )
+        root_entries = list(root_entries)
+        levels = [
+            root_level - 1 if isinstance(entry, DirectoryEntry) else -1
+            for entry in root_entries
+        ]
+        self._append_entries(root_entries, levels)
+        self._log_density = self.arrays.log_density()
 
     # -- construction helpers ---------------------------------------------------------
-    def _add_entry(self, entry: AnyEntry, level: int) -> FrontierItem:
-        weight = entry.n_objects / self.total_objects if self.total_objects > 0 else 0.0
-        contribution = weight * _entry_density(entry, self.query, self.variance_inflation)
-        item = FrontierItem(entry=entry, level=level, order=self._counter, contribution=contribution)
-        self._counter += 1
-        self._items.append(item)
-        return item
+    def _append_entries(
+        self,
+        entries: Sequence[AnyEntry],
+        levels: Sequence[int],
+        log_densities: Optional[np.ndarray] = None,
+        params: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        """Append a batch of entries, evaluating their densities in one call.
+
+        ``log_densities`` and ``params`` may carry precomputed unweighted log
+        densities / packed component parameters for the batch (the batch
+        classification driver shares one packing and one evaluation across all
+        queries that read the same node).
+        """
+        if not entries:
+            return
+        if params is None:
+            params = _entry_batch_params(entries, self.variance_inflation)
+        means, scales, kinds, n_objects = params
+        if self._log_total is None:
+            log_weights = np.full(len(entries), -np.inf)
+        else:
+            with np.errstate(divide="ignore"):
+                log_weights = np.log(n_objects) - self._log_total
+        if log_densities is None:
+            log_densities = component_log_densities(self.query, means, scales, kinds)
+        else:
+            log_densities = np.asarray(log_densities, dtype=float)
+        start = self.arrays.append_batch(means, scales, kinds, log_weights, log_densities)
+        log_contribs = self.arrays.log_contributions
+        for i, (entry, level) in enumerate(zip(entries, levels)):
+            item = FrontierItem(
+                entry=entry,
+                level=level,
+                order=self._counter,
+                log_contribution=float(log_contribs[start + i]),
+                slot=start + i,
+            )
+            self._counter += 1
+            self._items.append(item)
+            self._slot_items.append(item)
+
+    def _remove_item(self, item: FrontierItem) -> None:
+        self._items.remove(item)
+        moved_from = self.arrays.swap_remove(item.slot)
+        last_item = self._slot_items.pop()
+        if moved_from is not None:
+            self._slot_items[item.slot] = last_item
+            last_item.slot = item.slot
 
     # -- inspection --------------------------------------------------------------------
     def __len__(self) -> int:
@@ -147,9 +466,14 @@ class Frontier:
         return list(self._items)
 
     @property
+    def log_density(self) -> float:
+        """Current log probability density of the query under the frontier model."""
+        return self._log_density
+
+    @property
     def density(self) -> float:
-        """Current probability density of the query under the frontier model."""
-        return self._density
+        """Linear-space density (may underflow to 0.0; prefer :attr:`log_density`)."""
+        return safe_exp(self._log_density)
 
     def refinable_items(self) -> List[FrontierItem]:
         """Frontier items that still have an unread child node."""
@@ -161,8 +485,17 @@ class Frontier:
         return not any(item.is_refinable for item in self._items)
 
     def density_from_scratch(self) -> float:
-        """Recompute the density non-incrementally (used for verification)."""
-        return float(sum(item.contribution for item in self._items))
+        """Recompute the density non-incrementally (used for verification).
+
+        Deliberately goes through the scalar linear-space reference path so it
+        is an independent check of the incremental log-space engine.
+        """
+        return pdq_scalar(
+            self.query,
+            [item.entry for item in self._items],
+            total_objects=self.total_objects,
+            variance_inflation=self.variance_inflation,
+        )
 
     def represented_objects(self) -> float:
         """Total number of observations represented by the frontier (invariant)."""
@@ -181,11 +514,23 @@ class Frontier:
         item = strategy.choose(candidates, self.query)
         return self.refine_item(item)
 
-    def refine_item(self, item: FrontierItem) -> FrontierItem:
+    def refine_item(
+        self,
+        item: FrontierItem,
+        child_log_densities: Optional[np.ndarray] = None,
+        child_params: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None,
+    ) -> FrontierItem:
         """Replace ``item`` by the entries of its child node (paper §2.2).
 
         The density is updated incrementally:
         ``p_{t+1}(x) = p_t(x) - contribution(e_s) + sum_children contribution``.
+        The children are evaluated with a single batched log density call;
+        ``child_log_densities`` / ``child_params`` let the batch driver pass a
+        precomputed row of a shared evaluation and the shared packed component
+        parameters instead.  Summing the cached contributions via log-sum-exp
+        keeps exactly the O(frontier) cost of the paper's update while
+        avoiding both the catastrophic cancellation of the subtract-then-add
+        form and linear-space underflow.
         """
         if not item.is_refinable:
             raise ValueError("cannot refine a leaf (kernel) entry")
@@ -193,18 +538,16 @@ class Frontier:
             raise ValueError("item is not part of this frontier")
         entry: DirectoryEntry = item.entry  # type: ignore[assignment]
         child_node = entry.child
-        self._items.remove(item)
-        for child_entry in child_node.entries:
-            child_level = (
-                child_node.level - 1 if isinstance(child_entry, DirectoryEntry) else -1
-            )
-            self._add_entry(child_entry, level=child_level)
-        # The conceptual update is incremental (subtract the refined entry's
-        # contribution, add its children's, paper §2.2); summing the cached
-        # contributions keeps exactly that O(frontier) cost while avoiding the
-        # catastrophic cancellation the subtract-then-add form suffers from
-        # when one entry dominates the mixture density.
-        self._density = float(sum(existing.contribution for existing in self._items))
+        self._remove_item(item)
+        children = list(child_node.entries)
+        levels = [
+            child_node.level - 1 if isinstance(child_entry, DirectoryEntry) else -1
+            for child_entry in children
+        ]
+        self._append_entries(
+            children, levels, log_densities=child_log_densities, params=child_params
+        )
+        self._log_density = self.arrays.log_density()
         self.nodes_read += 1
         return item
 

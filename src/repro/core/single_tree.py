@@ -14,6 +14,7 @@ substrate untouched.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence
 
@@ -47,6 +48,12 @@ class _ClassAwareItem:
     def contribution(self) -> float:
         """Total weighted density (used by the global-best descent measure)."""
         return float(sum(self.contributions.values()))
+
+    @property
+    def log_contribution(self) -> float:
+        """Log of the total weighted density (shared descent-strategy interface)."""
+        total = self.contribution
+        return math.log(total) if total > 0 else float("-inf")
 
 
 class SingleTreeAnytimeClassifier:
@@ -190,7 +197,16 @@ class SingleTreeAnytimeClassifier:
             posterior = {label: self.priors[label] * value for label, value in posterior.items()}
             best = max(sorted(posterior.keys(), key=repr), key=lambda label: posterior[label])
             result.predictions.append(best)
-            result.posteriors.append(posterior)
+            # This engine accumulates per-class contributions in linear space,
+            # so the recorded log view is derived (it matches the multi-tree
+            # record contract but cannot recover values once they underflow);
+            # result.posteriors is re-derived from it on access.
+            result.log_posteriors.append(
+                {
+                    label: math.log(value) if value > 0 else -math.inf
+                    for label, value in posterior.items()
+                }
+            )
 
         record()
         for _ in range(max_nodes):

@@ -13,7 +13,7 @@ from typing import Dict, Hashable, List, Optional, Sequence
 import numpy as np
 
 from ..bulkload.registry import make_bulk_loader
-from ..core.classifier import AnytimeBayesClassifier
+from ..core.classifier import BATCH_CHUNK_QUERIES, AnytimeBayesClassifier
 from ..core.config import BayesTreeConfig
 from ..data.splits import stratified_k_fold
 from ..data.synthetic import Dataset
@@ -34,9 +34,14 @@ def anytime_accuracy_curve(
     """Accuracy after 0..max_nodes node reads, averaged over the test objects.
 
     Works with any classifier exposing ``classify_anytime(x, max_nodes)``.
-    When a query exhausts all refinable nodes early, its last prediction is
-    carried forward (the model cannot change any more), matching how the
-    paper's curves flatten once the trees are fully read.
+    Classifiers that additionally provide ``classify_anytime_batch`` (the
+    multi-tree anytime Bayes classifier) are evaluated through the batch
+    driver, which advances all test objects' frontiers together and shares
+    vectorised node evaluations across them — the per-query results are
+    identical by construction.  When a query exhausts all refinable nodes
+    early, its last prediction is carried forward (the model cannot change any
+    more), matching how the paper's curves flatten once the trees are fully
+    read.
     """
     features = np.asarray(features, dtype=float)
     labels = list(labels)
@@ -48,10 +53,19 @@ def anytime_accuracy_curve(
         raise ValueError("max_nodes must be non-negative")
 
     correct = np.zeros(max_nodes + 1, dtype=float)
-    for x, label in zip(features, labels):
-        result = classifier.classify_anytime(x, max_nodes=max_nodes)
-        for nodes in range(max_nodes + 1):
-            correct[nodes] += result.prediction_after(nodes) == label
+    # Tally chunk by chunk and discard the records: the batch driver bounds
+    # the live *frontiers* internally, but the per-step prediction records it
+    # returns would still accumulate O(test-set size) if requested in one go.
+    chunk_size = BATCH_CHUNK_QUERIES
+    for start in range(0, features.shape[0], chunk_size):
+        chunk = features[start : start + chunk_size]
+        if hasattr(classifier, "classify_anytime_batch"):
+            results = classifier.classify_anytime_batch(chunk, max_nodes=max_nodes)
+        else:
+            results = [classifier.classify_anytime(x, max_nodes=max_nodes) for x in chunk]
+        for result, label in zip(results, labels[start : start + chunk_size]):
+            for nodes in range(max_nodes + 1):
+                correct[nodes] += result.prediction_after(nodes) == label
     return correct / features.shape[0]
 
 

@@ -19,8 +19,27 @@ __all__ = [
     "Gaussian",
     "gaussian_pdf",
     "log_gaussian_pdf",
+    "log_gaussian_pdf_batch",
+    "logsumexp",
+    "safe_exp",
     "MIN_VARIANCE",
 ]
+
+
+def safe_exp(value: float) -> float:
+    """``math.exp`` saturating to 0.0 / inf instead of raising.
+
+    Linear-space views of log densities can legitimately exceed the float
+    range in both directions (tiny bandwidths push log densities above ~709);
+    ``math.exp`` raises ``OverflowError`` there, which would turn a valid
+    query into a crash.
+    """
+    if value == -math.inf:
+        return 0.0
+    try:
+        return math.exp(value)
+    except OverflowError:
+        return math.inf
 
 #: Variances below this value are clamped before evaluating a density.  The
 #: paper's kernels at leaf level have a data driven bandwidth; in degenerate
@@ -56,6 +75,88 @@ def log_gaussian_pdf(x: np.ndarray, mean: np.ndarray, variance: np.ndarray) -> f
 def gaussian_pdf(x: np.ndarray, mean: np.ndarray, variance: np.ndarray) -> float:
     """Density of a diagonal-covariance Gaussian at ``x``."""
     return math.exp(log_gaussian_pdf(np.asarray(x, float), np.asarray(mean, float), np.asarray(variance, float)))
+
+
+#: Chunk size (in scalars of the broadcast ``(m, n, d)`` temporary) used by the
+#: batched log density; keeps peak memory of large query batches bounded while
+#: still amortising the numpy dispatch overhead.
+_BATCH_CHUNK_SCALARS = 4_000_000
+
+
+def log_gaussian_pdf_batch(
+    x: np.ndarray, means: np.ndarray, variances: np.ndarray
+) -> np.ndarray:
+    """Log densities of many diagonal Gaussians, optionally at many queries.
+
+    Parameters
+    ----------
+    x:
+        Either one query vector of shape ``(d,)`` or a batch of queries of
+        shape ``(m, d)``.
+    means, variances:
+        Component parameters of shape ``(n, d)`` — one row per Gaussian.
+
+    Returns
+    -------
+    np.ndarray
+        Shape ``(n,)`` for a single query, ``(m, n)`` for a query batch, with
+        ``out[i, j] = log N(x_i; means[j], diag(variances[j]))``.
+
+    The per-component terms are computed with the same ``(x - mu)^2 / var``
+    formula as :func:`log_gaussian_pdf`, so a batched evaluation agrees with
+    the scalar one to floating-point round-off.
+    """
+    x = np.asarray(x, dtype=float)
+    means = np.asarray(means, dtype=float)
+    variances = np.maximum(np.asarray(variances, dtype=float), MIN_VARIANCE)
+    if means.ndim != 2 or means.shape != variances.shape:
+        raise ValueError("means and variances must be matching (n, d) arrays")
+    single = x.ndim == 1
+    queries = x[None, :] if single else x
+    if queries.ndim != 2 or queries.shape[1] != means.shape[1]:
+        raise ValueError(
+            f"queries must have shape (m, {means.shape[1]}), got {x.shape}"
+        )
+    # Normalisation term is query independent: -0.5 * sum(log(2 pi var)).
+    norm = -0.5 * np.sum(np.log(2.0 * math.pi * variances), axis=1)
+    m, n = queries.shape[0], means.shape[0]
+    if n == 0:
+        empty = np.empty((m, 0))
+        return empty[0] if single else empty
+    out = np.empty((m, n))
+    step = max(1, _BATCH_CHUNK_SCALARS // max(1, n * means.shape[1]))
+    for start in range(0, m, step):
+        chunk = queries[start : start + step]
+        diff = chunk[:, None, :] - means[None, :, :]
+        out[start : start + len(chunk)] = norm - 0.5 * np.sum(
+            diff * diff / variances, axis=2
+        )
+    return out[0] if single else out
+
+
+def logsumexp(a: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+    """Numerically stable ``log(sum(exp(a)))`` along ``axis``.
+
+    Handles empty inputs and all ``-inf`` slices (both yield ``-inf``) without
+    emitting numpy warnings, which makes it safe for log densities of queries
+    arbitrarily far from the data.
+    """
+    a = np.asarray(a, dtype=float)
+    if a.size == 0:
+        if axis is None:
+            return float("-inf")
+        shape = list(a.shape)
+        del shape[axis]
+        return np.full(shape, -np.inf)
+    amax = np.max(a, axis=axis, keepdims=True)
+    # Replace -inf maxima by 0 so the subtraction below never produces NaN.
+    shift = np.where(np.isfinite(amax), amax, 0.0)
+    with np.errstate(divide="ignore"):
+        summed = np.log(np.sum(np.exp(a - shift), axis=axis, keepdims=True))
+    result = summed + shift
+    if axis is None:
+        return float(result.reshape(()))
+    return np.squeeze(result, axis=axis)
 
 
 @dataclass(frozen=True)

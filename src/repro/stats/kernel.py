@@ -21,9 +21,49 @@ __all__ = [
     "silverman_bandwidth",
     "GaussianKernel",
     "EpanechnikovKernel",
+    "log_epanechnikov_pdf_batch",
     "make_kernel",
     "KERNEL_NAMES",
 ]
+
+
+def log_epanechnikov_pdf_batch(
+    x: np.ndarray, centers: np.ndarray, bandwidths: np.ndarray
+) -> np.ndarray:
+    """Log densities of many product Epanechnikov kernels.
+
+    Mirrors :func:`repro.stats.gaussian.log_gaussian_pdf_batch`: ``x`` is one
+    query ``(d,)`` or a batch ``(m, d)``; ``centers`` and ``bandwidths`` are
+    ``(n, d)``.  Queries outside a kernel's support get ``-inf`` (log of the
+    exact zero density), which composes cleanly with log-sum-exp mixing.
+    Query batches are processed in chunks with the same memory bound as the
+    Gaussian path.
+    """
+    from .gaussian import _BATCH_CHUNK_SCALARS
+
+    x = np.asarray(x, dtype=float)
+    centers = np.asarray(centers, dtype=float)
+    bandwidths = np.asarray(bandwidths, dtype=float)
+    if centers.ndim != 2 or centers.shape != bandwidths.shape:
+        raise ValueError("centers and bandwidths must be matching (n, d) arrays")
+    single = x.ndim == 1
+    queries = x[None, :] if single else x
+    if queries.ndim != 2 or queries.shape[1] != centers.shape[1]:
+        raise ValueError(
+            f"queries must have shape (m, {centers.shape[1]}), got {x.shape}"
+        )
+    m, (n, d) = queries.shape[0], centers.shape
+    out = np.empty((m, n))
+    step = max(1, _BATCH_CHUNK_SCALARS // max(1, n * d))
+    for start in range(0, m, step):
+        chunk = queries[start : start + step]
+        u = (chunk[:, None, :] - centers[None, :, :]) / bandwidths
+        per_dim = 0.75 * (1.0 - u * u) / bandwidths
+        inside = np.all(np.abs(u) <= 1.0, axis=2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logs = np.sum(np.log(np.maximum(per_dim, 0.0)), axis=2)
+        out[start : start + len(chunk)] = np.where(inside, logs, -np.inf)
+    return out[0] if single else out
 
 
 def silverman_bandwidth(points: np.ndarray) -> np.ndarray:

@@ -149,12 +149,24 @@ class TestAnytimeClassification:
         assert sum(posterior.values()) == pytest.approx(1.0)
         assert all(0 <= value <= 1 for value in posterior.values())
 
-    def test_posterior_far_from_data_falls_back_to_uniform(self):
+    def test_posterior_far_from_data_stays_well_defined(self):
+        """Log-space normalisation keeps far-away posteriors exact.
+
+        The linear-space engine underflowed every class posterior to 0.0 here
+        and fell back to the uniform distribution; the log-space path keeps
+        the (tiny but distinct) class densities comparable.
+        """
         classifier, _, _ = fitted_classifier(seed=7)
-        posterior = classifier.posterior_probabilities(np.full(2, 1e6), node_budget=5)
+        query = np.full(2, 1e6)
+        posterior = classifier.posterior_probabilities(query, node_budget=5)
         assert sum(posterior.values()) == pytest.approx(1.0)
-        for value in posterior.values():
-            assert value == pytest.approx(1 / 3)
+        assert all(0 <= value <= 1 for value in posterior.values())
+        # The normalised argmax must match the log-posterior ranking.
+        result = classifier.classify_anytime(query, max_nodes=5)
+        log_raw = result.log_posteriors[-1]
+        assert all(np.isfinite(value) for value in log_raw.values())
+        expected = max(sorted(log_raw, key=repr), key=lambda label: log_raw[label])
+        assert max(posterior, key=posterior.get) == expected
 
     def test_predict_batch(self):
         classifier, points, labels = fitted_classifier(seed=8)
@@ -162,19 +174,22 @@ class TestAnytimeClassification:
         assert len(predictions) == 10
 
     def test_qbk_refines_only_top_k_classes(self):
+        from repro.core.classifier import _QbkRotation
+
         classifier, points, labels = fitted_classifier(seed=9, qbk_k=1)
         query = points[0]  # clearly class 0
         frontier_reads = {label: 0 for label in classifier.classes}
 
         # Monkey-patch style check: run the anytime loop manually.
         frontiers = {label: tree.frontier(query) for label, tree in classifier.trees.items()}
-        posterior = classifier._posterior(frontiers)
-        for turn in range(10):
-            refined = classifier._refine_one(frontiers, posterior, k=1, turn=turn)
+        log_posterior = classifier._log_posterior(frontiers)
+        rotation = _QbkRotation()
+        for _ in range(10):
+            refined = classifier._refine_one(frontiers, log_posterior, k=1, rotation=rotation)
             if refined is None:
                 break
             frontier_reads[refined] += 1
-            posterior = classifier._posterior(frontiers)
+            log_posterior = classifier._log_posterior(frontiers)
         # With k=1 all reads go to the most probable class (class 0 here).
         assert frontier_reads[0] == max(frontier_reads.values())
         assert frontier_reads[0] >= 8
@@ -184,3 +199,156 @@ class TestAnytimeClassification:
             classifier, points, _ = fitted_classifier(seed=10, descent=name)
             result = classifier.classify_anytime(points[0], max_nodes=5)
             assert len(result.predictions) >= 1
+
+
+class TestQbkRotation:
+    """Regression tests for the explicit qbk "in turns" rotation (§2.2)."""
+
+    def _rotation(self):
+        from repro.core.classifier import _QbkRotation
+
+        return _QbkRotation()
+
+    def test_serves_top_k_in_turns(self):
+        rotation = self._rotation()
+        served = [rotation.next(["a", "b"]) for _ in range(6)]
+        assert served == ["a", "b", "a", "b", "a", "b"]
+
+    def test_reordering_does_not_double_serve(self):
+        """A posterior reordering must not hand the same class two reads in a row.
+
+        The old ``top[turn % len(top)]`` indexing did exactly that whenever the
+        ranking flipped between steps.
+        """
+        rotation = self._rotation()
+        assert rotation.next(["a", "b"]) == "a"
+        # Ranking flips: "b" is now the most probable class.  A global turn
+        # counter (turn=1) would index ["b", "a"][1] and serve "a" again.
+        assert rotation.next(["b", "a"]) == "b"
+        served = [rotation.next(["a", "b"]) for _ in range(4)]
+        assert served.count("a") == 2 and served.count("b") == 2
+
+    def test_exhausted_class_drops_out_without_skipping(self):
+        """When a frontier exhausts, the remaining top classes keep alternating."""
+        rotation = self._rotation()
+        assert rotation.next(["a", "b"]) == "a"
+        assert rotation.next(["a", "b"]) == "b"
+        # Class "a" exhausts; "c" enters the top-k.  The old modulo rotation
+        # (turn=2, len(top)=2) would serve the top-ranked class out of turn.
+        served = [rotation.next(["b", "c"]) for _ in range(4)]
+        assert served == ["c", "b", "c", "b"]
+
+    def test_late_entrant_joins_at_parity_without_monopolising(self):
+        """A class entering the top-k after many rounds must not get a burst.
+
+        With raw least-served counts, a class that enters the top-k late
+        (serves=0 against incumbents at serves=10) would monopolise the next
+        ten reads; the clamped rotation gives it at most one catch-up read
+        and then alternates.
+        """
+        rotation = self._rotation()
+        for _ in range(20):
+            rotation.next(["a", "b"])  # a and b occupy the top-2 for 20 reads
+        served = [rotation.next(["a", "c"]) for _ in range(6)]
+        assert served[0] == "c"  # one catch-up read...
+        assert served[1:] == ["a", "c", "a", "c", "a"]  # ...then strict turns
+
+    def test_fairness_invariant(self):
+        """Within any fixed top set, serve counts never differ by more than one."""
+        rotation = self._rotation()
+        top = ["a", "b", "c"]
+        for _ in range(20):
+            rotation.next(top)
+            counts = [rotation.serves(label) for label in top]
+            assert max(counts) - min(counts) <= 1
+
+    def test_anytime_loop_with_exhausted_frontier_class(self):
+        """End-to-end: a class with a tiny (quickly exhausted) tree in the top-k.
+
+        After the tiny tree is fully refined, the qbk rotation must keep
+        serving the two remaining classes strictly in turns.
+        """
+        from repro.core.classifier import _QbkRotation
+
+        rng = np.random.default_rng(42)
+        points = np.vstack(
+            [
+                rng.normal(loc=(0.0, 0.0), scale=1.0, size=(60, 2)),
+                rng.normal(loc=(0.5, 0.5), scale=1.0, size=(60, 2)),
+                rng.normal(loc=(0.25, 0.0), scale=1.0, size=(5, 2)),  # tiny class
+            ]
+        )
+        labels = [0] * 60 + [1] * 60 + [2] * 5
+        classifier = AnytimeBayesClassifier(config=small_config(), qbk_k=3).fit(points, labels)
+        query = np.array([0.25, 0.25])  # ambiguous: every class stays in the top-k
+        frontiers = {label: tree.frontier(query) for label, tree in classifier.trees.items()}
+        rotation = _QbkRotation()
+        log_posterior = classifier._log_posterior(frontiers)
+        served = []
+        # 40 reads: enough to exhaust the tiny class but not the big ones.
+        for _ in range(40):
+            refined = classifier._refine_one(frontiers, log_posterior, k=3, rotation=rotation)
+            if refined is None:
+                break
+            served.append(refined)
+            log_posterior = classifier._log_posterior(frontiers)
+        assert frontiers[2].is_fully_refined
+        assert not frontiers[0].is_fully_refined and not frontiers[1].is_fully_refined
+        exhausted_at = max(index for index, label in enumerate(served) if label == 2)
+        tail = served[exhausted_at + 1 :]
+        assert len(tail) >= 4
+        # Strict alternation among the surviving classes: no skips, no doubles.
+        for first, second in zip(tail, tail[1:]):
+            assert first != second
+
+
+class TestLogSpaceUnderflow:
+    """Regression tests for the linear-space posterior underflow bug."""
+
+    @staticmethod
+    def high_dim_classifier(dim=40, per_class=40, offset=24.0, seed=11):
+        rng = np.random.default_rng(seed)
+        points = np.vstack(
+            [
+                rng.normal(loc=0.0, scale=1.0, size=(per_class, dim)),
+                rng.normal(loc=offset, scale=1.0, size=(per_class, dim)),
+            ]
+        )
+        labels = [0] * per_class + [1] * per_class
+        classifier = AnytimeBayesClassifier(config=small_config()).fit(points, labels)
+        return classifier, dim, offset
+
+    def test_high_dimensional_posteriors_stay_finite_in_log_space(self):
+        classifier, dim, offset = self.high_dim_classifier()
+        # A query between the classes but clearly closer to class 1: every
+        # linear-space posterior underflows to exactly 0.0, yet the log-space
+        # posteriors remain finite and rank class 1 first.
+        query = np.full(dim, offset / 2 + 1.0)
+        result = classifier.classify_anytime(query, max_nodes=10)
+        linear = result.posteriors[-1]
+        logs = result.log_posteriors[-1]
+        assert all(value == 0.0 for value in linear.values())  # the historical bug
+        assert all(np.isfinite(value) for value in logs.values())
+        assert logs[1] > logs[0]
+        # The old engine tie-broke the all-zero posteriors by label repr and
+        # returned class 0 here; the log-space engine classifies correctly.
+        assert result.final_prediction == 1
+
+    def test_high_dimensional_posterior_probabilities_normalised(self):
+        classifier, dim, offset = self.high_dim_classifier()
+        query = np.full(dim, offset / 2 + 1.0)
+        posterior = classifier.posterior_probabilities(query, node_budget=10)
+        assert sum(posterior.values()) == pytest.approx(1.0)
+        assert posterior[1] > posterior[0]
+
+    def test_high_dimensional_batch_matches_per_query(self):
+        classifier, dim, offset = self.high_dim_classifier()
+        rng = np.random.default_rng(12)
+        queries = np.vstack(
+            [
+                rng.normal(loc=0.0, size=(5, dim)),
+                rng.normal(loc=offset, size=(5, dim)),
+                np.full((1, dim), offset / 2 + 1.0),
+            ]
+        )
+        assert classifier.predict_batch(queries) == [classifier.predict(q) for q in queries]

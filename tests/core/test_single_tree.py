@@ -54,6 +54,13 @@ def test_anytime_record_structure():
     result = classifier.classify_anytime(points[0], max_nodes=10)
     assert len(result.predictions) == result.nodes_read + 1
     assert all(set(p.keys()) == {0, 1} for p in result.posteriors)
+    # Record parity with the multi-tree classifier: the log-space view is
+    # filled too and is consistent with the linear posteriors.
+    assert len(result.log_posteriors) == len(result.posteriors)
+    for linear, logs in zip(result.posteriors, result.log_posteriors):
+        for label, value in linear.items():
+            expected = np.log(value) if value > 0 else -np.inf
+            assert logs[label] == pytest.approx(expected, rel=1e-12)
 
 
 def test_single_descent_refines_all_classes_in_parallel():
