@@ -39,8 +39,12 @@ def main() -> None:
         max_budget=40,
         random_state=3,
     )
-    result = run_anytime_stream(classifier, stream, limit=150, online_learning=True)
-    print("Poisson stream (test-then-train):")
+    # Micro-batched test-then-train: every chunk of 16 objects is classified
+    # in one lockstep batch call before the revealed labels are learned.
+    result = run_anytime_stream(
+        classifier, stream, limit=150, online_learning=True, chunk_size=16
+    )
+    print("Poisson stream (test-then-train, deferred-label chunks of 16):")
     print(f"  processed objects : {len(result.steps)}")
     print(f"  mean node budget  : {result.mean_budget:.1f}")
     print(f"  mean nodes read   : {result.mean_nodes_read:.1f}")

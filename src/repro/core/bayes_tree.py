@@ -11,26 +11,84 @@ The class below wraps the index substrate with:
 * training (iterative insertion, the baseline the bulk loaders are compared
   against, and incremental online learning of new objects),
 * kernel bandwidth management (Silverman's rule over the class's training
-  data),
+  data, maintained from running sufficient statistics so a streamed insert
+  updates the bandwidth in O(d) instead of re-scanning the training set),
 * frontier creation for anytime probability density queries.
+
+Incremental maintenance (see DESIGN.md, incremental maintenance): the tree
+keeps per-dimension ``(n, LS, SS)`` running sums, an epoch-tagged shared
+bandwidth vector (leaf entries no longer carry stamped copies), and an
+amortised-append buffer of the leaf kernel centers that backs the packed
+``leaf_arrays`` without wholesale invalidation on insert.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..index.entry import DirectoryEntry, LeafEntry
 from ..index.node import Node
 from ..index.rstar import RStarTree
 from ..stats.gaussian import logsumexp
-from ..stats.kernel import silverman_bandwidth
+from ..stats.kernel import silverman_bandwidth_from_stats
 from .config import BayesTreeConfig
-from .frontier import Frontier, _entry_batch_params, component_log_densities, pdq
+from .frontier import (
+    EPANECHNIKOV_KIND,
+    GAUSSIAN_KIND,
+    Frontier,
+    _entry_batch_params,
+    component_log_densities,
+    pdq,
+)
 
 __all__ = ["BayesTree"]
+
+#: Ratio of the canonical Epanechnikov to Gaussian kernel bandwidths:
+#: Silverman's rule targets the Gaussian kernel, the Epanechnikov kernel
+#: needs a ~2.2x wider window for the same amount of smoothing.
+_EPANECHNIKOV_RESCALE = 2.214
+
+_BatchParams = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+class _LeafMeansBuffer:
+    """Amortised-growth buffer of the leaf kernel centers, in insertion order.
+
+    Appends are O(d) amortised (capacity doubles on overflow); bulk rebuilds
+    (tree adoption) compact the buffer to a small headroom.  The ``view`` is
+    the packed ``(n, d)`` prefix backing the tree's ``leaf_arrays``.
+    """
+
+    __slots__ = ("dimension", "size", "_buffer")
+
+    def __init__(self, dimension: int, capacity: int = 64) -> None:
+        self.dimension = dimension
+        self.size = 0
+        self._buffer = np.empty((max(1, capacity), dimension))
+
+    @property
+    def view(self) -> np.ndarray:
+        return self._buffer[: self.size]
+
+    def append(self, point: np.ndarray) -> None:
+        if self.size == self._buffer.shape[0]:
+            grown = np.empty((2 * self._buffer.shape[0], self.dimension))
+            grown[: self.size] = self._buffer
+            self._buffer = grown
+        self._buffer[self.size] = point
+        self.size += 1
+
+    def rebuild(self, points: np.ndarray) -> None:
+        """Replace the contents with ``points`` (compacts to ~12% headroom)."""
+        count = points.shape[0]
+        self._buffer = np.empty((max(64, count + count // 8), self.dimension))
+        self._buffer[:count] = points
+        self.size = count
+
+    def clear(self) -> None:
+        self.size = 0
 
 
 class BayesTree:
@@ -41,8 +99,20 @@ class BayesTree:
         self.dimension = dimension
         self.index = RStarTree(dimension=dimension, params=self.config.tree)
         self._bandwidth: Optional[np.ndarray] = None
-        self._training_points: list[np.ndarray] = []
-        self._leaf_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+        self._bandwidth_epoch = 0
+        # Running sufficient statistics (n, LS, SS) of the training set; the
+        # Silverman bandwidth is re-derived from them in O(d) per insert.
+        # They are accumulated around the first observation as origin:
+        # variances are shift-invariant, and the naive SS/n - mean**2 form
+        # suffers catastrophic cancellation for data whose mean is large
+        # relative to its spread (e.g. timestamp-like features).
+        self._stats_origin: Optional[np.ndarray] = None
+        self._stats_n = 0.0
+        self._stats_sum = np.zeros(dimension)
+        self._stats_sumsq = np.zeros(dimension)
+        self._leaf_means = _LeafMeansBuffer(dimension)
+        self._leaf_arrays_cache: Optional[Tuple[Tuple[int, int], _BatchParams]] = None
+        self._root_params_cache: Optional[Tuple[Tuple[int, int], _BatchParams]] = None
 
     # -- basic properties -----------------------------------------------------------------
     def __len__(self) -> int:
@@ -57,6 +127,16 @@ class BayesTree:
     def bandwidth(self) -> Optional[np.ndarray]:
         """Current kernel bandwidth vector (None before any training data)."""
         return self._bandwidth
+
+    @property
+    def bandwidth_epoch(self) -> int:
+        """Monotonic tag incremented whenever the shared bandwidth is re-derived.
+
+        Leaf entries resolve the shared bandwidth at evaluation time, so a new
+        epoch implicitly retags every stored kernel without touching a single
+        entry — the O(n) per-insert restamping of the historical code is gone.
+        """
+        return self._bandwidth_epoch
 
     @property
     def root(self) -> Node:
@@ -77,58 +157,95 @@ class BayesTree:
         """Train from scratch by iterative insertion (the paper's baseline).
 
         Bulk-loaded trees are built by the strategies in ``repro.bulkload``
-        and attached via :meth:`adopt_index` instead.
+        and attached via :meth:`adopt_index` instead.  The per-point updates
+        are exactly those of :meth:`insert`, so a tree grown by streamed
+        ``insert`` calls is bit-identical to one fitted on the same data.
         """
         points = np.asarray(points, dtype=float)
         if points.ndim != 2 or points.shape[1] != self.dimension:
             raise ValueError(f"points must be an (n, {self.dimension}) array")
         for point in points:
-            self.index.insert(point, label=label, kernel=self.config.kernel)
-            self._training_points.append(np.asarray(point, dtype=float))
-        self._refresh_bandwidth()
+            self.insert(point, label=label)
         return self
 
     def insert(self, point: Sequence[float] | np.ndarray, label: Optional[object] = None) -> None:
         """Incremental online learning of a single new training object.
 
-        The bandwidth is recomputed from the updated training set, keeping the
-        kernel model consistent with the paper's data-independent rule.
+        Amortised O(d) model maintenance on top of the index insertion: the
+        running sufficient statistics and the shared Silverman bandwidth are
+        updated in closed form, and the packed leaf arrays are patched by
+        appending the new kernel center — nothing re-scans the training set.
         """
         point = np.asarray(point, dtype=float)
         self.index.insert(point, label=label, kernel=self.config.kernel)
-        self._training_points.append(point)
-        self._refresh_bandwidth()
+        if self._stats_origin is None:
+            self._stats_origin = point.copy()
+        shifted = point - self._stats_origin
+        self._stats_n += 1.0
+        self._stats_sum += shifted
+        self._stats_sumsq += shifted * shifted
+        self._leaf_means.append(point)
+        self._update_bandwidth()
 
     def adopt_index(self, index: RStarTree) -> "BayesTree":
         """Replace the underlying index with a bulk-loaded one."""
         if index.dimension != self.dimension:
             raise ValueError("index dimensionality does not match the Bayes tree")
         self.index = index
-        self._training_points = [entry.point for entry in index.iter_leaf_entries()]
-        self._refresh_bandwidth()
+        self.recompute_statistics()
         return self
 
-    def _refresh_bandwidth(self) -> None:
-        self._leaf_arrays = None
-        if not self._training_points:
-            self._bandwidth = None
-            return
-        points = np.asarray(self._training_points, dtype=float)
-        if points.shape[0] == 1:
-            # A single observation has no spread; fall back to unit bandwidth.
-            bandwidth = np.ones(self.dimension)
-        else:
-            bandwidth = silverman_bandwidth(points)
-        if self.config.kernel == "epanechnikov":
-            # Silverman's rule targets the Gaussian kernel; rescale by the
-            # ratio of canonical bandwidths (the Epanechnikov kernel needs a
-            # ~2.2x wider window for the same amount of smoothing).
-            bandwidth = bandwidth * 2.214
-        bandwidth = bandwidth * self.config.bandwidth_scale
-        self._bandwidth = bandwidth
+    def recompute_statistics(self) -> None:
+        """Rebuild sufficient statistics, leaf buffer and bandwidth from the index.
+
+        O(n·d): used after adopting a bulk-loaded index, as the safety net
+        when the underlying index was mutated behind the tree's back, and by
+        benchmarks to emulate the historical per-insert full refresh.  Leaf
+        entries are normalised to tree management — their kernel family is
+        forced to ``config.kernel`` and explicit bandwidth copies are dropped
+        in favour of the shared epoch-tagged vector — exactly as the
+        historical per-entry restamp did, so the packed ``leaf_arrays`` and
+        the frontier refinement path always evaluate the same model.
+        """
+        points = []
         for entry in self.index.iter_leaf_entries():
-            entry.bandwidth = bandwidth
+            points.append(entry.point)
             entry.kernel = self.config.kernel
+            entry.bandwidth = None
+        if not points:
+            self._stats_origin = None
+            self._stats_n = 0.0
+            self._stats_sum = np.zeros(self.dimension)
+            self._stats_sumsq = np.zeros(self.dimension)
+            self._leaf_means.clear()
+            self._update_bandwidth()
+            return
+        stacked = np.asarray(points, dtype=float)
+        origin = stacked[0].copy()
+        shifted = stacked - origin
+        self._stats_origin = origin
+        self._stats_n = float(stacked.shape[0])
+        self._stats_sum = shifted.sum(axis=0)
+        self._stats_sumsq = (shifted * shifted).sum(axis=0)
+        self._leaf_means.rebuild(stacked)
+        self._update_bandwidth()
+
+    def _update_bandwidth(self) -> None:
+        """Re-derive the shared bandwidth from the running statistics (O(d))."""
+        if self._stats_n <= 0:
+            self._bandwidth = None
+        else:
+            if self._stats_n == 1.0:
+                # A single observation has no spread; fall back to unit bandwidth.
+                bandwidth = np.ones(self.dimension)
+            else:
+                bandwidth = silverman_bandwidth_from_stats(
+                    self._stats_n, self._stats_sum, self._stats_sumsq
+                )
+            if self.config.kernel == "epanechnikov":
+                bandwidth = bandwidth * _EPANECHNIKOV_RESCALE
+            self._bandwidth = bandwidth * self.config.bandwidth_scale
+        self._bandwidth_epoch += 1
 
     def _variance_inflation(self) -> Optional[np.ndarray]:
         """Squared kernel bandwidth added to directory-entry Gaussians.
@@ -142,9 +259,39 @@ class BayesTree:
             return None
         return self._bandwidth ** 2
 
+    def _cache_key(self) -> Tuple[int, int]:
+        return (self.index.version, self._bandwidth_epoch)
+
     # -- queries ---------------------------------------------------------------------------------
-    def frontier(self, query: Sequence[float] | np.ndarray) -> Frontier:
-        """Anytime probability density query state, initialised at the root model."""
+    def root_batch_params(self) -> _BatchParams:
+        """Packed ``(means, scales, kinds, n_objects)`` of the root entries.
+
+        Cached per (index structure, bandwidth epoch): all frontiers opened
+        between two model updates share one packing of the root model, which
+        the batch classification driver combines with a single vectorised
+        evaluation for a whole chunk of queries.
+        """
+        key = self._cache_key()
+        cached = self._root_params_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        params = _entry_batch_params(
+            self.root.entries, self._variance_inflation(), self._bandwidth
+        )
+        self._root_params_cache = (key, params)
+        return params
+
+    def frontier(
+        self,
+        query: Sequence[float] | np.ndarray,
+        root_log_densities: Optional[np.ndarray] = None,
+    ) -> Frontier:
+        """Anytime probability density query state, initialised at the root model.
+
+        ``root_log_densities`` optionally carries this query's precomputed
+        unweighted log densities for the packed root entries (one row of the
+        batch driver's shared evaluation).
+        """
         if self.n_objects == 0:
             raise ValueError("cannot query an empty Bayes tree")
         query = np.asarray(query, dtype=float)
@@ -155,23 +302,68 @@ class BayesTree:
             root_level=self.root.level,
             query=query,
             variance_inflation=self._variance_inflation(),
+            leaf_bandwidth=self._bandwidth,
+            root_params=self.root_batch_params(),
+            root_log_densities=root_log_densities,
         )
 
-    def leaf_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    def leaf_arrays(self) -> _BatchParams:
         """Packed ``(means, scales, kinds, log_weights)`` over all leaf entries.
 
         The arrays back the fully-refined (full kernel density estimate) batch
-        evaluation path; they are cached and invalidated whenever the training
-        set or the bandwidth changes.
+        evaluation path.  They are maintained incrementally: the means are a
+        view of the amortised-append leaf buffer (rows in insertion order),
+        and — because every stored kernel shares the tree's epoch-tagged
+        bandwidth — the scales are an O(1) broadcast of the current bandwidth
+        instead of ``n`` stamped copies.  A streamed insert therefore patches
+        this packing in O(d) rather than invalidating it wholesale.
+
+        Entries carrying explicit per-entry parameters are detected by an
+        O(n) verification scan when the packing is (re)built (an already-O(n)
+        operation) and force the exact per-entry path; stamping entries
+        *after* a packing was cached is invisible until the next model change
+        (external mutation carries no invalidation signal).  Inserts stay
+        O(d): the scan only runs when the packing is actually consumed.
         """
-        if self._leaf_arrays is None:
+        if self.n_objects == 0:
+            raise ValueError("cannot pack leaf arrays of an empty Bayes tree")
+        if self._leaf_means.size != len(self.index):
+            # The index was mutated without going through insert()/adopt_index
+            # (e.g. direct index manipulation in tests); fall back to a rebuild.
+            self.recompute_statistics()
+        key = self._cache_key()
+        cached = self._leaf_arrays_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        # The broadcast fast path assumes every kernel shares the tree's
+        # bandwidth and kernel family.  Entries stamped with explicit
+        # per-entry parameters (which the frontier path honours) force the
+        # exact per-entry packing so both full-model paths stay equivalent.
+        shared = all(
+            entry.bandwidth is None and entry.kernel == self.config.kernel
+            for entry in self.index.iter_leaf_entries()
+        )
+        if shared:
+            means = self._leaf_means.view
+            count = means.shape[0]
+            if self.config.kernel == "epanechnikov":
+                scales = np.broadcast_to(self._bandwidth, (count, self.dimension))
+                kind = EPANECHNIKOV_KIND
+            else:
+                scales = np.broadcast_to(self._bandwidth ** 2, (count, self.dimension))
+                kind = GAUSSIAN_KIND
+            kinds = np.full(count, kind, dtype=np.int8)
+            log_weights = np.full(count, -math.log(count))
+            arrays = (means, scales, kinds, log_weights)
+        else:
             entries = list(self.index.iter_leaf_entries())
-            if not entries:
-                raise ValueError("cannot pack leaf arrays of an empty Bayes tree")
-            means, scales, kinds, n_objects = _entry_batch_params(entries, None)
+            means, scales, kinds, n_objects = _entry_batch_params(
+                entries, None, self._bandwidth
+            )
             log_weights = np.log(n_objects) - math.log(float(n_objects.sum()))
-            self._leaf_arrays = (means, scales, kinds, log_weights)
-        return self._leaf_arrays
+            arrays = (means, scales, kinds, log_weights)
+        self._leaf_arrays_cache = (key, arrays)
+        return arrays
 
     def log_density_batch(self, queries: np.ndarray) -> np.ndarray:
         """Full-model log densities for a batch of queries, fully vectorised.
@@ -226,4 +418,9 @@ class BayesTree:
         for node in self.index.iter_nodes():
             if node.level == level:
                 entries.extend(node.entries)
-        return pdq(query, entries, variance_inflation=self._variance_inflation())
+        return pdq(
+            query,
+            entries,
+            variance_inflation=self._variance_inflation(),
+            leaf_bandwidth=self._bandwidth,
+        )

@@ -144,6 +144,7 @@ class _BatchQueryState:
     rotation: _QbkRotation
     log_posterior: Dict[Hashable, float]
     result: AnytimeClassification
+    budget: int
     active: bool = True
 
 
@@ -207,9 +208,13 @@ class AnytimeBayesClassifier:
     def partial_fit(self, point: Sequence[float] | np.ndarray, label: Hashable) -> None:
         """Incremental online learning from one new labelled object (stream training).
 
-        Only invalidates the prior cache (O(1)); the priors are re-derived
-        from the trees' object counts the next time they are read, instead of
-        rebuilding an O(n_classes) dictionary on every streamed insert.
+        Amortised O(d) model maintenance on top of the O(log n) index
+        insertion: the class tree updates its Silverman bandwidth from running
+        sufficient statistics and patches its packed leaf arrays in place
+        (historically this re-ran Silverman's rule over the *full* training
+        set and restamped every leaf entry — Θ(n) per insert, Θ(n²) per
+        stream), and the prior cache is invalidated in O(1) and re-derived
+        from the trees' object counts the next time it is read.
         """
         point = np.asarray(point, dtype=float)
         if self.dimension is None:
@@ -349,19 +354,26 @@ class AnytimeBayesClassifier:
     def classify_anytime_batch(
         self,
         queries: np.ndarray,
-        max_nodes: int,
+        max_nodes: int | Sequence[int] | np.ndarray,
         record_history: bool = True,
     ) -> List[AnytimeClassification]:
         """Classify many queries at once, advancing their frontiers in lockstep.
 
         Produces exactly the same per-query results as calling
         :meth:`classify_anytime` in a loop (each query's refinement sequence
-        is independent of the others), but amortises the work: per round every
-        active query performs one node read, the reads are grouped by tree
-        node, and each node's children are evaluated against all queries in
-        the group with a single batched log density call.  Queries advance in
-        lockstep in chunks of ``BATCH_CHUNK_QUERIES``, bounding the number of
+        is independent of the others), but amortises the work: the root
+        models are packed once and evaluated for a whole chunk of queries
+        with one batched call per class, per round every active query
+        performs one node read, the reads are grouped by tree node, and each
+        node's children are evaluated against all queries in the group with a
+        single batched log density call.  Queries advance in lockstep in
+        chunks of ``BATCH_CHUNK_QUERIES``, bounding the number of
         simultaneously live frontier buffers for arbitrarily large batches.
+
+        ``max_nodes`` is either one shared node budget or a per-query budget
+        sequence of the same length as ``queries`` (the anytime stream driver
+        classifies micro-batches whose items carry individual arrival
+        budgets); a query stops refining once its own budget is exhausted.
 
         ``record_history=False`` records only the final step of each query
         (``final_prediction`` and the last posteriors) instead of the full
@@ -370,18 +382,27 @@ class AnytimeBayesClassifier:
         """
         if not self.is_fitted:
             raise ValueError("classifier has not been fitted")
-        if max_nodes < 0:
-            raise ValueError("max_nodes must be non-negative")
         queries = np.asarray(queries, dtype=float)
         if queries.ndim != 2:
             raise ValueError("queries must be an (m, d) array")
+        budgets = np.asarray(max_nodes)
+        if budgets.dtype.kind not in "iu":
+            # Match the sequential driver, which raises on float budgets via
+            # range(max_nodes); silent truncation would under-budget queries.
+            raise ValueError("max_nodes must be an integer or a sequence of integers")
+        if budgets.ndim == 0:
+            budgets = np.full(queries.shape[0], int(budgets))
+        elif budgets.shape != (queries.shape[0],):
+            raise ValueError("per-query max_nodes must have one budget per query")
+        if np.any(budgets < 0):
+            raise ValueError("max_nodes must be non-negative")
         k = self._effective_k()
         results: List[AnytimeClassification] = []
         for start in range(0, queries.shape[0], BATCH_CHUNK_QUERIES):
             results.extend(
                 self._classify_anytime_batch_chunk(
                     queries[start : start + BATCH_CHUNK_QUERIES],
-                    max_nodes,
+                    budgets[start : start + BATCH_CHUNK_QUERIES],
                     k,
                     record_history,
                 )
@@ -389,12 +410,25 @@ class AnytimeBayesClassifier:
         return results
 
     def _classify_anytime_batch_chunk(
-        self, queries: np.ndarray, max_nodes: int, k: int, record_history: bool
+        self, queries: np.ndarray, budgets: np.ndarray, k: int, record_history: bool
     ) -> List[AnytimeClassification]:
         """Lockstep batch driver for one bounded chunk of queries."""
+        # One packing of each class's root model and one vectorised evaluation
+        # of it for the whole chunk; each frontier is seeded with its query's
+        # row instead of re-evaluating the root entries per query.
+        root_rows: List[Tuple[Hashable, "BayesTree", np.ndarray]] = []
+        for label, tree in self.trees.items():
+            means, scales, kinds, _ = tree.root_batch_params()
+            root_rows.append(
+                (label, tree, component_log_densities(queries, means, scales, kinds))
+            )
+
         states: List[_BatchQueryState] = []
-        for query in queries:
-            frontiers = {label: tree.frontier(query) for label, tree in self.trees.items()}
+        for position, query in enumerate(queries):
+            frontiers = {
+                label: tree.frontier(query, root_log_densities=rows[position])
+                for label, tree, rows in root_rows
+            }
             result = AnytimeClassification(query=query)
             log_posterior = self._log_posterior(frontiers)
             if record_history:
@@ -405,15 +439,19 @@ class AnytimeBayesClassifier:
                     rotation=_QbkRotation(),
                     log_posterior=log_posterior,
                     result=result,
+                    budget=int(budgets[position]),
                 )
             )
 
-        for _ in range(max_nodes):
+        while True:
             # Each active query chooses its next node read exactly as the
             # sequential driver would (qbk rotation + descent strategy).
             plans: List[Tuple[_BatchQueryState, Frontier, FrontierItem]] = []
             for state in states:
                 if not state.active:
+                    continue
+                if state.result.nodes_read >= state.budget:
+                    state.active = False
                     continue
                 label = self._choose_refinement(
                     state.frontiers, state.log_posterior, k, state.rotation
@@ -462,7 +500,9 @@ class AnytimeBayesClassifier:
             for _, frontier, item in members:
                 frontier.refine_item(item)
             return
-        params = _entry_batch_params(children, first_frontier.variance_inflation)
+        params = _entry_batch_params(
+            children, first_frontier.variance_inflation, first_frontier.leaf_bandwidth
+        )
         means, scales, kinds, _ = params
         batch = np.stack([frontier.query for _, frontier, _ in members])
         log_densities = component_log_densities(batch, means, scales, kinds)

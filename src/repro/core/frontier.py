@@ -58,7 +58,9 @@ EPANECHNIKOV_KIND = 1
 
 
 def entry_component_params(
-    entry: AnyEntry, variance_inflation: Optional[np.ndarray] = None
+    entry: AnyEntry,
+    variance_inflation: Optional[np.ndarray] = None,
+    leaf_bandwidth: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, int]:
     """``(mean, scale, kind)`` of the entry's mixture component.
 
@@ -67,6 +69,12 @@ def entry_component_params(
     see :meth:`DirectoryEntry.to_gaussian`); Gaussian leaf entries are exact
     Gaussians with variance ``h**2``; Epanechnikov leaves keep their bandwidth
     and are flagged with :data:`EPANECHNIKOV_KIND`.
+
+    ``leaf_bandwidth`` is the tree-shared, epoch-tagged kernel bandwidth.
+    Tree-managed leaf entries no longer carry per-entry bandwidth copies
+    (updating a copy per entry made every streamed insert O(n)); the shared
+    vector is resolved here, at evaluation time.  An explicit per-entry
+    ``entry.bandwidth`` still wins when set.
     """
     if isinstance(entry, DirectoryEntry):
         feature = entry.cluster_feature
@@ -74,11 +82,10 @@ def entry_component_params(
         if variance_inflation is not None:
             variance = variance + variance_inflation
         return feature.mean(), variance, GAUSSIAN_KIND
-    if entry.bandwidth is None:
-        raise ValueError("leaf entry has no bandwidth assigned yet")
+    bandwidth = entry.resolve_bandwidth(leaf_bandwidth)
     if entry.kernel == "epanechnikov":
-        return entry.point, entry.bandwidth, EPANECHNIKOV_KIND
-    return entry.point, entry.bandwidth ** 2, GAUSSIAN_KIND
+        return entry.point, bandwidth, EPANECHNIKOV_KIND
+    return entry.point, bandwidth ** 2, GAUSSIAN_KIND
 
 
 def component_log_densities(
@@ -215,11 +222,23 @@ class FrontierArrays:
 
     # -- reductions --------------------------------------------------------------------
     def log_density(self) -> float:
-        """Log mixture density: log-sum-exp over the cached log contributions."""
-        return float(logsumexp(self.log_contributions))
+        """Log mixture density: log-sum-exp over the cached log contributions.
+
+        Inlined log-sum-exp: this runs once per node read for every live
+        frontier, so it avoids the generic :func:`logsumexp` wrapper (errstate
+        context, keepdims bookkeeping) on arrays that are typically tiny.
+        """
+        contribs = self.log_contributions
+        if contribs.size == 0:
+            return -math.inf
+        amax = contribs.max()
+        if not np.isfinite(amax):
+            # All -inf (query outside every support) stays -inf; +inf saturates.
+            return float(amax)
+        return float(np.log(np.exp(contribs - amax).sum()) + amax)
 
 
-@dataclass
+@dataclass(slots=True)
 class FrontierItem:
     """One frontier entry together with its cached density contribution.
 
@@ -260,7 +279,10 @@ class FrontierItem:
 
 
 def _entry_density(
-    entry: AnyEntry, x: np.ndarray, variance_inflation: Optional[np.ndarray] = None
+    entry: AnyEntry,
+    x: np.ndarray,
+    variance_inflation: Optional[np.ndarray] = None,
+    leaf_bandwidth: Optional[np.ndarray] = None,
 ) -> float:
     """Unweighted density of an entry's model component at ``x`` (scalar path).
 
@@ -272,7 +294,7 @@ def _entry_density(
     """
     if isinstance(entry, DirectoryEntry):
         return entry.density(x, variance_inflation=variance_inflation)
-    return entry.density(x)
+    return entry.density(x, bandwidth=leaf_bandwidth)
 
 
 def pdq_scalar(
@@ -280,6 +302,7 @@ def pdq_scalar(
     entries: Sequence[AnyEntry],
     total_objects: Optional[float] = None,
     variance_inflation: Optional[np.ndarray] = None,
+    leaf_bandwidth: Optional[np.ndarray] = None,
 ) -> float:
     """Linear-space scalar probability density query (reference implementation).
 
@@ -296,7 +319,9 @@ def pdq_scalar(
         return 0.0
     return float(
         sum(
-            entry.n_objects / total_objects * _entry_density(entry, x, variance_inflation)
+            entry.n_objects
+            / total_objects
+            * _entry_density(entry, x, variance_inflation, leaf_bandwidth)
             for entry in entries
         )
     )
@@ -305,9 +330,10 @@ def pdq_scalar(
 def _entry_batch_params(
     entries: Sequence[AnyEntry],
     variance_inflation: Optional[np.ndarray],
+    leaf_bandwidth: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Pack ``(means, scales, kinds, n_objects)`` arrays for a batch of entries."""
-    first_mean, _, _ = entry_component_params(entries[0], variance_inflation)
+    first_mean, _, _ = entry_component_params(entries[0], variance_inflation, leaf_bandwidth)
     dimension = first_mean.shape[0]
     count = len(entries)
     means = np.empty((count, dimension))
@@ -315,7 +341,7 @@ def _entry_batch_params(
     kinds = np.empty(count, dtype=np.int8)
     n_objects = np.empty(count)
     for i, entry in enumerate(entries):
-        mean, scale, kind = entry_component_params(entry, variance_inflation)
+        mean, scale, kind = entry_component_params(entry, variance_inflation, leaf_bandwidth)
         means[i] = mean
         scales[i] = scale
         kinds[i] = kind
@@ -328,6 +354,7 @@ def log_pdq(
     entries: Sequence[AnyEntry],
     total_objects: Optional[float] = None,
     variance_inflation: Optional[np.ndarray] = None,
+    leaf_bandwidth: Optional[np.ndarray] = None,
 ) -> float:
     """Log-space probability density query over an arbitrary entry set.
 
@@ -338,7 +365,9 @@ def log_pdq(
     if not entries:
         return -math.inf
     x = np.asarray(x, dtype=float)
-    means, scales, kinds, n_objects = _entry_batch_params(entries, variance_inflation)
+    means, scales, kinds, n_objects = _entry_batch_params(
+        entries, variance_inflation, leaf_bandwidth
+    )
     if total_objects is None:
         total_objects = float(n_objects.sum())
     if total_objects <= 0:
@@ -353,6 +382,7 @@ def pdq(
     entries: Sequence[AnyEntry],
     total_objects: Optional[float] = None,
     variance_inflation: Optional[np.ndarray] = None,
+    leaf_bandwidth: Optional[np.ndarray] = None,
 ) -> float:
     """Probability density query over an arbitrary entry set (paper Def. 3).
 
@@ -360,7 +390,7 @@ def pdq(
     floating-point round-off and is the hot path of level-model and baseline
     density evaluations.
     """
-    return safe_exp(log_pdq(x, entries, total_objects, variance_inflation))
+    return safe_exp(log_pdq(x, entries, total_objects, variance_inflation, leaf_bandwidth))
 
 
 class Frontier:
@@ -381,10 +411,23 @@ class Frontier:
         root_level: int,
         query: np.ndarray,
         variance_inflation: Optional[np.ndarray] = None,
+        leaf_bandwidth: Optional[np.ndarray] = None,
+        root_params: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None,
+        root_log_densities: Optional[np.ndarray] = None,
     ) -> None:
+        """``leaf_bandwidth`` is the owning tree's shared kernel bandwidth,
+        resolved for leaf entries at evaluation time (tree-managed entries do
+        not carry per-entry copies).  ``root_params`` /
+        ``root_log_densities`` optionally carry the packed component
+        parameters of the root entries (shared across queries, see
+        :meth:`BayesTree.root_batch_params`) and this query's precomputed
+        unweighted log densities for them."""
         self.query = np.asarray(query, dtype=float)
         self.variance_inflation = (
             None if variance_inflation is None else np.asarray(variance_inflation, dtype=float)
+        )
+        self.leaf_bandwidth = (
+            None if leaf_bandwidth is None else np.asarray(leaf_bandwidth, dtype=float)
         )
         self.total_objects = float(sum(entry.n_objects for entry in root_entries))
         self._log_total = math.log(self.total_objects) if self.total_objects > 0 else None
@@ -400,7 +443,9 @@ class Frontier:
             root_level - 1 if isinstance(entry, DirectoryEntry) else -1
             for entry in root_entries
         ]
-        self._append_entries(root_entries, levels)
+        self._append_entries(
+            root_entries, levels, log_densities=root_log_densities, params=root_params
+        )
         self._log_density = self.arrays.log_density()
 
     # -- construction helpers ---------------------------------------------------------
@@ -421,7 +466,7 @@ class Frontier:
         if not entries:
             return
         if params is None:
-            params = _entry_batch_params(entries, self.variance_inflation)
+            params = _entry_batch_params(entries, self.variance_inflation, self.leaf_bandwidth)
         means, scales, kinds, n_objects = params
         if self._log_total is None:
             log_weights = np.full(len(entries), -np.inf)
@@ -433,18 +478,18 @@ class Frontier:
         else:
             log_densities = np.asarray(log_densities, dtype=float)
         start = self.arrays.append_batch(means, scales, kinds, log_weights, log_densities)
-        log_contribs = self.arrays.log_contributions
+        # One C-level conversion of the new contributions; per-element float()
+        # in the loop below dominated the refinement hot path.
+        contribs = self.arrays.log_contributions[start:].tolist()
+        counter = self._counter
+        items_append = self._items.append
+        slots_append = self._slot_items.append
         for i, (entry, level) in enumerate(zip(entries, levels)):
-            item = FrontierItem(
-                entry=entry,
-                level=level,
-                order=self._counter,
-                log_contribution=float(log_contribs[start + i]),
-                slot=start + i,
-            )
-            self._counter += 1
-            self._items.append(item)
-            self._slot_items.append(item)
+            item = FrontierItem(entry, level, counter, contribs[i], start + i)
+            counter += 1
+            items_append(item)
+            slots_append(item)
+        self._counter = counter
 
     def _remove_item(self, item: FrontierItem) -> None:
         self._items.remove(item)
@@ -495,6 +540,7 @@ class Frontier:
             [item.entry for item in self._items],
             total_objects=self.total_objects,
             variance_inflation=self.variance_inflation,
+            leaf_bandwidth=self.leaf_bandwidth,
         )
 
     def represented_objects(self) -> float:

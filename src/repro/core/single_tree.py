@@ -136,12 +136,12 @@ class SingleTreeAnytimeClassifier:
         """Weighted per-class densities contributed by one frontier entry."""
         contributions: Dict[Hashable, float] = {}
         features = self._class_features[id(entry)]
+        assert self.tree is not None
         if isinstance(entry, LeafEntry):
             label = entry.label
             weight = 1.0 / self._class_count(label)
-            contributions[label] = weight * entry.density(query)
+            contributions[label] = weight * entry.density(query, bandwidth=self.tree.bandwidth)
             return contributions
-        assert self.tree is not None
         bandwidth = self.tree.bandwidth
         inflation = None if bandwidth is None else bandwidth ** 2
         for label, feature in features.items():

@@ -10,8 +10,10 @@ from .experiment import (
     DEFAULT_EXPERIMENT_CONFIG,
     BulkloadExperimentResult,
     ExperimentConfig,
+    StreamExperimentResult,
     format_curve_table,
     run_bulkload_experiment,
+    run_stream_experiment,
     table1_rows,
 )
 from .metrics import accuracy, anytime_curve_summary, confusion_matrix
@@ -24,8 +26,10 @@ __all__ = [
     "DEFAULT_EXPERIMENT_CONFIG",
     "BulkloadExperimentResult",
     "ExperimentConfig",
+    "StreamExperimentResult",
     "format_curve_table",
     "run_bulkload_experiment",
+    "run_stream_experiment",
     "table1_rows",
     "accuracy",
     "anytime_curve_summary",

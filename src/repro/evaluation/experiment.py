@@ -23,6 +23,8 @@ __all__ = [
     "ExperimentConfig",
     "BulkloadExperimentResult",
     "run_bulkload_experiment",
+    "StreamExperimentResult",
+    "run_stream_experiment",
     "table1_rows",
     "format_curve_table",
 ]
@@ -90,6 +92,65 @@ def run_bulkload_experiment(config: ExperimentConfig) -> BulkloadExperimentResul
             )
             result.curves[(strategy, descent)] = curve
     return result
+
+
+@dataclass
+class StreamExperimentResult:
+    """Outcome of one test-then-train stream experiment."""
+
+    accuracy: float
+    accuracy_by_budget: Dict[int, float]
+    mean_nodes_read: float
+    objects: int
+    learned_objects: int
+
+
+def run_stream_experiment(
+    dataset: Dataset,
+    warmup: int = 64,
+    limit: Optional[int] = None,
+    nodes_per_time_unit: float = 10.0,
+    chunk_size: int = 64,
+    tree_config: Optional[BayesTreeConfig] = None,
+    random_state: int = 0,
+) -> StreamExperimentResult:
+    """Prequential (test-then-train) evaluation on a replayed stream.
+
+    The classifier warm-starts on the first ``warmup`` stream objects and
+    then processes the rest with the micro-batched anytime stream driver:
+    each object is classified under its arrival budget before its label is
+    learned, with labels applied at ``chunk_size`` boundaries (deferred-label
+    protocol; see ``repro.stream.run_anytime_stream``).  This is the paper's
+    combined anytime-classification + incremental-online-learning scenario as
+    one reusable experiment.
+    """
+    from ..core.classifier import AnytimeBayesClassifier
+    from ..stream import DataStream, run_anytime_stream
+
+    if warmup < 1:
+        raise ValueError("warmup must be positive")
+    stream = DataStream(
+        dataset, nodes_per_time_unit=nodes_per_time_unit, random_state=random_state
+    )
+    items = stream.items(None if limit is None else warmup + limit)
+    if len(items) <= warmup:
+        raise ValueError("stream must contain more objects than the warmup")
+    head, tail = items[:warmup], items[warmup:]
+    classifier = AnytimeBayesClassifier(config=tree_config or DEFAULT_EXPERIMENT_CONFIG)
+    classifier.fit(
+        np.stack([item.features for item in head]), [item.label for item in head]
+    )
+    result = run_anytime_stream(
+        classifier, tail, online_learning=True, chunk_size=chunk_size
+    )
+    learned = sum(tree.n_objects for tree in classifier.trees.values()) - warmup
+    return StreamExperimentResult(
+        accuracy=result.accuracy,
+        accuracy_by_budget=result.accuracy_by_budget(),
+        mean_nodes_read=result.mean_nodes_read,
+        objects=len(result.steps),
+        learned_objects=int(learned),
+    )
 
 
 def table1_rows(sizes: Optional[Dict[str, int]] = None) -> List[Dict[str, object]]:

@@ -101,6 +101,18 @@ class ClusterFeature:
         self.linear_sum = self.linear_sum + weight * point
         self.squared_sum = self.squared_sum + weight * point * point
 
+    def add_feature(self, other: "ClusterFeature") -> None:
+        """In-place additive merge of ``other`` (the R* insertion-path update).
+
+        Unlike ``__add__`` this mutates the receiver without allocating a new
+        feature; ``other`` is only read.
+        """
+        if self.dimension != other.dimension:
+            raise ValueError("cluster features must have the same dimension")
+        self.n += other.n
+        self.linear_sum += other.linear_sum
+        self.squared_sum += other.squared_sum
+
     def scaled(self, factor: float) -> "ClusterFeature":
         """Return a copy with all three summaries multiplied by ``factor``.
 

@@ -55,6 +55,7 @@ class LeafEntry:
             self.bandwidth = np.asarray(self.bandwidth, dtype=float)
             if self.bandwidth.shape != self.point.shape:
                 raise ValueError("bandwidth must have the same shape as point")
+        self._mbr: Optional[MBR] = None
 
     @property
     def dimension(self) -> int:
@@ -67,14 +68,33 @@ class LeafEntry:
 
     @property
     def mbr(self) -> MBR:
-        """Degenerate MBR covering just the stored point."""
-        return MBR.from_point(self.point)
+        """Degenerate MBR covering just the stored point (cached; the point is
+        immutable once the entry is part of a tree)."""
+        mbr = self._mbr
+        if mbr is None:
+            mbr = MBR.from_point(self.point)
+            self._mbr = mbr
+        return mbr
 
     @property
     def cluster_feature(self) -> ClusterFeature:
         return ClusterFeature.from_point(self.point)
 
-    def to_gaussian(self, weight: float = 1.0) -> Gaussian:
+    def resolve_bandwidth(self, fallback: Optional[np.ndarray] = None) -> np.ndarray:
+        """This entry's bandwidth, or the tree-shared ``fallback``.
+
+        A per-entry ``bandwidth`` (set explicitly at construction) wins;
+        tree-managed entries leave it ``None`` and resolve the shared,
+        epoch-tagged bandwidth of their Bayes tree at evaluation time instead
+        of carrying a stamped copy.
+        """
+        if self.bandwidth is not None:
+            return self.bandwidth
+        if fallback is not None:
+            return fallback
+        raise ValueError("leaf entry has no bandwidth assigned yet")
+
+    def to_gaussian(self, weight: float = 1.0, bandwidth: Optional[np.ndarray] = None) -> Gaussian:
         """Kernel estimator viewed as a Gaussian component.
 
         For a Gaussian kernel this is exact (variance ``h**2``); for an
@@ -82,21 +102,24 @@ class LeafEntry:
         ``h**2 / 5``), which is only used when the entry is aggregated — the
         density evaluation path uses :meth:`density` instead.
         """
-        if self.bandwidth is None:
-            raise ValueError("leaf entry has no bandwidth assigned yet")
+        h = self.resolve_bandwidth(bandwidth)
         if self.kernel == "epanechnikov":
-            variance = self.bandwidth ** 2 / 5.0
+            variance = h ** 2 / 5.0
         else:
-            variance = self.bandwidth ** 2
+            variance = h ** 2
         return Gaussian(mean=self.point, variance=variance, weight=weight)
 
-    def density(self, x: Sequence[float] | np.ndarray) -> float:
-        """Kernel density contribution of this observation at ``x``."""
+    def density(
+        self, x: Sequence[float] | np.ndarray, bandwidth: Optional[np.ndarray] = None
+    ) -> float:
+        """Kernel density contribution of this observation at ``x``.
+
+        ``bandwidth`` supplies the tree-shared kernel bandwidth for entries
+        that do not carry their own copy.
+        """
         from ..stats.kernel import make_kernel
 
-        if self.bandwidth is None:
-            raise ValueError("leaf entry has no bandwidth assigned yet")
-        return make_kernel(self.kernel, self.point, self.bandwidth).pdf(x)
+        return make_kernel(self.kernel, self.point, self.resolve_bandwidth(bandwidth)).pdf(x)
 
 
 @dataclass(eq=False)

@@ -30,17 +30,31 @@ class MBR:
         upper = np.asarray(self.upper, dtype=float)
         if lower.ndim != 1 or lower.shape != upper.shape:
             raise ValueError("lower and upper must be 1-d vectors of equal length")
-        if np.any(lower > upper):
+        if (lower > upper).any():
             raise ValueError("lower bound must not exceed upper bound in any dimension")
         self.lower = lower
         self.upper = upper
 
     # -- constructors ---------------------------------------------------------------
     @staticmethod
+    def _trusted(lower: np.ndarray, upper: np.ndarray) -> "MBR":
+        """Construct without validation from float arrays known to be a valid box.
+
+        The R*-tree insertion and split machinery builds thousands of boxes per
+        insert from unions/intersections whose invariants hold by construction;
+        this bypasses the dataclass validation on that hot path.  Callers own
+        the arrays (they must not alias mutable state).
+        """
+        mbr = object.__new__(MBR)
+        mbr.lower = lower
+        mbr.upper = upper
+        return mbr
+
+    @staticmethod
     def from_point(point: Sequence[float] | np.ndarray) -> "MBR":
         """Degenerate MBR covering a single point."""
         point = np.asarray(point, dtype=float)
-        return MBR(lower=point.copy(), upper=point.copy())
+        return MBR._trusted(point.copy(), point.copy())
 
     @staticmethod
     def from_points(points: np.ndarray) -> "MBR":
@@ -48,7 +62,7 @@ class MBR:
         points = np.asarray(points, dtype=float)
         if points.ndim != 2 or points.shape[0] == 0:
             raise ValueError("points must be a non-empty (n, d) array")
-        return MBR(lower=points.min(axis=0), upper=points.max(axis=0))
+        return MBR._trusted(points.min(axis=0), points.max(axis=0))
 
     @staticmethod
     def union_of(rectangles: Iterable["MBR"]) -> "MBR":
@@ -58,7 +72,7 @@ class MBR:
             raise ValueError("cannot take the union of zero rectangles")
         lower = np.min([r.lower for r in rectangles], axis=0)
         upper = np.max([r.upper for r in rectangles], axis=0)
-        return MBR(lower=lower, upper=upper)
+        return MBR._trusted(lower, upper)
 
     # -- basic geometry ---------------------------------------------------------------
     @property
@@ -76,19 +90,21 @@ class MBR:
 
     def area(self) -> float:
         """Volume of the rectangle (product of side lengths)."""
-        return float(np.prod(self.extents))
+        return float((self.upper - self.lower).prod())
 
     def margin(self) -> float:
         """Sum of side lengths (the R* 'margin' criterion)."""
-        return float(np.sum(self.extents))
+        return float((self.upper - self.lower).sum())
 
     def copy(self) -> "MBR":
-        return MBR(lower=self.lower.copy(), upper=self.upper.copy())
+        return MBR._trusted(self.lower.copy(), self.upper.copy())
 
     # -- relations -------------------------------------------------------------------
     def union(self, other: "MBR") -> "MBR":
         """Smallest MBR covering both rectangles."""
-        return MBR(lower=np.minimum(self.lower, other.lower), upper=np.maximum(self.upper, other.upper))
+        return MBR._trusted(
+            np.minimum(self.lower, other.lower), np.maximum(self.upper, other.upper)
+        )
 
     def enlargement(self, other: "MBR") -> float:
         """Area increase needed to include ``other`` (R-tree insertion criterion)."""
@@ -96,12 +112,10 @@ class MBR:
 
     def intersection_area(self, other: "MBR") -> float:
         """Area of the overlap region with ``other`` (zero if disjoint)."""
-        lower = np.maximum(self.lower, other.lower)
-        upper = np.minimum(self.upper, other.upper)
-        sides = upper - lower
-        if np.any(sides <= 0):
+        sides = np.minimum(self.upper, other.upper) - np.maximum(self.lower, other.lower)
+        if (sides <= 0).any():
             return 0.0
-        return float(np.prod(sides))
+        return float(sides.prod())
 
     def contains_point(self, point: Sequence[float] | np.ndarray) -> bool:
         point = np.asarray(point, dtype=float)
@@ -113,7 +127,7 @@ class MBR:
     def include_point(self, point: Sequence[float] | np.ndarray) -> "MBR":
         """Smallest MBR covering this rectangle and ``point``."""
         point = np.asarray(point, dtype=float)
-        return MBR(lower=np.minimum(self.lower, point), upper=np.maximum(self.upper, point))
+        return MBR._trusted(np.minimum(self.lower, point), np.maximum(self.upper, point))
 
     # -- distances -------------------------------------------------------------------
     def min_distance(self, point: Sequence[float] | np.ndarray) -> float:
@@ -126,7 +140,7 @@ class MBR:
         below = np.maximum(self.lower - point, 0.0)
         above = np.maximum(point - self.upper, 0.0)
         gaps = np.maximum(below, above)
-        return float(np.sqrt(np.sum(gaps * gaps)))
+        return float(np.sqrt((gaps * gaps).sum()))
 
     def center_distance(self, point: Sequence[float] | np.ndarray) -> float:
         """Euclidean distance from ``point`` to the rectangle center."""

@@ -29,6 +29,12 @@ class Node:
     level: int
     entries: List[AnyEntry] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Stacked (lowers, uppers) arrays over this node's entry MBRs, lazily
+        # built and maintained by the R* insertion machinery (ChooseSubtree
+        # hot path); None means "rebuild from the entries on next use".
+        self._bounds_cache = None
+
     @property
     def is_leaf(self) -> bool:
         return self.level == 0
@@ -44,12 +50,16 @@ class Node:
         """MBR over all entries of this node."""
         if not self.entries:
             raise ValueError("cannot compute the MBR of an empty node")
+        if self.is_leaf:
+            return MBR.from_points(np.stack([entry.point for entry in self.entries]))
         return MBR.union_of(entry.mbr for entry in self.entries)
 
     def compute_cluster_feature(self) -> ClusterFeature:
         """Cluster feature over all entries of this node."""
         if not self.entries:
             raise ValueError("cannot compute the cluster feature of an empty node")
+        if self.is_leaf:
+            return ClusterFeature.from_points(np.stack([entry.point for entry in self.entries]))
         return ClusterFeature.sum_of(entry.cluster_feature for entry in self.entries)
 
     @property

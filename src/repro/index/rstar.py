@@ -78,6 +78,10 @@ class RStarTree:
         self.params = params or TreeParameters()
         self.root: Node = Node(level=0)
         self._size = 0
+        #: Monotonically increasing structure tag, bumped by every insertion;
+        #: callers (e.g. the Bayes tree's packed-parameter caches) use it to
+        #: detect that entries or summaries may have changed.
+        self.version = 0
 
     # -- basic properties -------------------------------------------------------------
     def __len__(self) -> int:
@@ -115,6 +119,7 @@ class RStarTree:
         entry = LeafEntry(point=point, label=label, bandwidth=bandwidth, kernel=kernel)
         self._insert_entry(entry, target_level=0, reinserted_levels=set())
         self._size += 1
+        self.version += 1
         return entry
 
     def extend(self, points: np.ndarray, labels: Optional[Sequence[object]] = None) -> None:
@@ -128,6 +133,7 @@ class RStarTree:
         path = self._choose_path(entry, target_level)
         node = path[-1][0]
         node.entries.append(entry)
+        node._bounds_cache = None
         self._adjust_path(path, entry)
         self._handle_overflow(path, reinserted_levels)
 
@@ -146,45 +152,68 @@ class RStarTree:
         return path
 
     def _choose_subtree(self, node: Node, entry: AnyEntry) -> DirectoryEntry:
-        """R* ChooseSubtree among the directory entries of ``node``."""
+        """R* ChooseSubtree among the directory entries of ``node``.
+
+        The geometric criteria of all candidates are evaluated with stacked
+        boundary arrays in a handful of vectorised operations; only the final
+        lexicographic argmin (first minimum wins, matching ``min``) iterates
+        in Python over the at most ``max_fanout + 1`` candidates.
+        """
         candidates: List[DirectoryEntry] = node.entries  # type: ignore[assignment]
         entry_mbr = entry.mbr
+        bounds = node._bounds_cache
+        if bounds is None:
+            bounds = (
+                np.stack([candidate.mbr.lower for candidate in candidates]),
+                np.stack([candidate.mbr.upper for candidate in candidates]),
+            )
+            node._bounds_cache = bounds
+        lowers, uppers = bounds
+        areas = (uppers - lowers).prod(axis=1)
+        enlarged_lo = np.minimum(lowers, entry_mbr.lower)
+        enlarged_up = np.maximum(uppers, entry_mbr.upper)
+        enlargements = (enlarged_up - enlarged_lo).prod(axis=1) - areas
+
         if node.level == 1:
-            # children are leaves: minimise overlap enlargement.
-            def overlap(candidate: DirectoryEntry, rect: MBR) -> float:
-                return sum(
-                    rect.intersection_area(other.mbr)
-                    for other in candidates
-                    if other is not candidate
+            # children are leaves: minimise overlap enlargement.  The overlap
+            # of candidate j's rectangle with every other candidate is one
+            # (m, m, d) broadcast, before and after including the new entry.
+            def pairwise_overlap(los: np.ndarray, ups: np.ndarray) -> np.ndarray:
+                sides = np.minimum(ups[:, None, :], uppers[None, :, :]) - np.maximum(
+                    los[:, None, :], lowers[None, :, :]
                 )
+                return np.where((sides <= 0).any(axis=2), 0.0, sides.prod(axis=2))
 
-            def key(candidate: DirectoryEntry) -> Tuple[float, float, float]:
-                enlarged = candidate.mbr.union(entry_mbr)
-                return (
-                    overlap(candidate, enlarged) - overlap(candidate, candidate.mbr),
-                    candidate.mbr.enlargement(entry_mbr),
-                    candidate.mbr.area(),
-                )
-
+            before = pairwise_overlap(lowers, uppers)
+            after = pairwise_overlap(enlarged_lo, enlarged_up)
+            np.fill_diagonal(before, 0.0)
+            np.fill_diagonal(after, 0.0)
+            overlap_deltas = after.sum(axis=1) - before.sum(axis=1)
+            keys = list(zip(overlap_deltas, enlargements, areas))
         else:
-            def key(candidate: DirectoryEntry) -> Tuple[float, float, float]:
-                return (
-                    candidate.mbr.enlargement(entry_mbr),
-                    candidate.mbr.area(),
-                    candidate.n_objects,
-                )
-
-        return min(candidates, key=key)
+            keys = [
+                (enlargements[i], areas[i], candidate.n_objects)
+                for i, candidate in enumerate(candidates)
+            ]
+        return candidates[min(range(len(candidates)), key=keys.__getitem__)]
 
     def _adjust_path(self, path: List[Tuple[Node, Optional[DirectoryEntry]]], entry: AnyEntry) -> None:
         """Extend MBRs and cluster features of all ancestors of the inserted entry."""
         entry_cf = entry.cluster_feature
         entry_mbr = entry.mbr
-        for node, parent_entry in path:
+        for depth, (node, parent_entry) in enumerate(path):
             if parent_entry is None:
                 continue
             parent_entry.mbr = parent_entry.mbr.union(entry_mbr)
-            parent_entry.cluster_feature = parent_entry.cluster_feature + entry_cf
+            parent_entry.cluster_feature.add_feature(entry_cf)
+            # Keep the holder node's cached ChooseSubtree bounds exact: the
+            # union above only widens this one entry's box.
+            holder = path[depth - 1][0]
+            cache = holder._bounds_cache
+            if cache is not None:
+                index = holder.entries.index(parent_entry)
+                np.minimum(cache[0][index], entry_mbr.lower, out=cache[0][index])
+                np.maximum(cache[1][index], entry_mbr.upper, out=cache[1][index])
 
     def _handle_overflow(
         self, path: List[Tuple[Node, Optional[DirectoryEntry]]], reinserted_levels: set
@@ -216,16 +245,19 @@ class RStarTree:
         """R* forced reinsert: remove the farthest entries and insert them again."""
         center = node.compute_mbr().center
         count = max(1, int(round(self.params.reinsert_fraction * len(node.entries))))
-        ordered = sorted(
-            node.entries,
-            key=lambda e: float(np.linalg.norm(e.mbr.center - center)),
-            reverse=True,
-        )
-        to_reinsert = ordered[:count]
+        centers = np.stack([e.mbr.lower + e.mbr.upper for e in node.entries]) * 0.5
+        deltas = centers - center
+        # Stable descending order by center distance (ties keep entry order),
+        # matching sorted(..., reverse=True) on the distances.
+        order = np.argsort(-(deltas * deltas).sum(axis=1), kind="stable")
+        to_reinsert = [node.entries[index] for index in order[:count]]
         removed_ids = {id(e) for e in to_reinsert}
         node.entries = [e for e in node.entries if id(e) not in removed_ids]
         # The removal shrinks the summaries of all ancestors along the path;
-        # refresh them bottom-up (each refresh is O(fanout)).
+        # refresh them bottom-up (each refresh is O(fanout)) and drop the
+        # cached ChooseSubtree bounds of every touched node.
+        for prefix_node, _ in path_prefix:
+            prefix_node._bounds_cache = None
         for _, parent_entry in reversed(path_prefix):
             if parent_entry is not None:
                 parent_entry.refresh()
@@ -238,6 +270,7 @@ class RStarTree:
         min_entries, _ = self.params.capacity(node)
         result = rstar_split(node.entries, min_entries)
         node.entries = result.first
+        node._bounds_cache = None
         sibling = Node(level=node.level, entries=result.second)
 
         if parent_entry is None:
@@ -250,6 +283,7 @@ class RStarTree:
         parent_entry.refresh()
         parent_node = path[depth - 1][0]
         parent_node.entries.append(DirectoryEntry.for_node(sibling))
+        parent_node._bounds_cache = None
         # Ancestors of the parent keep their (now conservative) MBRs; the CFs
         # are still exact because the observations below them did not change.
 
@@ -277,8 +311,15 @@ class RStarTree:
     # -- construction from prebuilt structure (bulk loading) --------------------------------
     @classmethod
     def from_root(cls, root: Node, dimension: int, params: TreeParameters | None = None) -> "RStarTree":
-        """Wrap an externally built node hierarchy (used by the bulk loaders)."""
+        """Wrap an externally built node hierarchy (used by the bulk loaders).
+
+        The stored size is the exact number of leaf entries.  It is *not*
+        derived from ``root.n_objects``: cluster features may carry non-unit
+        weights (e.g. decayed or otherwise weighted summaries), in which case
+        the rounded weight total disagrees with the number of stored
+        observations.
+        """
         tree = cls(dimension=dimension, params=params)
         tree.root = root
-        tree._size = int(round(root.n_objects)) if root.entries else 0
+        tree._size = sum(1 for _ in root.iter_leaf_entries())
         return tree

@@ -8,6 +8,7 @@ from .kernel import (
     GaussianKernel,
     make_kernel,
     silverman_bandwidth,
+    silverman_bandwidth_from_stats,
 )
 from .kl import kl_gaussian, kl_matching_distance, kl_mixture_monte_carlo
 from .mixture import GaussianMixture
@@ -26,6 +27,7 @@ __all__ = [
     "GaussianKernel",
     "make_kernel",
     "silverman_bandwidth",
+    "silverman_bandwidth_from_stats",
     "kl_gaussian",
     "kl_matching_distance",
     "kl_mixture_monte_carlo",

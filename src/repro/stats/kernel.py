@@ -19,6 +19,7 @@ from .gaussian import MIN_VARIANCE, Gaussian
 
 __all__ = [
     "silverman_bandwidth",
+    "silverman_bandwidth_from_stats",
     "GaussianKernel",
     "EpanechnikovKernel",
     "log_epanechnikov_pdf_batch",
@@ -66,6 +67,29 @@ def log_epanechnikov_pdf_batch(
     return out[0] if single else out
 
 
+def _silverman_factor(n: float, d: int) -> float:
+    """The data-independent factor of Silverman's rule of thumb."""
+    return (4.0 / (d + 2.0)) ** (1.0 / (d + 4.0)) * n ** (-1.0 / (d + 4.0))
+
+
+def _fill_zero_spread(sigma: np.ndarray) -> np.ndarray:
+    """Replace zero-spread per-dimension sigmas with a data-scale fallback.
+
+    A dimension with no spread (a constant feature, or duplicate points) has
+    ``sigma = 0`` and Silverman's rule would produce a degenerate zero-width
+    kernel.  Falling back to a *unit* sigma — the historical behaviour — is
+    wrong on any dataset whose scale is far from 1 (a constant feature on a
+    1e-6-scale dataset got a kernel a million times wider than the data).
+    Instead, zero dimensions inherit the mean of the positive per-dimension
+    sigmas, which keeps the fallback at the data's own scale; the unit sigma
+    only remains when *every* dimension is constant (no scale information at
+    all).
+    """
+    positive = sigma[sigma > 0]
+    fallback = float(positive.mean()) if positive.size else 1.0
+    return np.where(sigma > 0, sigma, fallback)
+
+
 def silverman_bandwidth(points: np.ndarray) -> np.ndarray:
     """Per-dimension bandwidth following Silverman's rule of thumb.
 
@@ -75,16 +99,44 @@ def silverman_bandwidth(points: np.ndarray) -> np.ndarray:
 
     where ``sigma_i`` is the per-dimension standard deviation.  This is the
     "common data independent method according to [18]" referenced in the
-    paper (Silverman, 1986).
+    paper (Silverman, 1986).  Zero-spread dimensions fall back to the mean
+    positive sigma (see :func:`_fill_zero_spread`).
     """
     points = np.asarray(points, dtype=float)
     if points.ndim != 2 or points.shape[0] == 0:
         raise ValueError("points must be a non-empty (n, d) array")
     n, d = points.shape
-    sigma = points.std(axis=0)
-    sigma = np.where(sigma > 0, sigma, 1.0)
-    factor = (4.0 / (d + 2.0)) ** (1.0 / (d + 4.0)) * n ** (-1.0 / (d + 4.0))
-    return sigma * factor
+    sigma = _fill_zero_spread(points.std(axis=0))
+    return sigma * _silverman_factor(n, d)
+
+
+def silverman_bandwidth_from_stats(
+    n: float, linear_sum: np.ndarray, squared_sum: np.ndarray
+) -> np.ndarray:
+    """Silverman's rule evaluated from running sufficient statistics, in O(d).
+
+    ``(n, LS, SS)`` are the cluster-feature-style summaries of the training
+    set (count, per-dimension sum and sum of squares); the per-dimension
+    sigma is recovered as ``sqrt(SS/n - (LS/n)^2)`` (clamped at zero against
+    cancellation).  This is what lets the Bayes tree keep its bandwidth
+    up to date in constant time per streamed insert instead of re-scanning
+    the full training set.  Same zero-spread fallback as
+    :func:`silverman_bandwidth`.
+
+    The ``SS/n - mean^2`` form loses all spread information when the data's
+    mean is large relative to its spread (catastrophic cancellation in
+    float64).  Accumulate the sums around a fixed origin near the data —
+    e.g. the first observation, as ``BayesTree`` does — rather than around
+    zero; variances are shift-invariant, so the result is unchanged.
+    """
+    linear_sum = np.asarray(linear_sum, dtype=float)
+    squared_sum = np.asarray(squared_sum, dtype=float)
+    if n <= 0:
+        raise ValueError("n must be positive")
+    mean = linear_sum / n
+    variance = np.maximum(squared_sum / n - mean * mean, 0.0)
+    sigma = _fill_zero_spread(np.sqrt(variance))
+    return sigma * _silverman_factor(n, linear_sum.shape[0])
 
 
 @dataclass(frozen=True)

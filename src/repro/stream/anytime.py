@@ -6,10 +6,19 @@ dictated by the stream's arrival process, and (in the supervised setting) the
 classifier may afterwards learn from the revealed label — the combination of
 anytime classification and incremental online learning that defines the Bayes
 tree's stream scenario.
+
+The driver processes the stream in deferred-label micro-batches
+(``chunk_size``): all objects of a chunk are classified against the same
+model state — with one lockstep ``classify_anytime_batch`` call carrying the
+items' individual arrival budgets when the classifier supports it — and the
+revealed labels are learned only at the chunk boundary.  ``chunk_size=1``
+(the default) is the classic fully-sequential test-then-train protocol, and
+for any chunk size the batched and the scalar path are trace-identical.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional
 
@@ -65,11 +74,55 @@ class StreamRunResult:
         return {budget: float(np.mean(values)) for budget, values in sorted(buckets.items())}
 
 
+def _process_chunk(
+    classifier,
+    items: List[StreamItem],
+    result: StreamRunResult,
+    online_learning: bool,
+    batched: bool,
+) -> None:
+    """Classify one micro-batch of stream items, then apply their labels.
+
+    All items of the chunk are classified against the *same* model state;
+    only afterwards are the revealed labels learned (deferred-label
+    test-then-train).  The batched and the scalar path therefore see exactly
+    the same model for every item and produce identical predictions.
+    """
+    if batched:
+        features = np.stack([item.features for item in items])
+        budgets = [item.budget for item in items]
+        classifications = classifier.classify_anytime_batch(
+            features, max_nodes=budgets, record_history=False
+        )
+    else:
+        classifications = [
+            classifier.classify_anytime(item.features, max_nodes=item.budget)
+            for item in items
+        ]
+    for item, classification in zip(items, classifications):
+        prediction = classification.final_prediction
+        correct = None if item.label is None else bool(prediction == item.label)
+        result.steps.append(
+            StreamStepResult(
+                item=item,
+                prediction=prediction,
+                correct=correct,
+                nodes_read=classification.nodes_read,
+            )
+        )
+    if online_learning:
+        for item in items:
+            if item.label is not None:
+                classifier.partial_fit(item.features, item.label)
+
+
 def run_anytime_stream(
     classifier,
     stream: DataStream,
     limit: Optional[int] = None,
     online_learning: bool = False,
+    chunk_size: Optional[int] = None,
+    use_batch: Optional[bool] = None,
 ) -> StreamRunResult:
     """Classify every stream object under its anytime budget.
 
@@ -82,26 +135,49 @@ def run_anytime_stream(
     stream:
         The data stream to process.
     limit:
-        Optional cap on the number of processed objects.
+        Optional cap on the number of processed objects; enforced *before*
+        an object is classified or learned from, so ``limit=0`` touches
+        neither the classifier nor the stream statistics.
     online_learning:
         When true, the revealed label is used to update the classifier after
         each prediction (test-then-train evaluation).
+    chunk_size:
+        Number of stream objects classified per micro-batch before their
+        labels are applied (deferred-label test-then-train).  The default of
+        1 is the classic fully-sequential protocol: every object sees a model
+        trained on *all* previous objects.  Larger chunks model the realistic
+        setting where labels arrive with a delay and let the classifier
+        amortise node reads across the chunk via
+        ``classify_anytime_batch`` — results are trace-identical to the
+        scalar per-item driver run with the same ``chunk_size``.
+    use_batch:
+        Force (True) or forbid (False) the batched classification path;
+        ``None`` auto-detects ``classifier.classify_anytime_batch``.  Both
+        paths produce identical results for the same ``chunk_size``; the
+        switch exists for equivalence tests and benchmarks.
     """
+    if limit is not None and limit < 0:
+        raise ValueError("limit must be non-negative")
+    size = 1 if chunk_size is None else int(chunk_size)
+    if size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    if use_batch is None:
+        batched = hasattr(classifier, "classify_anytime_batch")
+    else:
+        batched = bool(use_batch)
+        if batched and not hasattr(classifier, "classify_anytime_batch"):
+            raise ValueError("classifier does not provide classify_anytime_batch")
+
     result = StreamRunResult()
-    for item in stream:
-        classification = classifier.classify_anytime(item.features, max_nodes=item.budget)
-        prediction = classification.final_prediction
-        correct = None if item.label is None else bool(prediction == item.label)
-        result.steps.append(
-            StreamStepResult(
-                item=item,
-                prediction=prediction,
-                correct=correct,
-                nodes_read=classification.nodes_read,
-            )
-        )
-        if online_learning and item.label is not None:
-            classifier.partial_fit(item.features, item.label)
-        if limit is not None and len(result.steps) >= limit:
-            break
+    chunk: List[StreamItem] = []
+    # islice bounds consumption: the limit never pulls (and discards) an
+    # extra element from the stream iterator, and limit=0 touches nothing.
+    source = stream if limit is None else itertools.islice(stream, limit)
+    for item in source:
+        chunk.append(item)
+        if len(chunk) >= size:
+            _process_chunk(classifier, chunk, result, online_learning, batched)
+            chunk = []
+    if chunk:
+        _process_chunk(classifier, chunk, result, online_learning, batched)
     return result

@@ -7,6 +7,7 @@ from repro.bulkload import BULK_LOADERS, make_bulk_loader
 from repro.core import BayesTreeConfig, make_descent_strategy
 from repro.core.frontier import pdq
 from repro.index import TreeParameters
+from repro.stats import silverman_bandwidth
 
 CONFIG = BayesTreeConfig(
     tree=TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
@@ -52,9 +53,13 @@ def test_loader_sets_labels_and_bandwidths(name):
     loader = make_bulk_loader(name, config=CONFIG)
     tree = loader.build_tree(points, label="class-a")
     assert tree.bandwidth is not None
+    np.testing.assert_allclose(tree.bandwidth, silverman_bandwidth(points))
+    # Leaf entries resolve the tree-shared bandwidth at evaluation time
+    # instead of carrying per-entry stamped copies.
     for entry in tree.index.iter_leaf_entries():
         assert entry.label == "class-a"
-        np.testing.assert_allclose(entry.bandwidth, tree.bandwidth)
+        assert entry.bandwidth is None
+        np.testing.assert_allclose(entry.resolve_bandwidth(tree.bandwidth), tree.bandwidth)
 
 
 @pytest.mark.parametrize("name", LOADER_NAMES)
@@ -78,7 +83,9 @@ def test_loader_full_refinement_equals_kernel_density(name):
     query = points[7] + 0.05
     frontier = tree.frontier(query)
     frontier.refine_fully(make_descent_strategy("glo"))
-    expected = pdq(query, list(tree.index.iter_leaf_entries()))
+    expected = pdq(
+        query, list(tree.index.iter_leaf_entries()), leaf_bandwidth=tree.bandwidth
+    )
     assert frontier.density == pytest.approx(expected, rel=1e-9)
 
 

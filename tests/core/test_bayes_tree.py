@@ -28,8 +28,11 @@ def test_fit_stores_all_points_and_sets_bandwidth():
     assert tree.n_objects == 100
     expected = silverman_bandwidth(points)
     np.testing.assert_allclose(tree.bandwidth, expected)
+    # Leaf entries carry no stamped copies: the shared, epoch-tagged bandwidth
+    # is resolved at evaluation time instead (O(d) updates per insert).
     for entry in tree.index.iter_leaf_entries():
-        np.testing.assert_allclose(entry.bandwidth, expected)
+        assert entry.bandwidth is None
+        np.testing.assert_allclose(entry.resolve_bandwidth(tree.bandwidth), expected)
     tree.validate()
 
 

@@ -70,8 +70,11 @@ def test_full_refinement_matches_kernel_density_estimate():
     frontier = tree.frontier(query)
     frontier.refine_fully(make_descent_strategy("bft"))
     assert frontier.is_fully_refined
-    # Full refinement = kernel density estimate over all training points.
-    expected = pdq(query, list(tree.index.iter_leaf_entries()))
+    # Full refinement = kernel density estimate over all training points
+    # (leaf entries resolve the tree-shared bandwidth at evaluation time).
+    expected = pdq(
+        query, list(tree.index.iter_leaf_entries()), leaf_bandwidth=tree.bandwidth
+    )
     assert frontier.density == pytest.approx(expected, rel=1e-9)
 
 
@@ -165,5 +168,6 @@ def test_density_invariants_for_all_strategies(seed, strategy_name):
     assert all(np.isfinite(d) and d >= 0 for d in densities)
     assert frontier.is_fully_refined
     assert densities[-1] == pytest.approx(
-        pdq(query, list(tree.index.iter_leaf_entries())), rel=1e-9
+        pdq(query, list(tree.index.iter_leaf_entries()), leaf_bandwidth=tree.bandwidth),
+        rel=1e-9,
     )

@@ -70,5 +70,7 @@ def test_full_model_density_is_unaffected_by_inflation():
     """At leaf level only kernels remain, so the full model equals the plain KDE."""
     tree, points = fitted_tree(seed=3, count=40)
     query = points[5] + 0.1
-    expected = pdq(query, list(tree.index.iter_leaf_entries()))
+    expected = pdq(
+        query, list(tree.index.iter_leaf_entries()), leaf_bandwidth=tree.bandwidth
+    )
     assert tree.full_model_density(query) == pytest.approx(expected, rel=1e-9)

@@ -126,15 +126,19 @@ def test_vectorized_pdq_matches_scalar_on_random_frontiers(seed, strategy_name, 
             break
     entries = [item.entry for item in frontier.items]
     inflation = tree._variance_inflation()
-    vectorized = pdq(query, entries, variance_inflation=inflation)
-    scalar = pdq_scalar(query, entries, variance_inflation=inflation)
+    vectorized = pdq(
+        query, entries, variance_inflation=inflation, leaf_bandwidth=tree.bandwidth
+    )
+    scalar = pdq_scalar(
+        query, entries, variance_inflation=inflation, leaf_bandwidth=tree.bandwidth
+    )
     assert vectorized == pytest.approx(scalar, rel=1e-9, abs=1e-300)
     # The incrementally maintained frontier density agrees with both.
     assert frontier.density == pytest.approx(scalar, rel=1e-9, abs=1e-300)
     # And the log-space value is consistent with the linear one.
-    assert log_pdq(query, entries, variance_inflation=inflation) == pytest.approx(
-        math.log(scalar) if scalar > 0 else -math.inf, rel=1e-9
-    )
+    assert log_pdq(
+        query, entries, variance_inflation=inflation, leaf_bandwidth=tree.bandwidth
+    ) == pytest.approx(math.log(scalar) if scalar > 0 else -math.inf, rel=1e-9)
 
 
 @settings(deadline=None, max_examples=10)
@@ -146,8 +150,8 @@ def test_epanechnikov_vectorized_pdq_matches_scalar(seed):
     frontier = tree.frontier(query)
     frontier.refine_fully(make_descent_strategy("glo"))
     entries = [item.entry for item in frontier.items]
-    vectorized = pdq(query, entries)
-    scalar = pdq_scalar(query, entries)
+    vectorized = pdq(query, entries, leaf_bandwidth=tree.bandwidth)
+    scalar = pdq_scalar(query, entries, leaf_bandwidth=tree.bandwidth)
     assert vectorized == pytest.approx(scalar, rel=1e-9, abs=1e-300)
 
 

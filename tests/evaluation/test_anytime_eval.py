@@ -12,6 +12,7 @@ from repro.evaluation import (
     cross_validated_anytime_curve,
     format_curve_table,
     run_bulkload_experiment,
+    run_stream_experiment,
     table1_rows,
 )
 from repro.index import TreeParameters
@@ -107,6 +108,29 @@ def test_experiment_runner_produces_all_requested_curves():
     table = format_curve_table(result, nodes=(0, 4, 8))
     assert "hilbert (glo)" in table
     assert "n=8" in table
+
+
+def test_run_stream_experiment_prequential_protocol():
+    dataset = make_blobs(n_classes=2, per_class=90, n_features=2, random_state=3)
+    config = BayesTreeConfig(
+        tree=TreeParameters(max_fanout=4, min_fanout=2, leaf_capacity=4, leaf_min=2)
+    )
+    result = run_stream_experiment(
+        dataset, warmup=20, limit=100, chunk_size=16, tree_config=config, random_state=3
+    )
+    assert result.objects == 100
+    assert result.learned_objects == 100
+    assert 0.0 <= result.accuracy <= 1.0
+    assert all(0.0 <= value <= 1.0 for value in result.accuracy_by_budget.values())
+    assert result.mean_nodes_read >= 0.0
+
+
+def test_run_stream_experiment_validates_warmup():
+    dataset = make_blobs(n_classes=2, per_class=10, n_features=2, random_state=4)
+    with pytest.raises(ValueError):
+        run_stream_experiment(dataset, warmup=0)
+    with pytest.raises(ValueError):
+        run_stream_experiment(dataset, warmup=40)
 
 
 def test_table1_rows_report_paper_and_generated_sizes():

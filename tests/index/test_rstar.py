@@ -156,6 +156,28 @@ class TestStructure:
         assert len(wrapped) == 50
         wrapped.validate()
 
+    def test_from_root_counts_leaf_entries_not_weighted_cluster_features(self):
+        """Regression: decayed/weighted CFs must not distort the stored size.
+
+        ``from_root`` used to derive the size from ``round(root.n_objects)``,
+        which for a subtree whose cluster features carry non-unit weights
+        (e.g. after temporal decay) under- or over-counted the actually
+        stored observations.
+        """
+        from repro.index.entry import DirectoryEntry
+        from repro.index.node import Node
+
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        leaf = Node(level=0, entries=[LeafEntry(point=point) for point in points])
+        summary = DirectoryEntry.for_node(leaf)
+        # Exponential decay halves the summaries: n drops to 2.0 although the
+        # subtree still stores four observations.
+        summary.cluster_feature = summary.cluster_feature.scaled(0.5)
+        root = Node(level=1, entries=[summary])
+        tree = RStarTree.from_root(root, dimension=2)
+        assert root.n_objects == pytest.approx(2.0)
+        assert len(tree) == 4
+
 
 @settings(deadline=None, max_examples=12)
 @given(

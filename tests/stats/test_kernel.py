@@ -10,6 +10,7 @@ from repro.stats import (
     GaussianKernel,
     make_kernel,
     silverman_bandwidth,
+    silverman_bandwidth_from_stats,
 )
 
 
@@ -34,6 +35,50 @@ def test_silverman_bandwidth_handles_constant_dimension():
     points[:, 0] = np.linspace(0, 1, 100)
     h = silverman_bandwidth(points)
     assert np.all(h > 0)
+
+
+def test_silverman_constant_dimension_falls_back_to_data_scale():
+    """Regression: a constant feature on a tiny-scale dataset used to get a
+    unit-sigma fallback — a kernel ~10⁶× wider than the data."""
+    rng = np.random.default_rng(5)
+    points = rng.normal(scale=1e-6, size=(400, 3))
+    # Constant feature at the data's scale; a power of two keeps the column
+    # mean exact so its standard deviation is exactly zero.
+    points[:, 1] = 2.0**-20
+    h = silverman_bandwidth(points)
+    sigma = points.std(axis=0)
+    mean_positive_sigma = sigma[sigma > 0].mean()
+    factor = h[0] / sigma[0]
+    # The constant dimension inherits the mean positive sigma, so its
+    # bandwidth stays at the dataset's own scale instead of ~1.
+    np.testing.assert_allclose(h[1], mean_positive_sigma * factor, rtol=1e-9)
+    assert h[1] < 1e-4
+
+
+def test_silverman_all_constant_dimensions_keep_unit_fallback():
+    points = np.full((50, 2), 7.0)
+    h = silverman_bandwidth(points)
+    n, d = points.shape
+    factor = (4.0 / (d + 2.0)) ** (1.0 / (d + 4.0)) * n ** (-1.0 / (d + 4.0))
+    np.testing.assert_allclose(h, factor)
+
+
+def test_silverman_from_stats_matches_full_scan():
+    rng = np.random.default_rng(6)
+    points = rng.normal(loc=3.0, scale=0.5, size=(300, 4))
+    n = points.shape[0]
+    linear_sum = points.sum(axis=0)
+    squared_sum = (points * points).sum(axis=0)
+    np.testing.assert_allclose(
+        silverman_bandwidth_from_stats(n, linear_sum, squared_sum),
+        silverman_bandwidth(points),
+        rtol=1e-9,
+    )
+
+
+def test_silverman_from_stats_rejects_non_positive_count():
+    with pytest.raises(ValueError):
+        silverman_bandwidth_from_stats(0, np.zeros(2), np.zeros(2))
 
 
 def test_silverman_rejects_empty_input():
