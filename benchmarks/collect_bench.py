@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Collect the PR 3 benchmark metrics into a machine-readable JSON file.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/collect_bench.py --output BENCH_pr3.json
+
+The file feeds the CI benchmark-regression gate (``check_regression.py``),
+which compares it against the committed ``benchmarks/baseline.json``.
+
+Metric design: shared CI runners vary wildly in absolute speed, so every
+timing metric is either a *ratio of two timings on the same machine*
+(``batch_speedup_vs_scalar``) or *normalised by a calibration workload*
+(a fixed numpy-heavy loop timed in the same process).  Accuracy metrics are
+fully deterministic (seeded generators, seeded streams).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import AnytimeBayesClassifier  # noqa: E402
+from repro.data import make_dataset  # noqa: E402
+from repro.evaluation import run_drift_recovery_experiment  # noqa: E402
+from repro.evaluation.experiment import DEFAULT_EXPERIMENT_CONFIG  # noqa: E402
+from repro.stream import DataStream, run_anytime_stream  # noqa: E402
+
+SCHEMA = 1
+
+
+def _calibration_seconds() -> float:
+    """Time a fixed numpy workload — the machine-speed yardstick.
+
+    All wall-clock metrics are divided by this, so a uniformly 2x-slower CI
+    runner reports (to first order) the same normalised numbers.
+    """
+    def once() -> float:
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(400, 400))
+        small = rng.normal(size=(64, 8))
+        start = time.perf_counter()
+        for _ in range(8):
+            b = a @ a
+            b = np.exp(b / (1.0 + np.abs(b)))
+            a = b / np.linalg.norm(b)
+            # Small-array churn: the tree hot paths are dominated by many
+            # tiny numpy calls, not by large BLAS kernels.
+            for _ in range(200):
+                (small * small).sum(axis=0)
+        return time.perf_counter() - start
+
+    # Min of three: the least contention-sensitive statistic on shared runners.
+    return min(once() for _ in range(3))
+
+
+def _classification_metrics() -> dict:
+    """Full-refinement batch classification throughput and speedup."""
+    dataset = make_dataset("pendigits", size=600, random_state=0)
+    classifier = AnytimeBayesClassifier(config=DEFAULT_EXPERIMENT_CONFIG)
+    classifier.fit(dataset.features[:500], dataset.labels[:500])
+    queries = dataset.features[500:]
+
+    start = time.perf_counter()
+    scalar = [classifier.predict(query) for query in queries]
+    scalar_seconds = time.perf_counter() - start
+
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batch = classifier.predict_batch(queries)
+        best = min(best, time.perf_counter() - start)
+    assert batch == scalar, "batch and scalar predictions diverged"
+    return {
+        "batch_seconds": best,
+        "throughput_qps": len(queries) / best,
+        "speedup": scalar_seconds / best,
+    }
+
+
+def _stream_metrics() -> dict:
+    """Wall-clock of the micro-batched test-then-train stream driver (min of 2)."""
+    dataset = make_dataset("pendigits", size=1500, random_state=1)
+    tail = type(dataset)(
+        dataset.name, dataset.features[64:], dataset.labels[64:], dataset.n_classes
+    )
+
+    def once() -> tuple:
+        classifier = AnytimeBayesClassifier(config=DEFAULT_EXPERIMENT_CONFIG)
+        classifier.fit(dataset.features[:64], dataset.labels[:64])
+        stream = DataStream(tail, random_state=2)
+        start = time.perf_counter()
+        result = run_anytime_stream(classifier, stream, online_learning=True, chunk_size=64)
+        return time.perf_counter() - start, result
+
+    seconds, result = min((once() for _ in range(2)), key=lambda pair: pair[0])
+    return {"seconds": seconds, "accuracy": result.accuracy, "objects": len(result.steps)}
+
+
+def collect() -> dict:
+    calibration = _calibration_seconds()
+    classification = _classification_metrics()
+    stream = _stream_metrics()
+    drift = run_drift_recovery_experiment(
+        size=600, warmup=64, window=100, decay_rate=0.02, expiry_threshold=1e-3, random_state=0
+    )
+
+    metrics = {
+        "classification_throughput_norm": {
+            "value": classification["throughput_qps"] * calibration,
+            "direction": "higher",
+            "note": "full-refinement queries/s x calibration seconds (machine-normalised)",
+        },
+        "batch_speedup_vs_scalar": {
+            "value": classification["speedup"],
+            "direction": "higher",
+            "note": "vectorised predict_batch vs scalar predict loop (dimensionless)",
+        },
+        "stream_wallclock_norm": {
+            "value": stream["seconds"] / calibration,
+            "direction": "lower",
+            "note": "1436-object test-then-train wall-clock / calibration seconds",
+        },
+        "stream_accuracy": {
+            "value": stream["accuracy"],
+            "direction": "higher",
+            "note": "prequential accuracy of the stationary test-then-train run (deterministic)",
+        },
+        "drift_recovery_accuracy": {
+            "value": drift.decayed_post_drift_accuracy,
+            "direction": "higher",
+            "note": "decayed forest post-drift sliding-window accuracy (deterministic)",
+        },
+        "drift_recovery_gain": {
+            "value": drift.recovery_gain,
+            "direction": "higher",
+            "note": "decayed minus plain post-drift accuracy (deterministic)",
+        },
+    }
+    return {
+        "schema": SCHEMA,
+        "calibration_s": calibration,
+        "python": platform.python_version(),
+        "metrics": metrics,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_pr3.json", help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    report = collect()
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for name, metric in report["metrics"].items():
+        print(f"  {name:32s} {metric['value']:12.4f} ({metric['direction']} is better)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

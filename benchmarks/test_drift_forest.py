@@ -1,0 +1,42 @@
+"""Drift-recovery benchmark: the adaptive (decayed) forest on evolving streams.
+
+The §4.2 extension's whole point: on a stream whose concept changes, a
+never-forgetting kernel model is *worse than useless* — every stale kernel
+votes for the old concept — while the exponentially decayed forest fades the
+old concept out and recovers.  This benchmark prints the sliding-window
+prequential accuracy around a sudden concept swap for both forests and
+asserts the qualitative ordering (the quantitative gate lives in
+``collect_bench.py`` / ``check_regression.py``).
+"""
+
+from repro.evaluation import run_drift_recovery_experiment
+
+
+def test_bench_drift_recovery_decayed_vs_plain():
+    result = run_drift_recovery_experiment(
+        size=600, warmup=64, window=100, decay_rate=0.02, expiry_threshold=1e-3, random_state=0
+    )
+    drift = result.drift_position
+    print("\nsudden-drift stream (600 objects, concept swap at midpoint)")
+    print(f"{'window end':>12s}{'plain':>9s}{'decayed':>9s}")
+    for position in range(49, len(result.plain_curve), 50):
+        print(
+            f"{position:>12d}{result.plain_curve[position]:>9.3f}"
+            f"{result.decayed_curve[position]:>9.3f}"
+        )
+    print(
+        f"post-drift sliding-window accuracy: plain "
+        f"{result.plain_post_drift_accuracy:.3f}, decayed "
+        f"{result.decayed_post_drift_accuracy:.3f} "
+        f"(gain {result.recovery_gain:+.3f}); stored objects "
+        f"{result.plain_stored_objects} vs {result.decayed_stored_objects}"
+    )
+    # Pre-drift both models are fine...
+    assert result.plain_curve[:drift].mean() > 0.8
+    assert result.decayed_curve[:drift].mean() > 0.8
+    # ...post-drift only the decayed forest recovers.
+    assert result.decayed_post_drift_accuracy > result.plain_post_drift_accuracy + 0.3
+    assert result.decayed_curve[-1] > 0.85
+    assert result.plain_curve[-1] < 0.5
+    # Expiry keeps the decayed forest's memory at or below the plain one's.
+    assert result.decayed_stored_objects <= result.plain_stored_objects

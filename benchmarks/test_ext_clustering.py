@@ -72,7 +72,7 @@ def test_ext_anytime_clustering(benchmark):
             f"{label:>12s}{stats['micro']:>8d}{stats['macro']:>8d}"
             f"{stats['purity']:>9.3f}{stats['parked']:>9d}{stats['weight']:>10.1f}"
         )
-    print(f"\ndistance of the cluster model to the current concept under drift:")
+    print("\ndistance of the cluster model to the current concept under drift:")
     for label, value in drift.items():
         print(f"  {label:10s}: {value:.2f}")
 

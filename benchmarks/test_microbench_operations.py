@@ -152,8 +152,8 @@ class _PerInsertRefreshClassifier(AnytimeBayesClassifier):
                 entry.point for entry in tree.index.iter_leaf_entries()
             ]
 
-    def partial_fit(self, point, label):
-        super().partial_fit(point, label)
+    def partial_fit(self, point, label, timestamp=None):
+        super().partial_fit(point, label, timestamp=timestamp)
         tree = self.trees[label]
         points = self._point_lists.setdefault(label, [])
         points.append(np.asarray(point, dtype=float))
@@ -242,7 +242,7 @@ def test_bench_stream_test_then_train_10k(benchmark):
         f"\n10k test-then-train: incremental {new_seconds:.2f}s, "
         f"per-insert-refresh >= {legacy_estimate:.1f}s (sampled at n~5k), "
         f"same-substrate speedup >= {speedup:.1f}x "
-        f"(vs the actual pre-PR code: ~123s, ~15x)"
+        "(vs the actual pre-PR code: ~123s, ~15x)"
     )
     # Conservative same-substrate gate; the historical comparison is pinned by
     # the isolated maintenance gate below and the numbers recorded in DESIGN.md.

@@ -8,7 +8,7 @@ benchmarks as the asymptote of Figures 2-4.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Sequence
 
 import numpy as np
 

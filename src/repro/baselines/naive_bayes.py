@@ -9,7 +9,7 @@ it anchors the left end of the anytime accuracy curves.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Sequence
 
 import numpy as np
 

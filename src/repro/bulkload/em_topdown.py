@@ -23,7 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..index.entry import DirectoryEntry, LeafEntry
+from ..index.entry import DirectoryEntry
 from ..index.node import Node
 from ..index.rstar import RStarTree
 from ..stats.em import fit_gmm, hard_assignments

@@ -15,7 +15,6 @@ from typing import List, Optional
 import numpy as np
 
 from ..index.entry import DirectoryEntry
-from ..index.node import AnyEntry, Node
 from ..index.rstar import RStarTree
 from .base import BulkLoader, pack_entries_into_nodes, stack_levels
 

@@ -25,7 +25,7 @@ The implementation follows what later became ClusTree (Kranen, Assent, Baldauf
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

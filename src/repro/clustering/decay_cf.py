@@ -1,106 +1,13 @@
 """Time-decayed cluster features for the anytime-clustering extension.
 
-Paper §4.2: "Exploiting their temporal multiplicity we can decrease the
-influence of older data in the current representation by an exponential decay
-function.  Moreover, this allows to reuse node entries if their contribution
-is too insignificant due to their age."
-
-A decayed cluster feature stores (n, LS, SS) together with the timestamp of
-its last update; before any read or update the three summaries are multiplied
-by ``2 ** (-decay_rate * elapsed_time)``, which is exactly the exponential
-decay later used by ClusTree (Kranen et al., 2011).
+The implementation moved to :mod:`repro.index.decay` when the Bayes tree
+itself learned the §4.2 exponential decay: one decayed-summary type now backs
+both the ClusTree micro-clusters and the classifier's decayed training
+statistics.  This module re-exports it so historical imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
-
-import numpy as np
-
-from ..index.cluster_feature import ClusterFeature
-from ..stats.gaussian import Gaussian
+from ..index.decay import DecayedClusterFeature
 
 __all__ = ["DecayedClusterFeature"]
-
-
-@dataclass
-class DecayedClusterFeature:
-    """Cluster feature whose weight decays exponentially with time."""
-
-    dimension: int
-    decay_rate: float = 0.01
-    feature: ClusterFeature = field(default=None)  # type: ignore[assignment]
-    last_update: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.dimension < 1:
-            raise ValueError("dimension must be positive")
-        if self.decay_rate < 0:
-            raise ValueError("decay_rate must be non-negative")
-        if self.feature is None:
-            self.feature = ClusterFeature.zero(self.dimension)
-        if self.feature.dimension != self.dimension:
-            raise ValueError("feature dimensionality mismatch")
-
-    # -- decay handling -------------------------------------------------------------------
-    def decay_factor(self, now: float) -> float:
-        """Multiplicative decay accumulated since the last update."""
-        elapsed = max(0.0, now - self.last_update)
-        return float(2.0 ** (-self.decay_rate * elapsed))
-
-    def decay_to(self, now: float) -> None:
-        """Age the summaries to time ``now`` (idempotent for equal timestamps)."""
-        if now < self.last_update:
-            raise ValueError("time must not run backwards")
-        self.feature = self.feature.scaled(self.decay_factor(now))
-        self.last_update = now
-
-    # -- updates ----------------------------------------------------------------------------
-    def add_point(self, point: Sequence[float] | np.ndarray, now: float, weight: float = 1.0) -> None:
-        """Insert a point at time ``now`` (decaying the existing content first)."""
-        self.decay_to(now)
-        self.feature.add_point(np.asarray(point, dtype=float), weight=weight)
-
-    def absorb(self, other: "DecayedClusterFeature", now: float) -> None:
-        """Merge another decayed CF into this one (both aged to ``now`` first)."""
-        if other.dimension != self.dimension:
-            raise ValueError("cannot absorb a cluster feature of different dimension")
-        self.decay_to(now)
-        other_copy = other.copy()
-        other_copy.decay_to(now)
-        self.feature = self.feature + other_copy.feature
-
-    def clear(self, now: Optional[float] = None) -> None:
-        """Reset to the empty feature (used when a buffer is taken along)."""
-        self.feature = ClusterFeature.zero(self.dimension)
-        if now is not None:
-            self.last_update = now
-
-    def copy(self) -> "DecayedClusterFeature":
-        return DecayedClusterFeature(
-            dimension=self.dimension,
-            decay_rate=self.decay_rate,
-            feature=self.feature.copy(),
-            last_update=self.last_update,
-        )
-
-    # -- views --------------------------------------------------------------------------------
-    @property
-    def is_empty(self) -> bool:
-        return self.feature.is_empty
-
-    def weight(self, now: Optional[float] = None) -> float:
-        """Decayed number of represented objects at time ``now`` (or the last update)."""
-        if now is None:
-            return self.feature.n
-        return self.feature.n * self.decay_factor(now)
-
-    def mean(self) -> np.ndarray:
-        return self.feature.mean()
-
-    def variance(self) -> np.ndarray:
-        return self.feature.variance()
-
-    def to_gaussian(self, weight: Optional[float] = None) -> Gaussian:
-        return self.feature.to_gaussian(weight=weight)

@@ -10,8 +10,8 @@ total weight reaches ``min_weight`` form macro-clusters, the rest is noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -29,6 +29,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..index.cluster_feature import ClusterFeature
+from ..index.decay import LOG_HALF, DecayClock, DecayedClusterFeature
 from ..index.node import Node
 from ..index.rstar import RStarTree
 from ..stats.gaussian import logsumexp
@@ -57,34 +59,49 @@ class _LeafMeansBuffer:
     """Amortised-growth buffer of the leaf kernel centers, in insertion order.
 
     Appends are O(d) amortised (capacity doubles on overflow); bulk rebuilds
-    (tree adoption) compact the buffer to a small headroom.  The ``view`` is
-    the packed ``(n, d)`` prefix backing the tree's ``leaf_arrays``.
+    (tree adoption, expiry) compact the buffer to a small headroom.  The
+    ``view`` is the packed ``(n, d)`` prefix backing the tree's
+    ``leaf_arrays``; ``times_view`` is the parallel vector of insertion
+    timestamps from which the decayed mixture weights are derived in one
+    vectorised expression (all zeros in undecayed trees).
     """
 
-    __slots__ = ("dimension", "size", "_buffer")
+    __slots__ = ("dimension", "size", "_buffer", "_times")
 
     def __init__(self, dimension: int, capacity: int = 64) -> None:
         self.dimension = dimension
         self.size = 0
         self._buffer = np.empty((max(1, capacity), dimension))
+        self._times = np.zeros(self._buffer.shape[0])
 
     @property
     def view(self) -> np.ndarray:
         return self._buffer[: self.size]
 
-    def append(self, point: np.ndarray) -> None:
+    @property
+    def times_view(self) -> np.ndarray:
+        return self._times[: self.size]
+
+    def append(self, point: np.ndarray, timestamp: float = 0.0) -> None:
         if self.size == self._buffer.shape[0]:
             grown = np.empty((2 * self._buffer.shape[0], self.dimension))
             grown[: self.size] = self._buffer
             self._buffer = grown
+            grown_times = np.zeros(grown.shape[0])
+            grown_times[: self.size] = self._times[: self.size]
+            self._times = grown_times
         self._buffer[self.size] = point
+        self._times[self.size] = timestamp
         self.size += 1
 
-    def rebuild(self, points: np.ndarray) -> None:
+    def rebuild(self, points: np.ndarray, times: Optional[np.ndarray] = None) -> None:
         """Replace the contents with ``points`` (compacts to ~12% headroom)."""
         count = points.shape[0]
         self._buffer = np.empty((max(64, count + count // 8), self.dimension))
         self._buffer[:count] = points
+        self._times = np.zeros(self._buffer.shape[0])
+        if times is not None:
+            self._times[:count] = times
         self.size = count
 
     def clear(self) -> None:
@@ -97,22 +114,29 @@ class BayesTree:
     def __init__(self, dimension: int, config: Optional[BayesTreeConfig] = None) -> None:
         self.config = config or BayesTreeConfig()
         self.dimension = dimension
-        self.index = RStarTree(dimension=dimension, params=self.config.tree)
+        #: Logical clock of this tree (decay rate + current time), shared
+        #: with the index substrate so insertions stamp entries and query
+        #: packings age summaries against the same "now" (paper §4.2).  With
+        #: ``decay_rate=0`` the clock is inert and every path is bit-identical
+        #: to the never-forgetting tree.
+        self.clock = DecayClock(decay_rate=self.config.decay_rate)
+        self.index = RStarTree(dimension=dimension, params=self.config.tree, clock=self.clock)
         self._bandwidth: Optional[np.ndarray] = None
         self._bandwidth_epoch = 0
         # Running sufficient statistics (n, LS, SS) of the training set; the
         # Silverman bandwidth is re-derived from them in O(d) per insert.
-        # They are accumulated around the first observation as origin:
+        # They are kept as a decayed cluster feature (aged lazily before each
+        # update), accumulated around the first observation as origin:
         # variances are shift-invariant, and the naive SS/n - mean**2 form
         # suffers catastrophic cancellation for data whose mean is large
         # relative to its spread (e.g. timestamp-like features).
         self._stats_origin: Optional[np.ndarray] = None
-        self._stats_n = 0.0
-        self._stats_sum = np.zeros(dimension)
-        self._stats_sumsq = np.zeros(dimension)
+        self._stats = DecayedClusterFeature(dimension, decay_rate=self.config.decay_rate)
         self._leaf_means = _LeafMeansBuffer(dimension)
-        self._leaf_arrays_cache: Optional[Tuple[Tuple[int, int], _BatchParams]] = None
-        self._root_params_cache: Optional[Tuple[Tuple[int, int], _BatchParams]] = None
+        self._leaf_arrays_cache: Optional[Tuple[Tuple, _BatchParams]] = None
+        self._root_params_cache: Optional[Tuple[Tuple, _BatchParams]] = None
+        self._decay_sync_key: Optional[Tuple[int, float]] = None
+        self._last_expiry_sweep = 0.0
 
     # -- basic properties -----------------------------------------------------------------
     def __len__(self) -> int:
@@ -168,84 +192,189 @@ class BayesTree:
             self.insert(point, label=label)
         return self
 
-    def insert(self, point: Sequence[float] | np.ndarray, label: Optional[object] = None) -> None:
+    def advance_time(self, now: float) -> float:
+        """Advance the logical clock to ``now`` (never backwards).
+
+        Pure time passage is lazy: stored summaries are only aged when the
+        next insertion touches their path or the next query packs parameters,
+        so advancing the clock is O(1) amortised.  Expiry, however, is
+        checked here too — a class that stops receiving data must still shed
+        its stale kernels (class disappearance on an evolving stream).
+        """
+        advanced = self.clock.advance(now)
+        self._maybe_expire()
+        return advanced
+
+    def insert(
+        self,
+        point: Sequence[float] | np.ndarray,
+        label: Optional[object] = None,
+        timestamp: Optional[float] = None,
+    ) -> None:
         """Incremental online learning of a single new training object.
 
         Amortised O(d) model maintenance on top of the index insertion: the
         running sufficient statistics and the shared Silverman bandwidth are
         updated in closed form, and the packed leaf arrays are patched by
         appending the new kernel center — nothing re-scans the training set.
+
+        ``timestamp`` advances the logical clock before the insertion; the
+        new kernel is stamped with the clock's (possibly advanced) time and
+        the decayed running statistics are aged to it first.
         """
         point = np.asarray(point, dtype=float)
+        if timestamp is not None:
+            self.clock.advance(timestamp)
         self.index.insert(point, label=label, kernel=self.config.kernel)
         if self._stats_origin is None:
             self._stats_origin = point.copy()
         shifted = point - self._stats_origin
-        self._stats_n += 1.0
-        self._stats_sum += shifted
-        self._stats_sumsq += shifted * shifted
-        self._leaf_means.append(point)
+        self._stats.add_point(shifted, now=self.clock.now)
+        self._leaf_means.append(point, self.clock.now)
         self._update_bandwidth()
+        self._maybe_expire()
 
     def adopt_index(self, index: RStarTree) -> "BayesTree":
-        """Replace the underlying index with a bulk-loaded one."""
+        """Replace the underlying index with a bulk-loaded one.
+
+        The adopted index joins this tree's logical clock; its entries keep
+        their stamps (timestamp 0.0 for clock-less bulk loads, i.e. the bulk
+        data is treated as arriving at the stream's origin).
+        """
         if index.dimension != self.dimension:
             raise ValueError("index dimensionality does not match the Bayes tree")
+        index.clock = self.clock
         self.index = index
+        self._decay_sync_key = None
         self.recompute_statistics()
         return self
 
     def recompute_statistics(self) -> None:
         """Rebuild sufficient statistics, leaf buffer and bandwidth from the index.
 
-        O(n·d): used after adopting a bulk-loaded index, as the safety net
-        when the underlying index was mutated behind the tree's back, and by
-        benchmarks to emulate the historical per-insert full refresh.  Leaf
-        entries are normalised to tree management — their kernel family is
-        forced to ``config.kernel`` and explicit bandwidth copies are dropped
-        in favour of the shared epoch-tagged vector — exactly as the
-        historical per-entry restamp did, so the packed ``leaf_arrays`` and
-        the frontier refinement path always evaluate the same model.
+        O(n·d): used after adopting a bulk-loaded index, after an expiry
+        sweep, as the safety net when the underlying index was mutated behind
+        the tree's back, and by benchmarks to emulate the historical
+        per-insert full refresh.  Leaf entries are normalised to tree
+        management — their kernel family is forced to ``config.kernel`` and
+        explicit bandwidth copies are dropped in favour of the shared
+        epoch-tagged vector — exactly as the historical per-entry restamp
+        did, so the packed ``leaf_arrays`` and the frontier refinement path
+        always evaluate the same model.  In decayed trees the statistics are
+        the weighted sums under each kernel's decayed weight at ``clock.now``.
         """
-        points = []
+        decaying = self.clock.enabled
+        now = self.clock.now
+        entries = []
         for entry in self.index.iter_leaf_entries():
-            points.append(entry.point)
+            if decaying:
+                entry.decay_to(now, self.clock.decay_rate)
+            entries.append(entry)
             entry.kernel = self.config.kernel
             entry.bandwidth = None
-        if not points:
+        if not entries:
             self._stats_origin = None
-            self._stats_n = 0.0
-            self._stats_sum = np.zeros(self.dimension)
-            self._stats_sumsq = np.zeros(self.dimension)
+            self._stats = DecayedClusterFeature(
+                self.dimension, decay_rate=self.config.decay_rate, last_update=now
+            )
             self._leaf_means.clear()
             self._update_bandwidth()
             return
-        stacked = np.asarray(points, dtype=float)
+        stacked = np.asarray([entry.point for entry in entries], dtype=float)
+        times = np.array([entry.timestamp for entry in entries])
         origin = stacked[0].copy()
         shifted = stacked - origin
         self._stats_origin = origin
-        self._stats_n = float(stacked.shape[0])
-        self._stats_sum = shifted.sum(axis=0)
-        self._stats_sumsq = (shifted * shifted).sum(axis=0)
-        self._leaf_means.rebuild(stacked)
+        if decaying:
+            feature = ClusterFeature.from_weighted_points(
+                shifted, np.array([entry.weight for entry in entries])
+            )
+        else:
+            feature = ClusterFeature(
+                n=float(stacked.shape[0]),
+                linear_sum=shifted.sum(axis=0),
+                squared_sum=(shifted * shifted).sum(axis=0),
+            )
+        self._stats = DecayedClusterFeature(
+            self.dimension,
+            decay_rate=self.config.decay_rate,
+            feature=feature,
+            last_update=now,
+        )
+        self._leaf_means.rebuild(stacked, times)
         self._update_bandwidth()
 
     def _update_bandwidth(self) -> None:
-        """Re-derive the shared bandwidth from the running statistics (O(d))."""
-        if self._stats_n <= 0:
+        """Re-derive the shared bandwidth from the running statistics (O(d)).
+
+        In decayed trees the statistics are the decayed sums as of the last
+        model update, so Silverman's rule sees the *effective* (decayed)
+        sample size: forgetting data widens the kernels again, exactly as if
+        the faded observations had left the training set.
+        """
+        feature = self._stats.feature
+        if feature.n <= 0:
             self._bandwidth = None
         else:
-            if self._stats_n == 1.0:
-                # A single observation has no spread; fall back to unit bandwidth.
+            if feature.n <= 1.0:
+                # A single (effective) observation has no spread; fall back
+                # to unit bandwidth.
                 bandwidth = np.ones(self.dimension)
             else:
                 bandwidth = silverman_bandwidth_from_stats(
-                    self._stats_n, self._stats_sum, self._stats_sumsq
+                    feature.n, feature.linear_sum, feature.squared_sum
                 )
             if self.config.kernel == "epanechnikov":
                 bandwidth = bandwidth * _EPANECHNIKOV_RESCALE
             self._bandwidth = bandwidth * self.config.bandwidth_scale
         self._bandwidth_epoch += 1
+
+    # -- expiry (bounded memory on infinite streams) -------------------------------------
+    def _maybe_expire(self) -> None:
+        """Trigger an expiry sweep when stale kernels may have accumulated.
+
+        A fresh kernel needs ``log2(1/threshold) / decay_rate`` time units to
+        decay below the expiry threshold (the *horizon*); sweeping twice per
+        horizon bounds the stored set to roughly 1.5 horizons of arrivals
+        while keeping the amortised sweep cost per insert near-constant.
+        """
+        threshold = self.config.expiry_threshold
+        if threshold <= 0 or not self.clock.enabled:
+            return
+        horizon = math.log2(1.0 / threshold) / self.clock.decay_rate
+        if self.clock.now - self._last_expiry_sweep >= 0.5 * horizon:
+            self.expire()
+
+    def expire(self) -> int:
+        """Drop every kernel whose decayed weight fell below the threshold.
+
+        Paper §4.2: entries are reused "if their contribution is too
+        insignificant due to their age".  The index is rebuilt from the
+        surviving entries (which keep their insertion timestamps and labels)
+        through the regular R* insertion machinery, so all structural
+        invariants hold by construction; statistics, leaf buffers and the
+        bandwidth are refreshed from the survivors.  Returns the number of
+        expired observations.
+        """
+        threshold = self.config.expiry_threshold
+        if threshold <= 0 or not self.clock.enabled:
+            return 0
+        now = self.clock.now
+        self._last_expiry_sweep = now
+        survivors = []
+        dropped = 0
+        for entry in self.index.iter_leaf_entries():
+            entry.decay_to(now, self.clock.decay_rate)
+            if entry.weight >= threshold:
+                survivors.append(entry)
+            else:
+                dropped += 1
+        if dropped == 0:
+            return 0
+        self.index = self.index.rebuilt_with(survivors)
+        self._decay_sync_key = None
+        self.recompute_statistics()
+        return dropped
 
     def _variance_inflation(self) -> Optional[np.ndarray]:
         """Squared kernel bandwidth added to directory-entry Gaussians.
@@ -259,8 +388,45 @@ class BayesTree:
             return None
         return self._bandwidth ** 2
 
-    def _cache_key(self) -> Tuple[int, int]:
+    def _cache_key(self) -> Tuple:
+        """Key under which packed query parameters stay valid.
+
+        Decayed trees add the logical time: mixture weights age as the clock
+        advances, so packings are only shared between queries at the same
+        "now" (the stream driver advances time once per micro-batch, which
+        keeps the sharing of PR 1/2 intact within a batch).
+        """
+        if self.clock.enabled:
+            return (self.index.version, self._bandwidth_epoch, self.clock.now)
         return (self.index.version, self._bandwidth_epoch)
+
+    def _sync_decay(self) -> None:
+        """Age all stored summaries to ``clock.now`` before they are read.
+
+        Lazily memoised per (structure version, logical time): between two
+        model/time changes the O(n) aging walk runs at most once, mirroring
+        the existing per-version packing rebuilds.  No-op without decay.
+        """
+        if not self.clock.enabled:
+            return
+        key = (self.index.version, self.clock.now)
+        if self._decay_sync_key == key:
+            return
+        self.index.decay_entries_to(self.clock.now)
+        self._decay_sync_key = key
+
+    @property
+    def prior_weight(self) -> float:
+        """Mass of this class for the Bayes prior.
+
+        The stored object count for undecayed trees; the decayed total weight
+        at the current logical time otherwise.  Because every class decays by
+        the same global factor, priors between classes shift only when data
+        arrives or expires — never from pure time passage.
+        """
+        if not self.clock.enabled:
+            return float(len(self.index))
+        return self._stats.weight(self.clock.now)
 
     # -- queries ---------------------------------------------------------------------------------
     def root_batch_params(self) -> _BatchParams:
@@ -271,6 +437,7 @@ class BayesTree:
         the batch classification driver combines with a single vectorised
         evaluation for a whole chunk of queries.
         """
+        self._sync_decay()
         key = self._cache_key()
         cached = self._root_params_cache
         if cached is not None and cached[0] == key:
@@ -294,6 +461,7 @@ class BayesTree:
         """
         if self.n_objects == 0:
             raise ValueError("cannot query an empty Bayes tree")
+        self._sync_decay()
         query = np.asarray(query, dtype=float)
         if query.shape != (self.dimension,):
             raise ValueError(f"query must have shape ({self.dimension},)")
@@ -327,6 +495,7 @@ class BayesTree:
         """
         if self.n_objects == 0:
             raise ValueError("cannot pack leaf arrays of an empty Bayes tree")
+        self._sync_decay()
         if self._leaf_means.size != len(self.index):
             # The index was mutated without going through insert()/adopt_index
             # (e.g. direct index manipulation in tests); fall back to a rebuild.
@@ -353,7 +522,17 @@ class BayesTree:
                 scales = np.broadcast_to(self._bandwidth ** 2, (count, self.dimension))
                 kind = GAUSSIAN_KIND
             kinds = np.full(count, kind, dtype=np.int8)
-            log_weights = np.full(count, -math.log(count))
+            if self.clock.enabled:
+                # Decayed mixture weights, derived in one vectorised
+                # expression from the immutable insertion timestamps:
+                # ln w_i = -lambda * ln(2) * (now - t_i), normalised so the
+                # packed model stays a proper (weighted) density.
+                raw = (LOG_HALF * self.clock.decay_rate) * (
+                    self.clock.now - self._leaf_means.times_view
+                )
+                log_weights = raw - logsumexp(raw)
+            else:
+                log_weights = np.full(count, -math.log(count))
             arrays = (means, scales, kinds, log_weights)
         else:
             entries = list(self.index.iter_leaf_entries())
@@ -414,6 +593,7 @@ class BayesTree:
         query = np.asarray(query, dtype=float)
         if not (0 <= level <= self.root.level):
             raise ValueError(f"level must be between 0 and {self.root.level}")
+        self._sync_decay()
         entries = []
         for node in self.index.iter_nodes():
             if node.level == level:

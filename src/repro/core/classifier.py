@@ -164,6 +164,10 @@ class AnytimeBayesClassifier:
         self.dimension: Optional[int] = None
         self._priors_cache: Optional[Dict[Hashable, float]] = None
         self._log_priors_cache: Optional[Dict[Hashable, float]] = None
+        #: Forest-wide logical time: every class tree's clock is kept at this
+        #: value so decayed priors and per-class mixture weights are always
+        #: compared at the same "now".
+        self._now = 0.0
 
     # -- training -------------------------------------------------------------------------------
     @property
@@ -188,6 +192,11 @@ class AnytimeBayesClassifier:
             raise ValueError("labels must match the number of points")
         self.dimension = points.shape[1]
         self.trees = {}
+        # A from-scratch fit starts a fresh timeline: the new trees' clocks
+        # begin at 0, so the forest clock must not retain a stale "now" (a
+        # lower timestamp would otherwise be silently clamped and decay
+        # would never engage after a re-fit).
+        self._now = 0.0
         for label in sorted(set(labels), key=repr):
             mask = np.array([l == label for l in labels])
             tree = BayesTree(dimension=self.dimension, config=self.config)
@@ -197,15 +206,49 @@ class AnytimeBayesClassifier:
         return self
 
     def set_tree(self, label: Hashable, tree: BayesTree) -> None:
-        """Attach an externally built (e.g. bulk-loaded) tree for a class."""
+        """Attach an externally built (e.g. bulk-loaded) tree for a class.
+
+        The forest and the new tree synchronise clocks to the later of the
+        two "now"s, so decayed priors across classes stay comparable.
+        """
         if self.dimension is None:
             self.dimension = tree.dimension
         if tree.dimension != self.dimension:
             raise ValueError("tree dimensionality does not match the classifier")
         self.trees[label] = tree
+        if tree.clock.now > self._now:
+            self.advance_time(tree.clock.now)
+        else:
+            tree.advance_time(self._now)
         self._invalidate_priors()
 
-    def partial_fit(self, point: Sequence[float] | np.ndarray, label: Hashable) -> None:
+    def advance_time(self, now: float) -> float:
+        """Advance the forest's logical clock (drives exponential decay).
+
+        Every class tree is moved to the same ``now`` (clamped monotone), so
+        decayed priors and mixture weights across classes stay comparable.
+        Aging of stored summaries is lazy — pure time passage costs
+        O(#classes) — and a non-advancing call returns in O(1) (the stream
+        driver advances once per chunk; the per-item ``partial_fit``
+        timestamps that follow are never ahead of it).  Because advancing
+        time can trigger expiry sweeps that change per-class weights, the
+        prior cache is invalidated whenever the clock actually moves.
+        """
+        now = float(now)
+        if now <= self._now:
+            return self._now
+        self._now = now
+        for tree in self.trees.values():
+            tree.advance_time(now)
+        self._invalidate_priors()
+        return self._now
+
+    def partial_fit(
+        self,
+        point: Sequence[float] | np.ndarray,
+        label: Hashable,
+        timestamp: Optional[float] = None,
+    ) -> None:
         """Incremental online learning from one new labelled object (stream training).
 
         Amortised O(d) model maintenance on top of the O(log n) index
@@ -214,13 +257,21 @@ class AnytimeBayesClassifier:
         (historically this re-ran Silverman's rule over the *full* training
         set and restamped every leaf entry — Θ(n) per insert, Θ(n²) per
         stream), and the prior cache is invalidated in O(1) and re-derived
-        from the trees' object counts the next time it is read.
+        from the trees' (decayed) weights the next time it is read.
+
+        ``timestamp`` advances the forest clock before learning, so the new
+        kernel is stamped with its arrival time and older data keeps fading
+        (ignored — a no-op — when the configured ``decay_rate`` is zero).
         """
         point = np.asarray(point, dtype=float)
+        if timestamp is not None:
+            self.advance_time(timestamp)
         if self.dimension is None:
             self.dimension = point.shape[0]
         if label not in self.trees:
-            self.trees[label] = BayesTree(dimension=self.dimension, config=self.config)
+            tree = BayesTree(dimension=self.dimension, config=self.config)
+            tree.advance_time(self._now)
+            self.trees[label] = tree
         self.trees[label].insert(point, label=label)
         self._invalidate_priors()
 
@@ -229,12 +280,12 @@ class AnytimeBayesClassifier:
         self._log_priors_cache = None
 
     def _rebuild_priors(self) -> None:
-        total = float(sum(tree.n_objects for tree in self.trees.values()))
+        total = float(sum(tree.prior_weight for tree in self.trees.values()))
         if total <= 0:
             self._priors_cache = {label: 0.0 for label in self.trees}
         else:
             self._priors_cache = {
-                label: tree.n_objects / total for label, tree in self.trees.items()
+                label: tree.prior_weight / total for label, tree in self.trees.items()
             }
         self._log_priors_cache = {
             label: math.log(prior) if prior > 0 else -math.inf
@@ -243,7 +294,16 @@ class AnytimeBayesClassifier:
 
     @property
     def priors(self) -> Dict[Hashable, float]:
-        """Class priors P(c) (relative class frequencies), rebuilt lazily."""
+        """Class priors P(c), rebuilt lazily.
+
+        Relative class frequencies in the training data; under exponential
+        decay, relative *decayed* class weights — old observations lose their
+        vote, so the priors of a forest on an evolving stream track the
+        current class distribution instead of the historical one.  Because
+        all classes decay by the same global factor, the ratios only change
+        when data arrives or expires, which is what makes the O(1)
+        invalidate-on-insert caching sound under decay too.
+        """
         if self._priors_cache is None:
             self._rebuild_priors()
         return self._priors_cache
@@ -256,6 +316,18 @@ class AnytimeBayesClassifier:
         return self._log_priors_cache
 
     # -- anytime classification -------------------------------------------------------------------
+    def _alive_trees(self) -> Dict[Hashable, BayesTree]:
+        """Class trees that still hold observations.
+
+        A class can empty out when expiry drops its last stale kernel (class
+        disappearance on an evolving stream); its tree is kept — the class
+        may recur — but it cannot be queried until new data arrives.
+        """
+        alive = {label: tree for label, tree in self.trees.items() if tree.n_objects > 0}
+        if not alive:
+            raise ValueError("classifier holds no training observations (all expired)")
+        return alive
+
     def _effective_k(self) -> int:
         if self.qbk_k is not None:
             return max(1, min(self.qbk_k, self.n_classes))
@@ -294,7 +366,9 @@ class AnytimeBayesClassifier:
         if max_nodes < 0:
             raise ValueError("max_nodes must be non-negative")
         query = np.asarray(query, dtype=float)
-        frontiers = {label: tree.frontier(query) for label, tree in self.trees.items()}
+        frontiers = {
+            label: tree.frontier(query) for label, tree in self._alive_trees().items()
+        }
         result = AnytimeClassification(query=query)
 
         log_posterior = self._log_posterior(frontiers)
@@ -417,7 +491,7 @@ class AnytimeBayesClassifier:
         # of it for the whole chunk; each frontier is seeded with its query's
         # row instead of re-evaluating the root entries per query.
         root_rows: List[Tuple[Hashable, "BayesTree", np.ndarray]] = []
-        for label, tree in self.trees.items():
+        for label, tree in self._alive_trees().items():
             means, scales, kinds, _ = tree.root_batch_params()
             root_rows.append(
                 (label, tree, component_log_densities(queries, means, scales, kinds))
@@ -543,11 +617,12 @@ class AnytimeBayesClassifier:
 
     def _predict_batch_full(self, queries: np.ndarray) -> List[Hashable]:
         """Fully-refined batch prediction straight from the leaf arrays."""
-        labels = sorted(self.trees.keys(), key=repr)
+        alive = self._alive_trees()
+        labels = sorted(alive.keys(), key=repr)
         log_priors = self.log_priors
         scores = np.empty((queries.shape[0], len(labels)))
         for column, label in enumerate(labels):
-            scores[:, column] = log_priors[label] + self.trees[label].log_density_batch(queries)
+            scores[:, column] = log_priors[label] + alive[label].log_density_batch(queries)
         # Labels are repr-sorted and np.argmax returns the first maximum, so
         # ties break exactly like :meth:`_argmax`.
         best = np.argmax(scores, axis=1)

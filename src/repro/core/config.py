@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..index.rstar import TreeParameters
 
@@ -26,17 +25,36 @@ class BayesTreeConfig:
     bandwidth_scale:
         Multiplier applied to the Silverman rule-of-thumb bandwidth; 1.0
         reproduces the paper's data-independent setting.
+    decay_rate:
+        Exponent ``lambda`` of the ``2 ** (-lambda * dt)`` exponential decay
+        applied to all stored statistics as the tree's logical clock advances
+        (the §4.2 anytime-stream extension).  0.0 (the default) disables
+        decay entirely and keeps every code path bit-identical to the
+        never-forgetting tree of the paper's main sections.
+    expiry_threshold:
+        Decayed weight below which a stored kernel is considered
+        insignificant and may be expired from the tree (bounding memory on
+        infinite streams).  0.0 disables expiry; only meaningful together
+        with a positive ``decay_rate``.
     """
 
     tree: TreeParameters = field(default_factory=TreeParameters)
     kernel: str = "gaussian"
     bandwidth_scale: float = 1.0
+    decay_rate: float = 0.0
+    expiry_threshold: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kernel not in ("gaussian", "epanechnikov"):
             raise ValueError("kernel must be 'gaussian' or 'epanechnikov'")
         if self.bandwidth_scale <= 0:
             raise ValueError("bandwidth_scale must be positive")
+        if self.decay_rate < 0:
+            raise ValueError("decay_rate must be non-negative")
+        if not (0.0 <= self.expiry_threshold < 1.0):
+            raise ValueError("expiry_threshold must be in [0, 1)")
+        if self.expiry_threshold > 0 and self.decay_rate == 0:
+            raise ValueError("expiry_threshold requires a positive decay_rate")
 
 
 def default_qbk_k(n_classes: int) -> int:

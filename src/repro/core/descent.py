@@ -15,7 +15,7 @@ one to expand in the next time step.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence, TYPE_CHECKING
+from typing import Sequence, TYPE_CHECKING
 
 import numpy as np
 

@@ -15,7 +15,7 @@ substrate untouched.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
@@ -23,7 +23,6 @@ import numpy as np
 from ..index.cluster_feature import ClusterFeature
 from ..index.entry import DirectoryEntry, LeafEntry
 from ..index.node import AnyEntry, Node
-from ..stats.kernel import silverman_bandwidth
 from .bayes_tree import BayesTree
 from .config import BayesTreeConfig
 from .descent import DescentStrategy, make_descent_strategy

@@ -80,7 +80,6 @@ def _axes_to_transpose(axes: Sequence[int], bits: int) -> list[int]:
 
 def _transpose_to_index(transpose: Sequence[int], bits: int) -> int:
     """Interleave the transpose form into a single Hilbert index."""
-    dimensions = len(transpose)
     index = 0
     for bit in range(bits - 1, -1, -1):
         for value in transpose:

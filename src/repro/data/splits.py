@@ -10,7 +10,7 @@ benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

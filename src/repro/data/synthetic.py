@@ -36,8 +36,8 @@ are modelled explicitly (see DESIGN.md, substitutions):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -292,29 +292,152 @@ def make_blobs(
     )
 
 
+#: Drift kinds understood by :func:`make_drift_stream`.
+DRIFT_KINDS = ("none", "incremental", "sudden", "gradual", "recurring")
+
+
+def _concept_schedule(
+    size: int,
+    drift: str,
+    n_segments: int,
+    transition: float,
+    recur_period: Optional[int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-item concept index for the segment-based drift kinds.
+
+    * ``sudden``: the stream is cut into ``n_segments`` equal segments, each
+      an abrupt switch to the next concept.
+    * ``gradual``: like ``sudden``, but for the first ``transition`` fraction
+      of each new segment items are drawn from the *new* concept only with a
+      probability ramping from 0 to 1 (old and new concept interleave).
+    * ``recurring``: the stream alternates between concept 0 and concept 1
+      every ``recur_period`` items — earlier concepts return, the scenario
+      where total forgetting is as wrong as never forgetting.
+    """
+    if drift == "recurring":
+        period = max(1, size // 4) if recur_period is None else int(recur_period)
+        if period < 1:
+            raise ValueError("recur_period must be positive")
+        return (np.arange(size) // period) % 2
+    segment_length = max(1, -(-size // n_segments))  # ceil division
+    base = np.arange(size) // segment_length
+    if drift == "sudden":
+        return base
+    # gradual: probabilistic hand-over at the start of each new segment.
+    offsets = np.arange(size) - base * segment_length
+    window = max(1, int(round(transition * segment_length)))
+    ramp = np.clip((offsets + 1) / (window + 1), 0.0, 1.0)
+    use_new = rng.random(size) < ramp
+    concept = np.where(use_new, base, np.maximum(base - 1, 0))
+    return concept
+
+
 def make_drift_stream(
     size: int,
     n_classes: int = 2,
     n_features: int = 2,
+    drift: str = "incremental",
     drift_speed: float = 0.01,
+    n_segments: int = 2,
+    transition: float = 0.25,
+    recur_period: Optional[int] = None,
+    class_schedule: Optional[Dict[int, tuple]] = None,
     random_state: Optional[int] = None,
 ) -> Dataset:
-    """Labelled stream whose class centers move over time (concept drift).
+    """Labelled stream whose class-conditional distributions evolve over time.
 
-    Used by the clustering extension benchmarks: the class means follow a
-    random walk so older data gradually becomes unrepresentative — the
-    situation the exponential-decay cluster features are designed for
-    (paper §4.2).
+    The scenario generator behind the adaptive (decayed) Bayes forest
+    benchmarks: older data gradually or abruptly becomes unrepresentative —
+    the situation the §4.2 exponential decay is designed for.
+
+    Parameters
+    ----------
+    drift:
+        * ``"incremental"`` (default) — the class means follow a slow random
+          walk with per-class step ``drift_speed`` (the historical behaviour).
+        * ``"sudden"`` — the stream is split into ``n_segments`` segments; at
+          every boundary the class regions are cyclically reassigned
+          (class ``i`` jumps to the region previously owned by class
+          ``i + 1``), so a model trained on the old concept is maximally
+          misled until it forgets.
+        * ``"gradual"`` — like ``"sudden"`` but with a probabilistic
+          hand-over: during the first ``transition`` fraction of a new
+          segment, old- and new-concept items interleave with a shifting mix.
+        * ``"recurring"`` — alternates between two concepts every
+          ``recur_period`` items (default ``size // 4``); old concepts return.
+        * ``"none"`` — stationary stream (control case).
+    class_schedule:
+        Optional presence windows ``{label: (start_fraction, end_fraction)}``
+        modelling class appearance and disappearance: outside its window a
+        class emits no items.  Classes without an entry are always active;
+        at every position at least one class must remain active.
     """
     if size < 1:
         raise ValueError("size must be positive")
+    if n_classes < 1:
+        raise ValueError("n_classes must be positive")
+    if drift not in DRIFT_KINDS:
+        raise ValueError(f"unknown drift kind {drift!r}; expected one of {DRIFT_KINDS}")
+    if n_segments < 1:
+        raise ValueError("n_segments must be positive")
+    if not (0.0 <= transition <= 1.0):
+        raise ValueError("transition must be in [0, 1]")
     rng = np.random.default_rng(random_state)
+
+    if drift == "incremental" and class_schedule is None:
+        # Historical random-walk generator, kept verbatim (same rng call
+        # sequence) so seeded streams reproduce across versions.
+        centers = rng.normal(scale=4.0, size=(n_classes, n_features))
+        drift_direction = rng.normal(size=(n_classes, n_features))
+        drift_direction /= np.linalg.norm(drift_direction, axis=1, keepdims=True)
+        features = np.empty((size, n_features))
+        labels = rng.integers(0, n_classes, size=size)
+        for t in range(size):
+            centers = centers + drift_speed * drift_direction
+            features[t] = rng.normal(loc=centers[labels[t]], scale=1.0)
+        return Dataset(name="drift", features=features, labels=labels, n_classes=n_classes)
+
+    # -- labels (class appearance / disappearance) ---------------------------------
+    if class_schedule is None:
+        labels = np.asarray(rng.integers(0, n_classes, size=size))
+    else:
+        windows = {}
+        for label, window in class_schedule.items():
+            if not (0 <= int(label) < n_classes):
+                raise ValueError(f"class_schedule label {label!r} out of range")
+            start, end = float(window[0]), float(window[1])
+            if not (0.0 <= start < end <= 1.0):
+                raise ValueError("class_schedule windows must satisfy 0 <= start < end <= 1")
+            windows[int(label)] = (start * size, end * size)
+        labels = np.empty(size, dtype=int)
+        for t in range(size):
+            active = [
+                label
+                for label in range(n_classes)
+                if label not in windows or windows[label][0] <= t < windows[label][1]
+            ]
+            if not active:
+                raise ValueError(f"class_schedule leaves no active class at position {t}")
+            labels[t] = active[rng.integers(len(active))]
+
+    # -- features -------------------------------------------------------------------
     centers = rng.normal(scale=4.0, size=(n_classes, n_features))
-    drift_direction = rng.normal(size=(n_classes, n_features))
-    drift_direction /= np.linalg.norm(drift_direction, axis=1, keepdims=True)
     features = np.empty((size, n_features))
-    labels = rng.integers(0, n_classes, size=size)
-    for t in range(size):
-        centers = centers + drift_speed * drift_direction
-        features[t] = rng.normal(loc=centers[labels[t]], scale=1.0)
+    if drift == "incremental":
+        drift_direction = rng.normal(size=(n_classes, n_features))
+        drift_direction /= np.linalg.norm(drift_direction, axis=1, keepdims=True)
+        for t in range(size):
+            centers = centers + drift_speed * drift_direction
+            features[t] = rng.normal(loc=centers[labels[t]], scale=1.0)
+    elif drift == "none":
+        for t in range(size):
+            features[t] = rng.normal(loc=centers[labels[t]], scale=1.0)
+    else:
+        concept = _concept_schedule(size, drift, n_segments, transition, recur_period, rng)
+        for t in range(size):
+            # Concept k cyclically reassigns the class regions; with two
+            # classes a concept change is an exact label swap.
+            region = (labels[t] + concept[t]) % n_classes
+            features[t] = rng.normal(loc=centers[region], scale=1.0)
     return Dataset(name="drift", features=features, labels=labels, n_classes=n_classes)

@@ -9,14 +9,22 @@ from .anytime_eval import (
 from .experiment import (
     DEFAULT_EXPERIMENT_CONFIG,
     BulkloadExperimentResult,
+    DriftRecoveryResult,
     ExperimentConfig,
     StreamExperimentResult,
     format_curve_table,
     run_bulkload_experiment,
+    run_drift_recovery_experiment,
     run_stream_experiment,
     table1_rows,
 )
-from .metrics import accuracy, anytime_curve_summary, confusion_matrix
+from .metrics import (
+    accuracy,
+    anytime_curve_summary,
+    confusion_matrix,
+    fading_accuracy,
+    sliding_window_accuracy,
+)
 
 __all__ = [
     "CrossValidatedCurve",
@@ -25,6 +33,8 @@ __all__ = [
     "cross_validated_anytime_curve",
     "DEFAULT_EXPERIMENT_CONFIG",
     "BulkloadExperimentResult",
+    "DriftRecoveryResult",
+    "run_drift_recovery_experiment",
     "ExperimentConfig",
     "StreamExperimentResult",
     "format_curve_table",
@@ -34,4 +44,6 @@ __all__ = [
     "accuracy",
     "anytime_curve_summary",
     "confusion_matrix",
+    "fading_accuracy",
+    "sliding_window_accuracy",
 ]

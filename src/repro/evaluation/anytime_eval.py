@@ -8,7 +8,7 @@ exactly those curves for any anytime classifier and any bulk-loading strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Hashable, List, Optional, Sequence
 
 import numpy as np
 

@@ -8,13 +8,13 @@ orderings listed in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.config import BayesTreeConfig
-from ..data.synthetic import DATASET_SPECS, Dataset, make_dataset
+from ..data.synthetic import DATASET_SPECS, Dataset, make_dataset, make_drift_stream
 from ..index.rstar import TreeParameters
 from .anytime_eval import CrossValidatedCurve, cross_validated_anytime_curve
 from .metrics import anytime_curve_summary
@@ -25,6 +25,8 @@ __all__ = [
     "run_bulkload_experiment",
     "StreamExperimentResult",
     "run_stream_experiment",
+    "DriftRecoveryResult",
+    "run_drift_recovery_experiment",
     "table1_rows",
     "format_curve_table",
 ]
@@ -150,6 +152,97 @@ def run_stream_experiment(
         mean_nodes_read=result.mean_nodes_read,
         objects=len(result.steps),
         learned_objects=int(learned),
+    )
+
+
+@dataclass
+class DriftRecoveryResult:
+    """Decayed-vs-plain comparison on one drifting stream.
+
+    ``post_drift_accuracy`` values are means of the sliding-window
+    prequential accuracy over the post-drift region (after a settling gap of
+    half a window, so the window holds post-drift outcomes only).
+    """
+
+    drift_position: int
+    window: int
+    decayed_curve: np.ndarray
+    plain_curve: np.ndarray
+    decayed_post_drift_accuracy: float
+    plain_post_drift_accuracy: float
+    decayed_stored_objects: int
+    plain_stored_objects: int
+
+    @property
+    def recovery_gain(self) -> float:
+        """How much post-drift accuracy the exponential decay buys."""
+        return self.decayed_post_drift_accuracy - self.plain_post_drift_accuracy
+
+
+def run_drift_recovery_experiment(
+    size: int = 600,
+    warmup: int = 64,
+    window: int = 100,
+    decay_rate: float = 0.02,
+    expiry_threshold: float = 1e-3,
+    drift: str = "sudden",
+    chunk_size: int = 32,
+    nodes_per_time_unit: float = 20.0,
+    tree_config: Optional[BayesTreeConfig] = None,
+    random_state: int = 0,
+) -> DriftRecoveryResult:
+    """Measure drift recovery of the decayed forest against a plain one.
+
+    Both classifiers are warm-started with timestamped ``partial_fit`` on the
+    first ``warmup`` stream objects and then run the same deferred-label
+    test-then-train protocol over a sudden-drift stream (the class regions
+    swap at the midpoint, so a never-forgetting model is maximally misled).
+    The streams are replayed *in order* (no shuffling — shuffling would
+    destroy the drift) and the items' arrival timestamps drive the decay.
+    """
+    from ..core.classifier import AnytimeBayesClassifier
+    from ..stream import DataStream, run_anytime_stream
+
+    # The concept change sits at the second segment's start — ceil division,
+    # matching data.synthetic._concept_schedule.
+    segment_length = -(-size // 2)
+    if not (0 < warmup < segment_length):
+        raise ValueError("warmup must lie strictly before the concept change (size/2)")
+    if segment_length + window // 2 >= size:
+        raise ValueError("window leaves no settled post-drift region; shrink it or grow size")
+    base = tree_config or DEFAULT_EXPERIMENT_CONFIG
+    dataset = make_drift_stream(
+        size=size, drift=drift, n_segments=2, random_state=random_state
+    )
+    curves = {}
+    stored = {}
+    for name, config in (
+        ("plain", replace(base, decay_rate=0.0, expiry_threshold=0.0)),
+        ("decayed", replace(base, decay_rate=decay_rate, expiry_threshold=expiry_threshold)),
+    ):
+        classifier = AnytimeBayesClassifier(config=config)
+        stream = DataStream(
+            dataset, shuffle=False, nodes_per_time_unit=nodes_per_time_unit
+        )
+        items = stream.items()
+        for item in items[:warmup]:
+            classifier.partial_fit(item.features, item.label, timestamp=item.arrival_time)
+        result = run_anytime_stream(
+            classifier, items[warmup:], online_learning=True, chunk_size=chunk_size
+        )
+        curves[name] = result.sliding_window_accuracy(window)
+        stored[name] = int(sum(tree.n_objects for tree in classifier.trees.values()))
+    drift_position = segment_length - warmup  # index of the concept change in the curves
+    settled = drift_position + window // 2
+    return DriftRecoveryResult(
+        drift_position=drift_position,
+        window=window,
+        decayed_curve=curves["decayed"],
+        plain_curve=curves["plain"],
+        decayed_post_drift_accuracy=float(curves["decayed"][settled:].mean()),
+        plain_post_drift_accuracy=float(curves["plain"][settled:].mean()),
+        decayed_stored_objects=stored["decayed"],
+        plain_stored_objects=stored["plain"],
     )
 
 

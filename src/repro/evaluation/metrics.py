@@ -6,7 +6,13 @@ from typing import Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["accuracy", "confusion_matrix", "anytime_curve_summary"]
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "anytime_curve_summary",
+    "sliding_window_accuracy",
+    "fading_accuracy",
+]
 
 
 def accuracy(predictions: Sequence[Hashable], labels: Sequence[Hashable]) -> float:
@@ -34,6 +40,55 @@ def confusion_matrix(
     for prediction, label in zip(predictions, labels):
         matrix[index[label], index[prediction]] += 1
     return matrix, classes
+
+
+def _prequential_outcomes(outcomes: Sequence[float]) -> np.ndarray:
+    """Validate and coerce a 0/1 (or bool) prequential outcome sequence."""
+    outcomes = np.asarray(list(outcomes), dtype=float)
+    if outcomes.ndim != 1:
+        raise ValueError("outcomes must be a 1-d sequence")
+    return outcomes
+
+
+def sliding_window_accuracy(outcomes: Sequence[float], window: int) -> np.ndarray:
+    """Prequential accuracy over a sliding count window.
+
+    ``result[t]`` is the mean outcome of the last ``window`` evaluated
+    objects up to and including ``t`` (fewer while the window fills).  The
+    sliding window forgets abruptly, which makes it the standard lens for
+    *drift recovery*: after a concept change the curve first collapses and
+    then climbs back as the classifier adapts — the climb-back speed is the
+    recovery time (Gama et al., "On evaluating stream learning algorithms").
+    """
+    outcomes = _prequential_outcomes(outcomes)
+    if window < 1:
+        raise ValueError("window must be positive")
+    cumulative = np.concatenate([[0.0], np.cumsum(outcomes)])
+    t = np.arange(1, outcomes.size + 1)
+    start = np.maximum(t - window, 0)
+    return (cumulative[t] - cumulative[start]) / (t - start)
+
+
+def fading_accuracy(outcomes: Sequence[float], fading_factor: float = 0.99) -> np.ndarray:
+    """Prequential accuracy with exponential fading (Gama's alpha-fading).
+
+    ``result[t] = S_t / N_t`` with ``S_t = outcome_t + alpha * S_{t-1}`` and
+    ``N_t = 1 + alpha * N_{t-1}``: every past outcome loses influence by the
+    factor ``alpha`` per step, the streaming analogue of the Bayes forest's
+    ``2 ** (-lambda * dt)`` statistic decay.  ``alpha = 1`` degenerates to
+    the running mean (never forgets).
+    """
+    outcomes = _prequential_outcomes(outcomes)
+    if not (0.0 < fading_factor <= 1.0):
+        raise ValueError("fading_factor must be in (0, 1]")
+    result = np.empty(outcomes.size)
+    hits = 0.0
+    norm = 0.0
+    for t, outcome in enumerate(outcomes):
+        hits = outcome + fading_factor * hits
+        norm = 1.0 + fading_factor * norm
+        result[t] = hits / norm
+    return result
 
 
 def anytime_curve_summary(curve: Sequence[float]) -> Dict[str, float]:

@@ -1,6 +1,7 @@
 """Index substrate: MBRs, cluster features, entries, nodes and the R*-tree."""
 
 from .cluster_feature import ClusterFeature
+from .decay import DecayClock, DecayedClusterFeature, decay_factor
 from .entry import DirectoryEntry, LeafEntry
 from .mbr import MBR
 from .node import AnyEntry, Node
@@ -9,6 +10,9 @@ from .split import SplitResult, rstar_split
 
 __all__ = [
     "ClusterFeature",
+    "DecayClock",
+    "DecayedClusterFeature",
+    "decay_factor",
     "DirectoryEntry",
     "LeafEntry",
     "MBR",

@@ -13,7 +13,7 @@ anytime-clustering extension (temporal decay just scales the three summaries).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -64,6 +64,27 @@ class ClusterFeature:
             n=float(points.shape[0]),
             linear_sum=points.sum(axis=0),
             squared_sum=(points * points).sum(axis=0),
+        )
+
+    @staticmethod
+    def from_weighted_points(points: np.ndarray, weights: np.ndarray) -> "ClusterFeature":
+        """CF of weighted points: ``(sum w, sum w*x, sum w*x^2)``.
+
+        The decayed view of a set of observations is exactly this with
+        ``w_i = 2 ** (-decay_rate * age_i)``; shared by the index nodes and
+        the Bayes tree's running-statistics rebuild so the two can never
+        drift apart.
+        """
+        points = np.asarray(points, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        if weights.shape != (points.shape[0],):
+            raise ValueError("weights must be a vector with one weight per point")
+        return ClusterFeature(
+            n=float(weights.sum()),
+            linear_sum=(weights[:, None] * points).sum(axis=0),
+            squared_sum=(weights[:, None] * points * points).sum(axis=0),
         )
 
     @staticmethod
@@ -127,6 +148,23 @@ class ClusterFeature:
             linear_sum=self.linear_sum * factor,
             squared_sum=self.squared_sum * factor,
         )
+
+    def scale_in_place(self, factor: float) -> None:
+        """Multiply all three summaries by ``factor`` without allocating.
+
+        The decayed ``(n, LS, SS)`` view of an aged entry is exactly the
+        stored feature scaled by ``2 ** (-decay_rate * elapsed)``; because the
+        same factor hits every summary, the mean and variance are preserved
+        and only the weight shrinks.  Used on the R* insertion and sync paths,
+        which age directory summaries in place before touching them.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        if factor == 1.0:
+            return
+        self.n *= factor
+        self.linear_sum *= factor
+        self.squared_sum *= factor
 
     # -- derived statistics --------------------------------------------------------------
     @property

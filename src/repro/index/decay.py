@@ -1,0 +1,179 @@
+"""Temporal decay for the index layer: logical clocks and decayed summaries.
+
+Paper §4.2: "Exploiting their temporal multiplicity we can decrease the
+influence of older data in the current representation by an exponential decay
+function.  Moreover, this allows to reuse node entries if their contribution
+is too insignificant due to their age."
+
+The decay function is ``2 ** (-decay_rate * elapsed_time)`` — exactly the
+exponential decay later used by ClusTree (Kranen et al., 2011).  Because all
+three cluster-feature summaries ``(n, LS, SS)`` scale by the *same* factor,
+decayed entries keep their mean and variance and only lose weight, which is
+what lets the whole query engine run unchanged on decayed statistics.
+
+Two building blocks live here:
+
+* :class:`DecayClock` — one logical clock per tree.  It pairs the decay rate
+  ``lambda`` with the current logical time; the index substrate stamps new
+  observations with ``clock.now`` and lazily ages stored summaries to the
+  clock when they are read or updated.  ``decay_rate = 0`` disables decay
+  entirely: every factor is exactly ``1.0`` and all code paths are
+  bit-identical to the non-decayed tree.
+* :class:`DecayedClusterFeature` — a cluster feature paired with the
+  timestamp of its last update, aged lazily before reads and updates.  It is
+  shared by the anytime-clustering extension (``repro.clustering``) and the
+  Bayes tree's running training statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..stats.gaussian import Gaussian
+from .cluster_feature import ClusterFeature
+
+__all__ = ["LOG_HALF", "DecayClock", "DecayedClusterFeature", "decay_factor"]
+
+#: ``ln(1/2)`` — the per-unit log decay of a half-life-one process.
+LOG_HALF = -math.log(2.0)
+
+
+def decay_factor(decay_rate: float, elapsed: float) -> float:
+    """Multiplicative weight loss ``2 ** (-decay_rate * elapsed)``.
+
+    Exactly ``1.0`` when the rate is zero or no time passed, so disabled
+    decay never perturbs a single bit of the undecayed statistics.
+    """
+    if decay_rate == 0.0 or elapsed <= 0.0:
+        return 1.0
+    return 2.0 ** (-decay_rate * elapsed)
+
+
+@dataclass
+class DecayClock:
+    """Logical clock of one tree: decay rate plus the current logical time.
+
+    The clock only ever moves forward (:meth:`advance` clamps), matching the
+    monotone arrival times of a stream.  It is *shared* between a Bayes tree
+    and its index substrate, so insertion-path updates and query-time reads
+    agree on "now" without threading a timestamp through every call.
+    """
+
+    decay_rate: float = 0.0
+    now: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.decay_rate < 0:
+            raise ValueError("decay_rate must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """True when decay actually happens (a positive rate)."""
+        return self.decay_rate > 0.0
+
+    def advance(self, now: float) -> float:
+        """Move the clock forward to ``now`` (never backwards); returns it."""
+        now = float(now)
+        if now > self.now:
+            self.now = now
+        return self.now
+
+    def factor(self, elapsed: float) -> float:
+        """Decay accumulated over ``elapsed`` time units."""
+        return decay_factor(self.decay_rate, elapsed)
+
+    def weight_at(self, timestamp: float) -> float:
+        """Decayed weight of a unit observation stamped at ``timestamp``."""
+        return decay_factor(self.decay_rate, self.now - timestamp)
+
+
+@dataclass
+class DecayedClusterFeature:
+    """Cluster feature whose weight decays exponentially with time.
+
+    The summaries are valued *as of* ``last_update``; :meth:`decay_to` ages
+    them to a later time by multiplying all of ``(n, LS, SS)`` with the decay
+    factor (idempotent for equal timestamps, an exact no-op for a zero rate).
+    """
+
+    dimension: int
+    decay_rate: float = 0.01
+    feature: Optional[ClusterFeature] = None
+    last_update: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1:
+            raise ValueError("dimension must be positive")
+        if self.decay_rate < 0:
+            raise ValueError("decay_rate must be non-negative")
+        if self.feature is None:
+            self.feature = ClusterFeature.zero(self.dimension)
+        if self.feature.dimension != self.dimension:
+            raise ValueError("feature dimensionality mismatch")
+
+    # -- decay handling -------------------------------------------------------------------
+    def decay_factor(self, now: float) -> float:
+        """Multiplicative decay accumulated since the last update."""
+        return decay_factor(self.decay_rate, now - self.last_update)
+
+    def decay_to(self, now: float) -> None:
+        """Age the summaries to time ``now`` (idempotent for equal timestamps)."""
+        if now < self.last_update:
+            raise ValueError("time must not run backwards")
+        factor = self.decay_factor(now)
+        if factor != 1.0:
+            self.feature = self.feature.scaled(factor)
+        self.last_update = now
+
+    # -- updates ----------------------------------------------------------------------------
+    def add_point(self, point: Sequence[float] | np.ndarray, now: float, weight: float = 1.0) -> None:
+        """Insert a point at time ``now`` (decaying the existing content first)."""
+        self.decay_to(now)
+        self.feature.add_point(np.asarray(point, dtype=float), weight=weight)
+
+    def absorb(self, other: "DecayedClusterFeature", now: float) -> None:
+        """Merge another decayed CF into this one (both aged to ``now`` first)."""
+        if other.dimension != self.dimension:
+            raise ValueError("cannot absorb a cluster feature of different dimension")
+        self.decay_to(now)
+        other_copy = other.copy()
+        other_copy.decay_to(now)
+        self.feature = self.feature + other_copy.feature
+
+    def clear(self, now: Optional[float] = None) -> None:
+        """Reset to the empty feature (used when a buffer is taken along)."""
+        self.feature = ClusterFeature.zero(self.dimension)
+        if now is not None:
+            self.last_update = now
+
+    def copy(self) -> "DecayedClusterFeature":
+        return DecayedClusterFeature(
+            dimension=self.dimension,
+            decay_rate=self.decay_rate,
+            feature=self.feature.copy(),
+            last_update=self.last_update,
+        )
+
+    # -- views --------------------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self.feature.is_empty
+
+    def weight(self, now: Optional[float] = None) -> float:
+        """Decayed number of represented objects at time ``now`` (or the last update)."""
+        if now is None:
+            return self.feature.n
+        return self.feature.n * self.decay_factor(now)
+
+    def mean(self) -> np.ndarray:
+        return self.feature.mean()
+
+    def variance(self) -> np.ndarray:
+        return self.feature.variance()
+
+    def to_gaussian(self, weight: Optional[float] = None) -> Gaussian:
+        return self.feature.to_gaussian(weight=weight)

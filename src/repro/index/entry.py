@@ -9,16 +9,18 @@ kernel bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from ..stats.gaussian import Gaussian
 from .cluster_feature import ClusterFeature
+from .decay import decay_factor
 from .mbr import MBR
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .decay import DecayClock
     from .node import Node
 
 __all__ = ["LeafEntry", "DirectoryEntry"]
@@ -40,12 +42,22 @@ class LeafEntry:
         being built and filled in once the training set bandwidth is known.
     kernel:
         Name of the kernel family (``"gaussian"`` or ``"epanechnikov"``).
+    timestamp:
+        Logical insertion time of the observation (0.0 when the owning tree
+        keeps no clock).  Immutable: the decayed weight is always re-derived
+        from it, so repeated aging never accumulates round-off.
+    weight:
+        Decayed view of the observation's unit weight,
+        ``2 ** (-decay_rate * (now - timestamp))``, refreshed by
+        :meth:`decay_to`.  Stays exactly 1.0 in undecayed trees.
     """
 
     point: np.ndarray
     label: Optional[object] = None
     bandwidth: Optional[np.ndarray] = None
     kernel: str = "gaussian"
+    timestamp: float = 0.0
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
         self.point = np.asarray(self.point, dtype=float)
@@ -63,8 +75,18 @@ class LeafEntry:
 
     @property
     def n_objects(self) -> float:
-        """Number of observations represented by this entry (always one)."""
-        return 1.0
+        """Decayed weight of this observation (exactly one without decay)."""
+        return self.weight
+
+    def decay_to(self, now: float, rate: float) -> None:
+        """Refresh the decayed weight view for logical time ``now``.
+
+        Computed directly from the immutable insertion timestamp (not by
+        incremental scaling), so the result is exact, idempotent, and agrees
+        bit-for-bit with the vectorised timestamp-based weighting of the
+        packed leaf arrays.
+        """
+        self.weight = decay_factor(rate, now - self.timestamp)
 
     @property
     def mbr(self) -> MBR:
@@ -78,7 +100,7 @@ class LeafEntry:
 
     @property
     def cluster_feature(self) -> ClusterFeature:
-        return ClusterFeature.from_point(self.point)
+        return ClusterFeature.from_point(self.point, weight=self.weight)
 
     def resolve_bandwidth(self, fallback: Optional[np.ndarray] = None) -> np.ndarray:
         """This entry's bandwidth, or the tree-shared ``fallback``.
@@ -124,11 +146,17 @@ class LeafEntry:
 
 @dataclass(eq=False)
 class DirectoryEntry:
-    """An inner-node entry: MBR + subtree pointer + cluster feature (Def. 1)."""
+    """An inner-node entry: MBR + subtree pointer + cluster feature (Def. 1).
+
+    ``last_update`` is the logical time the cluster feature is valued at;
+    decayed trees age it lazily with :meth:`decay_to` before reads and
+    updates (paper §4.2).  Undecayed trees never touch it.
+    """
 
     mbr: MBR
     cluster_feature: ClusterFeature
     child: "Node"
+    last_update: float = 0.0
 
     @property
     def dimension(self) -> int:
@@ -136,8 +164,21 @@ class DirectoryEntry:
 
     @property
     def n_objects(self) -> float:
-        """Number of leaf observations stored in the subtree."""
+        """(Decayed) total weight of the leaf observations in the subtree."""
         return self.cluster_feature.n
+
+    def decay_to(self, now: float, rate: float) -> None:
+        """Age the subtree summary to logical time ``now``.
+
+        Scales all of ``(n, LS, SS)`` by ``2 ** (-rate * elapsed)`` in place —
+        the decayed cluster-feature view of Definition 1.  Mean and variance
+        are invariant under the common factor, so aged directory Gaussians
+        keep their shape and only lose mixture weight.
+        """
+        if now < self.last_update:
+            raise ValueError("time must not run backwards")
+        self.cluster_feature.scale_in_place(decay_factor(rate, now - self.last_update))
+        self.last_update = now
 
     def to_gaussian(
         self, weight: float | None = None, variance_inflation: Optional[np.ndarray] = None
@@ -166,20 +207,25 @@ class DirectoryEntry:
         """Unweighted Gaussian density of the subtree summary at ``x``."""
         return self.to_gaussian(weight=1.0, variance_inflation=variance_inflation).pdf(x)
 
-    def refresh(self) -> None:
+    def refresh(self, clock: Optional["DecayClock"] = None) -> None:
         """Recompute MBR and CF bottom-up from the child node.
 
         Used after splits and by the bulk loaders, which build subtrees first
-        and derive the parent entries afterwards.
+        and derive the parent entries afterwards.  With a ``clock``, the
+        recomputed feature is the decayed view at ``clock.now`` (children are
+        aged to the common time first).
         """
         self.mbr = self.child.compute_mbr()
-        self.cluster_feature = self.child.compute_cluster_feature()
+        self.cluster_feature = self.child.compute_cluster_feature(clock=clock)
+        if clock is not None:
+            self.last_update = clock.now
 
     @staticmethod
-    def for_node(node: "Node") -> "DirectoryEntry":
-        """Create an entry summarising ``node``."""
+    def for_node(node: "Node", clock: Optional["DecayClock"] = None) -> "DirectoryEntry":
+        """Create an entry summarising ``node`` (decayed to ``clock.now`` if given)."""
         return DirectoryEntry(
             mbr=node.compute_mbr(),
-            cluster_feature=node.compute_cluster_feature(),
+            cluster_feature=node.compute_cluster_feature(clock=clock),
             child=node,
+            last_update=0.0 if clock is None else clock.now,
         )

@@ -9,11 +9,12 @@ of an inner node is one more than the level of its children (paper Def. 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Union
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
 from .cluster_feature import ClusterFeature
+from .decay import DecayClock
 from .entry import DirectoryEntry, LeafEntry
 from .mbr import MBR
 
@@ -54,12 +55,30 @@ class Node:
             return MBR.from_points(np.stack([entry.point for entry in self.entries]))
         return MBR.union_of(entry.mbr for entry in self.entries)
 
-    def compute_cluster_feature(self) -> ClusterFeature:
-        """Cluster feature over all entries of this node."""
+    def compute_cluster_feature(self, clock: Optional[DecayClock] = None) -> ClusterFeature:
+        """Cluster feature over all entries of this node.
+
+        With an enabled ``clock``, every entry is first aged to ``clock.now``
+        and the result is the decayed ``(n, LS, SS)`` view at that common
+        time: leaf observations contribute their decayed weights, directory
+        summaries are scaled — additivity holds because all summands carry
+        the same logical timestamp.
+        """
         if not self.entries:
             raise ValueError("cannot compute the cluster feature of an empty node")
+        decayed = clock is not None and clock.enabled
         if self.is_leaf:
-            return ClusterFeature.from_points(np.stack([entry.point for entry in self.entries]))
+            if not decayed:
+                return ClusterFeature.from_points(np.stack([entry.point for entry in self.entries]))
+            for entry in self.entries:
+                entry.decay_to(clock.now, clock.decay_rate)
+            return ClusterFeature.from_weighted_points(
+                np.stack([entry.point for entry in self.entries]),
+                np.array([entry.weight for entry in self.entries]),
+            )
+        if decayed:
+            for entry in self.entries:
+                entry.decay_to(clock.now, clock.decay_rate)
         return ClusterFeature.sum_of(entry.cluster_feature for entry in self.entries)
 
     @property
@@ -100,6 +119,7 @@ class Node:
         is_root: bool = False,
         enforce_fanout: bool = True,
         require_balance: bool = True,
+        clock: Optional[DecayClock] = None,
     ) -> None:
         """Raise ``AssertionError`` if structural invariants are violated.
 
@@ -110,7 +130,9 @@ class Node:
         * entry MBRs contain their child subtrees,
         * levels decrease by one towards the leaves (balance; optional because
           the EM top-down bulk load may build unbalanced trees, paper §3.1),
-        * cluster features add up along the hierarchy.
+        * cluster features add up along the hierarchy — for decayed trees
+          (an enabled ``clock``) everything is aged to the common logical
+          time ``clock.now`` first, under which additivity is exact again.
         """
         leaf_min = min_fanout if leaf_min is None else leaf_min
         leaf_max = max_fanout if leaf_max is None else leaf_max
@@ -128,6 +150,7 @@ class Node:
             )
         if self.is_leaf:
             return
+        decayed = clock is not None and clock.enabled
         for entry in self.entries:
             child = entry.child  # type: ignore[union-attr]
             if require_balance and child.level != self.level - 1:
@@ -137,7 +160,9 @@ class Node:
             child_mbr = child.compute_mbr()
             if not entry.mbr.contains(child_mbr):
                 raise AssertionError("entry MBR does not contain the child subtree")
-            child_cf = child.compute_cluster_feature()
+            if decayed:
+                entry.decay_to(clock.now, clock.decay_rate)
+            child_cf = child.compute_cluster_feature(clock=clock)
             if not np.isclose(child_cf.n, entry.cluster_feature.n):
                 raise AssertionError("entry cluster feature count is stale")
             if not np.allclose(child_cf.linear_sum, entry.cluster_feature.linear_sum, atol=1e-6):
@@ -149,4 +174,5 @@ class Node:
                 leaf_max=leaf_max,
                 enforce_fanout=enforce_fanout,
                 require_balance=require_balance,
+                clock=clock,
             )

@@ -24,15 +24,13 @@ classifier logic.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .cluster_feature import ClusterFeature
+from .decay import DecayClock
 from .entry import DirectoryEntry, LeafEntry
-from .mbr import MBR
 from .node import AnyEntry, Node
 from .split import rstar_split
 
@@ -71,17 +69,32 @@ class TreeParameters:
 class RStarTree:
     """Balanced R*-tree over weighted points with cluster-feature maintenance."""
 
-    def __init__(self, dimension: int, params: TreeParameters | None = None) -> None:
+    def __init__(
+        self,
+        dimension: int,
+        params: TreeParameters | None = None,
+        clock: Optional[DecayClock] = None,
+    ) -> None:
         if dimension < 1:
             raise ValueError("dimension must be positive")
         self.dimension = dimension
         self.params = params or TreeParameters()
+        #: Shared logical clock driving exponential decay (paper §4.2); None
+        #: (or a zero rate) keeps the classic never-forgetting tree.  The
+        #: owning Bayes tree shares this object so insertions and queries
+        #: agree on the current logical time.
+        self.clock = clock
         self.root: Node = Node(level=0)
         self._size = 0
         #: Monotonically increasing structure tag, bumped by every insertion;
         #: callers (e.g. the Bayes tree's packed-parameter caches) use it to
         #: detect that entries or summaries may have changed.
         self.version = 0
+
+    @property
+    def _decaying(self) -> bool:
+        """True when a clock with a positive decay rate is attached."""
+        return self.clock is not None and self.clock.enabled
 
     # -- basic properties -------------------------------------------------------------
     def __len__(self) -> int:
@@ -112,11 +125,21 @@ class RStarTree:
         bandwidth: Optional[np.ndarray] = None,
         kernel: str = "gaussian",
     ) -> LeafEntry:
-        """Insert an observation and return its leaf entry."""
+        """Insert an observation and return its leaf entry.
+
+        The entry is stamped with the clock's current logical time, so its
+        weight decays as the clock advances (no-op without a clock).
+        """
         point = np.asarray(point, dtype=float)
         if point.shape != (self.dimension,):
             raise ValueError(f"point must have shape ({self.dimension},), got {point.shape}")
-        entry = LeafEntry(point=point, label=label, bandwidth=bandwidth, kernel=kernel)
+        entry = LeafEntry(
+            point=point,
+            label=label,
+            bandwidth=bandwidth,
+            kernel=kernel,
+            timestamp=0.0 if self.clock is None else self.clock.now,
+        )
         self._insert_entry(entry, target_level=0, reinserted_levels=set())
         self._size += 1
         self.version += 1
@@ -130,6 +153,11 @@ class RStarTree:
 
     # The insertion machinery -------------------------------------------------------------
     def _insert_entry(self, entry: AnyEntry, target_level: int, reinserted_levels: set) -> None:
+        if self._decaying:
+            # Freshly inserted points have factor 1; forced-reinserted or
+            # expiry-surviving entries are aged so their summaries carry the
+            # same logical timestamp as the path CFs they are merged into.
+            entry.decay_to(self.clock.now, self.clock.decay_rate)
         path = self._choose_path(entry, target_level)
         node = path[-1][0]
         node.entries.append(entry)
@@ -201,10 +229,16 @@ class RStarTree:
         """Extend MBRs and cluster features of all ancestors of the inserted entry."""
         entry_cf = entry.cluster_feature
         entry_mbr = entry.mbr
+        decaying = self._decaying
         for depth, (node, parent_entry) in enumerate(path):
             if parent_entry is None:
                 continue
             parent_entry.mbr = parent_entry.mbr.union(entry_mbr)
+            if decaying:
+                # Age the ancestor summary to "now" before merging, so both
+                # summands are valued at the same logical time (the lazy
+                # decay update of the §4.2 extension).
+                parent_entry.decay_to(self.clock.now, self.clock.decay_rate)
             parent_entry.cluster_feature.add_feature(entry_cf)
             # Keep the holder node's cached ChooseSubtree bounds exact: the
             # union above only widens this one entry's box.
@@ -260,7 +294,7 @@ class RStarTree:
             prefix_node._bounds_cache = None
         for _, parent_entry in reversed(path_prefix):
             if parent_entry is not None:
-                parent_entry.refresh()
+                parent_entry.refresh(clock=self.clock)
         for entry in to_reinsert:
             self._insert_entry(entry, target_level=node.level, reinserted_levels=reinserted_levels)
 
@@ -276,16 +310,51 @@ class RStarTree:
         if parent_entry is None:
             # Node is the root: grow the tree by one level.
             new_root = Node(level=node.level + 1)
-            new_root.entries = [DirectoryEntry.for_node(node), DirectoryEntry.for_node(sibling)]
+            new_root.entries = [
+                DirectoryEntry.for_node(node, clock=self.clock),
+                DirectoryEntry.for_node(sibling, clock=self.clock),
+            ]
             self.root = new_root
             return
 
-        parent_entry.refresh()
+        parent_entry.refresh(clock=self.clock)
         parent_node = path[depth - 1][0]
-        parent_node.entries.append(DirectoryEntry.for_node(sibling))
+        parent_node.entries.append(DirectoryEntry.for_node(sibling, clock=self.clock))
         parent_node._bounds_cache = None
         # Ancestors of the parent keep their (now conservative) MBRs; the CFs
         # are still exact because the observations below them did not change.
+
+    # -- decay maintenance -------------------------------------------------------------------
+    def decay_entries_to(self, now: float) -> None:
+        """Age every stored summary to logical time ``now`` (one pre-order walk).
+
+        After the sweep all directory cluster features and leaf weights are
+        valued at the same timestamp, so mixture weights read off
+        ``entry.n_objects`` are exact decayed weights.  A no-op without an
+        enabled clock; the Bayes tree calls this lazily (once per logical
+        time / structure change) before packing query parameters.
+        """
+        if not self._decaying:
+            return
+        rate = self.clock.decay_rate
+        for node in self.iter_nodes():
+            for entry in node.entries:
+                entry.decay_to(now, rate)
+
+    def rebuilt_with(self, entries: Sequence[LeafEntry]) -> "RStarTree":
+        """Fresh tree over the given (already stamped) leaf entries.
+
+        Used by the expiry sweep: survivors keep their insertion timestamps
+        and labels and are re-inserted through the regular R* machinery, so
+        every structural invariant holds by construction.  The version tag
+        continues from this tree's, keeping downstream caches sound.
+        """
+        tree = RStarTree(self.dimension, params=self.params, clock=self.clock)
+        for entry in entries:
+            tree._insert_entry(entry, target_level=0, reinserted_levels=set())
+            tree._size += 1
+        tree.version = self.version + 1
+        return tree
 
     # -- validation -------------------------------------------------------------------------
     def validate(self, enforce_fanout: bool = True, require_balance: bool = True) -> None:
@@ -300,6 +369,7 @@ class RStarTree:
             is_root=True,
             enforce_fanout=enforce_fanout,
             require_balance=require_balance,
+            clock=self.clock,
         )
         leaf_count = sum(1 for _ in self.iter_leaf_entries())
         if leaf_count != self._size:

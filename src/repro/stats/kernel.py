@@ -9,7 +9,6 @@ Epanechnikov kernels as well, which we also provide.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

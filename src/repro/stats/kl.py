@@ -13,8 +13,6 @@ the diagonal-Gaussian KL in closed form.
 
 from __future__ import annotations
 
-import math
-from typing import Sequence
 
 import numpy as np
 

@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
-from .gaussian import Gaussian, log_gaussian_pdf
+from .gaussian import Gaussian
 
 __all__ = ["GaussianMixture"]
 

@@ -14,6 +14,13 @@ items' individual arrival budgets when the classifier supports it — and the
 revealed labels are learned only at the chunk boundary.  ``chunk_size=1``
 (the default) is the classic fully-sequential test-then-train protocol, and
 for any chunk size the batched and the scalar path are trace-identical.
+
+The stream's arrival-process timestamps also drive temporal decay: when the
+classifier exposes ``advance_time`` (the adaptive Bayes forest), the driver
+advances its logical clock to the chunk's last arrival before classifying and
+stamps every learned label with that arrival time — older kernels fade by
+``2 ** (-decay_rate * dt)`` while the stream plays (a no-op for classifiers
+configured without decay).
 """
 
 from __future__ import annotations
@@ -73,6 +80,24 @@ class StreamRunResult:
             buckets.setdefault(step.item.budget, []).append(step.correct)
         return {budget: float(np.mean(values)) for budget, values in sorted(buckets.items())}
 
+    def correct_sequence(self) -> np.ndarray:
+        """0/1 outcomes of the evaluated (labelled) steps, in stream order."""
+        return np.array(
+            [step.correct for step in self.steps if step.correct is not None], dtype=float
+        )
+
+    def sliding_window_accuracy(self, window: int) -> np.ndarray:
+        """Prequential accuracy over a sliding count window (drift diagnostics)."""
+        from ..evaluation.metrics import sliding_window_accuracy
+
+        return sliding_window_accuracy(self.correct_sequence(), window)
+
+    def fading_accuracy(self, fading_factor: float = 0.99) -> np.ndarray:
+        """Prequential accuracy with an exponential fading factor."""
+        from ..evaluation.metrics import fading_accuracy
+
+        return fading_accuracy(self.correct_sequence(), fading_factor)
+
 
 def _process_chunk(
     classifier,
@@ -80,6 +105,7 @@ def _process_chunk(
     result: StreamRunResult,
     online_learning: bool,
     batched: bool,
+    timestamped: bool,
 ) -> None:
     """Classify one micro-batch of stream items, then apply their labels.
 
@@ -87,7 +113,15 @@ def _process_chunk(
     only afterwards are the revealed labels learned (deferred-label
     test-then-train).  The batched and the scalar path therefore see exactly
     the same model for every item and produce identical predictions.
+
+    ``timestamped`` classifiers additionally see the logical clock advanced
+    to the chunk's last arrival before classification, and learn each label
+    at that time — under the deferred-label protocol the whole chunk is
+    resolved at its boundary, so one shared "now" per chunk keeps the scalar
+    and the batched path trace-identical for every chunk size.
     """
+    if timestamped:
+        classifier.advance_time(items[-1].arrival_time)
     if batched:
         features = np.stack([item.features for item in items])
         budgets = [item.budget for item in items]
@@ -113,7 +147,12 @@ def _process_chunk(
     if online_learning:
         for item in items:
             if item.label is not None:
-                classifier.partial_fit(item.features, item.label)
+                if timestamped:
+                    classifier.partial_fit(
+                        item.features, item.label, timestamp=item.arrival_time
+                    )
+                else:
+                    classifier.partial_fit(item.features, item.label)
 
 
 def run_anytime_stream(
@@ -155,6 +194,11 @@ def run_anytime_stream(
         ``None`` auto-detects ``classifier.classify_anytime_batch``.  Both
         paths produce identical results for the same ``chunk_size``; the
         switch exists for equivalence tests and benchmarks.
+
+    Classifiers exposing ``advance_time`` (the adaptive Bayes forest) have
+    their logical clock driven by the items' arrival timestamps, so temporal
+    decay and expiry progress with the stream; with ``decay_rate=0`` this is
+    a no-op and the run is trace-identical to a clock-less classifier.
     """
     if limit is not None and limit < 0:
         raise ValueError("limit must be non-negative")
@@ -167,6 +211,7 @@ def run_anytime_stream(
         batched = bool(use_batch)
         if batched and not hasattr(classifier, "classify_anytime_batch"):
             raise ValueError("classifier does not provide classify_anytime_batch")
+    timestamped = hasattr(classifier, "advance_time")
 
     result = StreamRunResult()
     chunk: List[StreamItem] = []
@@ -176,8 +221,8 @@ def run_anytime_stream(
     for item in source:
         chunk.append(item)
         if len(chunk) >= size:
-            _process_chunk(classifier, chunk, result, online_learning, batched)
+            _process_chunk(classifier, chunk, result, online_learning, batched, timestamped)
             chunk = []
     if chunk:
-        _process_chunk(classifier, chunk, result, online_learning, batched)
+        _process_chunk(classifier, chunk, result, online_learning, batched, timestamped)
     return result

@@ -10,7 +10,7 @@ the next arrival, so a Poisson stream yields exponentially distributed budgets.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterator, List, Optional, Sequence
+from typing import Hashable, Iterator, List, Optional
 
 import numpy as np
 

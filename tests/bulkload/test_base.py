@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bulkload import chunk_sizes, pack_entries_into_nodes, stack_levels
-from repro.index import DirectoryEntry, LeafEntry, Node, TreeParameters
+from repro.index import LeafEntry, TreeParameters
 
 
 def test_chunk_sizes_single_chunk_when_it_fits():

@@ -1,0 +1,110 @@
+"""The generalised drift-stream scenario generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_drift_stream
+from repro.data.synthetic import DRIFT_KINDS
+
+
+def _class_mean(dataset, label, lo, hi):
+    mask = dataset.labels[lo:hi] == label
+    return dataset.features[lo:hi][mask].mean(axis=0)
+
+
+def test_drift_kinds_are_exposed():
+    assert set(DRIFT_KINDS) == {"none", "incremental", "sudden", "gradual", "recurring"}
+
+
+def test_incremental_matches_historical_generator():
+    """The default kind keeps the historical rng sequence (seeded replays)."""
+    dataset = make_drift_stream(size=300, n_classes=2, n_features=2, drift_speed=0.05, random_state=0)
+    rng = np.random.default_rng(0)
+    centers = rng.normal(scale=4.0, size=(2, 2))
+    direction = rng.normal(size=(2, 2))
+    direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+    labels = rng.integers(0, 2, size=300)
+    np.testing.assert_array_equal(dataset.labels, labels)
+    expected_first = rng.normal(loc=(centers + 0.05 * direction)[labels[0]], scale=1.0)
+    np.testing.assert_allclose(dataset.features[0], expected_first)
+
+
+def test_sudden_drift_swaps_class_regions():
+    dataset = make_drift_stream(size=600, drift="sudden", n_segments=2, random_state=0)
+    half = 300
+    pre0 = _class_mean(dataset, 0, 0, half)
+    post0 = _class_mean(dataset, 0, half, 600)
+    post1 = _class_mean(dataset, 1, half, 600)
+    # After the change, class 0 emits from class 1's former region.
+    assert np.linalg.norm(pre0 - post1) < 1.0
+    assert np.linalg.norm(pre0 - post0) > 2.0
+
+
+def test_gradual_drift_mixes_concepts_in_the_transition_window():
+    size, half = 2000, 1000
+    dataset = make_drift_stream(
+        size=size, drift="gradual", n_segments=2, transition=0.5, random_state=1
+    )
+    pre0 = _class_mean(dataset, 0, 0, half)
+    pre1 = _class_mean(dataset, 1, 0, half)
+    window = dataset.features[half : half + 500]
+    window_labels = dataset.labels[half : half + 500]
+    zeros = window[window_labels == 0]
+    # During the hand-over, class-0 items come from both regions.
+    dist_old = np.linalg.norm(zeros - pre0, axis=1)
+    dist_new = np.linalg.norm(zeros - pre1, axis=1)
+    assert (dist_old < dist_new).any()
+    assert (dist_new < dist_old).any()
+    # By the end of the segment the new concept has fully taken over.
+    tail = dataset.features[-200:][dataset.labels[-200:] == 0]
+    assert np.linalg.norm(tail.mean(axis=0) - pre1) < 1.0
+
+
+def test_recurring_drift_returns_to_the_first_concept():
+    dataset = make_drift_stream(size=400, drift="recurring", recur_period=100, random_state=2)
+    first = _class_mean(dataset, 0, 0, 100)
+    swapped = _class_mean(dataset, 0, 100, 200)
+    returned = _class_mean(dataset, 0, 200, 300)
+    assert np.linalg.norm(first - returned) < 1.0
+    assert np.linalg.norm(first - swapped) > 2.0
+
+
+def test_none_drift_is_stationary():
+    dataset = make_drift_stream(size=1200, drift="none", random_state=3)
+    early = _class_mean(dataset, 0, 0, 600)
+    late = _class_mean(dataset, 0, 600, 1200)
+    assert np.linalg.norm(early - late) < 0.5
+
+
+def test_class_schedule_windows_appearance_and_disappearance():
+    dataset = make_drift_stream(
+        size=400,
+        n_classes=3,
+        drift="none",
+        class_schedule={0: (0.0, 0.5), 2: (0.5, 1.0)},
+        random_state=4,
+    )
+    assert (dataset.labels[:200] != 2).all()
+    assert (dataset.labels[200:] != 0).all()
+    assert (dataset.labels == 1).any()  # unscheduled class always active
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        make_drift_stream(size=0)
+    with pytest.raises(ValueError):
+        make_drift_stream(size=10, drift="wobbly")
+    with pytest.raises(ValueError):
+        make_drift_stream(size=10, drift="sudden", n_segments=0)
+    with pytest.raises(ValueError):
+        make_drift_stream(size=10, drift="gradual", transition=1.5)
+    with pytest.raises(ValueError):
+        make_drift_stream(size=10, drift="recurring", recur_period=0)
+    with pytest.raises(ValueError):
+        make_drift_stream(size=10, n_classes=2, class_schedule={5: (0.0, 1.0)})
+    with pytest.raises(ValueError):
+        make_drift_stream(size=10, n_classes=2, class_schedule={0: (0.7, 0.2)})
+    with pytest.raises(ValueError):
+        make_drift_stream(
+            size=10, n_classes=1, drift="none", class_schedule={0: (0.0, 0.5)}
+        )

@@ -1,0 +1,81 @@
+"""Fading-factor and sliding-window prequential accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import fading_accuracy, sliding_window_accuracy
+
+
+class TestSlidingWindow:
+    def test_constant_sequence_is_constant(self):
+        curve = sliding_window_accuracy(np.ones(50), window=10)
+        np.testing.assert_allclose(curve, 1.0)
+
+    def test_partial_window_prefix(self):
+        curve = sliding_window_accuracy([1, 0, 1, 1], window=100)
+        np.testing.assert_allclose(curve, [1.0, 0.5, 2 / 3, 0.75])
+
+    def test_window_forgets_abruptly(self):
+        outcomes = np.concatenate([np.ones(50), np.zeros(50)])
+        curve = sliding_window_accuracy(outcomes, window=10)
+        assert curve[49] == 1.0
+        # Ten steps after the change the window holds only failures.
+        assert curve[59] == 0.0
+
+    def test_window_one_is_the_raw_sequence(self):
+        outcomes = [1, 0, 1, 0, 0, 1]
+        np.testing.assert_allclose(
+            sliding_window_accuracy(outcomes, window=1), outcomes
+        )
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_accuracy([1, 0], window=0)
+
+
+class TestFadingAccuracy:
+    def test_alpha_one_is_running_mean(self):
+        outcomes = np.array([1, 0, 1, 1, 0], dtype=float)
+        expected = np.cumsum(outcomes) / np.arange(1, 6)
+        np.testing.assert_allclose(fading_accuracy(outcomes, 1.0), expected)
+
+    def test_matches_closed_form(self):
+        outcomes = np.array([1.0, 0.0, 1.0])
+        alpha = 0.5
+        # S_3 = 1 + 0.5*(0 + 0.5*1), N_3 = 1 + 0.5*(1 + 0.5*1)
+        expected_last = (1 + 0.0 + 0.25) / (1 + 0.5 + 0.25)
+        curve = fading_accuracy(outcomes, alpha)
+        assert curve[-1] == pytest.approx(expected_last)
+
+    def test_forgets_faster_with_smaller_alpha(self):
+        outcomes = np.concatenate([np.ones(100), np.zeros(20)])
+        slow = fading_accuracy(outcomes, 0.999)[-1]
+        fast = fading_accuracy(outcomes, 0.8)[-1]
+        assert fast < slow
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        outcomes = rng.integers(0, 2, size=200).astype(float)
+        curve = fading_accuracy(outcomes, 0.95)
+        assert np.all((curve >= 0.0) & (curve <= 1.0))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            fading_accuracy([1.0], 0.0)
+        with pytest.raises(ValueError):
+            fading_accuracy([1.0], 1.5)
+
+
+def test_stream_run_result_exposes_prequential_curves():
+    from repro.stream.anytime import StreamRunResult, StreamStepResult
+    from repro.stream.stream import StreamItem
+
+    result = StreamRunResult()
+    for i, correct in enumerate([True, False, True, True]):
+        item = StreamItem(index=i, features=np.zeros(2), label=0, arrival_time=float(i), budget=5)
+        result.steps.append(
+            StreamStepResult(item=item, prediction=0, correct=correct, nodes_read=1)
+        )
+    np.testing.assert_allclose(result.correct_sequence(), [1, 0, 1, 1])
+    np.testing.assert_allclose(result.sliding_window_accuracy(2), [1.0, 0.5, 0.5, 1.0])
+    assert result.fading_accuracy(0.9).shape == (4,)

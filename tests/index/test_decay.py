@@ -1,0 +1,146 @@
+"""Index-layer exponential decay: clocks, decayed entry views, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    ClusterFeature,
+    DecayClock,
+    DirectoryEntry,
+    LeafEntry,
+    RStarTree,
+    TreeParameters,
+    decay_factor,
+)
+
+
+def _grow(tree, rng, count, start_time=0.0, gap=1.0):
+    now = start_time
+    for _ in range(count):
+        now += gap
+        tree.clock.advance(now)
+        tree.insert(rng.normal(size=tree.dimension))
+    return now
+
+
+class TestDecayClock:
+    def test_factor_is_exact_half_per_half_life(self):
+        clock = DecayClock(decay_rate=0.5)
+        assert clock.factor(2.0) == pytest.approx(0.5)
+        assert clock.factor(0.0) == 1.0
+
+    def test_zero_rate_is_exactly_one(self):
+        clock = DecayClock(decay_rate=0.0)
+        assert clock.factor(1e9) == 1.0
+        assert not clock.enabled
+
+    def test_advance_is_monotone(self):
+        clock = DecayClock(decay_rate=0.1)
+        clock.advance(5.0)
+        clock.advance(3.0)
+        assert clock.now == 5.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DecayClock(decay_rate=-0.1)
+
+    def test_weight_at_uses_current_time(self):
+        clock = DecayClock(decay_rate=1.0, now=3.0)
+        assert clock.weight_at(2.0) == pytest.approx(0.5)
+
+
+class TestDecayedEntryViews:
+    def test_leaf_entry_weight_derives_from_timestamp(self):
+        entry = LeafEntry(point=np.zeros(2), timestamp=1.0)
+        entry.decay_to(now=3.0, rate=0.5)
+        assert entry.weight == pytest.approx(0.5)
+        assert entry.n_objects == pytest.approx(0.5)
+        # Idempotent and drift-free: re-aging recomputes from the timestamp.
+        entry.decay_to(now=3.0, rate=0.5)
+        assert entry.weight == pytest.approx(0.5)
+
+    def test_leaf_cluster_feature_is_weighted(self):
+        entry = LeafEntry(point=np.array([2.0, 4.0]), timestamp=0.0)
+        entry.decay_to(now=1.0, rate=1.0)
+        cf = entry.cluster_feature
+        assert cf.n == pytest.approx(0.5)
+        np.testing.assert_allclose(cf.linear_sum, [1.0, 2.0])
+
+    def test_directory_entry_decay_preserves_mean_and_variance(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(10, 3))
+        feature = ClusterFeature.from_points(points)
+        entry = DirectoryEntry(mbr=None, cluster_feature=feature, child=None, last_update=0.0)
+        mean, variance = feature.mean().copy(), feature.variance().copy()
+        entry.decay_to(now=7.0, rate=0.3)
+        assert entry.n_objects == pytest.approx(10.0 * decay_factor(0.3, 7.0))
+        np.testing.assert_allclose(entry.cluster_feature.mean(), mean)
+        np.testing.assert_allclose(entry.cluster_feature.variance(), variance, atol=1e-12)
+
+    def test_directory_entry_time_cannot_run_backwards(self):
+        entry = DirectoryEntry(
+            mbr=None, cluster_feature=ClusterFeature.zero(2), child=None, last_update=5.0
+        )
+        with pytest.raises(ValueError):
+            entry.decay_to(now=4.0, rate=0.1)
+
+    def test_scale_in_place_rejects_negative_factor(self):
+        feature = ClusterFeature.from_point([1.0, 1.0])
+        with pytest.raises(ValueError):
+            feature.scale_in_place(-0.5)
+
+
+class TestDecayedRStarTree:
+    def test_decayed_inserts_keep_invariants(self):
+        rng = np.random.default_rng(1)
+        clock = DecayClock(decay_rate=0.05)
+        tree = RStarTree(dimension=3, params=TreeParameters(), clock=clock)
+        _grow(tree, rng, 120)
+        tree.validate()
+
+    def test_decay_entries_to_makes_weights_consistent(self):
+        rng = np.random.default_rng(2)
+        clock = DecayClock(decay_rate=0.1)
+        tree = RStarTree(dimension=2, clock=clock)
+        now = _grow(tree, rng, 60)
+        clock.advance(now + 10.0)
+        tree.decay_entries_to(clock.now)
+        total = sum(entry.weight for entry in tree.iter_leaf_entries())
+        # Root entries were just aged to the same time; additivity must hold.
+        root_total = sum(entry.n_objects for entry in tree.root.entries)
+        assert root_total == pytest.approx(total, rel=1e-9)
+        # Every leaf weight equals the closed-form decay of its timestamp.
+        for entry in tree.iter_leaf_entries():
+            assert entry.weight == pytest.approx(
+                decay_factor(0.1, clock.now - entry.timestamp)
+            )
+
+    def test_zero_rate_clock_changes_nothing(self):
+        rng = np.random.default_rng(3)
+        plain = RStarTree(dimension=2)
+        clocked = RStarTree(dimension=2, clock=DecayClock(decay_rate=0.0))
+        points = rng.normal(size=(80, 2))
+        for i, point in enumerate(points):
+            clocked.clock.advance(float(i))
+            plain.insert(point)
+            clocked.insert(point)
+        clocked.decay_entries_to(clocked.clock.now)
+        for a, b in zip(plain.iter_leaf_entries(), clocked.iter_leaf_entries()):
+            assert b.weight == 1.0
+            np.testing.assert_array_equal(a.point, b.point)
+        a_cf = plain.root.compute_cluster_feature()
+        b_cf = clocked.root.compute_cluster_feature(clock=clocked.clock)
+        np.testing.assert_array_equal(a_cf.linear_sum, b_cf.linear_sum)
+        assert a_cf.n == b_cf.n
+
+    def test_rebuilt_with_preserves_entries_and_bumps_version(self):
+        rng = np.random.default_rng(4)
+        clock = DecayClock(decay_rate=0.05)
+        tree = RStarTree(dimension=2, clock=clock)
+        _grow(tree, rng, 50)
+        survivors = [e for i, e in enumerate(tree.iter_leaf_entries()) if i % 2 == 0]
+        rebuilt = tree.rebuilt_with(survivors)
+        assert len(rebuilt) == len(survivors)
+        assert rebuilt.version == tree.version + 1
+        rebuilt.validate()
+        assert {id(e) for e in rebuilt.iter_leaf_entries()} == {id(e) for e in survivors}

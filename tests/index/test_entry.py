@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.index import ClusterFeature, DirectoryEntry, LeafEntry, MBR, Node
+from repro.index import DirectoryEntry, LeafEntry, MBR, Node
 
 
 def make_leaf_node(points, bandwidth=None):
