@@ -1,0 +1,83 @@
+"""Serving load generator shared by the throughput bench and collect_bench.
+
+Builds a snapshotted forest once, then replays query blocks against
+:class:`repro.serving.ServingEngine` configured with different worker counts,
+measuring queries/second and per-batch latency percentiles.  Timing follows
+the repo's benchmark conventions (DESIGN.md, running the benchmarks): the
+interesting numbers are *ratios measured on the same machine* (worker
+scaling) or calibration-normalised throughputs, never raw wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.core import AnytimeBayesClassifier  # noqa: E402
+from repro.data import make_dataset  # noqa: E402
+from repro.evaluation import latency_percentiles  # noqa: E402
+from repro.evaluation.experiment import DEFAULT_EXPERIMENT_CONFIG  # noqa: E402
+from repro.persist import save_forest  # noqa: E402
+from repro.serving import ServingEngine  # noqa: E402
+
+
+def build_serving_snapshot(
+    path,
+    train_size: int = 1600,
+    query_size: int = 256,
+    random_state: int = 0,
+):
+    """Train a forest, snapshot it to ``path``, return the query block.
+
+    The queries are test objects tiled to ``query_size`` rows — one serving
+    micro-batch worth of traffic with realistic feature values.
+    """
+    dataset = make_dataset("pendigits", size=train_size + 200, random_state=random_state)
+    classifier = AnytimeBayesClassifier(config=DEFAULT_EXPERIMENT_CONFIG)
+    classifier.fit(dataset.features[:train_size], dataset.labels[:train_size])
+    save_forest(classifier, path)
+    tail = dataset.features[train_size:]
+    repeats = int(np.ceil(query_size / tail.shape[0]))
+    queries = np.tile(tail, (repeats, 1))[:query_size]
+    return queries
+
+
+def run_serving_load(
+    snapshot_path,
+    workers: int,
+    queries: np.ndarray,
+    batches: int = 8,
+    warmup: int = 2,
+    node_budget: Optional[int] = None,
+) -> Dict[str, float]:
+    """Measure one engine configuration under a fixed replayed load.
+
+    Returns queries/second over the measured batches plus per-batch latency
+    percentiles (milliseconds).  Warm-up rounds run first so worker start-up
+    and snapshot restore never pollute the measurement — the engine warm-loads
+    snapshots at spin-up, warm-up only stabilises caches.
+    """
+    with ServingEngine(snapshot_path, workers=workers) as engine:
+        for _ in range(warmup):
+            engine.predict_batch(queries, node_budget=node_budget)
+        samples = []
+        start = time.perf_counter()
+        for _ in range(batches):
+            tick = time.perf_counter()
+            engine.predict_batch(queries, node_budget=node_budget)
+            samples.append(time.perf_counter() - tick)
+        total = time.perf_counter() - start
+        percentiles = latency_percentiles(samples, percentiles=(50.0, 99.0))
+        return {
+            "workers": float(engine.n_shards if engine.is_multiprocess else 0),
+            "qps": batches * queries.shape[0] / total,
+            "p50_ms": percentiles["p50"],
+            "p99_ms": percentiles["p99"],
+            "mean_ms": percentiles["mean"],
+        }

@@ -31,6 +31,8 @@ from .core import (
     make_descent_strategy,
 )
 from .index import RStarTree, TreeParameters
+from .persist import SnapshotError, SnapshotVersionError, load_forest, save_forest
+from .serving import ServingEngine
 
 __version__ = "0.1.0"
 
@@ -45,6 +47,11 @@ __all__ = [
     "make_descent_strategy",
     "RStarTree",
     "TreeParameters",
+    "SnapshotError",
+    "SnapshotVersionError",
+    "load_forest",
+    "save_forest",
+    "ServingEngine",
     "make_dataset",
     "__version__",
 ]

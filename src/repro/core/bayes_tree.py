@@ -30,7 +30,8 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..index.cluster_feature import ClusterFeature
-from ..index.decay import LOG_HALF, DecayClock, DecayedClusterFeature
+from ..index.decay import LOG_HALF, DecayClock, DecayedClusterFeature, decay_factor
+from ..index.entry import LeafEntry
 from ..index.node import Node
 from ..index.rstar import RStarTree
 from ..stats.gaussian import logsumexp
@@ -341,7 +342,7 @@ class BayesTree:
         threshold = self.config.expiry_threshold
         if threshold <= 0 or not self.clock.enabled:
             return
-        horizon = math.log2(1.0 / threshold) / self.clock.decay_rate
+        horizon = self.clock.horizon(threshold)
         if self.clock.now - self._last_expiry_sweep >= 0.5 * horizon:
             self.expire()
 
@@ -375,6 +376,130 @@ class BayesTree:
         self._decay_sync_key = None
         self.recompute_statistics()
         return dropped
+
+    # -- snapshot state (persistence support, see repro.persist) --------------------------
+    def export_state(self) -> dict:
+        """Everything needed to rebuild this tree with bit-identical behaviour.
+
+        The returned dict holds only numpy arrays, plain scalars and raw
+        per-observation attribute lists (labels / kernel names / optional
+        explicit bandwidths, all in leaf-buffer row order) — encoding them
+        into a container is ``repro.persist``'s job.  Captured verbatim:
+
+        * the exact index topology and directory summaries
+          (:meth:`RStarTree.export_structure`), with each pre-order leaf slot
+          mapped to its row in the insertion-ordered leaf buffer, so the
+          packed ``leaf_arrays`` of a restored tree run their float
+          reductions in the saved order,
+        * the decay state — logical time, per-observation insertion
+          timestamps, decayed running statistics and the last expiry sweep,
+        * the shared Silverman bandwidth and the running ``(n, LS, SS)``
+          training statistics around their accumulation origin (recomputing
+          either from the data could pick a different origin or summation
+          order and perturb the last bits).
+        """
+        if self._leaf_means.size != len(self.index):
+            # Same safety net as leaf_arrays(): an externally mutated index
+            # is re-adopted before we serialize it.
+            self.recompute_statistics()
+        structure, preorder = self.index.export_structure()
+        points = self._leaf_means.view
+        times = self._leaf_means.times_view
+        rows_by_key: dict = {}
+        for row in range(points.shape[0]):
+            rows_by_key.setdefault((points[row].tobytes(), float(times[row])), []).append(row)
+        leaf_ref = np.empty(len(preorder), dtype=np.int64)
+        labels: list = [None] * points.shape[0]
+        kernels: list = [self.config.kernel] * points.shape[0]
+        bandwidths: list = [None] * points.shape[0]
+        for position, entry in enumerate(preorder):
+            key = (np.asarray(entry.point, dtype=float).tobytes(), float(entry.timestamp))
+            bucket = rows_by_key.get(key)
+            if not bucket:
+                raise ValueError(
+                    "leaf buffer out of sync with the index; the tree was mutated "
+                    "behind the model's back"
+                )
+            row = bucket.pop(0)
+            leaf_ref[position] = row
+            labels[row] = entry.label
+            kernels[row] = entry.kernel
+            bandwidths[row] = None if entry.bandwidth is None else np.array(entry.bandwidth)
+        feature = self._stats.feature
+        return {
+            "dimension": self.dimension,
+            "n": len(self.index),
+            "structure": structure,
+            "leaf_ref": leaf_ref,
+            "leaf_points": points.copy(),
+            "leaf_times": times.copy(),
+            "leaf_labels": labels,
+            "leaf_kernels": kernels,
+            "leaf_bandwidths": bandwidths,
+            "clock_now": self.clock.now,
+            "stats_origin": None if self._stats_origin is None else self._stats_origin.copy(),
+            "stats_n": feature.n,
+            "stats_ls": feature.linear_sum.copy(),
+            "stats_ss": feature.squared_sum.copy(),
+            "stats_last_update": self._stats.last_update,
+            "bandwidth": None if self._bandwidth is None else self._bandwidth.copy(),
+            "last_expiry_sweep": self._last_expiry_sweep,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, config: Optional[BayesTreeConfig] = None) -> "BayesTree":
+        """Rebuild a tree from :meth:`export_state` output (the exact inverse).
+
+        No insertion is replayed and no statistic is re-derived: topology,
+        summaries, buffer order, bandwidth and decay state are adopted
+        verbatim, so every query — scalar, frontier-refined or batched — and
+        every future insertion behaves bit-identically to the saved tree.
+        """
+        dimension = int(state["dimension"])
+        tree = cls(dimension=dimension, config=config)
+        tree.clock.advance(float(state["clock_now"]))
+        rate = tree.clock.decay_rate
+        now = tree.clock.now
+        points = np.asarray(state["leaf_points"], dtype=float)
+        times = np.asarray(state["leaf_times"], dtype=float)
+        row_entries = [
+            LeafEntry(
+                point=points[row],
+                label=state["leaf_labels"][row],
+                bandwidth=state["leaf_bandwidths"][row],
+                kernel=state["leaf_kernels"][row],
+                timestamp=float(times[row]),
+                weight=decay_factor(rate, now - float(times[row])),
+            )
+            for row in range(points.shape[0])
+        ]
+        preorder = [row_entries[int(row)] for row in state["leaf_ref"]]
+        tree.index = RStarTree.from_structure(
+            state["structure"],
+            preorder,
+            dimension=dimension,
+            params=tree.config.tree,
+            clock=tree.clock,
+        )
+        tree._stats_origin = (
+            None if state["stats_origin"] is None else np.asarray(state["stats_origin"], dtype=float)
+        )
+        tree._stats = DecayedClusterFeature(
+            dimension,
+            decay_rate=tree.config.decay_rate,
+            feature=ClusterFeature(
+                n=float(state["stats_n"]),
+                linear_sum=np.asarray(state["stats_ls"], dtype=float),
+                squared_sum=np.asarray(state["stats_ss"], dtype=float),
+            ),
+            last_update=float(state["stats_last_update"]),
+        )
+        tree._leaf_means.rebuild(points, times)
+        bandwidth = state["bandwidth"]
+        tree._bandwidth = None if bandwidth is None else np.asarray(bandwidth, dtype=float)
+        tree._bandwidth_epoch = 1
+        tree._last_expiry_sweep = float(state["last_expiry_sweep"])
+        return tree
 
     def _variance_inflation(self) -> Optional[np.ndarray]:
         """Squared kernel bandwidth added to directory-entry Gaussians.
@@ -509,7 +634,7 @@ class BayesTree:
         # per-entry parameters (which the frontier path honours) force the
         # exact per-entry packing so both full-model paths stay equivalent.
         shared = all(
-            entry.bandwidth is None and entry.kernel == self.config.kernel
+            entry.is_tree_managed(self.config.kernel)
             for entry in self.index.iter_leaf_entries()
         )
         if shared:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from .bayes_tree import BayesTree
 from .config import BayesTreeConfig, default_qbk_k
 from .descent import DescentStrategy, make_descent_strategy
 from .frontier import Frontier, FrontierItem, _entry_batch_params, component_log_densities
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
 
 __all__ = ["AnytimeClassification", "AnytimeBayesClassifier"]
 
@@ -274,6 +277,25 @@ class AnytimeBayesClassifier:
             self.trees[label] = tree
         self.trees[label].insert(point, label=label)
         self._invalidate_priors()
+
+    # -- persistence ----------------------------------------------------------------------------
+    def save(self, path) -> "Path":
+        """Write a portable snapshot of the whole forest (see :mod:`repro.persist`).
+
+        The snapshot is a versioned, pickle-free ``.npz`` container carrying
+        the full decay state; :meth:`load` restores a forest with
+        bit-identical predictions and training behaviour.
+        """
+        from ..persist import save_forest
+
+        return save_forest(self, path)
+
+    @classmethod
+    def load(cls, path) -> "AnytimeBayesClassifier":
+        """Restore a forest saved with :meth:`save` (bit-identical behaviour)."""
+        from ..persist import load_forest
+
+        return load_forest(path)
 
     def _invalidate_priors(self) -> None:
         self._priors_cache = None

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..index.rstar import TreeParameters
 
@@ -55,6 +55,33 @@ class BayesTreeConfig:
             raise ValueError("expiry_threshold must be in [0, 1)")
         if self.expiry_threshold > 0 and self.decay_rate == 0:
             raise ValueError("expiry_threshold requires a positive decay_rate")
+
+    def to_dict(self) -> dict:
+        """Plain-data view of the configuration (snapshot manifests).
+
+        Every value is a JSON-native scalar; Python's JSON encoder emits
+        floats via ``repr``, which round-trips every finite float exactly —
+        a restored configuration therefore decays, expires and scales
+        bandwidths bit-identically to the saved one.
+        """
+        return {
+            "tree": asdict(self.tree),
+            "kernel": self.kernel,
+            "bandwidth_scale": self.bandwidth_scale,
+            "decay_rate": self.decay_rate,
+            "expiry_threshold": self.expiry_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BayesTreeConfig":
+        """Inverse of :meth:`to_dict` (validates through the constructors)."""
+        return cls(
+            tree=TreeParameters(**data["tree"]),
+            kernel=data["kernel"],
+            bandwidth_scale=data["bandwidth_scale"],
+            decay_rate=data["decay_rate"],
+            expiry_threshold=data["expiry_threshold"],
+        )
 
 
 def default_qbk_k(n_classes: int) -> int:

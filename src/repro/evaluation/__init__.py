@@ -21,8 +21,10 @@ from .experiment import (
 from .metrics import (
     accuracy,
     anytime_curve_summary,
+    classification_trace_hash,
     confusion_matrix,
     fading_accuracy,
+    latency_percentiles,
     sliding_window_accuracy,
 )
 
@@ -43,7 +45,9 @@ __all__ = [
     "table1_rows",
     "accuracy",
     "anytime_curve_summary",
+    "classification_trace_hash",
     "confusion_matrix",
     "fading_accuracy",
+    "latency_percentiles",
     "sliding_window_accuracy",
 ]

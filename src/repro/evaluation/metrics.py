@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+import hashlib
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -12,6 +13,8 @@ __all__ = [
     "anytime_curve_summary",
     "sliding_window_accuracy",
     "fading_accuracy",
+    "latency_percentiles",
+    "classification_trace_hash",
 ]
 
 
@@ -109,3 +112,47 @@ def anytime_curve_summary(curve: Sequence[float]) -> Dict[str, float]:
         "best": float(curve.max()),
         "mean": float(curve.mean()),
     }
+
+
+def latency_percentiles(
+    samples_seconds: Sequence[float], percentiles: Sequence[float] = (50.0, 99.0)
+) -> Dict[str, float]:
+    """Latency percentiles (in milliseconds) of a sample of request timings.
+
+    Returns ``{"p50": ..., "p99": ...}`` style keys for the requested
+    percentiles plus ``"mean"`` — the serving benchmark's summary of a batch
+    latency distribution.  Percentile interpolation is numpy's default
+    (linear), computed on the raw sample.
+    """
+    samples = np.asarray(list(samples_seconds), dtype=float)
+    if samples.size == 0:
+        raise ValueError("need at least one latency sample")
+    if samples.min() < 0:
+        raise ValueError("latencies must be non-negative")
+    result = {
+        f"p{percentile:g}": float(np.percentile(samples, percentile) * 1e3)
+        for percentile in percentiles
+    }
+    result["mean"] = float(samples.mean() * 1e3)
+    return result
+
+
+def classification_trace_hash(results: Iterable) -> str:
+    """Order-sensitive SHA-256 over a sequence of anytime classifications.
+
+    Hashes, for every :class:`~repro.core.classifier.AnytimeClassification`,
+    the per-step predictions, the exact float bits of every recorded log
+    posterior (labels in repr-sorted order) and the node-read count.  Two
+    classifiers produce the same hash iff their refinement traces agree bit
+    for bit — the equality the snapshot layer promises between a restored
+    forest and the never-persisted one.
+    """
+    digest = hashlib.sha256()
+    for result in results:
+        digest.update(repr(result.predictions).encode("utf-8"))
+        digest.update(np.int64(result.nodes_read).tobytes())
+        for log_posterior in result.log_posteriors:
+            for label in sorted(log_posterior.keys(), key=repr):
+                digest.update(repr(label).encode("utf-8"))
+                digest.update(np.float64(log_posterior[label]).tobytes())
+    return digest.hexdigest()

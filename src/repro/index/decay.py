@@ -90,6 +90,18 @@ class DecayClock:
         """Decayed weight of a unit observation stamped at ``timestamp``."""
         return decay_factor(self.decay_rate, self.now - timestamp)
 
+    def horizon(self, threshold: float) -> float:
+        """Time for a fresh observation's weight to decay below ``threshold``.
+
+        ``log2(1/threshold) / decay_rate`` — the characteristic length of the
+        sliding horizon the tree effectively remembers.  Infinite when decay
+        is disabled or the threshold is non-positive (nothing ever becomes
+        insignificant).
+        """
+        if not self.enabled or threshold <= 0.0:
+            return math.inf
+        return math.log2(1.0 / threshold) / self.decay_rate
+
 
 @dataclass
 class DecayedClusterFeature:

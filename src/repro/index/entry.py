@@ -102,6 +102,17 @@ class LeafEntry:
     def cluster_feature(self) -> ClusterFeature:
         return ClusterFeature.from_point(self.point, weight=self.weight)
 
+    def is_tree_managed(self, kernel: str) -> bool:
+        """True when this kernel fully follows its tree's shared parameters.
+
+        Tree-managed entries carry no private bandwidth copy and use the
+        tree's configured kernel family; they can be evaluated through the
+        broadcast fast paths (packed leaf arrays) and serialized as bare
+        ``(point, timestamp)`` rows.  Entries stamped with explicit per-entry
+        parameters force the exact per-entry paths instead.
+        """
+        return self.bandwidth is None and self.kernel == kernel
+
     def resolve_bandwidth(self, fallback: Optional[np.ndarray] = None) -> np.ndarray:
         """This entry's bandwidth, or the tree-shared ``fallback``.
 

@@ -1,0 +1,29 @@
+"""Durable forest snapshots: a portable, versioned, pickle-free format.
+
+``save_forest`` serializes a full :class:`~repro.core.AnytimeBayesClassifier`
+— R*-tree topology, decayed cluster features with insertion timestamps, the
+logical decay clock, running bandwidth statistics, priors' inputs and the
+configuration — into a compact ``.npz``/JSON container; ``load_forest``
+restores a forest whose predictions, refinement traces and future training
+behaviour are bit-identical to the saved one.  No pickle is involved at any
+point, so snapshots can be exchanged between untrusting processes (the
+sharded serving engine in :mod:`repro.serving` is built on exactly that).
+"""
+
+from .snapshot import (
+    FORMAT_VERSION,
+    SnapshotError,
+    SnapshotVersionError,
+    load_forest,
+    read_manifest,
+    save_forest,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotVersionError",
+    "load_forest",
+    "read_manifest",
+    "save_forest",
+]

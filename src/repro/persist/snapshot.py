@@ -1,0 +1,369 @@
+"""Snapshot container format for Bayes forests.
+
+Layout: one ``.npz`` archive (zip of ``.npy`` members, written with
+``numpy.savez_compressed``) holding
+
+* ``manifest`` — a UTF-8 JSON document (stored as a ``uint8`` array) with the
+  magic string, format version, classifier-level settings (configuration,
+  descent strategy, qbk k, dimension) and the per-class label tables,
+* ``forest__floats`` — forest-level float state (the logical "now"),
+* ``t{i}__*`` — per-class-tree arrays: the exact index topology
+  (:meth:`repro.index.rstar.RStarTree.export_structure`), the
+  insertion-ordered leaf buffer with per-observation timestamps, the decayed
+  running ``(n, LS, SS)`` statistics, the shared Silverman bandwidth and the
+  expiry bookkeeping (:meth:`repro.core.bayes_tree.BayesTree.export_state`).
+
+Design constraints, in order:
+
+1. **No pickle.**  Arrays are loaded with ``allow_pickle=False`` and labels
+   travel through an explicit typed codec — a snapshot is safe to load even
+   from an untrusted producer (it can be malformed, never executable).
+2. **Bit-identical restore.**  Every float is stored verbatim (numpy arrays
+   in the archive; JSON floats round-trip exactly through ``repr``), topology
+   and entry order are restored 1:1, and nothing is re-derived from the data.
+3. **Versioned.**  ``FORMAT_VERSION`` gates the loader: snapshots from a
+   different format version are rejected with :class:`SnapshotVersionError`
+   instead of being misinterpreted; corrupt or truncated containers raise
+   :class:`SnapshotError`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from ..core.bayes_tree import BayesTree
+from ..core.classifier import AnytimeBayesClassifier
+from ..core.config import BayesTreeConfig
+from ..core.descent import DESCENT_STRATEGIES
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotVersionError",
+    "save_forest",
+    "load_forest",
+    "read_manifest",
+]
+
+#: Bumped whenever the container layout changes incompatibly.
+FORMAT_VERSION = 1
+
+_MAGIC = "repro-bayes-forest"
+
+#: Kernel families are stored as indices into this table.
+_KERNELS = ("gaussian", "epanechnikov")
+
+#: Keys of the structure arrays produced by ``RStarTree.export_structure``.
+_STRUCTURE_KEYS = (
+    "node_levels",
+    "node_counts",
+    "dir_child",
+    "dir_mbr_lower",
+    "dir_mbr_upper",
+    "dir_cf_n",
+    "dir_cf_ls",
+    "dir_cf_ss",
+    "dir_last_update",
+)
+
+
+class SnapshotError(RuntimeError):
+    """The file is not a readable forest snapshot (corrupt, truncated, alien)."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The snapshot uses a format version this code does not understand."""
+
+
+# -- label codec -----------------------------------------------------------------------------
+#
+# Labels are arbitrary hashables in the classifier API; without pickle we
+# support the types that actually occur (JSON scalars, numpy scalars, tuples
+# thereof) through a small typed encoding.  Numpy integer labels must restore
+# as numpy integers: prediction tie-breaking sorts labels by ``repr``, and
+# ``repr(np.int64(3))`` differs from ``repr(3)`` — a type-lossy round-trip
+# could reorder ties and break bit-identical traces.
+
+def _encode_label(label: Hashable) -> list:
+    if label is None:
+        return ["none"]
+    if isinstance(label, (bool, np.bool_)):
+        return ["bool", bool(label)]
+    if isinstance(label, np.integer):
+        return ["npint", label.dtype.name, int(label)]
+    if isinstance(label, np.floating):
+        return ["npfloat", label.dtype.name, float(label)]
+    if isinstance(label, int):
+        return ["int", int(label)]
+    if isinstance(label, float):
+        return ["float", label]
+    if isinstance(label, str):
+        return ["str", label]
+    if isinstance(label, tuple):
+        return ["tuple", [_encode_label(item) for item in label]]
+    raise SnapshotError(
+        f"label {label!r} of type {type(label).__name__} cannot be serialized "
+        "without pickle; use str/int/float/bool/None/numpy scalars or tuples thereof"
+    )
+
+
+def _decode_label(spec: list) -> Hashable:
+    kind = spec[0]
+    if kind == "none":
+        return None
+    if kind == "bool":
+        return bool(spec[1])
+    if kind == "int":
+        return int(spec[1])
+    if kind == "float":
+        return float(spec[1])
+    if kind == "str":
+        return str(spec[1])
+    if kind == "npint" or kind == "npfloat":
+        return np.dtype(spec[1]).type(spec[2])
+    if kind == "tuple":
+        return tuple(_decode_label(item) for item in spec[1])
+    raise SnapshotError(f"unknown label encoding {spec!r}")
+
+
+# -- saving -----------------------------------------------------------------------------------
+
+def save_forest(classifier: AnytimeBayesClassifier, path) -> Path:
+    """Serialize a fitted forest into the snapshot container at ``path``.
+
+    Returns the path written.  Raises :class:`SnapshotError` for classifiers
+    that cannot be represented (unfitted, custom descent strategies outside
+    the registry, non-serializable labels).
+    """
+    if not classifier.is_fitted or classifier.dimension is None:
+        raise SnapshotError("cannot snapshot an unfitted classifier")
+    descent_name = getattr(classifier.descent, "name", None)
+    if descent_name not in DESCENT_STRATEGIES:
+        raise SnapshotError(
+            f"descent strategy {classifier.descent!r} is not in the registry "
+            f"{DESCENT_STRATEGIES}; snapshots only carry registered strategies"
+        )
+
+    arrays: Dict[str, np.ndarray] = {}
+    classes: List[list] = []
+    trees_meta: List[dict] = []
+    for index, (label, tree) in enumerate(classifier.trees.items()):
+        state = tree.export_state()
+        prefix = f"t{index}__"
+        classes.append(_encode_label(label))
+        for key in _STRUCTURE_KEYS:
+            arrays[prefix + key] = state["structure"][key]
+        arrays[prefix + "leaf_ref"] = state["leaf_ref"]
+        arrays[prefix + "leaf_points"] = state["leaf_points"]
+        arrays[prefix + "leaf_times"] = state["leaf_times"]
+        arrays[prefix + "floats"] = np.array(
+            [
+                state["clock_now"],
+                state["stats_n"],
+                state["stats_last_update"],
+                state["last_expiry_sweep"],
+            ],
+            dtype=float,
+        )
+        arrays[prefix + "stats_ls"] = state["stats_ls"]
+        arrays[prefix + "stats_ss"] = state["stats_ss"]
+        if state["stats_origin"] is not None:
+            arrays[prefix + "stats_origin"] = state["stats_origin"]
+        if state["bandwidth"] is not None:
+            arrays[prefix + "bandwidth"] = state["bandwidth"]
+
+        count = state["leaf_points"].shape[0]
+        label_table: List[list] = []
+        label_keys: Dict[str, int] = {}
+        label_indices = np.full(count, -1, dtype=np.int64)
+        for row, leaf_label in enumerate(state["leaf_labels"]):
+            if leaf_label is None:
+                continue
+            encoded = _encode_label(leaf_label)
+            key = json.dumps(encoded)
+            position = label_keys.get(key)
+            if position is None:
+                position = len(label_table)
+                label_keys[key] = position
+                label_table.append(encoded)
+            label_indices[row] = position
+        arrays[prefix + "leaf_labels"] = label_indices
+        try:
+            kernel_indices = np.array(
+                [_KERNELS.index(kernel) for kernel in state["leaf_kernels"]], dtype=np.int8
+            )
+        except ValueError as error:
+            raise SnapshotError(f"unknown kernel family in tree {label!r}") from error
+        arrays[prefix + "leaf_kernels"] = kernel_indices
+        explicit = [bw for bw in state["leaf_bandwidths"] if bw is not None]
+        if explicit:
+            mask = np.array([bw is not None for bw in state["leaf_bandwidths"]], dtype=bool)
+            arrays[prefix + "leaf_bw_mask"] = mask
+            arrays[prefix + "leaf_bw_values"] = np.stack(explicit).astype(float)
+        trees_meta.append({"n": int(state["n"]), "label_table": label_table})
+
+    manifest = {
+        "magic": _MAGIC,
+        "format_version": FORMAT_VERSION,
+        "dimension": int(classifier.dimension),
+        "descent": descent_name,
+        "qbk_k": classifier.qbk_k,
+        "config": classifier.config.to_dict(),
+        "classes": classes,
+        "trees": trees_meta,
+    }
+    arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    arrays["forest__floats"] = np.array([classifier._now], dtype=float)
+
+    path = Path(path)
+    # savez appends ".npz" to bare filenames; writing through a file object
+    # keeps the caller's path verbatim.
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+# -- loading ----------------------------------------------------------------------------------
+
+def _parse_manifest(data) -> dict:
+    if "manifest" not in data.files:
+        raise SnapshotError("not a forest snapshot (no manifest member)")
+    try:
+        manifest = json.loads(bytes(data["manifest"]).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise SnapshotError(f"unreadable snapshot manifest: {error}") from error
+    if not isinstance(manifest, dict) or manifest.get("magic") != _MAGIC:
+        raise SnapshotError("not a forest snapshot (wrong magic)")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotVersionError(
+            f"snapshot format version {version!r} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def read_manifest(path) -> dict:
+    """Read and decode only the snapshot manifest (no tree reconstruction).
+
+    Returns a dict with ``dimension``, ``descent``, ``qbk_k``, the raw
+    ``config`` dict, ``classes`` (decoded labels, forest order) and
+    ``class_counts`` (stored observations per class).  The serving front-end
+    uses this to plan shard assignments without paying for a full restore.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            manifest = _parse_manifest(data)
+        # Field extraction stays inside the typed-error envelope: a manifest
+        # with valid magic/version but missing fields is still corrupt.
+        return {
+            "format_version": manifest["format_version"],
+            "dimension": manifest["dimension"],
+            "descent": manifest["descent"],
+            "qbk_k": manifest["qbk_k"],
+            "config": manifest["config"],
+            "classes": [_decode_label(spec) for spec in manifest["classes"]],
+            "class_counts": [tree["n"] for tree in manifest["trees"]],
+        }
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
+
+
+def _tree_state(data, index: int, meta: dict, dimension: int) -> dict:
+    prefix = f"t{index}__"
+    floats = np.asarray(data[prefix + "floats"], dtype=float)
+    if floats.shape != (4,):
+        raise SnapshotError("malformed snapshot: tree float block has wrong shape")
+    points = np.asarray(data[prefix + "leaf_points"], dtype=float)
+    count = points.shape[0]
+    label_table = [_decode_label(spec) for spec in meta["label_table"]]
+    label_indices = np.asarray(data[prefix + "leaf_labels"], dtype=np.int64)
+    labels = [
+        None if label_indices[row] < 0 else label_table[int(label_indices[row])]
+        for row in range(count)
+    ]
+    kernel_indices = np.asarray(data[prefix + "leaf_kernels"], dtype=np.int64)
+    kernels = [_KERNELS[int(kernel_indices[row])] for row in range(count)]
+    bandwidths: List[Optional[np.ndarray]] = [None] * count
+    if prefix + "leaf_bw_mask" in data.files:
+        mask = np.asarray(data[prefix + "leaf_bw_mask"], dtype=bool)
+        values = np.asarray(data[prefix + "leaf_bw_values"], dtype=float)
+        cursor = 0
+        for row in range(count):
+            if mask[row]:
+                bandwidths[row] = values[cursor]
+                cursor += 1
+        if cursor != values.shape[0]:
+            raise SnapshotError("malformed snapshot: bandwidth mask/value mismatch")
+    return {
+        "dimension": dimension,
+        "n": int(meta["n"]),
+        "structure": {key: data[prefix + key] for key in _STRUCTURE_KEYS},
+        "leaf_ref": np.asarray(data[prefix + "leaf_ref"], dtype=np.int64),
+        "leaf_points": points,
+        "leaf_times": np.asarray(data[prefix + "leaf_times"], dtype=float),
+        "leaf_labels": labels,
+        "leaf_kernels": kernels,
+        "leaf_bandwidths": bandwidths,
+        "clock_now": float(floats[0]),
+        "stats_origin": (
+            np.asarray(data[prefix + "stats_origin"], dtype=float)
+            if prefix + "stats_origin" in data.files
+            else None
+        ),
+        "stats_n": float(floats[1]),
+        "stats_ls": np.asarray(data[prefix + "stats_ls"], dtype=float),
+        "stats_ss": np.asarray(data[prefix + "stats_ss"], dtype=float),
+        "stats_last_update": float(floats[2]),
+        "bandwidth": (
+            np.asarray(data[prefix + "bandwidth"], dtype=float)
+            if prefix + "bandwidth" in data.files
+            else None
+        ),
+        "last_expiry_sweep": float(floats[3]),
+    }
+
+
+def _restore(data) -> AnytimeBayesClassifier:
+    manifest = _parse_manifest(data)
+    config = BayesTreeConfig.from_dict(manifest["config"])
+    classifier = AnytimeBayesClassifier(
+        config=config, descent=manifest["descent"], qbk_k=manifest["qbk_k"]
+    )
+    dimension = int(manifest["dimension"])
+    classifier.dimension = dimension
+    classifier._now = float(np.asarray(data["forest__floats"], dtype=float)[0])
+    if len(manifest["classes"]) != len(manifest["trees"]):
+        raise SnapshotError("malformed snapshot: class/tree tables disagree")
+    for index, (spec, meta) in enumerate(zip(manifest["classes"], manifest["trees"])):
+        label = _decode_label(spec)
+        state = _tree_state(data, index, meta, dimension)
+        tree = BayesTree.from_state(state, config=config)
+        if len(tree.index) != state["n"]:
+            raise SnapshotError("malformed snapshot: stored size disagrees with topology")
+        classifier.trees[label] = tree
+    classifier._invalidate_priors()
+    return classifier
+
+
+def load_forest(path) -> AnytimeBayesClassifier:
+    """Restore a forest from a snapshot written by :func:`save_forest`.
+
+    The restored classifier produces bit-identical predictions, refinement
+    traces and (given the same subsequent stream) training behaviour as the
+    saved one.  Raises :class:`SnapshotVersionError` for snapshots of another
+    format version and :class:`SnapshotError` for anything unreadable.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return _restore(data)
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(f"unreadable snapshot {path}: {error}") from error

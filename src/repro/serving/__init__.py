@@ -1,0 +1,13 @@
+"""Multi-process sharded serving of snapshotted Bayes forests.
+
+:class:`ServingEngine` restores a :mod:`repro.persist` snapshot into a pool
+of worker processes — each worker warm-loads the snapshot at startup and
+serves a shard of the per-class trees — and exposes batched classification
+with exactly the predictions of the in-process classifier.  A micro-batching
+request scheduler, graceful snapshot hot-swap and a synchronous single-process
+fallback make it the front-end building block for production-style traffic.
+"""
+
+from .engine import ServingEngine, ServingStats
+
+__all__ = ["ServingEngine", "ServingStats"]

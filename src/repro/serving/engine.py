@@ -1,0 +1,474 @@
+"""Sharded multi-process serving engine for snapshotted Bayes forests.
+
+Architecture (see DESIGN.md, snapshots & serving):
+
+* **Shard workers.**  The engine owns one single-process
+  ``ProcessPoolExecutor`` per shard.  Each worker warm-loads the snapshot in
+  its initializer and keeps the class trees of its shard (classes are
+  repr-sorted and dealt round-robin), plus the *forest-wide* log priors — a
+  per-class posterior score ``log P(c) + log pdq_c(x)`` never mixes data
+  across classes, which is what makes the class dimension embarrassingly
+  parallel for full-refinement scoring.
+* **Scatter/gather scoring.**  ``predict_batch`` broadcasts the query block
+  to every shard, each worker scores its classes with one vectorised
+  ``log_density_batch`` per tree, and the front-end reassembles the full
+  score matrix and takes the same repr-sorted argmax as
+  ``AnytimeBayesClassifier._predict_batch_full`` — predictions are
+  bit-identical to the in-process classifier.
+* **Budgeted (anytime) requests** cannot be class-sharded: the qbk rotation
+  interleaves classes through one shared posterior.  They are sharded by
+  *query* instead — each worker lazily restores the full forest once and
+  drives ``classify_anytime_batch``'s lockstep refinement over its slice of
+  the batch (per-query results are independent of the slicing).
+* **Micro-batching scheduler.**  ``submit`` enqueues single queries; a
+  dispatcher thread groups them (up to ``max_batch``, waiting at most
+  ``linger_s`` after the first request) and serves each group with one
+  scatter/gather round — the serving-side analogue of the stream driver's
+  micro-batched chunks.
+* **Hot swap.**  ``swap_snapshot`` validates the new container, waits out
+  in-flight serving rounds (a readers-writer guard — a round must never tear
+  across two snapshots or gather against a stale label layout), then reloads
+  every shard and the front-end label order together.  A background trainer
+  can ``partial_fit`` on the side, write a fresh snapshot and swap it in
+  without dropping a request.
+* **Fallback.**  ``workers=0`` (or a failed pool spin-up) serves synchronously
+  from an in-process restored forest with the identical API and results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import warnings
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import AnytimeBayesClassifier
+from ..persist import load_forest, read_manifest
+
+__all__ = ["ServingEngine", "ServingStats"]
+
+# Process-global state of a shard worker (one worker process per shard, so a
+# plain module dict is per-shard state).
+_WORKER: dict = {}
+
+
+def _serving_labels(forest: AnytimeBayesClassifier) -> List[Hashable]:
+    """Servable (non-empty) classes in the global repr-sorted column order."""
+    return sorted(
+        (label for label, tree in forest.trees.items() if tree.n_objects > 0), key=repr
+    )
+
+
+def _load_into_worker(snapshot_path: str, shard_index: int, n_shards: int) -> None:
+    forest = load_forest(snapshot_path)
+    labels = _serving_labels(forest)
+    mine = labels[shard_index::n_shards]
+    _WORKER.clear()
+    _WORKER.update(
+        {
+            "snapshot_path": snapshot_path,
+            "shard_index": shard_index,
+            "n_shards": n_shards,
+            # Shard trees in global column order; the other classes' trees are
+            # dropped so per-worker memory scales with the shard.
+            "trees": {label: forest.trees[label] for label in mine},
+            "log_priors": dict(forest.log_priors),
+            "full": None,
+        }
+    )
+
+
+def _init_worker(snapshot_path: str, shard_index: int, n_shards: int) -> None:
+    _load_into_worker(snapshot_path, shard_index, n_shards)
+
+
+def _ping() -> int:
+    """Warm-up no-op: forces the initializer to run before traffic arrives."""
+    return os.getpid()
+
+
+def _score_shard(queries: np.ndarray) -> np.ndarray:
+    """Posterior scores ``log P(c) + log pdq_c(x)`` for this shard's classes.
+
+    Returns an ``(m, k)`` block whose columns follow the shard's slice of the
+    global repr-sorted label order; every tree is evaluated with one batched
+    full-model call over its packed leaf arrays.
+    """
+    queries = np.asarray(queries, dtype=float)
+    trees = _WORKER["trees"]
+    log_priors = _WORKER["log_priors"]
+    scores = np.empty((queries.shape[0], len(trees)))
+    for column, (label, tree) in enumerate(trees.items()):
+        scores[:, column] = log_priors[label] + tree.log_density_batch(queries)
+    return scores
+
+
+def _predict_budgeted(queries: np.ndarray, budgets) -> List[Hashable]:
+    """Anytime predictions for a query slice under per-query node budgets.
+
+    Runs the full forest (restored lazily, once per worker, then cached) so
+    the qbk rotation sees every class — identical per-query results to the
+    in-process ``classify_anytime_batch``.
+    """
+    forest = _WORKER.get("full")
+    if forest is None:
+        forest = load_forest(_WORKER["snapshot_path"])
+        _WORKER["full"] = forest
+    results = forest.classify_anytime_batch(
+        np.asarray(queries, dtype=float), max_nodes=budgets, record_history=False
+    )
+    return [result.final_prediction for result in results]
+
+
+def _swap_snapshot(snapshot_path: str, shard_index: int, n_shards: int) -> int:
+    _load_into_worker(snapshot_path, shard_index, n_shards)
+    return os.getpid()
+
+
+@dataclass
+class ServingStats:
+    """Lightweight serving counters (queries served, dispatch rounds, swaps)."""
+
+    requests: int = 0
+    batches: int = 0
+    swaps: int = 0
+
+
+class ServingEngine:
+    """Serve a forest snapshot from sharded worker processes.
+
+    Parameters
+    ----------
+    snapshot_path:
+        A container written by :func:`repro.persist.save_forest`.
+    workers:
+        Number of shard processes.  ``0`` forces the synchronous in-process
+        fallback; ``None`` uses ``min(cpu_count, n_classes)``.  More workers
+        than servable classes are clamped (an empty shard serves nothing).
+    max_batch / linger_s:
+        Micro-batching knobs of the request scheduler: a dispatch round
+        closes when ``max_batch`` requests are pending or ``linger_s`` has
+        passed since the round's first request.
+    mp_context:
+        Optional multiprocessing start method (``"fork"``/``"spawn"``).
+    """
+
+    def __init__(
+        self,
+        snapshot_path,
+        workers: Optional[int] = None,
+        max_batch: int = 256,
+        linger_s: float = 0.002,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if linger_s < 0:
+            raise ValueError("linger_s must be non-negative")
+        manifest = read_manifest(snapshot_path)
+        self._snapshot_path = str(snapshot_path)
+        self.dimension = int(manifest["dimension"])
+        self._labels = self._servable_labels(manifest)
+        if not self._labels:
+            raise ValueError("snapshot holds no servable (non-empty) classes")
+        if workers is None:
+            workers = min(os.cpu_count() or 1, len(self._labels))
+        workers = int(workers)
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.n_shards = min(workers, len(self._labels))
+        self.max_batch = int(max_batch)
+        self.linger_s = float(linger_s)
+        self.stats = ServingStats()
+        self._stats_lock = threading.Lock()
+        # Readers-writer guard between serving rounds and hot swaps: many
+        # rounds may scatter concurrently, but a swap waits for in-flight
+        # rounds and blocks new ones — otherwise a round could tear across
+        # the old and new snapshot (half its shard tasks enqueued before the
+        # swap tasks, half after) or read a label layout that no longer
+        # matches the gathered score blocks.
+        self._swap_cond = threading.Condition()
+        self._active_rounds = 0
+        self._swapping = False
+        self._local_forest: Optional[AnytimeBayesClassifier] = None
+        self._pools: Optional[List[ProcessPoolExecutor]] = None
+        if self.n_shards > 0:
+            self._spin_up(mp_context)
+        # Micro-batcher state (dispatcher thread started on first submit).
+        self._pending: deque = deque()
+        self._cond = threading.Condition()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._closed = False
+
+    @staticmethod
+    def _servable_labels(manifest: dict) -> List[Hashable]:
+        alive = [
+            label
+            for label, count in zip(manifest["classes"], manifest["class_counts"])
+            if count > 0
+        ]
+        return sorted(alive, key=repr)
+
+    def _spin_up(self, mp_context: Optional[str]) -> None:
+        context = multiprocessing.get_context(mp_context) if mp_context else None
+        pools: List[ProcessPoolExecutor] = []
+        try:
+            for shard in range(self.n_shards):
+                pools.append(
+                    ProcessPoolExecutor(
+                        max_workers=1,
+                        mp_context=context,
+                        initializer=_init_worker,
+                        initargs=(self._snapshot_path, shard, self.n_shards),
+                    )
+                )
+            # Warm every worker now: the snapshot is restored before the first
+            # request instead of on its critical path.  Submit-all first so
+            # the per-worker restores run concurrently instead of start-up
+            # paying n_shards serialized loads.
+            for future in [pool.submit(_ping) for pool in pools]:
+                future.result()
+        except Exception as error:  # pragma: no cover - environment dependent
+            for pool in pools:
+                pool.shutdown(wait=False, cancel_futures=True)
+            warnings.warn(
+                f"serving worker pools unavailable ({error!r}); "
+                "falling back to synchronous in-process serving",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.n_shards = 0
+            self._pools = None
+            return
+        self._pools = pools
+
+    # -- lifecycle ----------------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the dispatcher and shut down the shard processes."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+            self._pools = None
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def is_multiprocess(self) -> bool:
+        """True when requests are served by shard processes (not the fallback)."""
+        return self._pools is not None
+
+    @property
+    def labels(self) -> List[Hashable]:
+        """Servable class labels in global (repr-sorted) column order."""
+        return list(self._labels)
+
+    def _local(self) -> AnytimeBayesClassifier:
+        if self._local_forest is None:
+            self._local_forest = load_forest(self._snapshot_path)
+        return self._local_forest
+
+    # -- batched serving ----------------------------------------------------------------------
+    def predict_batch(self, queries: np.ndarray, node_budget=None) -> List[Hashable]:
+        """Predict labels for a query block, sharded across the workers.
+
+        ``node_budget=None`` runs the class-sharded full-refinement scoring
+        path; an integer (or per-query sequence) runs the query-sharded
+        anytime path.  Either way the predictions are bit-identical to
+        ``AnytimeBayesClassifier.predict_batch`` on the restored forest.
+        """
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2 or queries.shape[1] != self.dimension:
+            raise ValueError(f"queries must be an (m, {self.dimension}) array")
+        with self._stats_lock:
+            self.stats.requests += queries.shape[0]
+            self.stats.batches += 1
+        if queries.shape[0] == 0:
+            return []
+        with self._swap_cond:
+            while self._swapping:
+                self._swap_cond.wait()
+            self._active_rounds += 1
+        try:
+            if self._pools is None:
+                return self._local().predict_batch(queries, node_budget=node_budget)
+            if node_budget is None:
+                return self._scatter_full(queries)
+            return self._scatter_budgeted(queries, node_budget)
+        finally:
+            with self._swap_cond:
+                self._active_rounds -= 1
+                self._swap_cond.notify_all()
+
+    def _scatter_full(self, queries: np.ndarray) -> List[Hashable]:
+        futures = [pool.submit(_score_shard, queries) for pool in self._pools]
+        blocks = [future.result() for future in futures]
+        scores = np.empty((queries.shape[0], len(self._labels)))
+        for shard, block in enumerate(blocks):
+            # Shard `shard` holds labels[shard::n_shards]; its columns slot
+            # straight into the global repr-sorted score matrix.
+            scores[:, shard :: self.n_shards] = block
+        best = np.argmax(scores, axis=1)
+        return [self._labels[index] for index in best]
+
+    def _scatter_budgeted(self, queries: np.ndarray, node_budget) -> List[Hashable]:
+        budgets = np.asarray(node_budget)
+        if budgets.ndim == 0:
+            budgets = np.full(queries.shape[0], int(node_budget))
+        elif budgets.shape != (queries.shape[0],):
+            raise ValueError("per-query node_budget must have one budget per query")
+        shards = min(self.n_shards, queries.shape[0])
+        query_slices = np.array_split(queries, shards)
+        budget_slices = np.array_split(budgets, shards)
+        futures = [
+            self._pools[shard].submit(_predict_budgeted, query_slices[shard], budget_slices[shard])
+            for shard in range(shards)
+        ]
+        predictions: List[Hashable] = []
+        for future in futures:
+            predictions.extend(future.result())
+        return predictions
+
+    # -- micro-batching request scheduler ----------------------------------------------------
+    def submit(self, features: Sequence[float] | np.ndarray, node_budget=None) -> Future:
+        """Enqueue one query; returns a future resolving to its predicted label.
+
+        Requests are grouped by the dispatcher into micro-batches served with
+        one scatter/gather round each; full-refinement and budgeted requests
+        are batched separately (they take different sharding paths).
+        """
+        features = np.asarray(features, dtype=float)
+        if features.shape != (self.dimension,):
+            raise ValueError(f"features must have shape ({self.dimension},)")
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("serving engine is closed")
+            self._pending.append((features, node_budget, future))
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop, name="serving-dispatcher", daemon=True
+                )
+                self._dispatcher.start()
+            self._cond.notify_all()
+        return future
+
+    def flush(self) -> None:
+        """Block until every request submitted so far has been dispatched."""
+        while True:
+            with self._cond:
+                if not self._pending:
+                    return
+            # The dispatcher drains in linger-bounded rounds; just yield.
+            time.sleep(self.linger_s or 0.0005)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch: List[Tuple[np.ndarray, object, Future]] = []
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._pending:
+                    return
+                if self.linger_s > 0:
+                    # Linger: give the round a chance to fill up to max_batch.
+                    deadline = time.monotonic() + self.linger_s
+                    while len(self._pending) < self.max_batch and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(timeout=remaining)
+                while self._pending and len(batch) < self.max_batch:
+                    batch.append(self._pending.popleft())
+            if batch:
+                self._serve_group(batch)
+
+    def _serve_group(self, batch: List[Tuple[np.ndarray, object, Future]]) -> None:
+        # Full-refinement and budgeted requests take different sharding paths;
+        # budgeted ones still share a single lockstep batch via per-query budgets.
+        unbudgeted = [(features, future) for features, budget, future in batch if budget is None]
+        budgeted = [
+            (features, budget, future) for features, budget, future in batch if budget is not None
+        ]
+        for group, node_budget in (
+            (unbudgeted, None),
+            (budgeted, [int(budget) for _, budget, _ in budgeted] if budgeted else None),
+        ):
+            if not group:
+                continue
+            features = np.stack([item[0] for item in group])
+            futures = [item[-1] for item in group]
+            try:
+                predictions = self.predict_batch(features, node_budget=node_budget)
+            except Exception as error:  # propagate to every waiter in the round
+                for future in futures:
+                    future.set_exception(error)
+                continue
+            for future, prediction in zip(futures, predictions):
+                future.set_result(prediction)
+
+    # -- hot swap ----------------------------------------------------------------------------
+    def swap_snapshot(self, snapshot_path) -> None:
+        """Atomically switch serving to a new snapshot (graceful hot swap).
+
+        The container is validated first (manifest parse).  The swap then
+        takes the writer side of the serving guard: in-flight rounds finish
+        on the old forest, new rounds wait, and every shard plus the
+        front-end label layout switch together — no round ever mixes score
+        blocks from two snapshots.  Typical flow: a background trainer keeps
+        a live forest learning via ``partial_fit``, periodically
+        ``save_forest``s it and swaps the engine over.
+        """
+        manifest = read_manifest(snapshot_path)
+        if int(manifest["dimension"]) != self.dimension:
+            raise ValueError(
+                f"snapshot dimension {manifest['dimension']} does not match "
+                f"the engine dimension {self.dimension}"
+            )
+        labels = self._servable_labels(manifest)
+        if not labels:
+            raise ValueError("snapshot holds no servable (non-empty) classes")
+        path = str(snapshot_path)
+        # Writer side of the swap guard: wait out in-flight serving rounds
+        # (they complete on the old forest), keep new rounds parked until
+        # every shard and the label layout have switched together.
+        with self._swap_cond:
+            while self._swapping:
+                self._swap_cond.wait()
+            self._swapping = True
+            while self._active_rounds > 0:
+                self._swap_cond.wait()
+        try:
+            if self._pools is not None:
+                futures = [
+                    pool.submit(_swap_snapshot, path, shard, self.n_shards)
+                    for shard, pool in enumerate(self._pools)
+                ]
+                for future in futures:
+                    future.result()
+            self._snapshot_path = path
+            self._labels = labels
+            self._local_forest = None
+            with self._stats_lock:
+                self.stats.swaps += 1
+        finally:
+            with self._swap_cond:
+                self._swapping = False
+                self._swap_cond.notify_all()

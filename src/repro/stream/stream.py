@@ -83,3 +83,29 @@ class DataStream:
             if limit is not None and len(result) >= limit:
                 break
         return result
+
+    def query_batches(
+        self, batch_size: int, limit: Optional[int] = None
+    ) -> Iterator[np.ndarray]:
+        """Yield the stream's feature vectors as stacked ``(b, d)`` blocks.
+
+        The serving load generator's view of a stream: arrival order and
+        micro-batch boundaries are preserved (the trailing partial block is
+        yielded too), labels and budgets are dropped — exactly the request
+        blocks a serving front-end would dispatch.  ``limit`` caps the number
+        of *objects* (not blocks).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        block: List[np.ndarray] = []
+        taken = 0
+        for item in self:
+            if limit is not None and taken >= limit:
+                break
+            block.append(item.features)
+            taken += 1
+            if len(block) >= batch_size:
+                yield np.stack(block)
+                block = []
+        if block:
+            yield np.stack(block)

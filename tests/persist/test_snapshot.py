@@ -1,0 +1,260 @@
+"""Snapshot round-trips must be bit-identical; broken containers must be rejected.
+
+The acceptance bar of ISSUE 4: saving a decayed, mid-stream forest and
+restoring it yields hash-equal classification traces against the
+never-persisted forest — including after both keep streaming — and corrupt or
+version-mismatched snapshots raise typed errors instead of loading garbage.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnytimeBayesClassifier, BayesTree, BayesTreeConfig
+from repro.data import make_dataset
+from repro.evaluation import classification_trace_hash
+from repro.persist import (
+    FORMAT_VERSION,
+    SnapshotError,
+    SnapshotVersionError,
+    load_forest,
+    read_manifest,
+    save_forest,
+)
+
+
+def _decayed_midstream_forest(size=260, decay_rate=0.02, seed=3):
+    """A forest caught mid-stream: active decay, expiry armed, warm caches."""
+    dataset = make_dataset("pendigits", size=size, random_state=seed)
+    config = BayesTreeConfig(decay_rate=decay_rate, expiry_threshold=1e-3 if decay_rate else 0.0)
+    classifier = AnytimeBayesClassifier(config=config)
+    for i in range(size - 60):
+        classifier.partial_fit(dataset.features[i], dataset.labels[i], timestamp=float(i) * 0.5)
+    classifier.advance_time((size - 60) * 0.5 + 3.0)
+    # Warm the query caches so the snapshot is taken from a "serving" state.
+    classifier.predict_batch(dataset.features[size - 60 : size - 40])
+    return classifier, dataset
+
+
+def _trace(classifier, queries, max_nodes=25):
+    return classification_trace_hash(
+        classifier.classify_anytime(query, max_nodes=max_nodes) for query in queries
+    )
+
+
+def test_roundtrip_trace_hash_equality_under_decay(tmp_path):
+    classifier, dataset = _decayed_midstream_forest()
+    queries = dataset.features[-40:]
+    path = tmp_path / "forest.npz"
+    assert save_forest(classifier, path) == path
+    restored = load_forest(path)
+
+    assert restored.predict_batch(queries) == classifier.predict_batch(queries)
+    assert _trace(restored, queries) == _trace(classifier, queries)
+    assert restored.priors == classifier.priors
+    for label, tree in classifier.trees.items():
+        other = restored.trees[label]
+        np.testing.assert_array_equal(tree.bandwidth, other.bandwidth)
+        for ours, theirs in zip(tree.leaf_arrays(), other.leaf_arrays()):
+            np.testing.assert_array_equal(np.asarray(ours), np.asarray(theirs))
+        other.validate()
+
+
+def test_roundtrip_then_continued_stream_stays_identical(tmp_path):
+    """Decay state must persist: both forests keep streaming identically."""
+    classifier, dataset = _decayed_midstream_forest()
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+    restored = load_forest(path)
+    start = len(dataset.features) - 60
+    for i in range(start, len(dataset.features)):
+        timestamp = float(i) * 0.5 + 10.0
+        classifier.partial_fit(dataset.features[i], dataset.labels[i], timestamp=timestamp)
+        restored.partial_fit(dataset.features[i], dataset.labels[i], timestamp=timestamp)
+    queries = dataset.features[:40]
+    assert _trace(restored, queries) == _trace(classifier, queries)
+    for label, tree in classifier.trees.items():
+        for ours, theirs in zip(tree.leaf_arrays(), restored.trees[label].leaf_arrays()):
+            np.testing.assert_array_equal(np.asarray(ours), np.asarray(theirs))
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    decay_rate=st.sampled_from([0.0, 0.005, 0.02, 0.1]),
+    seed=st.integers(min_value=0, max_value=4),
+)
+def test_roundtrip_property_over_rates_and_streams(tmp_path_factory, decay_rate, seed):
+    """Property: save→load is the identity on behaviour for any decay rate."""
+    classifier, dataset = _decayed_midstream_forest(size=150, decay_rate=decay_rate, seed=seed)
+    path = tmp_path_factory.mktemp("prop") / "forest.npz"
+    save_forest(classifier, path)
+    restored = load_forest(path)
+    queries = dataset.features[-25:]
+    assert _trace(restored, queries, max_nodes=12) == _trace(classifier, queries, max_nodes=12)
+    batch_a = classifier.classify_anytime_batch(queries, max_nodes=12)
+    batch_b = restored.classify_anytime_batch(queries, max_nodes=12)
+    assert classification_trace_hash(batch_a) == classification_trace_hash(batch_b)
+
+
+def test_expired_empty_class_survives_roundtrip(tmp_path):
+    """A class whose kernels all expired is kept (recurrence) and restored."""
+    config = BayesTreeConfig(decay_rate=0.5, expiry_threshold=1e-2)
+    classifier = AnytimeBayesClassifier(config=config)
+    rng = np.random.default_rng(0)
+    for i in range(20):
+        classifier.partial_fit(rng.normal(size=2), "ephemeral", timestamp=0.0)
+    for i in range(40):
+        classifier.partial_fit(rng.normal(size=2) + 4.0, "steady", timestamp=190.0 + i * 0.25)
+    classifier.advance_time(200.0)
+    assert classifier.trees["ephemeral"].n_objects == 0  # expired away
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+    restored = load_forest(path)
+    assert set(restored.trees) == {"ephemeral", "steady"}
+    assert restored.trees["ephemeral"].n_objects == 0
+    queries = rng.normal(size=(10, 2)) + 4.0
+    assert restored.predict_batch(queries) == classifier.predict_batch(queries)
+
+
+def test_label_types_roundtrip_exactly(tmp_path):
+    rng = np.random.default_rng(1)
+    classifier = AnytimeBayesClassifier()
+    labels = [np.int64(3), "seven", (1, "a"), True]
+    for label in labels:
+        for _ in range(6):
+            classifier.partial_fit(rng.normal(size=3) + hash(label) % 5, label)
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+    restored = load_forest(path)
+    assert list(restored.trees.keys()) == list(classifier.trees.keys())
+    for ours, theirs in zip(classifier.trees.keys(), restored.trees.keys()):
+        assert type(ours) is type(theirs)
+        assert repr(ours) == repr(theirs)
+    queries = rng.normal(size=(12, 3))
+    assert restored.predict_batch(queries) == classifier.predict_batch(queries)
+
+
+def test_unfitted_and_unserializable_are_rejected(tmp_path):
+    with pytest.raises(SnapshotError, match="unfitted"):
+        save_forest(AnytimeBayesClassifier(), tmp_path / "nope.npz")
+    classifier = AnytimeBayesClassifier()
+    rng = np.random.default_rng(2)
+    for _ in range(6):
+        classifier.partial_fit(rng.normal(size=2), object())  # unhashable-ish label type
+    with pytest.raises(SnapshotError, match="without pickle"):
+        save_forest(classifier, tmp_path / "nope.npz")
+
+
+def test_garbage_and_truncated_files_are_rejected(tmp_path):
+    garbage = tmp_path / "garbage.npz"
+    garbage.write_bytes(b"this is not a snapshot at all")
+    with pytest.raises(SnapshotError):
+        load_forest(garbage)
+    with pytest.raises(SnapshotError):
+        read_manifest(garbage)
+
+    classifier, _ = _decayed_midstream_forest(size=120)
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+    truncated = tmp_path / "truncated.npz"
+    truncated.write_bytes(path.read_bytes()[: path.stat().st_size // 3])
+    with pytest.raises(SnapshotError):
+        load_forest(truncated)
+
+    # A valid zip that is not a forest snapshot (no manifest member).
+    alien = tmp_path / "alien.npz"
+    np.savez(alien.open("wb"), something=np.arange(3))
+    with pytest.raises(SnapshotError, match="manifest"):
+        load_forest(alien)
+
+
+def _rewrite_manifest(source, target, mutate):
+    """Copy a snapshot, applying ``mutate`` to its decoded manifest dict."""
+    with np.load(source, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files}
+    manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+    mutate(manifest)
+    arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    with open(target, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def test_version_and_magic_mismatch_are_rejected(tmp_path):
+    classifier, _ = _decayed_midstream_forest(size=120)
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+
+    future = tmp_path / "future.npz"
+    _rewrite_manifest(path, future, lambda m: m.update(format_version=FORMAT_VERSION + 1))
+    with pytest.raises(SnapshotVersionError, match="format version"):
+        load_forest(future)
+    with pytest.raises(SnapshotVersionError):
+        read_manifest(future)
+
+    impostor = tmp_path / "impostor.npz"
+    _rewrite_manifest(path, impostor, lambda m: m.update(magic="other-format"))
+    with pytest.raises(SnapshotError, match="magic"):
+        load_forest(impostor)
+    assert zipfile.is_zipfile(impostor)  # rejected for content, not for corruption
+
+    # Right magic and version but missing required fields: still a typed
+    # error, never a raw KeyError (the serving front-end catches SnapshotError).
+    gutted = tmp_path / "gutted.npz"
+    _rewrite_manifest(path, gutted, lambda m: m.pop("classes"))
+    with pytest.raises(SnapshotError):
+        read_manifest(gutted)
+    with pytest.raises(SnapshotError):
+        load_forest(gutted)
+
+
+def test_read_manifest_reports_forest_shape(tmp_path):
+    classifier, dataset = _decayed_midstream_forest(size=140)
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+    manifest = read_manifest(path)
+    assert manifest["format_version"] == FORMAT_VERSION
+    assert manifest["dimension"] == dataset.n_features
+    assert sorted(manifest["classes"], key=repr) == sorted(classifier.trees, key=repr)
+    assert manifest["class_counts"] == [
+        tree.n_objects for tree in classifier.trees.values()
+    ]
+    assert manifest["config"]["decay_rate"] == classifier.config.decay_rate
+
+
+def test_config_dict_roundtrip_is_exact():
+    config = BayesTreeConfig(
+        kernel="epanechnikov",
+        bandwidth_scale=0.7300000000000001,
+        decay_rate=0.014999999999999999,
+        expiry_threshold=1e-3,
+    )
+    assert BayesTreeConfig.from_dict(config.to_dict()) == config
+    # Through an actual JSON round-trip too (repr-exact floats).
+    assert BayesTreeConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+
+
+def test_single_tree_state_roundtrip_preserves_buffer_order():
+    rng = np.random.default_rng(5)
+    tree = BayesTree(dimension=2, config=BayesTreeConfig(decay_rate=0.03))
+    for i in range(80):
+        tree.insert(rng.normal(size=2), timestamp=float(i))
+    restored = BayesTree.from_state(tree.export_state(), config=tree.config)
+    restored.validate()
+    for ours, theirs in zip(tree.leaf_arrays(), restored.leaf_arrays()):
+        np.testing.assert_array_equal(np.asarray(ours), np.asarray(theirs))
+    queries = rng.normal(size=(15, 2))
+    np.testing.assert_array_equal(
+        tree.log_density_batch(queries), restored.log_density_batch(queries)
+    )
+    # Future inserts take identical paths through identical topology.
+    for i in range(20):
+        point = rng.normal(size=2)
+        tree.insert(point, timestamp=90.0 + i)
+        restored.insert(point, timestamp=90.0 + i)
+    np.testing.assert_array_equal(
+        tree.log_density_batch(queries), restored.log_density_batch(queries)
+    )

@@ -1,0 +1,176 @@
+"""Serving engine: sharded results must equal the in-process classifier's.
+
+Small forests, 2-worker pools — these tests pin correctness (bit-identical
+predictions, micro-batching, hot swap, fallback) and leave throughput to
+``benchmarks/test_serving_throughput.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnytimeBayesClassifier, BayesTreeConfig
+from repro.data import make_dataset
+from repro.persist import load_forest, save_forest
+from repro.serving import ServingEngine
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    dataset = make_dataset("pendigits", size=360, random_state=8)
+    config = BayesTreeConfig(decay_rate=0.01, expiry_threshold=1e-4)
+    classifier = AnytimeBayesClassifier(config=config)
+    for i in range(300):
+        classifier.partial_fit(dataset.features[i], dataset.labels[i], timestamp=float(i) * 0.2)
+    path = tmp_path_factory.mktemp("serving") / "forest.npz"
+    save_forest(classifier, path)
+    return path, dataset.features[300:]
+
+
+@pytest.fixture(scope="module")
+def expected(snapshot):
+    path, queries = snapshot
+    local = load_forest(path)
+    return {
+        "full": local.predict_batch(queries),
+        "budget_8": local.predict_batch(queries, node_budget=8),
+    }
+
+
+def test_fallback_serves_identical_predictions(snapshot, expected):
+    path, queries = snapshot
+    with ServingEngine(path, workers=0) as engine:
+        assert not engine.is_multiprocess
+        assert engine.predict_batch(queries) == expected["full"]
+        assert engine.predict_batch(queries, node_budget=8) == expected["budget_8"]
+        assert engine.stats.batches == 2
+        assert engine.stats.requests == 2 * len(queries)
+
+
+def test_sharded_workers_serve_identical_predictions(snapshot, expected):
+    path, queries = snapshot
+    with ServingEngine(path, workers=2) as engine:
+        assert engine.n_shards == 2
+        assert engine.predict_batch(queries) == expected["full"]
+        assert engine.predict_batch(queries, node_budget=8) == expected["budget_8"]
+        # Per-query budgets ride one lockstep batch.
+        budgets = np.asarray([4, 8, 12] * (len(queries) // 3 + 1))[: len(queries)]
+        local = load_forest(path)
+        assert engine.predict_batch(queries, node_budget=budgets) == local.predict_batch(
+            queries, node_budget=budgets
+        )
+
+
+def test_more_workers_than_classes_is_clamped(snapshot, expected):
+    path, queries = snapshot
+    with ServingEngine(path, workers=64) as engine:
+        assert engine.n_shards <= len(engine.labels)
+        assert engine.predict_batch(queries[:16]) == expected["full"][:16]
+
+
+def test_micro_batcher_groups_requests(snapshot, expected):
+    path, queries = snapshot
+    with ServingEngine(path, workers=2, max_batch=16, linger_s=0.01) as engine:
+        futures = [engine.submit(query) for query in queries[:24]]
+        budgeted = [engine.submit(query, node_budget=8) for query in queries[:8]]
+        assert [future.result(timeout=120) for future in futures] == expected["full"][:24]
+        assert [future.result(timeout=120) for future in budgeted] == expected["budget_8"][:8]
+        # 32 submissions were served in far fewer dispatch rounds.
+        assert engine.stats.requests == 32
+        assert engine.stats.batches < 32
+    with pytest.raises(RuntimeError, match="closed"):
+        engine.submit(queries[0])
+
+
+def test_hot_swap_switches_models_gracefully(snapshot, tmp_path):
+    path, queries = snapshot
+    classifier = load_forest(path)
+    rng = np.random.default_rng(0)
+    # Push the forest somewhere clearly different, then snapshot it.
+    for _ in range(120):
+        classifier.partial_fit(rng.normal(size=queries.shape[1]) * 0.1, "intruder", timestamp=90.0)
+    swapped_path = tmp_path / "swapped.npz"
+    save_forest(classifier, swapped_path)
+    with ServingEngine(path, workers=2) as engine:
+        before = engine.predict_batch(queries)
+        engine.swap_snapshot(swapped_path)
+        after = engine.predict_batch(queries)
+        assert "intruder" in engine.labels
+        assert after == load_forest(swapped_path).predict_batch(queries)
+        assert engine.stats.swaps == 1
+        assert before == load_forest(path).predict_batch(queries)
+
+
+def test_concurrent_swaps_never_tear_a_serving_round(snapshot, tmp_path):
+    """Rounds racing hot swaps must come wholly from one snapshot or the other.
+
+    The engine guards swaps with a readers-writer protocol; without it a
+    round could score half its shards on the old forest and half on the new
+    one (or gather against a stale label layout and crash).  Swapping between
+    two forests with *different class sets* makes any tear loud.
+    """
+    import threading
+
+    path, queries = snapshot
+    classifier = load_forest(path)
+    rng = np.random.default_rng(3)
+    for _ in range(60):
+        classifier.partial_fit(rng.normal(size=queries.shape[1]) * 0.1, "intruder", timestamp=90.0)
+    other_path = tmp_path / "other.npz"
+    save_forest(classifier, other_path)
+    expected = {
+        "old": load_forest(path).predict_batch(queries),
+        "new": load_forest(other_path).predict_batch(queries),
+    }
+    with ServingEngine(path, workers=2) as engine:
+        results, errors = [], []
+
+        def serve():
+            try:
+                for _ in range(12):
+                    results.append(engine.predict_batch(queries))
+            except Exception as error:  # noqa: BLE001 - surfaced via the errors list
+                errors.append(error)
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        for target in (other_path, path, other_path):
+            engine.swap_snapshot(target)
+        thread.join()
+    assert not errors
+    assert results and all(
+        outcome == expected["old"] or outcome == expected["new"] for outcome in results
+    )
+
+
+def test_swap_validates_the_new_snapshot(snapshot, tmp_path):
+    path, queries = snapshot
+    other = AnytimeBayesClassifier()
+    rng = np.random.default_rng(1)
+    for _ in range(8):
+        other.partial_fit(rng.normal(size=3), "a")  # wrong dimensionality
+    wrong_dim = tmp_path / "wrong.npz"
+    save_forest(other, wrong_dim)
+    with ServingEngine(path, workers=0) as engine:
+        with pytest.raises(ValueError, match="dimension"):
+            engine.swap_snapshot(wrong_dim)
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"junk")
+        from repro.persist import SnapshotError
+
+        with pytest.raises(SnapshotError):
+            engine.swap_snapshot(garbage)
+        # Engine still serves from the old snapshot after rejected swaps.
+        assert engine.predict_batch(queries[:8]) == load_forest(path).predict_batch(queries[:8])
+
+
+def test_engine_validates_inputs(snapshot):
+    path, queries = snapshot
+    with ServingEngine(path, workers=0) as engine:
+        with pytest.raises(ValueError, match="queries"):
+            engine.predict_batch(queries[0])
+        with pytest.raises(ValueError, match="features"):
+            engine.submit(queries)
+        with pytest.raises(ValueError, match="budget per query"):
+            engine.predict_batch(queries, node_budget=np.asarray([1, 2]))
+    with pytest.raises(ValueError, match="workers"):
+        ServingEngine(path, workers=-1)

@@ -70,6 +70,21 @@ def test_max_budget_is_respected():
     assert all(item.budget <= 15 for item in stream.items(50))
 
 
+def test_query_batches_preserve_order_and_respect_limit():
+    dataset = blob_dataset()
+    stream = DataStream(dataset, random_state=0)
+    expected = np.stack([item.features for item in stream.items()])
+    blocks = list(stream.query_batches(16))
+    assert [block.shape[0] for block in blocks[:-1]] == [16] * (len(blocks) - 1)
+    assert 1 <= blocks[-1].shape[0] <= 16
+    np.testing.assert_array_equal(np.vstack(blocks), expected)
+    limited = list(stream.query_batches(16, limit=21))
+    assert [block.shape[0] for block in limited] == [16, 5]
+    np.testing.assert_array_equal(np.vstack(limited), expected[:21])
+    with pytest.raises(ValueError, match="batch_size"):
+        next(stream.query_batches(0))
+
+
 def test_run_anytime_stream_classifies_and_reports_accuracy():
     dataset = blob_dataset(seed=6)
     train = dataset.features[:80], dataset.labels[:80]
