@@ -3,7 +3,11 @@
 The classifier follows the paper exactly:
 
 * one Bayes tree is built per class (§2.2),
-* the class priors are the relative class frequencies in the training data,
+* the class priors are the relative class weights over the forest — the
+  training-set frequencies for a never-forgetting forest, and the relative
+  *decayed* class weights once an exponential ``decay_rate`` is configured
+  (old observations lose their vote, so the priors track the current class
+  distribution of an evolving stream),
 * a query is classified with the Bayes rule over the current frontier models
   ``G(x) = argmax_c P(c) * pdq_c(x)``,
 * with more time allowance the frontiers are refined one node read at a time,
@@ -88,6 +92,7 @@ class AnytimeClassification:
 
     @property
     def final_prediction(self) -> Hashable:
+        """The prediction after the last node read (the anytime answer so far)."""
         return self.predictions[-1]
 
     def prediction_after(self, nodes: int) -> Hashable:
@@ -175,14 +180,17 @@ class AnytimeBayesClassifier:
     # -- training -------------------------------------------------------------------------------
     @property
     def classes(self) -> List[Hashable]:
+        """Known class labels, in insertion order (one Bayes tree each)."""
         return list(self.trees.keys())
 
     @property
     def n_classes(self) -> int:
+        """Number of known classes (trees), including currently empty ones."""
         return len(self.trees)
 
     @property
     def is_fitted(self) -> bool:
+        """True once at least one training object has been seen."""
         return bool(self.trees)
 
     def fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> "AnytimeBayesClassifier":

@@ -61,6 +61,14 @@ class Dataset:
     def n_features(self) -> int:
         return int(self.features.shape[1])
 
+    def tail(self, start: int) -> "Dataset":
+        """The holdout tail from row ``start`` on, as a dataset of its own.
+
+        Keeps name and class count; the standard way to carve a serving /
+        load-generation slice off a train prefix.
+        """
+        return type(self)(self.name, self.features[start:], self.labels[start:], self.n_classes)
+
     def summary_row(self) -> Dict[str, object]:
         """The row of Table 1 this data set corresponds to."""
         return {

@@ -27,6 +27,7 @@ from .metrics import (
     latency_percentiles,
     sliding_window_accuracy,
 )
+from .request_trace import RequestRecord, RequestTrace
 
 __all__ = [
     "CrossValidatedCurve",
@@ -50,4 +51,6 @@ __all__ = [
     "fading_accuracy",
     "latency_percentiles",
     "sliding_window_accuracy",
+    "RequestRecord",
+    "RequestTrace",
 ]

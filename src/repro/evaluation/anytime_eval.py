@@ -104,6 +104,7 @@ class CrossValidatedCurve:
 
     @property
     def mean_curve(self) -> np.ndarray:
+        """Accuracy-vs-nodes curve averaged over the folds."""
         if not self.fold_curves:
             raise ValueError("no folds evaluated")
         return np.mean(np.vstack(self.fold_curves), axis=0)

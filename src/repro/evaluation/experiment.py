@@ -65,9 +65,11 @@ class BulkloadExperimentResult:
     curves: Dict[Tuple[str, str], CrossValidatedCurve] = field(default_factory=dict)
 
     def mean_curve(self, strategy: str, descent: str = "glo") -> np.ndarray:
+        """Cross-validated mean anytime curve of one (strategy, descent) cell."""
         return self.curves[(strategy, descent)].mean_curve
 
     def summary(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Per-(strategy, descent) summary stats of the mean anytime curves."""
         return {key: anytime_curve_summary(curve.mean_curve) for key, curve in self.curves.items()}
 
     def mean_accuracy(self, strategy: str, descent: str = "glo") -> float:

@@ -1,0 +1,132 @@
+"""Per-request latency/budget trace capture for serving experiments.
+
+The async front-end's open-loop driver
+(:func:`repro.serving.frontend.drive_open_loop`) emits one plain record dict
+per stream item; :class:`RequestTrace` collects such records — or records
+appended live via :meth:`RequestTrace.record` — and derives the serving-side
+quality numbers: latency percentiles, accuracy of the served predictions,
+the mean node budget the adaptive policy granted, and the rejection mix.
+Everything is JSON-able so benchmark reports (``BENCH_pr5.json``) can embed
+whole traces or their summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .metrics import accuracy, latency_percentiles
+
+__all__ = ["RequestRecord", "RequestTrace"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one serving request.
+
+    Attributes
+    ----------
+    index:
+        The stream/object index of the request.
+    status:
+        ``"ok"`` for served requests; ``"deadline"``, ``"rejected"`` or
+        ``"closed"`` for requests that failed at the front-end.
+    arrival_time:
+        The request's (abstract) arrival timestamp, if known.
+    label:
+        The true label, if known — enables accuracy over the trace.
+    prediction:
+        The served prediction (``None`` unless ``status == "ok"``).
+    node_budget:
+        The node budget the request was served with: the adaptive policy's
+        choice, the caller's fixed value, or ``None`` for full refinement.
+    latency_s:
+        Enqueue-to-result wall-clock seconds (``None`` for failed requests).
+    """
+
+    index: int
+    status: str = "ok"
+    arrival_time: Optional[float] = None
+    label: Optional[Hashable] = None
+    prediction: Optional[Hashable] = None
+    node_budget: Optional[int] = None
+    latency_s: Optional[float] = None
+
+
+class RequestTrace:
+    """An ordered collection of :class:`RequestRecord` with summary views."""
+
+    def __init__(self, records: Iterable[RequestRecord] = ()) -> None:
+        self._records: List[RequestRecord] = list(records)
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "RequestTrace":
+        """Build a trace from plain record dicts (the open-loop driver's output)."""
+        return cls(RequestRecord(**record) for record in records)
+
+    def record(self, **fields) -> None:
+        """Append one record (same fields as :class:`RequestRecord`)."""
+        self._records.append(RequestRecord(**fields))
+
+    @property
+    def records(self) -> List[RequestRecord]:
+        """The collected records, in insertion order (a copy)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def served(self) -> List[RequestRecord]:
+        """The successfully served (``status == "ok"``) records."""
+        return [record for record in self._records if record.status == "ok"]
+
+    def status_counts(self) -> Dict[str, int]:
+        """How many requests ended in each status."""
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def latency_summary(self, percentiles: Sequence[float] = (50.0, 99.0)) -> Dict[str, float]:
+        """Latency percentiles (ms) over the served requests.
+
+        Raises :class:`ValueError` when no request was served (no sample).
+        """
+        samples = [record.latency_s for record in self.served() if record.latency_s is not None]
+        return latency_percentiles(samples, percentiles=percentiles)
+
+    def mean_node_budget(self) -> Optional[float]:
+        """Mean granted node budget over served budgeted requests (else ``None``)."""
+        budgets = [record.node_budget for record in self.served() if record.node_budget is not None]
+        if not budgets:
+            return None
+        return float(np.mean(budgets))
+
+    def accuracy(self) -> Optional[float]:
+        """Accuracy of the served predictions against known labels (else ``None``)."""
+        scored = [record for record in self.served() if record.label is not None]
+        if not scored:
+            return None
+        return accuracy(
+            [record.prediction for record in scored], [record.label for record in scored]
+        )
+
+    def summary(self) -> dict:
+        """One JSON-able summary: counts, latency, accuracy, mean budget."""
+        served = self.served()
+        summary = {
+            "requests": len(self._records),
+            "served": len(served),
+            "status_counts": self.status_counts(),
+            "accuracy": self.accuracy(),
+            "mean_node_budget": self.mean_node_budget(),
+        }
+        if served:
+            summary["latency_ms"] = self.latency_summary()
+        return summary
+
+    def to_jsonable(self) -> List[dict]:
+        """The full trace as a list of plain dicts (JSON-able)."""
+        return [asdict(record) for record in self._records]

@@ -5,9 +5,45 @@ of worker processes — each worker warm-loads the snapshot at startup and
 serves a shard of the per-class trees — and exposes batched classification
 with exactly the predictions of the in-process classifier.  A micro-batching
 request scheduler, graceful snapshot hot-swap and a synchronous single-process
-fallback make it the front-end building block for production-style traffic.
+fallback make it the compute building block for production-style traffic.
+
+On top of it, :mod:`repro.serving.frontend` adds the asyncio request layer:
+:class:`AsyncServingClient` coalesces concurrent ``await classify(...)``
+calls into engine rounds with bounded-queue backpressure, per-request
+deadlines and load-adaptive node budgets (:data:`ADAPTIVE`), and
+:class:`HttpFrontend` exposes the whole stack over a minimal stdlib HTTP
+endpoint for external load generators.
 """
 
 from .engine import ServingEngine, ServingStats
+from .frontend import (
+    ADAPTIVE,
+    AdaptiveBudgetPolicy,
+    ArrivalRateEstimator,
+    AsyncServingClient,
+    ClassifyResult,
+    DeadlineExceededError,
+    FrontendClosedError,
+    FrontendError,
+    FrontendStats,
+    HttpFrontend,
+    QueueFullError,
+    drive_open_loop,
+)
 
-__all__ = ["ServingEngine", "ServingStats"]
+__all__ = [
+    "ServingEngine",
+    "ServingStats",
+    "ADAPTIVE",
+    "AdaptiveBudgetPolicy",
+    "ArrivalRateEstimator",
+    "AsyncServingClient",
+    "ClassifyResult",
+    "DeadlineExceededError",
+    "FrontendClosedError",
+    "FrontendError",
+    "FrontendStats",
+    "HttpFrontend",
+    "QueueFullError",
+    "drive_open_loop",
+]

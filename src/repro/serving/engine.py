@@ -134,11 +134,28 @@ def _swap_snapshot(snapshot_path: str, shard_index: int, n_shards: int) -> int:
 
 @dataclass
 class ServingStats:
-    """Lightweight serving counters (queries served, dispatch rounds, swaps)."""
+    """Lightweight serving counters and round timings.
+
+    Attributes
+    ----------
+    requests:
+        Total queries accepted by :meth:`ServingEngine.predict_batch` (one
+        per query row, not per call).
+    batches:
+        Number of scatter/gather serving rounds executed.
+    swaps:
+        Number of completed snapshot hot swaps.
+    last_round_s / total_round_s:
+        Wall-clock duration of the most recent serving round and the running
+        sum over all rounds — the raw material for utilisation estimates in
+        the async front-end (:mod:`repro.serving.frontend`).
+    """
 
     requests: int = 0
     batches: int = 0
     swaps: int = 0
+    last_round_s: float = 0.0
+    total_round_s: float = 0.0
 
 
 class ServingEngine:
@@ -188,6 +205,11 @@ class ServingEngine:
         self.linger_s = float(linger_s)
         self.stats = ServingStats()
         self._stats_lock = threading.Lock()
+        # EWMA of the observed per-node-read round cost of *budgeted* rounds
+        # (seconds per lockstep step); None until the first budgeted round.
+        # The async front-end reads it to translate idle time into node
+        # budgets, and deadline-aware rounds use it to clamp budgets.
+        self._node_cost_ewma: Optional[float] = None
         # Readers-writer guard between serving rounds and hot swaps: many
         # rounds may scatter concurrently, but a swap waits for in-flight
         # rounds and blocks new ones — otherwise a round could tear across
@@ -280,19 +302,91 @@ class ServingEngine:
         """Servable class labels in global (repr-sorted) column order."""
         return list(self._labels)
 
+    @property
+    def snapshot_path(self) -> str:
+        """Path of the snapshot currently being served (updated by swaps)."""
+        return self._snapshot_path
+
+    def node_cost_estimate(self) -> Optional[float]:
+        """EWMA estimate of seconds per lockstep node-read round, or ``None``.
+
+        Calibrated from observed *budgeted* serving rounds (a round of
+        per-query budgets ``b`` executes ``max(b)`` lockstep steps); full
+        refinement rounds do not update it.  ``None`` until the first
+        budgeted round has been served.
+        """
+        with self._stats_lock:
+            return self._node_cost_ewma
+
+    def stats_snapshot(self) -> dict:
+        """One consistent, JSON-able view of the engine state and counters.
+
+        Returns a dict with the :class:`ServingStats` counters plus the
+        deployment facts a monitoring endpoint wants: snapshot path, shard
+        count, multiprocess flag, servable class count and the current
+        node-cost estimate.  Safe to call concurrently with serving.
+        """
+        with self._stats_lock:
+            counters = {
+                "requests": self.stats.requests,
+                "batches": self.stats.batches,
+                "swaps": self.stats.swaps,
+                "last_round_s": self.stats.last_round_s,
+                "total_round_s": self.stats.total_round_s,
+                "node_cost_s": self._node_cost_ewma,
+            }
+        counters.update(
+            {
+                "snapshot_path": self._snapshot_path,
+                "n_shards": self.n_shards,
+                "multiprocess": self.is_multiprocess,
+                "n_classes": len(self._labels),
+                "max_batch": self.max_batch,
+                "linger_s": self.linger_s,
+            }
+        )
+        return counters
+
     def _local(self) -> AnytimeBayesClassifier:
         if self._local_forest is None:
             self._local_forest = load_forest(self._snapshot_path)
         return self._local_forest
 
     # -- batched serving ----------------------------------------------------------------------
-    def predict_batch(self, queries: np.ndarray, node_budget=None) -> List[Hashable]:
+    def predict_batch(
+        self, queries: np.ndarray, node_budget=None, deadline_s: Optional[float] = None
+    ) -> List[Hashable]:
         """Predict labels for a query block, sharded across the workers.
 
-        ``node_budget=None`` runs the class-sharded full-refinement scoring
-        path; an integer (or per-query sequence) runs the query-sharded
-        anytime path.  Either way the predictions are bit-identical to
-        ``AnytimeBayesClassifier.predict_batch`` on the restored forest.
+        Parameters
+        ----------
+        queries:
+            ``(m, dimension)`` feature block.
+        node_budget:
+            ``None`` runs the class-sharded full-refinement scoring path; an
+            integer (or per-query sequence) runs the query-sharded anytime
+            path.  Either way the predictions are bit-identical to
+            ``AnytimeBayesClassifier.predict_batch`` on the restored forest.
+        deadline_s:
+            Optional time allowance (seconds) for a *budgeted* round.  When
+            the engine has a node-cost estimate from earlier budgeted rounds,
+            the per-query budgets are clamped so the round's lockstep
+            refinement is expected to finish within the allowance (never
+            below one node read).  Ignored for full-refinement rounds and
+            before the first cost observation — the clamp is an adaptive
+            policy, so deadline-aware rounds trade the fixed-budget trace
+            identity for bounded latency.
+
+        Returns
+        -------
+        list
+            One predicted label per query row, in query order.
+
+        Raises
+        ------
+        ValueError
+            If ``queries`` is not an ``(m, dimension)`` array or a per-query
+            ``node_budget`` sequence does not match the query count.
         """
         queries = np.asarray(queries, dtype=float)
         if queries.ndim != 2 or queries.shape[1] != self.dimension:
@@ -302,20 +396,61 @@ class ServingEngine:
             self.stats.batches += 1
         if queries.shape[0] == 0:
             return []
+        if node_budget is not None and deadline_s is not None:
+            node_budget = self._deadline_clamped_budgets(queries.shape[0], node_budget, deadline_s)
         with self._swap_cond:
             while self._swapping:
                 self._swap_cond.wait()
             self._active_rounds += 1
+        start = time.perf_counter()
         try:
             if self._pools is None:
-                return self._local().predict_batch(queries, node_budget=node_budget)
-            if node_budget is None:
-                return self._scatter_full(queries)
-            return self._scatter_budgeted(queries, node_budget)
+                predictions = self._local().predict_batch(queries, node_budget=node_budget)
+            elif node_budget is None:
+                predictions = self._scatter_full(queries)
+            else:
+                predictions = self._scatter_budgeted(queries, node_budget)
+            # Only completed rounds feed the timing stats — a round that
+            # raised (bad budgets, crashed worker) would otherwise pollute
+            # the node-cost EWMA with near-zero samples and unbound every
+            # later deadline clamp.
+            self._observe_round(time.perf_counter() - start, node_budget)
+            return predictions
         finally:
             with self._swap_cond:
                 self._active_rounds -= 1
                 self._swap_cond.notify_all()
+
+    def _deadline_clamped_budgets(self, count: int, node_budget, deadline_s: float) -> np.ndarray:
+        """Clamp per-query budgets so the round should meet ``deadline_s``."""
+        budgets = np.asarray(node_budget)
+        if budgets.ndim == 0:
+            budgets = np.full(count, int(node_budget))
+        elif budgets.shape != (count,):
+            # Malformed per-query budgets: let the serving path raise its
+            # canonical ValueError instead of a broadcast error here.
+            return budgets
+        cost = self.node_cost_estimate()
+        if cost is None or cost <= 0:
+            return budgets
+        affordable = max(1, int(max(deadline_s, 0.0) / cost))
+        return np.minimum(budgets, affordable)
+
+    def _observe_round(self, elapsed: float, node_budget) -> None:
+        """Record a round's wall-clock; budgeted rounds refresh the node cost."""
+        with self._stats_lock:
+            self.stats.last_round_s = elapsed
+            self.stats.total_round_s += elapsed
+            if node_budget is None:
+                return
+            steps = int(np.max(node_budget)) if np.ndim(node_budget) else int(node_budget)
+            if steps < 1:
+                return
+            cost = elapsed / steps
+            if self._node_cost_ewma is None:
+                self._node_cost_ewma = cost
+            else:
+                self._node_cost_ewma += 0.3 * (cost - self._node_cost_ewma)
 
     def _scatter_full(self, queries: np.ndarray) -> List[Hashable]:
         futures = [pool.submit(_score_shard, queries) for pool in self._pools]
@@ -352,7 +487,13 @@ class ServingEngine:
 
         Requests are grouped by the dispatcher into micro-batches served with
         one scatter/gather round each; full-refinement and budgeted requests
-        are batched separately (they take different sharding paths).
+        are batched separately (they take different sharding paths).  Raises
+        :class:`ValueError` when ``features`` is not a ``(dimension,)``
+        vector and :class:`RuntimeError` when the engine is closed.  For
+        asyncio callers prefer
+        :meth:`repro.serving.AsyncServingClient.classify`, which adds
+        deadlines, backpressure and adaptive budgets on top of the same
+        engine rounds.
         """
         features = np.asarray(features, dtype=float)
         if features.shape != (self.dimension,):

@@ -1,0 +1,976 @@
+"""Asyncio request front-end for the serving engine.
+
+The anytime premise of the paper is that a classifier should convert whatever
+time exists *between* request arrivals into refinement quality.  The sharded
+:class:`~repro.serving.engine.ServingEngine` realises the compute side of
+that; this module adds the missing traffic side — an asyncio-native request
+layer so real (network) arrivals feed the same scatter/gather rounds:
+
+* :class:`AsyncServingClient` — ``await classify(x, deadline_ms=...)`` backed
+  by an event-loop-side micro-batcher: a bounded queue coalesces concurrent
+  requests (up to ``max_batch``, waiting at most ``linger_s`` after the first)
+  into one engine round executed off-loop in a worker thread.  Backpressure
+  is explicit: a full queue rejects new work with :class:`QueueFullError`
+  (the 503 of the HTTP shim) instead of queueing unboundedly, and per-request
+  deadlines turn into :class:`DeadlineExceededError` (the 504).
+* **Load-adaptive budgets** — :class:`ArrivalRateEstimator` keeps an EWMA of
+  the observed inter-arrival gaps and :class:`AdaptiveBudgetPolicy` maps the
+  estimated idle time per arrival to a per-round ``node_budget`` (calibrated
+  by the engine's measured cost per lockstep node read).  Light traffic gets
+  deep refinement, bursts degrade gracefully to shallow reads — the paper's
+  anytime curve realised as a serving policy.  Request it with
+  ``node_budget=ADAPTIVE``.
+* :class:`HttpFrontend` — a minimal stdlib HTTP shim
+  (:func:`asyncio.start_server`; no third-party dependency) speaking one JSON
+  document per request/response on ``/classify``, ``/classify_batch``,
+  ``/healthz``, ``/stats`` and ``/swap``, so external load generators can
+  drive the engine over a socket.
+* :func:`drive_open_loop` — an open-loop load driver that replays a
+  :class:`~repro.stream.DataStream` against a client at its arrival
+  timestamps and returns per-request records for
+  :class:`~repro.evaluation.RequestTrace`.
+
+Fixed-budget and full-refinement requests are served by exactly the same
+engine entry point a direct caller would use, so their predictions are
+trace-identical to ``ServingEngine.predict_batch`` (pinned by
+``benchmarks/test_serving_frontend.py`` via ``classification_trace_hash``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .engine import ServingEngine
+
+__all__ = [
+    "ADAPTIVE",
+    "AdaptiveBudgetPolicy",
+    "ArrivalRateEstimator",
+    "AsyncServingClient",
+    "ClassifyResult",
+    "DeadlineExceededError",
+    "FrontendClosedError",
+    "FrontendError",
+    "FrontendStats",
+    "HttpFrontend",
+    "QueueFullError",
+    "drive_open_loop",
+]
+
+#: Sentinel budget: let the front-end choose the node budget from the current
+#: arrival-rate estimate (see :class:`AdaptiveBudgetPolicy`).
+ADAPTIVE = "adaptive"
+
+_UNSET = object()
+
+
+class FrontendError(RuntimeError):
+    """Base class of the async front-end's request failures."""
+
+
+class QueueFullError(FrontendError):
+    """Raised when the bounded request queue is full (backpressure, HTTP 503)."""
+
+
+class DeadlineExceededError(FrontendError):
+    """Raised when a request's deadline passed before its result (HTTP 504)."""
+
+
+class FrontendClosedError(FrontendError):
+    """Raised for requests submitted to (or abandoned by) a closed client."""
+
+
+@dataclass(frozen=True)
+class ClassifyResult:
+    """Detailed outcome of one async classification request.
+
+    Attributes
+    ----------
+    prediction:
+        The predicted class label.
+    node_budget:
+        The per-query node budget the request was served with — the policy's
+        choice for ``ADAPTIVE`` requests, the caller's value for fixed ones,
+        ``None`` for full refinement.
+    latency_s:
+        Wall-clock from enqueue to result, including queueing and linger.
+    """
+
+    prediction: Hashable
+    node_budget: Optional[int]
+    latency_s: float
+
+
+@dataclass
+class FrontendStats:
+    """Counters of the async front-end (requests, rounds, rejections).
+
+    ``mean_adaptive_budget()`` summarises what the load-adaptive policy
+    actually granted — the number the open-loop benchmark compares across
+    arrival rates.
+    """
+
+    submitted: int = 0
+    served: int = 0
+    batches: int = 0
+    rejected_queue_full: int = 0
+    rejected_deadline: int = 0
+    dropped_cancelled: int = 0
+    failed: int = 0
+    adaptive_requests: int = 0
+    adaptive_budget_sum: int = 0
+    last_adaptive_budget: Optional[int] = None
+
+    def mean_adaptive_budget(self) -> Optional[float]:
+        """Mean node budget granted to ``ADAPTIVE`` requests (``None`` if none)."""
+        if self.adaptive_requests == 0:
+            return None
+        return self.adaptive_budget_sum / self.adaptive_requests
+
+    def snapshot(self) -> dict:
+        """JSON-able copy of the counters (plus the derived mean budget)."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "batches": self.batches,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_deadline": self.rejected_deadline,
+            "dropped_cancelled": self.dropped_cancelled,
+            "failed": self.failed,
+            "adaptive_requests": self.adaptive_requests,
+            "last_adaptive_budget": self.last_adaptive_budget,
+            "mean_adaptive_budget": self.mean_adaptive_budget(),
+        }
+
+
+class ArrivalRateEstimator:
+    """EWMA estimate of the request inter-arrival gap.
+
+    Each :meth:`observe` call updates ``mean_gap_s`` with the gap since the
+    previous arrival: ``gap_ewma += alpha * (gap - gap_ewma)``.  The paper's
+    "varying streams" motivation maps directly: the estimated gap is the time
+    the engine can expect to spend on the current request before the next one
+    arrives, which the budget policy converts into node reads.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in ``(0, 1]``; larger adapts faster to bursts.
+    initial_gap_s:
+        Optimistic prior for the gap before two arrivals have been seen.
+    """
+
+    def __init__(self, alpha: float = 0.2, initial_gap_s: float = 0.05) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        if initial_gap_s <= 0:
+            raise ValueError("initial_gap_s must be positive")
+        self.alpha = float(alpha)
+        self.initial_gap_s = float(initial_gap_s)
+        self.mean_gap_s = float(initial_gap_s)
+        self.observations = 0
+        self._last_arrival: Optional[float] = None
+
+    def observe(self, now: float) -> float:
+        """Record an arrival at time ``now`` (seconds); return the new mean gap."""
+        if self._last_arrival is not None:
+            gap = max(now - self._last_arrival, 1e-9)
+            self.mean_gap_s += self.alpha * (gap - self.mean_gap_s)
+        self._last_arrival = now
+        self.observations += 1
+        return self.mean_gap_s
+
+    @property
+    def rate_per_s(self) -> float:
+        """Estimated arrival rate (requests per second)."""
+        return 1.0 / max(self.mean_gap_s, 1e-9)
+
+    def reset(self) -> None:
+        """Forget all observations and return to the initial gap prior."""
+        self.mean_gap_s = self.initial_gap_s
+        self.observations = 0
+        self._last_arrival = None
+
+    def snapshot(self) -> dict:
+        """JSON-able view of the estimator state."""
+        return {
+            "mean_gap_s": self.mean_gap_s,
+            "rate_per_s": self.rate_per_s,
+            "observations": self.observations,
+        }
+
+
+class AdaptiveBudgetPolicy:
+    """Map the estimated idle time per arrival to a per-query node budget.
+
+    ``budget = clamp(utilisation * mean_gap_s / node_cost_s)`` — of the time
+    expected until the next arrival, spend a ``utilisation`` fraction on
+    lockstep node reads (the rest absorbs queueing, gather and estimator
+    error), at the engine's measured seconds-per-node-read cost.  Light
+    traffic (large gaps) therefore refines up to ``max_budget`` nodes; a
+    burst (tiny gaps) degrades to ``min_budget`` instead of queue collapse.
+
+    Parameters
+    ----------
+    min_budget / max_budget:
+        Inclusive clamp of the granted per-query budget.
+    node_cost_s:
+        Fallback seconds per lockstep node read, used until the engine has
+        calibrated its own estimate from observed budgeted rounds
+        (:meth:`~repro.serving.ServingEngine.node_cost_estimate`).
+    utilisation:
+        Fraction of the inter-arrival gap to spend refining, in ``(0, 1]``.
+    """
+
+    def __init__(
+        self,
+        min_budget: int = 2,
+        max_budget: int = 64,
+        node_cost_s: float = 2e-4,
+        utilisation: float = 0.5,
+    ) -> None:
+        if min_budget < 1 or max_budget < min_budget:
+            raise ValueError("need 1 <= min_budget <= max_budget")
+        if node_cost_s <= 0:
+            raise ValueError("node_cost_s must be positive")
+        if not (0.0 < utilisation <= 1.0):
+            raise ValueError("utilisation must be in (0, 1]")
+        self.min_budget = int(min_budget)
+        self.max_budget = int(max_budget)
+        self.node_cost_s = float(node_cost_s)
+        self.utilisation = float(utilisation)
+
+    def budget(self, mean_gap_s: float, node_cost_hint: Optional[float] = None) -> int:
+        """Node budget for the current load level.
+
+        Parameters
+        ----------
+        mean_gap_s:
+            The arrival-rate estimator's current mean inter-arrival gap.
+        node_cost_hint:
+            The engine's calibrated cost per node read, if available;
+            overrides the policy's static ``node_cost_s`` fallback.
+        """
+        cost = node_cost_hint if node_cost_hint and node_cost_hint > 0 else self.node_cost_s
+        nodes = int(self.utilisation * max(mean_gap_s, 0.0) / cost)
+        return max(self.min_budget, min(self.max_budget, nodes))
+
+
+@dataclass
+class _PendingRequest:
+    """One queued classification awaiting a micro-batch round."""
+
+    features: np.ndarray
+    node_budget: object  # None (full refinement) | int | ADAPTIVE
+    deadline: Optional[float]  # absolute loop time, None = no deadline
+    future: asyncio.Future = field(repr=False)
+    enqueued: float = 0.0
+
+
+class AsyncServingClient:
+    """Asyncio-native classification client over a :class:`ServingEngine`.
+
+    Concurrent ``await classify(...)`` calls are coalesced by an
+    event-loop-side micro-batcher into engine rounds: the first queued
+    request opens a round, the round dispatches when ``max_batch`` requests
+    are pending or ``linger_s`` has passed, and the blocking engine call runs
+    in a worker thread so the event loop stays responsive.  The queue is
+    bounded (``max_pending``): when it is full new requests fail fast with
+    :class:`QueueFullError` — callers see backpressure instead of unbounded
+    latency.
+
+    All methods must be called from a single asyncio event loop (the one that
+    first used the client).
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve from.  The client does not take ownership:
+        closing the client leaves the engine running.
+    max_batch / linger_s:
+        Micro-batching knobs; default to the engine's settings.
+    max_pending:
+        Bound of the request queue (backpressure threshold).
+    default_budget:
+        Budget used by :meth:`classify` calls that do not pass one:
+        ``None`` (full refinement), an ``int``, or :data:`ADAPTIVE`.
+    budget_policy / estimator:
+        The load-adaptive budget policy and arrival-rate estimator; default
+        instances are created when omitted.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        max_batch: Optional[int] = None,
+        linger_s: Optional[float] = None,
+        max_pending: int = 1024,
+        default_budget: object = None,
+        budget_policy: Optional[AdaptiveBudgetPolicy] = None,
+        estimator: Optional[ArrivalRateEstimator] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self._engine = engine
+        self.max_batch = int(max_batch if max_batch is not None else engine.max_batch)
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.linger_s = float(engine.linger_s if linger_s is None else linger_s)
+        if self.linger_s < 0:
+            raise ValueError("linger_s must be non-negative")
+        self.max_pending = int(max_pending)
+        self.default_budget = default_budget
+        self.budget_policy = budget_policy or AdaptiveBudgetPolicy()
+        self.estimator = estimator or ArrivalRateEstimator()
+        self.stats = FrontendStats()
+        self._pending: "deque[_PendingRequest]" = deque()
+        self._wakeup = asyncio.Event()
+        self._batcher: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # -- public API ---------------------------------------------------------------------------
+    @property
+    def engine(self) -> ServingEngine:
+        """The wrapped serving engine."""
+        return self._engine
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests currently waiting for a micro-batch round."""
+        return len(self._pending)
+
+    async def classify(
+        self,
+        features: Sequence[float] | np.ndarray,
+        node_budget: object = _UNSET,
+        deadline_ms: Optional[float] = None,
+        detail: bool = False,
+    ):
+        """Classify one feature vector through the micro-batched engine.
+
+        Parameters
+        ----------
+        features:
+            One ``(dimension,)`` feature vector.
+        node_budget:
+            ``None`` for full refinement, an ``int`` for a fixed anytime
+            budget, or :data:`ADAPTIVE` to let the arrival-rate policy
+            choose.  Defaults to the client's ``default_budget``.
+        deadline_ms:
+            Optional end-to-end deadline in milliseconds.  A request that
+            cannot produce its result in time fails with
+            :class:`DeadlineExceededError` and is dropped from any later
+            round.
+        detail:
+            When true, return a :class:`ClassifyResult` (prediction, granted
+            budget, latency) instead of the bare label.
+
+        Returns
+        -------
+        The predicted label, or a :class:`ClassifyResult` when ``detail``.
+
+        Raises
+        ------
+        QueueFullError
+            If ``max_pending`` requests are already queued (backpressure).
+        DeadlineExceededError
+            If the deadline passes before the result is available.
+        FrontendClosedError
+            If the client is closed (or closes without draining).
+        ValueError
+            If ``features`` does not match the engine dimension.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.shape != (self._engine.dimension,):
+            raise ValueError(f"features must have shape ({self._engine.dimension},)")
+        if self._closed:
+            raise FrontendClosedError("async serving client is closed")
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        # Every arrival — including ones about to be rejected — is load
+        # signal, so the estimator observes before the backpressure check.
+        self.estimator.observe(now)
+        if len(self._pending) >= self.max_pending:
+            self.stats.rejected_queue_full += 1
+            raise QueueFullError(
+                f"request queue is full ({self.max_pending} pending); retry later"
+            )
+        budget = self._normalize_budget(node_budget)
+        request = self._enqueue(features, budget, deadline_ms, now, loop)
+        result = await self._await_result(request, deadline_ms, now)
+        if detail:
+            return ClassifyResult(
+                prediction=result[0], node_budget=result[1], latency_s=loop.time() - now
+            )
+        return result[0]
+
+    def _normalize_budget(self, node_budget: object) -> object:
+        """Resolve a request budget to ``None``, an ``int`` or the ADAPTIVE sentinel."""
+        budget = self.default_budget if node_budget is _UNSET else node_budget
+        if budget is None:
+            return None
+        if isinstance(budget, str):
+            # Equality, not identity: "adaptive" arriving from JSON/YAML is
+            # not interned, yet must mean the same thing as the constant.
+            if budget != ADAPTIVE:
+                raise ValueError(f'string node_budget must be "{ADAPTIVE}"')
+            return ADAPTIVE
+        return int(budget)
+
+    def _enqueue(
+        self,
+        features: np.ndarray,
+        budget: object,
+        deadline_ms: Optional[float],
+        now: float,
+        loop: asyncio.AbstractEventLoop,
+    ) -> _PendingRequest:
+        """Append one validated request to the queue and wake the batcher.
+
+        Synchronous (no awaits), so a caller can admit a whole block
+        atomically with respect to the event loop.
+        """
+        request = _PendingRequest(
+            features=features,
+            node_budget=budget,
+            deadline=None if deadline_ms is None else now + float(deadline_ms) / 1e3,
+            future=loop.create_future(),
+            enqueued=now,
+        )
+        self._pending.append(request)
+        self.stats.submitted += 1
+        self._ensure_batcher()
+        self._wakeup.set()
+        return request
+
+    async def _await_result(
+        self, request: _PendingRequest, deadline_ms: Optional[float], now: float
+    ):
+        if request.deadline is None:
+            return await request.future
+        try:
+            return await asyncio.wait_for(request.future, request.deadline - now)
+        except asyncio.TimeoutError:
+            self.stats.rejected_deadline += 1
+            raise DeadlineExceededError(
+                f"deadline of {deadline_ms:g} ms exceeded before a result was available"
+            ) from None
+
+    async def classify_batch(
+        self,
+        queries: np.ndarray,
+        node_budget: object = _UNSET,
+        deadline_ms: Optional[float] = None,
+    ) -> List[Hashable]:
+        """Classify a ``(m, dimension)`` block; returns labels in query order.
+
+        Each row rides the shared micro-batcher as an individual request (so
+        it coalesces with concurrent callers); admission is all-or-nothing
+        and atomic — every row is enqueued without yielding to the event
+        loop, so either the whole block is queued or none of it is and
+        :class:`QueueFullError` is raised.  Raises like :meth:`classify`
+        otherwise.
+        """
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2 or queries.shape[1] != self._engine.dimension:
+            raise ValueError(f"queries must be an (m, {self._engine.dimension}) array")
+        if self._closed:
+            raise FrontendClosedError("async serving client is closed")
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for _ in range(queries.shape[0]):
+            self.estimator.observe(now)
+        if len(self._pending) + queries.shape[0] > self.max_pending:
+            self.stats.rejected_queue_full += queries.shape[0]
+            raise QueueFullError(
+                f"batch of {queries.shape[0]} does not fit the request queue "
+                f"({self.max_pending - len(self._pending)} slots free)"
+            )
+        budget = self._normalize_budget(node_budget)
+        requests = [self._enqueue(row, budget, deadline_ms, now, loop) for row in queries]
+        results = await asyncio.gather(
+            *(self._await_result(request, deadline_ms, now) for request in requests)
+        )
+        return [result[0] for result in results]
+
+    async def swap_snapshot(self, snapshot_path) -> None:
+        """Hot-swap the engine to a new snapshot without dropping requests.
+
+        Runs :meth:`ServingEngine.swap_snapshot` in a worker thread: in-flight
+        rounds finish on the old snapshot, queued requests are served by the
+        new one once the swap completes.  Raises whatever the engine-side
+        validation raises (bad container, dimension mismatch).
+        """
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, functools.partial(self._engine.swap_snapshot, snapshot_path)
+        )
+
+    def stats_snapshot(self) -> dict:
+        """JSON-able front-end stats: counters, queue depth, arrival estimate."""
+        snapshot = self.stats.snapshot()
+        snapshot["queue_depth"] = self.queue_depth
+        snapshot["max_pending"] = self.max_pending
+        snapshot["arrival"] = self.estimator.snapshot()
+        return snapshot
+
+    async def aclose(self, drain: bool = True) -> None:
+        """Shut the client down; idempotent.
+
+        With ``drain=True`` (default) already-queued requests are still
+        served before the batcher exits; with ``drain=False`` they fail
+        immediately with :class:`FrontendClosedError`.  Either way every
+        pending future is resolved — no waiter is left hanging — and later
+        :meth:`classify` calls raise :class:`FrontendClosedError`.  The
+        underlying engine stays open (the caller owns it).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._wakeup.set()
+        if not drain:
+            self._fail_pending(FrontendClosedError("async serving client closed"))
+        if self._batcher is not None:
+            await self._batcher
+            self._batcher = None
+        # A non-drain close may have raced requests into the queue after the
+        # batcher exited; make sure nothing is left unresolved.
+        self._fail_pending(FrontendClosedError("async serving client closed"))
+
+    async def __aenter__(self) -> "AsyncServingClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- micro-batcher ------------------------------------------------------------------------
+    def _ensure_batcher(self) -> None:
+        if self._batcher is None or self._batcher.done():
+            self._batcher = asyncio.get_running_loop().create_task(
+                self._batch_loop(), name="serving-frontend-batcher"
+            )
+
+    def _fail_pending(self, error: Exception) -> None:
+        while self._pending:
+            request = self._pending.popleft()
+            if not request.future.done():
+                request.future.set_exception(error)
+
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._pending:
+                if self._closed:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            if self.linger_s > 0 and not self._closed:
+                # Linger: let the round fill towards max_batch before
+                # dispatching — the event-loop analogue of the engine
+                # dispatcher thread's wait.
+                round_deadline = loop.time() + self.linger_s
+                while len(self._pending) < self.max_batch and not self._closed:
+                    remaining = round_deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.clear()
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+            batch: List[_PendingRequest] = []
+            while self._pending and len(batch) < self.max_batch:
+                batch.append(self._pending.popleft())
+            if batch:
+                await self._serve_round(batch)
+
+    async def _serve_round(self, batch: List[_PendingRequest]) -> None:
+        # Requests whose waiter gave up (deadline timeout cancels the future)
+        # are dropped before any engine work is spent on them.
+        live = []
+        for request in batch:
+            if request.future.done():
+                self.stats.dropped_cancelled += 1
+            else:
+                live.append(request)
+        if not live:
+            return
+        unbudgeted = [request for request in live if request.node_budget is None]
+        budgeted = [request for request in live if request.node_budget is not None]
+        rounds = []
+        if unbudgeted:
+            rounds.append(self._execute_group(unbudgeted, budgets=None))
+        if budgeted:
+            rounds.append(self._execute_group(budgeted, budgets=self._resolve_budgets(budgeted)))
+        # The engine supports concurrent serving rounds (readers side of the
+        # swap guard), so the slow full-refinement round must not delay the
+        # deadline-carrying budgeted one behind it.
+        await asyncio.gather(*rounds)
+
+    def _resolve_budgets(self, budgeted: List[_PendingRequest]) -> List[int]:
+        """Fix per-request budgets; ADAPTIVE ones get the policy's choice.
+
+        The adaptive choice is additionally clamped by the tightest remaining
+        deadline among the *adaptive* requests (translated into affordable
+        node reads via the engine's calibrated cost).  Fixed-budget requests
+        are never clamped — their trace identity with direct
+        ``predict_batch`` is part of the contract, which is why the clamp
+        happens here on the adaptive choice alone and not engine-side on the
+        whole round.
+        """
+        adaptive = [request for request in budgeted if request.node_budget is ADAPTIVE]
+        chosen: Optional[int] = None
+        if adaptive:
+            chosen = self.budget_policy.budget(
+                self.estimator.mean_gap_s, node_cost_hint=self._engine.node_cost_estimate()
+            )
+            deadlines = [request.deadline for request in adaptive if request.deadline is not None]
+            if deadlines:
+                cost = self._engine.node_cost_estimate()
+                if cost is not None and cost > 0:
+                    loop = asyncio.get_running_loop()
+                    remaining = max(min(deadlines) - loop.time(), 0.0)
+                    chosen = max(1, min(chosen, int(remaining / cost)))
+            self.stats.adaptive_requests += len(adaptive)
+            self.stats.adaptive_budget_sum += chosen * len(adaptive)
+            self.stats.last_adaptive_budget = chosen
+        return [
+            chosen if request.node_budget is ADAPTIVE else int(request.node_budget)
+            for request in budgeted
+        ]
+
+    async def _execute_group(
+        self, group: List[_PendingRequest], budgets: Optional[List[int]]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        features = np.stack([request.features for request in group])
+        call = functools.partial(self._engine.predict_batch, features, node_budget=budgets)
+        self.stats.batches += 1
+        try:
+            predictions = await loop.run_in_executor(None, call)
+        except Exception as error:  # propagate to every live waiter in the round
+            for request in group:
+                if not request.future.done():
+                    self.stats.failed += 1
+                    request.future.set_exception(error)
+            return
+        for index, (request, prediction) in enumerate(zip(group, predictions)):
+            if not request.future.done():
+                granted = None if budgets is None else budgets[index]
+                request.future.set_result((prediction, granted))
+                self.stats.served += 1
+
+
+# -- open-loop load driver --------------------------------------------------------------------
+async def drive_open_loop(
+    client: AsyncServingClient,
+    stream,
+    speed: float = 1.0,
+    limit: Optional[int] = None,
+    node_budget: object = _UNSET,
+    deadline_ms: Optional[float] = None,
+) -> List[dict]:
+    """Replay a :class:`~repro.stream.DataStream` against a client, open loop.
+
+    Requests are fired at the stream's arrival timestamps (scaled by
+    ``speed``; see :func:`repro.stream.aiter_items`) *without waiting for
+    earlier responses* — the generator does not slow down when the server
+    falls behind, which is what makes queue-full rejections and deadline
+    misses observable.  Returns one record dict per stream item (``index``,
+    ``arrival_time``, ``label``, ``status`` of ``"ok" | "deadline" |
+    "rejected" | "closed"``, and for served requests ``prediction``,
+    ``node_budget``, ``latency_s``) suitable for
+    :meth:`repro.evaluation.RequestTrace.from_records`.
+    """
+    from ..stream.load_gen import aiter_items
+
+    records: List[dict] = []
+    tasks: List[asyncio.Task] = []
+
+    async def one(item) -> None:
+        record = {
+            "index": item.index,
+            "arrival_time": item.arrival_time,
+            "label": item.label,
+        }
+        try:
+            result = await client.classify(
+                item.features, node_budget=node_budget, deadline_ms=deadline_ms, detail=True
+            )
+        except DeadlineExceededError:
+            record.update(status="deadline")
+        except QueueFullError:
+            record.update(status="rejected")
+        except FrontendClosedError:
+            record.update(status="closed")
+        else:
+            record.update(
+                status="ok",
+                prediction=result.prediction,
+                node_budget=result.node_budget,
+                latency_s=result.latency_s,
+            )
+        records.append(record)
+
+    async for item in aiter_items(stream, speed=speed, limit=limit):
+        tasks.append(asyncio.ensure_future(one(item)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    records.sort(key=lambda record: record["index"])
+    return records
+
+
+# -- HTTP shim --------------------------------------------------------------------------------
+def _jsonable(value):
+    """Coerce numpy scalars/arrays (labels, budgets) into JSON-able values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value)!r}")
+
+
+class _HttpError(Exception):
+    """Internal: an HTTP error response with status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 64
+
+
+class HttpFrontend:
+    """Minimal stdlib HTTP/1.1 shim over an :class:`AsyncServingClient`.
+
+    One JSON document per request and response body.  Endpoints:
+
+    * ``POST /classify`` — body ``{"features": [...], "node_budget":
+      int | null | "adaptive", "deadline_ms": number}`` (budget and deadline
+      optional); responds ``{"prediction": ..., "node_budget": ...,
+      "latency_ms": ...}``.
+    * ``POST /classify_batch`` — ``{"features": [[...], ...], ...}``;
+      responds ``{"predictions": [...], "count": n}``.
+    * ``GET /healthz`` — liveness plus the served snapshot path.
+    * ``GET /stats`` — engine + front-end counters and the arrival estimate.
+    * ``POST /swap`` — ``{"snapshot_path": "..."}``; hot-swaps the engine.
+
+    Backpressure and deadlines map onto status codes: a full queue responds
+    ``503`` (with ``Retry-After: 0``), a missed deadline ``504``, malformed
+    requests ``400``.  The server binds with :func:`asyncio.start_server`;
+    no third-party HTTP stack is required (an ``aiohttp`` front could serve
+    the same client, but the stdlib shim keeps the dependency surface at
+    zero).
+
+    Use as an async context manager, or call :meth:`start` / :meth:`aclose`.
+    """
+
+    def __init__(self, client: AsyncServingClient, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._client = client
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (``port=0`` picks a free port)."""
+        if self._server is not None:
+            raise RuntimeError("HTTP front-end already started")
+        self._server = await asyncio.start_server(self._handle_connection, self._host, self._port)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` the server is bound to (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("HTTP front-end is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def aclose(self) -> None:
+        """Stop accepting connections and wait for the server to close."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "HttpFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- connection handling ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                except _HttpError as error:
+                    # Unparseable request: answer 400 and drop the connection
+                    # (framing is unknown from here on) instead of letting the
+                    # task die with no response on the wire.
+                    await self._write_response(
+                        writer, error.status, {"error": str(error)}, keep_alive=False
+                    )
+                    break
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except _HttpError as error:
+                    status, payload = error.status, {"error": str(error)}
+                except (QueueFullError,) as error:
+                    status, payload = 503, {"error": str(error)}
+                except DeadlineExceededError as error:
+                    status, payload = 504, {"error": str(error)}
+                except (ValueError, KeyError, TypeError) as error:
+                    status, payload = 400, {"error": str(error)}
+                except FrontendClosedError as error:
+                    status, payload = 503, {"error": str(error)}
+                except Exception as error:  # noqa: BLE001 - survive handler bugs per-request
+                    status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - peer races
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, path, _version = parts
+        headers = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length header") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise _HttpError(400, "invalid request body length")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        body = (json.dumps(payload, default=_jsonable) + "\n").encode("utf-8")
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if status == 503:
+            headers.append("Retry-After: 0")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------------------------------
+    @staticmethod
+    def _parse_body(body: bytes) -> dict:
+        if not body:
+            raise _HttpError(400, "missing JSON request body")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise _HttpError(400, f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return payload
+
+    @staticmethod
+    def _budget_from(payload: dict) -> object:
+        if "node_budget" not in payload:
+            return _UNSET
+        budget = payload["node_budget"]
+        if budget is None:
+            return None
+        if budget == ADAPTIVE:
+            return ADAPTIVE
+        if isinstance(budget, bool) or not isinstance(budget, int) or budget < 1:
+            raise _HttpError(400, 'node_budget must be a positive integer, null or "adaptive"')
+        return budget
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        if path == "/healthz" and method == "GET":
+            engine = self._client.engine
+            return 200, {
+                "status": "ok",
+                "snapshot_path": engine.snapshot_path,
+                "multiprocess": engine.is_multiprocess,
+                "n_shards": engine.n_shards,
+            }
+        if path == "/stats" and method == "GET":
+            return 200, {
+                "engine": self._client.engine.stats_snapshot(),
+                "frontend": self._client.stats_snapshot(),
+            }
+        if path == "/classify" and method == "POST":
+            payload = self._parse_body(body)
+            result = await self._client.classify(
+                np.asarray(payload["features"], dtype=float),
+                node_budget=self._budget_from(payload),
+                deadline_ms=payload.get("deadline_ms"),
+                detail=True,
+            )
+            return 200, {
+                "prediction": result.prediction,
+                "node_budget": result.node_budget,
+                "latency_ms": result.latency_s * 1e3,
+            }
+        if path == "/classify_batch" and method == "POST":
+            payload = self._parse_body(body)
+            queries = np.asarray(payload["features"], dtype=float)
+            predictions = await self._client.classify_batch(
+                queries,
+                node_budget=self._budget_from(payload),
+                deadline_ms=payload.get("deadline_ms"),
+            )
+            return 200, {"predictions": predictions, "count": len(predictions)}
+        if path == "/swap" and method == "POST":
+            payload = self._parse_body(body)
+            await self._client.swap_snapshot(str(payload["snapshot_path"]))
+            return 200, {"swapped": True, "snapshot_path": self._client.engine.snapshot_path}
+        raise _HttpError(404, f"no route for {method} {path}")

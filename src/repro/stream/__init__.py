@@ -1,7 +1,9 @@
-"""Stream substrate: arrival processes, data streams and the anytime driver."""
+"""Stream substrate: arrival processes, data streams, the anytime driver and
+async load generation."""
 
 from .anytime import StreamRunResult, StreamStepResult, run_anytime_stream
 from .arrival import ArrivalProcess, ConstantArrival, PoissonArrival, gaps_to_node_budgets
+from .load_gen import aiter_items, aiter_query_batches
 from .stream import DataStream, StreamItem
 
 __all__ = [
@@ -12,6 +14,8 @@ __all__ = [
     "ConstantArrival",
     "PoissonArrival",
     "gaps_to_node_budgets",
+    "aiter_items",
+    "aiter_query_batches",
     "DataStream",
     "StreamItem",
 ]

@@ -54,6 +54,7 @@ class StreamRunResult:
 
     @property
     def accuracy(self) -> float:
+        """Prequential accuracy over the labelled (evaluated) stream steps."""
         evaluated = [step for step in self.steps if step.correct is not None]
         if not evaluated:
             return float("nan")
@@ -61,12 +62,14 @@ class StreamRunResult:
 
     @property
     def mean_budget(self) -> float:
+        """Mean node budget the arrival process granted per stream object."""
         if not self.steps:
             return float("nan")
         return float(np.mean([step.item.budget for step in self.steps]))
 
     @property
     def mean_nodes_read(self) -> float:
+        """Mean node reads actually spent per object (<= the granted budget)."""
         if not self.steps:
             return float("nan")
         return float(np.mean([step.nodes_read for step in self.steps]))

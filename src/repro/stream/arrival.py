@@ -34,6 +34,7 @@ class ConstantArrival(ArrivalProcess):
         self.gap = gap
 
     def gaps(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``count`` identical gaps of length ``gap`` (rng unused)."""
         if count < 0:
             raise ValueError("count must be non-negative")
         return np.full(count, self.gap)
@@ -48,6 +49,7 @@ class PoissonArrival(ArrivalProcess):
         self.rate = rate
 
     def gaps(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` exponential gaps with mean ``1 / rate`` from ``rng``."""
         if count < 0:
             raise ValueError("count must be non-negative")
         return rng.exponential(scale=1.0 / self.rate, size=count)

@@ -1,0 +1,77 @@
+"""Async load generation: replay data streams on the event loop in real time.
+
+The stream layer's arrival processes (:mod:`repro.stream.arrival`) stamp every
+object with an *abstract* arrival time.  These adapters turn that schedule
+into actual event-loop time so an asyncio serving front-end
+(:mod:`repro.serving.frontend`) experiences the paper's constant/varying
+streams as real traffic: items (or query blocks) are yielded when their
+scaled arrival time is due, independent of how fast the consumer drains them
+— the open-loop property that makes overload observable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, List, Optional
+
+import numpy as np
+
+from .stream import DataStream, StreamItem
+
+__all__ = ["aiter_items", "aiter_query_batches"]
+
+
+async def aiter_items(
+    stream: DataStream, speed: float = 1.0, limit: Optional[int] = None
+) -> AsyncIterator[StreamItem]:
+    """Yield a stream's items at their arrival times, scaled to wall-clock.
+
+    One abstract stream time unit maps to ``1 / speed`` seconds; each item is
+    yielded once ``item.arrival_time / speed`` seconds have passed since
+    iteration started (late items are yielded immediately — the schedule
+    never drifts to compensate).  ``limit`` caps the number of items.
+
+    Raises :class:`ValueError` for a non-positive ``speed``.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    if limit is not None and limit <= 0:
+        return
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    taken = 0
+    for item in stream:
+        delay = start + item.arrival_time / speed - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        yield item
+        taken += 1
+        if limit is not None and taken >= limit:
+            return
+
+
+async def aiter_query_batches(
+    stream: DataStream,
+    batch_size: int,
+    speed: float = 1.0,
+    limit: Optional[int] = None,
+) -> AsyncIterator[np.ndarray]:
+    """Async analogue of :meth:`DataStream.query_batches` with arrival pacing.
+
+    Stacks consecutive items into ``(b, d)`` feature blocks and yields each
+    block once its *last* item has arrived (scaled by ``speed`` like
+    :func:`aiter_items`); the trailing partial block is yielded too.  Labels
+    and budgets are dropped — these are exactly the request blocks an
+    external load generator would POST at a serving front-end.  ``limit``
+    caps the number of objects (not blocks).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    block: List[np.ndarray] = []
+    async for item in aiter_items(stream, speed=speed, limit=limit):
+        block.append(item.features)
+        if len(block) >= batch_size:
+            yield np.stack(block)
+            block = []
+    if block:
+        yield np.stack(block)

@@ -1,0 +1,25 @@
+"""Tier-1 enforcement of the public-API docstring audit.
+
+Runs ``docs/check_docstrings.py`` — the dependency-free half of the docs
+gate — so a PR that lands undocumented public API fails the unit suite, not
+just the pdoc CI job.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_public_api_docstrings_are_complete():
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "docs" / "check_docstrings.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        "docstring audit failed:\n" + completed.stdout + completed.stderr
+    )
+    assert "docstring audit ok" in completed.stdout

@@ -1,0 +1,51 @@
+"""RequestTrace: per-request capture and the derived serving summaries."""
+
+import pytest
+
+from repro.evaluation import RequestRecord, RequestTrace
+
+
+def _records():
+    return [
+        {"index": 0, "status": "ok", "label": "a", "prediction": "a",
+         "node_budget": 4, "latency_s": 0.010, "arrival_time": 0.0},
+        {"index": 1, "status": "ok", "label": "b", "prediction": "a",
+         "node_budget": 8, "latency_s": 0.030, "arrival_time": 1.0},
+        {"index": 2, "status": "deadline", "label": "b", "arrival_time": 2.0},
+        {"index": 3, "status": "rejected", "label": "a", "arrival_time": 3.0},
+    ]
+
+
+def test_from_records_and_summaries():
+    trace = RequestTrace.from_records(_records())
+    assert len(trace) == 4
+    assert trace.status_counts() == {"ok": 2, "deadline": 1, "rejected": 1}
+    assert len(trace.served()) == 2
+    assert trace.accuracy() == pytest.approx(0.5)
+    assert trace.mean_node_budget() == pytest.approx(6.0)
+    latency = trace.latency_summary()
+    assert latency["p50"] == pytest.approx(20.0)
+    summary = trace.summary()
+    assert summary["requests"] == 4 and summary["served"] == 2
+    assert summary["status_counts"]["rejected"] == 1
+    assert summary["latency_ms"]["mean"] == pytest.approx(20.0)
+
+
+def test_incremental_recording_and_jsonable():
+    trace = RequestTrace()
+    trace.record(index=0, status="ok", prediction=3, node_budget=None, latency_s=0.002)
+    trace.record(index=1, status="closed")
+    assert [record.index for record in trace.records] == [0, 1]
+    assert trace.mean_node_budget() is None  # full refinement carries no budget
+    assert trace.accuracy() is None  # no labels known
+    rows = trace.to_jsonable()
+    assert rows[0]["prediction"] == 3 and rows[1]["status"] == "closed"
+    assert isinstance(trace.records[0], RequestRecord)
+
+
+def test_empty_trace_edges():
+    trace = RequestTrace()
+    assert trace.summary()["served"] == 0
+    assert "latency_ms" not in trace.summary()
+    with pytest.raises(ValueError):
+        trace.latency_summary()

@@ -1,0 +1,73 @@
+"""Async load-gen adapters: pacing, block layout and limits."""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.stream import ConstantArrival, DataStream, aiter_items, aiter_query_batches
+
+
+@pytest.fixture(scope="module")
+def stream():
+    dataset = make_dataset("pendigits", size=40, random_state=4)
+    return DataStream(dataset, arrival=ConstantArrival(gap=1.0), random_state=4)
+
+
+def test_aiter_items_preserves_order_and_limit(stream):
+    async def run():
+        return [item async for item in aiter_items(stream, speed=4000.0, limit=12)]
+
+    items = asyncio.run(run())
+    expected = stream.items(limit=12)
+    assert [item.index for item in items] == [item.index for item in expected]
+    assert all(np.array_equal(a.features, b.features) for a, b in zip(items, expected))
+
+
+def test_aiter_items_paces_to_wall_clock(stream):
+    async def run():
+        count = 0
+        async for _ in aiter_items(stream, speed=100.0, limit=10):
+            count += 1
+        return count
+
+    start = time.perf_counter()
+    count = asyncio.run(run())
+    elapsed = time.perf_counter() - start
+    assert count == 10
+    # Ten unit gaps at 100 units/s schedule the last item at t=0.1s.
+    assert elapsed >= 0.09
+
+
+def test_aiter_query_batches_matches_sync_blocks(stream):
+    async def run():
+        return [block async for block in aiter_query_batches(stream, 8, speed=4000.0, limit=20)]
+
+    blocks = asyncio.run(run())
+    expected = list(stream.query_batches(8, limit=20))
+    assert len(blocks) == len(expected)
+    for block, reference in zip(blocks, expected):
+        assert np.array_equal(block, reference)
+    # Trailing partial block is yielded.
+    assert blocks[-1].shape[0] == 4
+
+
+def test_load_gen_validation(stream):
+    async def bad_speed():
+        async for _ in aiter_items(stream, speed=0.0):
+            pass
+
+    async def bad_batch():
+        async for _ in aiter_query_batches(stream, 0):
+            pass
+
+    async def zero_limit():
+        return [item async for item in aiter_items(stream, speed=1000.0, limit=0)]
+
+    with pytest.raises(ValueError, match="speed"):
+        asyncio.run(bad_speed())
+    with pytest.raises(ValueError, match="batch_size"):
+        asyncio.run(bad_batch())
+    assert asyncio.run(zero_limit()) == []
