@@ -26,7 +26,7 @@ from repro.core import AnytimeBayesClassifier  # noqa: E402
 from repro.data import make_dataset  # noqa: E402
 from repro.evaluation import RequestTrace, classification_trace_hash, latency_percentiles  # noqa: E402
 from repro.evaluation.experiment import DEFAULT_EXPERIMENT_CONFIG  # noqa: E402
-from repro.persist import load_forest, save_forest  # noqa: E402
+from repro.persist import load_flat_forest, load_forest, save_forest  # noqa: E402
 from repro.serving import (  # noqa: E402
     ADAPTIVE,
     AdaptiveBudgetPolicy,
@@ -228,3 +228,92 @@ def run_frontend_trace_identity(
         "node_budget": node_budget,
         "queries": int(queries.shape[0]),
     }
+
+
+def run_flat_descent_comparison(
+    snapshot_path, queries: np.ndarray, max_nodes: int = 20, repeats: int = 3
+) -> Dict[str, object]:
+    """Flat-column descent vs object-graph descent on the same snapshot.
+
+    Loads the forest both ways — ``load_forest`` (object graph) and
+    ``load_flat_forest`` (pre/post-order columns) — pins that the anytime
+    lockstep traces are hash-identical, then times ``classify_anytime_batch``
+    on each (best of ``repeats``, history recording off).  The speedup is a
+    same-machine ratio: the flat path skips per-refinement parameter packing
+    because every node's component parameters are contiguous column slices.
+    """
+    object_forest = load_forest(snapshot_path)
+    flat_forest = load_flat_forest(snapshot_path)
+    # Trace identity first (this also warms both forests' caches).
+    object_hash = classification_trace_hash(
+        object_forest.classify_anytime_batch(queries, max_nodes=max_nodes)
+    )
+    flat_hash = classification_trace_hash(
+        flat_forest.classify_anytime_batch(queries, max_nodes=max_nodes)
+    )
+
+    def best_of(forest) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            forest.classify_anytime_batch(
+                queries, max_nodes=max_nodes, record_history=False
+            )
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    object_s = best_of(object_forest)
+    flat_s = best_of(flat_forest)
+    return {
+        "identical": bool(object_hash == flat_hash),
+        "trace_hash": flat_hash,
+        "object_s": object_s,
+        "flat_s": flat_s,
+        "speedup": object_s / flat_s,
+        "max_nodes": int(max_nodes),
+        "queries": int(queries.shape[0]),
+    }
+
+
+def run_warm_start_comparison(
+    snapshot_path, queries: np.ndarray, workers: int = 4
+) -> Dict[str, object]:
+    """Zero-copy shared-memory workers vs per-worker snapshot loading.
+
+    Spins the same snapshot up twice with ``workers`` shard processes —
+    ``zero_copy=True`` (one shared segment, workers attach) and
+    ``zero_copy=False`` (every worker restores the object graph) — serves a
+    probe batch on each, and compares the measured per-worker warm-start
+    latency and the private (non-shared) RSS reported by ``/proc``.  Both
+    ratios are same-machine comparisons; the private-RSS ratio is the
+    O(1)-memory-in-workers claim made measurable.
+    """
+    results: Dict[str, object] = {"workers": int(workers)}
+    for key, zero_copy in (("zero_copy", True), ("object", False)):
+        with ServingEngine(snapshot_path, workers=workers, zero_copy=zero_copy) as engine:
+            engine.predict_batch(queries[:32])
+            profiles = engine.worker_profiles()
+            warm = [p["warm_start_ms"] for p in profiles if p["warm_start_ms"]]
+            private = [p["private_kb"] for p in profiles if p["private_kb"]]
+            shared = [p["shared_kb"] for p in profiles if p["shared_kb"]]
+            stats = engine.stats_snapshot()
+            results[key] = {
+                "n_workers": len(profiles),
+                "warm_start_ms_mean": float(np.mean(warm)) if warm else 0.0,
+                "warm_start_ms_max": float(np.max(warm)) if warm else 0.0,
+                "private_kb_mean": float(np.mean(private)) if private else 0.0,
+                "shared_kb_mean": float(np.mean(shared)) if shared else 0.0,
+                "shm_bytes": stats["shm_bytes"],
+            }
+    flat, obj = results["zero_copy"], results["object"]
+    results["warm_start_speedup"] = (
+        obj["warm_start_ms_mean"] / flat["warm_start_ms_mean"]
+        if flat["warm_start_ms_mean"]
+        else float("inf")
+    )
+    results["private_rss_ratio"] = (
+        obj["private_kb_mean"] / flat["private_kb_mean"]
+        if flat["private_kb_mean"]
+        else float("inf")
+    )
+    return results

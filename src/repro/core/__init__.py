@@ -11,11 +11,14 @@ from .descent import (
     GlobalBestDescent,
     make_descent_strategy,
 )
+from .flat import FlatForest, FlatTree
 from .frontier import Frontier, FrontierArrays, FrontierItem, log_pdq, pdq, pdq_scalar
 from .single_tree import SingleTreeAnytimeClassifier
 
 __all__ = [
     "BayesTree",
+    "FlatForest",
+    "FlatTree",
     "AnytimeBayesClassifier",
     "AnytimeClassification",
     "BayesTreeConfig",

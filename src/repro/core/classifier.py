@@ -41,6 +41,8 @@ from .frontier import Frontier, FrontierItem, _entry_batch_params, component_log
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from pathlib import Path
 
+    from .flat import FlatForest
+
 __all__ = ["AnytimeClassification", "AnytimeBayesClassifier"]
 
 #: Queries processed per lockstep round in the budgeted predict_batch path;
@@ -154,6 +156,257 @@ class _BatchQueryState:
     result: AnytimeClassification
     budget: int
     active: bool = True
+
+
+# -- shared classification drivers -------------------------------------------------------------
+#
+# The anytime machinery below is deliberately model-agnostic: it only needs a
+# mapping of alive per-class trees exposing ``root_batch_params()``,
+# ``frontier(query, root_log_densities=...)`` and ``log_density_batch()``,
+# plus the forest-wide log priors.  Both the live object-graph forest
+# (:class:`AnytimeBayesClassifier`) and the compiled flat forest
+# (:class:`repro.core.flat.FlatForest`) drive their classifications through
+# these functions, which is what pins the two representations to hash-equal
+# refinement traces — there is only one driver to diverge from.
+
+
+def _posterior_argmax(posterior: Dict[Hashable, float]) -> Hashable:
+    """Deterministic argmax: ties break by label ``repr`` (reproducible runs)."""
+    return max(sorted(posterior.keys(), key=repr), key=lambda label: posterior[label])
+
+
+def _record_step(result: AnytimeClassification, log_posterior: Dict[Hashable, float]) -> None:
+    result.predictions.append(_posterior_argmax(log_posterior))
+    result.log_posteriors.append(dict(log_posterior))
+
+
+def _posterior_of(
+    frontiers: Dict[Hashable, Frontier], log_priors: Dict[Hashable, float]
+) -> Dict[Hashable, float]:
+    """Unnormalised log posteriors ``log P(c) + log pdq_c(x)``."""
+    return {
+        label: log_priors[label] + frontier.log_density
+        for label, frontier in frontiers.items()
+    }
+
+
+def _choose_refinement(
+    frontiers: Dict[Hashable, Frontier],
+    log_posterior: Dict[Hashable, float],
+    k: int,
+    rotation: _QbkRotation,
+) -> Optional[Hashable]:
+    """Pick the class whose frontier gets the next node read (qbk, §2.2)."""
+    refinable = [label for label, frontier in frontiers.items() if not frontier.is_fully_refined]
+    if not refinable:
+        return None
+    ranked = sorted(
+        refinable,
+        key=lambda label: (-log_posterior[label], repr(label)),
+    )
+    top = ranked[: max(1, min(k, len(ranked)))]
+    return rotation.next(top)
+
+
+def _refine_group(members: List[Tuple[_BatchQueryState, Frontier, FrontierItem]]) -> None:
+    """Refine one tree node for every query in ``members`` with one evaluation.
+
+    All members read the same node of the same class tree, so the children's
+    component parameters (including the tree's variance inflation) are
+    identical across the group and the children's log densities for all
+    member queries form one batched call.  Compiled flat nodes carry their
+    packed parameters as zero-copy column slices (``packed_params``); object
+    nodes are packed here once per group.
+    """
+    _, first_frontier, first_item = members[0]
+    child_node = first_item.entry.child  # type: ignore[union-attr]
+    children = list(child_node.entries)
+    if len(members) == 1 or not children:
+        for _, frontier, item in members:
+            frontier.refine_item(item)
+        return
+    params = child_node.packed_params
+    if params is None:
+        params = _entry_batch_params(
+            children, first_frontier.variance_inflation, first_frontier.leaf_bandwidth
+        )
+    means, scales, kinds, _ = params
+    batch = np.stack([frontier.query for _, frontier, _ in members])
+    log_densities = component_log_densities(batch, means, scales, kinds)
+    for row, (_, frontier, item) in enumerate(members):
+        frontier.refine_item(
+            item, child_log_densities=log_densities[row], child_params=params
+        )
+
+
+def drive_classify_anytime(
+    trees: Dict[Hashable, "BayesTree"],
+    log_priors: Dict[Hashable, float],
+    descent: DescentStrategy,
+    k: int,
+    query: np.ndarray,
+    max_nodes: int,
+) -> AnytimeClassification:
+    """Sequential anytime classification of one query over ``trees``.
+
+    ``trees`` holds the alive (non-empty) per-class models; the caller has
+    already validated the inputs.  Records the prediction after every node
+    read (the x-axis of the paper's Figures 2-4).
+    """
+    query = np.asarray(query, dtype=float)
+    frontiers = {label: tree.frontier(query) for label, tree in trees.items()}
+    result = AnytimeClassification(query=query)
+
+    log_posterior = _posterior_of(frontiers, log_priors)
+    _record_step(result, log_posterior)
+
+    rotation = _QbkRotation()
+    for _ in range(max_nodes):
+        label = _choose_refinement(frontiers, log_posterior, k, rotation)
+        if label is None:
+            break
+        frontiers[label].refine(descent)
+        result.nodes_read += 1
+        log_posterior = _posterior_of(frontiers, log_priors)
+        _record_step(result, log_posterior)
+    return result
+
+
+def drive_classify_anytime_batch(
+    trees: Dict[Hashable, "BayesTree"],
+    log_priors: Dict[Hashable, float],
+    descent: DescentStrategy,
+    k: int,
+    queries: np.ndarray,
+    budgets: np.ndarray,
+    record_history: bool,
+) -> List[AnytimeClassification]:
+    """Lockstep batch driver over validated queries/budgets (chunked)."""
+    results: List[AnytimeClassification] = []
+    for start in range(0, queries.shape[0], BATCH_CHUNK_QUERIES):
+        results.extend(
+            _drive_batch_chunk(
+                trees,
+                log_priors,
+                descent,
+                k,
+                queries[start : start + BATCH_CHUNK_QUERIES],
+                budgets[start : start + BATCH_CHUNK_QUERIES],
+                record_history,
+            )
+        )
+    return results
+
+
+def _drive_batch_chunk(
+    trees: Dict[Hashable, "BayesTree"],
+    log_priors: Dict[Hashable, float],
+    descent: DescentStrategy,
+    k: int,
+    queries: np.ndarray,
+    budgets: np.ndarray,
+    record_history: bool,
+) -> List[AnytimeClassification]:
+    """Lockstep batch driver for one bounded chunk of queries."""
+    # One packing of each class's root model and one vectorised evaluation
+    # of it for the whole chunk; each frontier is seeded with its query's
+    # row instead of re-evaluating the root entries per query.
+    root_rows: List[Tuple[Hashable, "BayesTree", np.ndarray]] = []
+    for label, tree in trees.items():
+        means, scales, kinds, _ = tree.root_batch_params()
+        root_rows.append(
+            (label, tree, component_log_densities(queries, means, scales, kinds))
+        )
+
+    states: List[_BatchQueryState] = []
+    for position, query in enumerate(queries):
+        frontiers = {
+            label: tree.frontier(query, root_log_densities=rows[position])
+            for label, tree, rows in root_rows
+        }
+        result = AnytimeClassification(query=query)
+        log_posterior = _posterior_of(frontiers, log_priors)
+        if record_history:
+            _record_step(result, log_posterior)
+        states.append(
+            _BatchQueryState(
+                frontiers=frontiers,
+                rotation=_QbkRotation(),
+                log_posterior=log_posterior,
+                result=result,
+                budget=int(budgets[position]),
+            )
+        )
+
+    while True:
+        # Each active query chooses its next node read exactly as the
+        # sequential driver would (qbk rotation + descent strategy).
+        plans: List[Tuple[_BatchQueryState, Frontier, FrontierItem]] = []
+        for state in states:
+            if not state.active:
+                continue
+            if state.result.nodes_read >= state.budget:
+                state.active = False
+                continue
+            label = _choose_refinement(state.frontiers, state.log_posterior, k, state.rotation)
+            if label is None:
+                state.active = False
+                continue
+            frontier = state.frontiers[label]
+            item = descent.choose(frontier.refinable_items(), frontier.query)
+            plans.append((state, frontier, item))
+        if not plans:
+            break
+
+        # Group the planned reads by tree node: all queries reading the
+        # same node share one vectorised evaluation of its children.
+        groups: Dict[int, List[Tuple[_BatchQueryState, Frontier, FrontierItem]]] = {}
+        for plan in plans:
+            groups.setdefault(id(plan[2].entry.child), []).append(plan)
+        for members in groups.values():
+            _refine_group(members)
+
+        for state, _, _ in plans:
+            state.result.nodes_read += 1
+            state.log_posterior = _posterior_of(state.frontiers, log_priors)
+            if record_history:
+                _record_step(state.result, state.log_posterior)
+    if not record_history:
+        for state in states:
+            _record_step(state.result, state.log_posterior)
+    return [state.result for state in states]
+
+
+def drive_predict_full(
+    trees: Dict[Hashable, "BayesTree"],
+    log_priors: Dict[Hashable, float],
+    queries: np.ndarray,
+) -> List[Hashable]:
+    """Fully-refined batch prediction straight from the packed leaf arrays."""
+    labels = sorted(trees.keys(), key=repr)
+    scores = np.empty((queries.shape[0], len(labels)))
+    for column, label in enumerate(labels):
+        scores[:, column] = log_priors[label] + trees[label].log_density_batch(queries)
+    # Labels are repr-sorted and np.argmax returns the first maximum, so
+    # ties break exactly like :func:`_posterior_argmax`.
+    best = np.argmax(scores, axis=1)
+    return [labels[index] for index in best]
+
+
+def validate_batch_budgets(queries: np.ndarray, max_nodes) -> np.ndarray:
+    """Normalise ``max_nodes`` into one non-negative int budget per query."""
+    budgets = np.asarray(max_nodes)
+    if budgets.dtype.kind not in "iu":
+        # Match the sequential driver, which raises on float budgets via
+        # range(max_nodes); silent truncation would under-budget queries.
+        raise ValueError("max_nodes must be an integer or a sequence of integers")
+    if budgets.ndim == 0:
+        budgets = np.full(queries.shape[0], int(budgets))
+    elif budgets.shape != (queries.shape[0],):
+        raise ValueError("per-query max_nodes must have one budget per query")
+    if np.any(budgets < 0):
+        raise ValueError("max_nodes must be non-negative")
+    return budgets
 
 
 class AnytimeBayesClassifier:
@@ -365,21 +618,16 @@ class AnytimeBayesClassifier:
 
     def _log_posterior(self, frontiers: Dict[Hashable, Frontier]) -> Dict[Hashable, float]:
         """Unnormalised log posteriors ``log P(c) + log pdq_c(x)``."""
-        log_priors = self.log_priors
-        return {
-            label: log_priors[label] + frontier.log_density
-            for label, frontier in frontiers.items()
-        }
+        return _posterior_of(frontiers, self.log_priors)
 
     @staticmethod
     def _argmax(posterior: Dict[Hashable, float]) -> Hashable:
         # Deterministic tie breaking by label repr keeps experiments reproducible.
-        return max(sorted(posterior.keys(), key=repr), key=lambda label: posterior[label])
+        return _posterior_argmax(posterior)
 
     @staticmethod
     def _record(result: AnytimeClassification, log_posterior: Dict[Hashable, float]) -> None:
-        result.predictions.append(AnytimeBayesClassifier._argmax(log_posterior))
-        result.log_posteriors.append(dict(log_posterior))
+        _record_step(result, log_posterior)
 
     def classify_anytime(
         self,
@@ -395,25 +643,14 @@ class AnytimeBayesClassifier:
             raise ValueError("classifier has not been fitted")
         if max_nodes < 0:
             raise ValueError("max_nodes must be non-negative")
-        query = np.asarray(query, dtype=float)
-        frontiers = {
-            label: tree.frontier(query) for label, tree in self._alive_trees().items()
-        }
-        result = AnytimeClassification(query=query)
-
-        log_posterior = self._log_posterior(frontiers)
-        self._record(result, log_posterior)
-
-        k = self._effective_k()
-        rotation = _QbkRotation()
-        for _ in range(max_nodes):
-            refined = self._refine_one(frontiers, log_posterior, k, rotation)
-            if refined is None:
-                break
-            result.nodes_read += 1
-            log_posterior = self._log_posterior(frontiers)
-            self._record(result, log_posterior)
-        return result
+        return drive_classify_anytime(
+            self._alive_trees(),
+            self.log_priors,
+            self.descent,
+            self._effective_k(),
+            np.asarray(query, dtype=float),
+            max_nodes,
+        )
 
     def _choose_refinement(
         self,
@@ -423,15 +660,7 @@ class AnytimeBayesClassifier:
         rotation: _QbkRotation,
     ) -> Optional[Hashable]:
         """Pick the class whose frontier gets the next node read (qbk, §2.2)."""
-        refinable = [label for label, frontier in frontiers.items() if not frontier.is_fully_refined]
-        if not refinable:
-            return None
-        ranked = sorted(
-            refinable,
-            key=lambda label: (-log_posterior[label], repr(label)),
-        )
-        top = ranked[: max(1, min(k, len(ranked)))]
-        return rotation.next(top)
+        return _choose_refinement(frontiers, log_posterior, k, rotation)
 
     def _refine_one(
         self,
@@ -489,131 +718,20 @@ class AnytimeBayesClassifier:
         queries = np.asarray(queries, dtype=float)
         if queries.ndim != 2:
             raise ValueError("queries must be an (m, d) array")
-        budgets = np.asarray(max_nodes)
-        if budgets.dtype.kind not in "iu":
-            # Match the sequential driver, which raises on float budgets via
-            # range(max_nodes); silent truncation would under-budget queries.
-            raise ValueError("max_nodes must be an integer or a sequence of integers")
-        if budgets.ndim == 0:
-            budgets = np.full(queries.shape[0], int(budgets))
-        elif budgets.shape != (queries.shape[0],):
-            raise ValueError("per-query max_nodes must have one budget per query")
-        if np.any(budgets < 0):
-            raise ValueError("max_nodes must be non-negative")
-        k = self._effective_k()
-        results: List[AnytimeClassification] = []
-        for start in range(0, queries.shape[0], BATCH_CHUNK_QUERIES):
-            results.extend(
-                self._classify_anytime_batch_chunk(
-                    queries[start : start + BATCH_CHUNK_QUERIES],
-                    budgets[start : start + BATCH_CHUNK_QUERIES],
-                    k,
-                    record_history,
-                )
-            )
-        return results
-
-    def _classify_anytime_batch_chunk(
-        self, queries: np.ndarray, budgets: np.ndarray, k: int, record_history: bool
-    ) -> List[AnytimeClassification]:
-        """Lockstep batch driver for one bounded chunk of queries."""
-        # One packing of each class's root model and one vectorised evaluation
-        # of it for the whole chunk; each frontier is seeded with its query's
-        # row instead of re-evaluating the root entries per query.
-        root_rows: List[Tuple[Hashable, "BayesTree", np.ndarray]] = []
-        for label, tree in self._alive_trees().items():
-            means, scales, kinds, _ = tree.root_batch_params()
-            root_rows.append(
-                (label, tree, component_log_densities(queries, means, scales, kinds))
-            )
-
-        states: List[_BatchQueryState] = []
-        for position, query in enumerate(queries):
-            frontiers = {
-                label: tree.frontier(query, root_log_densities=rows[position])
-                for label, tree, rows in root_rows
-            }
-            result = AnytimeClassification(query=query)
-            log_posterior = self._log_posterior(frontiers)
-            if record_history:
-                self._record(result, log_posterior)
-            states.append(
-                _BatchQueryState(
-                    frontiers=frontiers,
-                    rotation=_QbkRotation(),
-                    log_posterior=log_posterior,
-                    result=result,
-                    budget=int(budgets[position]),
-                )
-            )
-
-        while True:
-            # Each active query chooses its next node read exactly as the
-            # sequential driver would (qbk rotation + descent strategy).
-            plans: List[Tuple[_BatchQueryState, Frontier, FrontierItem]] = []
-            for state in states:
-                if not state.active:
-                    continue
-                if state.result.nodes_read >= state.budget:
-                    state.active = False
-                    continue
-                label = self._choose_refinement(
-                    state.frontiers, state.log_posterior, k, state.rotation
-                )
-                if label is None:
-                    state.active = False
-                    continue
-                frontier = state.frontiers[label]
-                item = self.descent.choose(frontier.refinable_items(), frontier.query)
-                plans.append((state, frontier, item))
-            if not plans:
-                break
-
-            # Group the planned reads by tree node: all queries reading the
-            # same node share one vectorised evaluation of its children.
-            groups: Dict[int, List[Tuple[_BatchQueryState, Frontier, FrontierItem]]] = {}
-            for plan in plans:
-                groups.setdefault(id(plan[2].entry.child), []).append(plan)
-            for members in groups.values():
-                self._refine_group(members)
-
-            for state, _, _ in plans:
-                state.result.nodes_read += 1
-                state.log_posterior = self._log_posterior(state.frontiers)
-                if record_history:
-                    self._record(state.result, state.log_posterior)
-        if not record_history:
-            for state in states:
-                self._record(state.result, state.log_posterior)
-        return [state.result for state in states]
-
-    @staticmethod
-    def _refine_group(
-        members: List[Tuple[_BatchQueryState, Frontier, FrontierItem]],
-    ) -> None:
-        """Refine one tree node for every query in ``members`` with one evaluation.
-
-        All members read the same node of the same class tree, so the
-        children's component parameters (including the tree's variance
-        inflation) are identical across the group and the children's log
-        densities for all member queries form one batched call.
-        """
-        _, first_frontier, first_item = members[0]
-        children = list(first_item.entry.child.entries)  # type: ignore[union-attr]
-        if len(members) == 1 or not children:
-            for _, frontier, item in members:
-                frontier.refine_item(item)
-            return
-        params = _entry_batch_params(
-            children, first_frontier.variance_inflation, first_frontier.leaf_bandwidth
+        budgets = validate_batch_budgets(queries, max_nodes)
+        return drive_classify_anytime_batch(
+            self._alive_trees(),
+            self.log_priors,
+            self.descent,
+            self._effective_k(),
+            queries,
+            budgets,
+            record_history,
         )
-        means, scales, kinds, _ = params
-        batch = np.stack([frontier.query for _, frontier, _ in members])
-        log_densities = component_log_densities(batch, means, scales, kinds)
-        for row, (_, frontier, item) in enumerate(members):
-            frontier.refine_item(
-                item, child_log_densities=log_densities[row], child_params=params
-            )
+
+    #: Shared with the module-level batch driver; kept addressable on the
+    #: class for white-box tests and subclass instrumentation.
+    _refine_group = staticmethod(_refine_group)
 
     # -- convenience prediction APIs -----------------------------------------------------------------
     def predict(self, query: Sequence[float] | np.ndarray, node_budget: Optional[int] = None) -> Hashable:
@@ -647,16 +765,21 @@ class AnytimeBayesClassifier:
 
     def _predict_batch_full(self, queries: np.ndarray) -> List[Hashable]:
         """Fully-refined batch prediction straight from the leaf arrays."""
-        alive = self._alive_trees()
-        labels = sorted(alive.keys(), key=repr)
-        log_priors = self.log_priors
-        scores = np.empty((queries.shape[0], len(labels)))
-        for column, label in enumerate(labels):
-            scores[:, column] = log_priors[label] + alive[label].log_density_batch(queries)
-        # Labels are repr-sorted and np.argmax returns the first maximum, so
-        # ties break exactly like :meth:`_argmax`.
-        best = np.argmax(scores, axis=1)
-        return [labels[index] for index in best]
+        return drive_predict_full(self._alive_trees(), self.log_priors, queries)
+
+    # -- flat compilation ---------------------------------------------------------------------------
+    def compile_flat(self) -> "FlatForest":
+        """Compile the live forest into its flat columnar twin.
+
+        Returns a :class:`repro.core.flat.FlatForest` — the same forest as
+        contiguous pre-order SoA columns, read-only and trace-hash-identical
+        on every prediction API (see :mod:`repro.core.flat`).  The compiled
+        forest captures the decayed state at the current logical time and
+        does not follow subsequent training.
+        """
+        from .flat import FlatForest
+
+        return FlatForest.from_classifier(self)
 
     def posterior_probabilities(
         self, query: Sequence[float] | np.ndarray, node_budget: Optional[int] = None

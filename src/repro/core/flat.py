@@ -1,0 +1,953 @@
+"""Flat pre/post-order forest encoding (read-optimised columnar twin).
+
+The live forest is a Python object graph: nodes hold entry lists, directory
+entries hold child pointers, and every refinement step chases those pointers
+and re-packs the children's mixture parameters into arrays.  This module
+compiles each :class:`~repro.core.bayes_tree.BayesTree` into a **FlatTree** —
+a handful of contiguous structure-of-arrays numpy columns keyed by *pre-order
+entry slot* — and the forest into a :class:`FlatForest` of such trees.
+
+The encoding borrows the XPath-accelerator idea: every entry records, besides
+its mixture component (mean / scale / kind / decayed weight), the half-open
+slot interval ``[child_start, post)`` covering its entire descendant block.
+Because slots are assigned pre-order with each node's entries contiguous and
+each subtree contiguous, the two structural operations of the query engine
+become array slices:
+
+* "expand this frontier item" is ``columns[child_start:child_end]`` — the
+  packed parameters of the read node's children, no pointer walk, no
+  per-entry packing loop;
+* "how large / deep / balanced is this subtree" is a range reduction over
+  ``[child_start, post)`` — the cheap structure-health metrics reported by
+  the serving stats.
+
+Equivalence is the design contract, not an aspiration: the flat columns are
+written by the *same* packing routine the object-graph query path uses
+(:func:`repro.core.frontier._entry_batch_params`, after the same decay sync),
+and classification drives through the *same* module-level drivers in
+:mod:`repro.core.classifier`.  The per-entry parameters, the reduction
+orders, and hence every float on the query path are identical bit for bit —
+``classification_trace_hash`` over the two paths must agree, and the test
+suite pins that (including under exponential decay).
+
+A FlatTree is a read-only snapshot of the decayed state at compile time: it
+does not follow subsequent training and its mixture weights are frozen at the
+compile-time logical "now".  That is exactly the serving contract — snapshot,
+compile, share — and what makes the columns safe to place in shared memory
+(:mod:`repro.serving.shared_mem`) or to memory-map from disk
+(:mod:`repro.persist.snapshot`): every worker reads, nobody writes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..index.mbr import MBR
+from ..stats.gaussian import logsumexp
+from .classifier import (
+    AnytimeClassification,
+    drive_classify_anytime,
+    drive_classify_anytime_batch,
+    drive_predict_full,
+    validate_batch_budgets,
+)
+from .config import default_qbk_k
+from .descent import DescentStrategy, make_descent_strategy
+from .frontier import Frontier, _entry_batch_params
+
+__all__ = ["FlatTree", "FlatForest"]
+
+_BatchParams = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+#: Integer metadata slots of a FlatTree (``meta_i`` column), in order.
+_META_I_FIELDS = (
+    "n_entries",
+    "n_leaf",
+    "root_count",
+    "root_level",
+    "n_nodes",
+    "n_leaf_nodes",
+    "height",
+    "leaf_capacity",
+    "shared_scales",
+    "has_bandwidth",
+)
+
+#: Float metadata slots of a FlatTree (``meta_f`` column), in order.
+_META_F_FIELDS = ("clock_now", "prior_weight", "stats_n")
+
+#: Per-tree column names a serialized FlatTree consists of (fixed order).
+TREE_COLUMNS = (
+    "entry_means",
+    "entry_scales",
+    "entry_kinds",
+    "entry_n",
+    "entry_levels",
+    "entry_depth",
+    "child_start",
+    "child_end",
+    "post",
+    "dir_index",
+    "dir_mbr_lower",
+    "dir_mbr_upper",
+    "leaf_means",
+    "leaf_scales",
+    "leaf_kinds",
+    "leaf_log_weights",
+    "leaf_times",
+    "bandwidth",
+    "stats_ls",
+    "stats_ss",
+    "meta_i",
+    "meta_f",
+)
+
+
+class _FlatNode:
+    """Materialised view of one node's contiguous entry block.
+
+    Duck-types the two attributes the refinement machinery reads from
+    :class:`repro.index.node.Node` — ``level`` and ``entries`` — plus the
+    ``packed_params`` fast path: zero-copy column slices of the children's
+    mixture parameters, consumed directly by
+    :meth:`repro.core.frontier.Frontier.refine_item`.
+    """
+
+    __slots__ = ("level", "entries", "packed_params")
+
+    def __init__(self, level: int, entries: List[object], packed_params: _BatchParams) -> None:
+        self.level = level
+        self.entries = entries
+        self.packed_params = packed_params
+
+
+class _FlatDirEntry:
+    """Directory-entry proxy over one slot of the flat columns.
+
+    Carries exactly the surface the frontier/descent machinery touches:
+    ``is_directory``, ``n_objects``, ``child`` (a cached :class:`_FlatNode`
+    shared across all frontiers, so the batch driver's group-by-``id(child)``
+    coalescing works unchanged) and ``mbr`` (for geometric descent).
+    """
+
+    __slots__ = ("_tree", "_slot", "_mbr")
+
+    is_directory = True
+
+    def __init__(self, tree: "FlatTree", slot: int) -> None:
+        self._tree = tree
+        self._slot = slot
+        self._mbr: Optional[MBR] = None
+
+    @property
+    def n_objects(self) -> float:
+        return self._tree._entry_n_list[self._slot]
+
+    @property
+    def child(self) -> _FlatNode:
+        return self._tree._node_at(self._slot)
+
+    @property
+    def mbr(self) -> MBR:
+        mbr = self._mbr
+        if mbr is None:
+            row = int(self._tree.dir_index[self._slot])
+            mbr = MBR._trusted(
+                np.asarray(self._tree.dir_mbr_lower[row], dtype=float),
+                np.asarray(self._tree.dir_mbr_upper[row], dtype=float),
+            )
+            self._mbr = mbr
+        return mbr
+
+
+class _FlatLeafEntry:
+    """Leaf-entry (kernel) proxy over one slot of the flat columns.
+
+    Leaf items are never refined, so only the kind flag and the decayed
+    weight are needed on the query path.
+    """
+
+    __slots__ = ("_tree", "_slot")
+
+    is_directory = False
+
+    def __init__(self, tree: "FlatTree", slot: int) -> None:
+        self._tree = tree
+        self._slot = slot
+
+    @property
+    def n_objects(self) -> float:
+        return self._tree._entry_n_list[self._slot]
+
+
+class FlatTree:
+    """One Bayes tree compiled into contiguous pre-order SoA columns.
+
+    Column overview (``S`` entry slots, ``D`` directory entries, ``n`` stored
+    kernels, ``d`` dimensions):
+
+    ======================  ==========  ==================================================
+    column                  shape       meaning
+    ======================  ==========  ==================================================
+    ``entry_means``         (S, d)      component mean per slot
+    ``entry_scales``        (S, d)      variance (Gaussian) / bandwidth (Epanechnikov)
+    ``entry_kinds``         (S,) i1     component kind flag
+    ``entry_n``             (S,)        decayed object weight below the entry
+    ``entry_levels``        (S,) i8     level of the entry's child node; -1 for kernels
+    ``entry_depth``         (S,) i8     depth of the containing node (root node = 0)
+    ``child_start/end``     (S,) i8     slot range of the child node's entries (-1 leaf)
+    ``post``                (S,) i8     end of the entry's descendant block (-1 leaf)
+    ``dir_index``           (S,) i8     row into the MBR columns (-1 for kernels)
+    ``dir_mbr_lower/upper`` (D, d)      bounding boxes for geometric descent
+    ``leaf_*``              (n, ...)    packed full kernel model (fully-refined path)
+    ======================  ==========  ==================================================
+
+    Slots are assigned pre-order with every node's entries contiguous and
+    every subtree contiguous, so an entry's children are
+    ``[child_start, child_end)`` and its whole descendant block is
+    ``[child_start, post)`` — both plain slices.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, np.ndarray],
+        meta: Mapping[str, int],
+        meta_floats: Mapping[str, float],
+    ) -> None:
+        self.entry_means = columns["entry_means"]
+        self.entry_scales = columns["entry_scales"]
+        self.entry_kinds = columns["entry_kinds"]
+        self.entry_n = columns["entry_n"]
+        self.entry_levels = columns["entry_levels"]
+        self.entry_depth = columns["entry_depth"]
+        self.child_start = columns["child_start"]
+        self.child_end = columns["child_end"]
+        self.post = columns["post"]
+        self.dir_index = columns["dir_index"]
+        self.dir_mbr_lower = columns["dir_mbr_lower"]
+        self.dir_mbr_upper = columns["dir_mbr_upper"]
+        self.leaf_means = columns["leaf_means"]
+        self.leaf_scales = columns["leaf_scales"]
+        self.leaf_kinds = columns["leaf_kinds"]
+        self.leaf_log_weights = columns["leaf_log_weights"]
+        self.leaf_times = columns["leaf_times"]
+        self.stats_ls = columns["stats_ls"]
+        self.stats_ss = columns["stats_ss"]
+        bandwidth = columns["bandwidth"]
+        self.bandwidth: Optional[np.ndarray] = (
+            bandwidth if meta["has_bandwidth"] else None
+        )
+        self.meta: Dict[str, int] = dict(meta)
+        self.meta_floats: Dict[str, float] = dict(meta_floats)
+        self.dimension = int(self.entry_means.shape[1])
+        #: Python-float view of ``entry_n``: the frontier sums per-entry
+        #: weights in Python (same op order as the object graph), and
+        #: ``tolist`` converts once instead of once per access.
+        self._entry_n_list: List[float] = self.entry_n.tolist()
+        self._entries: List[Optional[object]] = [None] * self.meta["n_entries"]
+        self._nodes: Dict[int, _FlatNode] = {}
+        self._root_entries: List[object] = [
+            self._entry_at(slot) for slot in range(self.meta["root_count"])
+        ]
+        self._leaf_scales_full: Optional[np.ndarray] = None
+
+    # -- compilation ------------------------------------------------------------------------
+    @classmethod
+    def compile(cls, tree: "BayesTree") -> "FlatTree":  # noqa: F821
+        """Compile a live :class:`BayesTree` into its flat columnar form.
+
+        The tree's summaries are first aged to its current logical time
+        (exactly what every query does before packing parameters), then the
+        per-node parameters are packed with the very routine the frontier
+        uses lazily — the columns hold the same float64 values a query-time
+        packing would produce, which is what makes the flat descent
+        bit-identical.
+        """
+        dimension = tree.dimension
+        n_leaf = int(tree.n_objects)
+        if n_leaf == 0:
+            return cls._empty(tree)
+        tree._sync_decay()
+        variance_inflation = tree._variance_inflation()
+        bandwidth = tree._bandwidth
+
+        nodes = list(tree.index.iter_nodes())
+        total_entries = sum(len(node.entries) for node in nodes)
+        n_dir = total_entries - n_leaf
+
+        entry_means = np.empty((total_entries, dimension))
+        entry_scales = np.empty((total_entries, dimension))
+        entry_kinds = np.empty(total_entries, dtype=np.int8)
+        entry_n = np.empty(total_entries)
+        entry_levels = np.full(total_entries, -1, dtype=np.int64)
+        entry_depth = np.empty(total_entries, dtype=np.int64)
+        child_start = np.full(total_entries, -1, dtype=np.int64)
+        child_end = np.full(total_entries, -1, dtype=np.int64)
+        post = np.full(total_entries, -1, dtype=np.int64)
+        dir_index = np.full(total_entries, -1, dtype=np.int64)
+        dir_mbr_lower = np.empty((n_dir, dimension))
+        dir_mbr_upper = np.empty((n_dir, dimension))
+
+        cursor = 0
+        dir_cursor = 0
+        n_leaf_nodes = 0
+
+        # Pre-order slot assignment: a node's entries occupy one contiguous
+        # block, and recursing into each directory entry immediately after
+        # placing the block makes every descendant set contiguous as well —
+        # the invariant behind the [child_start, post) interval columns.
+        def place(node, depth: int) -> None:
+            nonlocal cursor, dir_cursor, n_leaf_nodes
+            entries = node.entries
+            start = cursor
+            cursor += len(entries)
+            params = _entry_batch_params(entries, variance_inflation, bandwidth)
+            means, scales, kinds, n_objects = params
+            entry_means[start : start + len(entries)] = means
+            entry_scales[start : start + len(entries)] = scales
+            entry_kinds[start : start + len(entries)] = kinds
+            entry_n[start : start + len(entries)] = n_objects
+            entry_depth[start : start + len(entries)] = depth
+            if node.is_leaf:
+                n_leaf_nodes += 1
+                return
+            for offset, entry in enumerate(entries):
+                slot = start + offset
+                child = entry.child
+                entry_levels[slot] = child.level
+                row = dir_cursor
+                dir_cursor += 1
+                dir_index[slot] = row
+                dir_mbr_lower[row] = entry.mbr.lower
+                dir_mbr_upper[row] = entry.mbr.upper
+                block_start = cursor
+                place(child, depth + 1)
+                child_start[slot] = block_start
+                child_end[slot] = block_start + len(child.entries)
+                post[slot] = cursor
+
+        root = tree.root
+        place(root, 0)
+        if cursor != total_entries or dir_cursor != n_dir:
+            raise AssertionError("flat compilation lost entries during the pre-order walk")
+
+        leaf_means, leaf_scales, leaf_kinds, leaf_log_weights = tree.leaf_arrays()
+        shared_scales = leaf_scales.ndim == 2 and leaf_scales.strides[0] == 0
+        if shared_scales:
+            # The broadcast scale row is stored once; loading broadcasts it
+            # back to (n, d), so the shared-memory/on-disk footprint of the
+            # full kernel model stays O(n·d) for means but O(d) for scales.
+            leaf_scales_stored = np.ascontiguousarray(leaf_scales[:1])
+        else:
+            leaf_scales_stored = np.ascontiguousarray(leaf_scales)
+        feature = tree._stats.feature
+
+        columns = {
+            "entry_means": entry_means,
+            "entry_scales": entry_scales,
+            "entry_kinds": entry_kinds,
+            "entry_n": entry_n,
+            "entry_levels": entry_levels,
+            "entry_depth": entry_depth,
+            "child_start": child_start,
+            "child_end": child_end,
+            "post": post,
+            "dir_index": dir_index,
+            "dir_mbr_lower": dir_mbr_lower,
+            "dir_mbr_upper": dir_mbr_upper,
+            "leaf_means": np.ascontiguousarray(leaf_means),
+            "leaf_scales": leaf_scales_stored,
+            "leaf_kinds": np.ascontiguousarray(leaf_kinds),
+            "leaf_log_weights": np.ascontiguousarray(leaf_log_weights),
+            "leaf_times": tree._leaf_means.times_view.copy(),
+            "bandwidth": (
+                np.zeros(0) if bandwidth is None else np.asarray(bandwidth, dtype=float)
+            ),
+            "stats_ls": np.asarray(feature.linear_sum, dtype=float).copy(),
+            "stats_ss": np.asarray(feature.squared_sum, dtype=float).copy(),
+        }
+        meta = {
+            "n_entries": total_entries,
+            "n_leaf": n_leaf,
+            "root_count": len(root.entries),
+            "root_level": int(root.level),
+            "n_nodes": len(nodes),
+            "n_leaf_nodes": n_leaf_nodes,
+            "height": int(tree.height()),
+            "leaf_capacity": int(tree.config.tree.leaf_capacity),
+            "shared_scales": int(shared_scales),
+            "has_bandwidth": int(bandwidth is not None),
+        }
+        meta_floats = {
+            "clock_now": float(tree.clock.now),
+            "prior_weight": float(tree.prior_weight),
+            "stats_n": float(feature.n),
+        }
+        return cls(columns, meta, meta_floats)
+
+    @classmethod
+    def _empty(cls, tree: "BayesTree") -> "FlatTree":  # noqa: F821
+        """Flat form of an empty (fully expired) class tree: all-zero columns."""
+        dimension = tree.dimension
+        columns = {
+            "entry_means": np.zeros((0, dimension)),
+            "entry_scales": np.zeros((0, dimension)),
+            "entry_kinds": np.zeros(0, dtype=np.int8),
+            "entry_n": np.zeros(0),
+            "entry_levels": np.zeros(0, dtype=np.int64),
+            "entry_depth": np.zeros(0, dtype=np.int64),
+            "child_start": np.zeros(0, dtype=np.int64),
+            "child_end": np.zeros(0, dtype=np.int64),
+            "post": np.zeros(0, dtype=np.int64),
+            "dir_index": np.zeros(0, dtype=np.int64),
+            "dir_mbr_lower": np.zeros((0, dimension)),
+            "dir_mbr_upper": np.zeros((0, dimension)),
+            "leaf_means": np.zeros((0, dimension)),
+            "leaf_scales": np.zeros((0, dimension)),
+            "leaf_kinds": np.zeros(0, dtype=np.int8),
+            "leaf_log_weights": np.zeros(0),
+            "leaf_times": np.zeros(0),
+            "bandwidth": np.zeros(0),
+            "stats_ls": np.zeros(dimension),
+            "stats_ss": np.zeros(dimension),
+        }
+        meta = {
+            "n_entries": 0,
+            "n_leaf": 0,
+            "root_count": 0,
+            "root_level": 0,
+            "n_nodes": 0,
+            "n_leaf_nodes": 0,
+            "height": 0,
+            "leaf_capacity": int(tree.config.tree.leaf_capacity),
+            "shared_scales": 0,
+            "has_bandwidth": 0,
+        }
+        meta_floats = {
+            "clock_now": float(tree.clock.now),
+            "prior_weight": 0.0,
+            "stats_n": 0.0,
+        }
+        return cls(columns, meta, meta_floats)
+
+    # -- serialization ----------------------------------------------------------------------
+    def to_columns(self) -> Dict[str, np.ndarray]:
+        """The tree as a name → array mapping (``TREE_COLUMNS`` order)."""
+        out: Dict[str, np.ndarray] = {}
+        for name in TREE_COLUMNS:
+            if name == "meta_i":
+                out[name] = np.array(
+                    [self.meta[field] for field in _META_I_FIELDS], dtype=np.int64
+                )
+            elif name == "meta_f":
+                out[name] = np.array(
+                    [self.meta_floats[field] for field in _META_F_FIELDS], dtype=float
+                )
+            elif name == "bandwidth":
+                out[name] = (
+                    np.zeros(0) if self.bandwidth is None else np.asarray(self.bandwidth)
+                )
+            else:
+                out[name] = getattr(self, name)
+        return out
+
+    @classmethod
+    def from_columns(cls, columns: Mapping[str, np.ndarray]) -> "FlatTree":
+        """Rebuild from :meth:`to_columns` output, validating the structure.
+
+        Raises :class:`ValueError` on any missing column, length
+        disagreement, or interval inconsistency — the persistence layer wraps
+        these into :class:`repro.persist.SnapshotError`.
+        """
+        missing = [name for name in TREE_COLUMNS if name not in columns]
+        if missing:
+            raise ValueError(f"flat tree columns missing: {missing}")
+        meta_i = np.asarray(columns["meta_i"]).ravel()
+        meta_f = np.asarray(columns["meta_f"]).ravel()
+        if meta_i.shape[0] != len(_META_I_FIELDS):
+            raise ValueError("flat tree meta_i column has the wrong length")
+        if meta_f.shape[0] != len(_META_F_FIELDS):
+            raise ValueError("flat tree meta_f column has the wrong length")
+        meta = {field: int(meta_i[i]) for i, field in enumerate(_META_I_FIELDS)}
+        meta_floats = {field: float(meta_f[i]) for i, field in enumerate(_META_F_FIELDS)}
+        cls._validate_columns(columns, meta)
+        tree = cls(columns, meta, meta_floats)
+        return tree
+
+    @staticmethod
+    def _validate_columns(columns: Mapping[str, np.ndarray], meta: Dict[str, int]) -> None:
+        """Structural validation of deserialized columns (raises ValueError)."""
+        total = meta["n_entries"]
+        n_leaf = meta["n_leaf"]
+        root_count = meta["root_count"]
+        per_slot = (
+            "entry_means",
+            "entry_scales",
+            "entry_kinds",
+            "entry_n",
+            "entry_levels",
+            "entry_depth",
+            "child_start",
+            "child_end",
+            "post",
+            "dir_index",
+        )
+        for name in per_slot:
+            if columns[name].shape[0] != total:
+                raise ValueError(
+                    f"flat tree column {name!r} has {columns[name].shape[0]} rows, "
+                    f"expected {total} (interval/column length disagreement)"
+                )
+        levels = np.asarray(columns["entry_levels"])
+        child_start = np.asarray(columns["child_start"])
+        child_end = np.asarray(columns["child_end"])
+        post = np.asarray(columns["post"])
+        dir_mask = levels >= 0
+        n_dir = int(dir_mask.sum())
+        if total - n_dir != n_leaf:
+            raise ValueError(
+                "flat tree leaf slot count disagrees with the recorded kernel count"
+            )
+        for name in ("dir_mbr_lower", "dir_mbr_upper"):
+            if columns[name].shape[0] != n_dir:
+                raise ValueError(
+                    f"flat tree column {name!r} has {columns[name].shape[0]} rows, "
+                    f"expected {n_dir} directory entries"
+                )
+        if n_dir:
+            starts = child_start[dir_mask]
+            ends = child_end[dir_mask]
+            posts = post[dir_mask]
+            if not (
+                np.all(starts >= root_count)
+                and np.all(starts < ends)
+                and np.all(ends <= posts)
+                and np.all(posts <= total)
+            ):
+                raise ValueError("flat tree subtree intervals are out of bounds")
+            if int((ends - starts).sum()) != total - root_count:
+                raise ValueError(
+                    "flat tree child ranges do not partition the non-root slots"
+                )
+        leaf_mask = ~dir_mask
+        if np.any(child_start[leaf_mask] != -1) or np.any(post[leaf_mask] != -1):
+            raise ValueError("flat tree kernel slots must not carry child intervals")
+        for name in ("leaf_means", "leaf_kinds", "leaf_log_weights", "leaf_times"):
+            expected = n_leaf
+            if columns[name].shape[0] != expected:
+                raise ValueError(
+                    f"flat tree column {name!r} has {columns[name].shape[0]} rows, "
+                    f"expected {expected} kernels"
+                )
+        leaf_scales = columns["leaf_scales"]
+        expected_scales = 1 if meta["shared_scales"] and n_leaf else n_leaf
+        if leaf_scales.shape[0] != expected_scales:
+            raise ValueError(
+                f"flat tree column 'leaf_scales' has {leaf_scales.shape[0]} rows, "
+                f"expected {expected_scales}"
+            )
+
+    # -- node/entry materialisation ----------------------------------------------------------
+    def _entry_at(self, slot: int) -> object:
+        entry = self._entries[slot]
+        if entry is None:
+            if self.entry_levels[slot] >= 0:
+                entry = _FlatDirEntry(self, slot)
+            else:
+                entry = _FlatLeafEntry(self, slot)
+            self._entries[slot] = entry
+        return entry
+
+    def _node_at(self, slot: int) -> _FlatNode:
+        """The child node of the directory entry at ``slot`` (cached).
+
+        The cache keys nodes by slot, so every frontier of every query sees
+        the *same* node object per subtree — the batch driver groups planned
+        reads by ``id(child)`` and this preserves its coalescing.
+        """
+        node = self._nodes.get(slot)
+        if node is None:
+            start = int(self.child_start[slot])
+            end = int(self.child_end[slot])
+            node = _FlatNode(
+                level=int(self.entry_levels[slot]),
+                entries=[self._entry_at(child) for child in range(start, end)],
+                packed_params=(
+                    self.entry_means[start:end],
+                    self.entry_scales[start:end],
+                    self.entry_kinds[start:end],
+                    self.entry_n[start:end],
+                ),
+            )
+            self._nodes[slot] = node
+        return node
+
+    # -- query surface (mirrors BayesTree) ---------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        """Number of stored observations (kernels) in the compiled tree."""
+        return self.meta["n_leaf"]
+
+    def node_count(self) -> int:
+        return self.meta["n_nodes"]
+
+    def height(self) -> int:
+        return self.meta["height"]
+
+    def root_batch_params(self) -> _BatchParams:
+        """Packed root-entry parameters: the leading column slice, zero copy."""
+        count = self.meta["root_count"]
+        return (
+            self.entry_means[:count],
+            self.entry_scales[:count],
+            self.entry_kinds[:count],
+            self.entry_n[:count],
+        )
+
+    def frontier(
+        self,
+        query: Sequence[float] | np.ndarray,
+        root_log_densities: Optional[np.ndarray] = None,
+    ) -> Frontier:
+        """Anytime density-query state over the flat columns.
+
+        Same surface, validation and seeding as :meth:`BayesTree.frontier`;
+        the frontier's refinement steps consume the columns' packed slices
+        through the nodes' ``packed_params`` instead of re-packing entries.
+        """
+        if self.n_objects == 0:
+            raise ValueError("cannot query an empty Bayes tree")
+        query = np.asarray(query, dtype=float)
+        if query.shape != (self.dimension,):
+            raise ValueError(f"query must have shape ({self.dimension},)")
+        variance_inflation = None if self.bandwidth is None else self.bandwidth ** 2
+        return Frontier(
+            self._root_entries,
+            root_level=self.meta["root_level"],
+            query=query,
+            variance_inflation=variance_inflation,
+            leaf_bandwidth=self.bandwidth,
+            root_params=self.root_batch_params(),
+            root_log_densities=root_log_densities,
+        )
+
+    def leaf_arrays(self) -> _BatchParams:
+        """Packed full kernel model ``(means, scales, kinds, log_weights)``."""
+        if self.n_objects == 0:
+            raise ValueError("cannot pack leaf arrays of an empty Bayes tree")
+        scales = self.leaf_scales
+        if self.meta["shared_scales"]:
+            full = self._leaf_scales_full
+            if full is None:
+                # Re-broadcast the stored single row: same zero-stride layout
+                # (and therefore the same evaluation) as the live tree's
+                # shared-bandwidth fast path.
+                full = np.broadcast_to(
+                    scales[0], (self.meta["n_leaf"], self.dimension)
+                )
+                self._leaf_scales_full = full
+            scales = full
+        return self.leaf_means, scales, self.leaf_kinds, self.leaf_log_weights
+
+    def log_density_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Full-model log densities, identical to :meth:`BayesTree.log_density_batch`."""
+        from .frontier import component_log_densities
+
+        queries = np.asarray(queries, dtype=float)
+        single = queries.ndim == 1
+        queries = np.atleast_2d(queries)
+        if queries.shape[1] != self.dimension:
+            raise ValueError(f"queries must have shape (m, {self.dimension})")
+        means, scales, kinds, log_weights = self.leaf_arrays()
+        logs = component_log_densities(queries, means, scales, kinds)
+        result = logsumexp(logs + log_weights[None, :], axis=1)
+        return result[0] if single else result
+
+    # -- structure health --------------------------------------------------------------------
+    def structure_stats(self) -> Dict[str, object]:
+        """Cheap structural health metrics straight from the interval columns.
+
+        Everything here is a vectorised reduction over the per-slot columns —
+        no tree walk, no object graph: the depth profile is a bincount over
+        the kernels' node depths, leaf occupancy compares stored kernels to
+        leaf-node capacity, and the root balance ratio counts kernels per
+        root subtree with one prefix sum sliced by ``[child_start, post)``.
+        """
+        meta = self.meta
+        if meta["n_entries"] == 0:
+            return {
+                "n_entries": 0,
+                "n_kernels": 0,
+                "n_directory_entries": 0,
+                "n_nodes": 0,
+                "n_leaf_nodes": 0,
+                "height": 0,
+                "leaf_occupancy": 0.0,
+                "depth_profile": [],
+                "mean_kernel_depth": 0.0,
+                "max_kernel_depth": 0,
+                "root_subtree_kernels": [],
+                "root_balance_ratio": 1.0,
+                "prior_weight": 0.0,
+            }
+        leaf_mask = np.asarray(self.entry_levels) < 0
+        n_kernels = int(leaf_mask.sum())
+        depths = np.asarray(self.entry_depth)[leaf_mask]
+        profile = np.bincount(depths) if depths.size else np.zeros(0, dtype=np.int64)
+        capacity = meta["n_leaf_nodes"] * meta["leaf_capacity"]
+        # Prefix sum over the kernel indicator: kernels inside any subtree
+        # interval [start, post) are cumulative[post] - cumulative[start].
+        cumulative = np.concatenate(([0], np.cumsum(leaf_mask.astype(np.int64))))
+        root_counts = []
+        for slot in range(meta["root_count"]):
+            if self.entry_levels[slot] >= 0:
+                start = int(self.child_start[slot])
+                stop = int(self.post[slot])
+                root_counts.append(int(cumulative[stop] - cumulative[start]))
+            else:
+                root_counts.append(1)
+        if root_counts and max(root_counts) > 0:
+            balance = min(root_counts) / max(root_counts)
+        else:
+            balance = 1.0
+        return {
+            "n_entries": meta["n_entries"],
+            "n_kernels": n_kernels,
+            "n_directory_entries": meta["n_entries"] - n_kernels,
+            "n_nodes": meta["n_nodes"],
+            "n_leaf_nodes": meta["n_leaf_nodes"],
+            "height": meta["height"],
+            "leaf_occupancy": (n_kernels / capacity) if capacity else 0.0,
+            "depth_profile": profile.tolist(),
+            "mean_kernel_depth": float(depths.mean()) if depths.size else 0.0,
+            "max_kernel_depth": int(depths.max()) if depths.size else 0,
+            "root_subtree_kernels": root_counts,
+            "root_balance_ratio": float(balance),
+            "prior_weight": self.meta_floats["prior_weight"],
+        }
+
+    def nbytes(self) -> int:
+        """Total byte size of the stored columns (as serialized)."""
+        return int(sum(array.nbytes for array in self.to_columns().values()))
+
+
+class FlatForest:
+    """Read-only columnar twin of an :class:`AnytimeBayesClassifier` forest.
+
+    Exposes the classifier's prediction surface — :meth:`classify_anytime`,
+    :meth:`classify_anytime_batch`, :meth:`predict_batch` — driving through
+    the same module-level drivers, so predictions, per-step posteriors and
+    node-read counts are bit-identical to the live forest it was compiled
+    from.  Training APIs are deliberately absent: a flat forest is a
+    snapshot; to learn, mutate the live forest and recompile (the serving
+    engine does exactly that on hot swaps).
+    """
+
+    def __init__(
+        self,
+        trees: Dict[Hashable, FlatTree],
+        log_priors: Dict[Hashable, float],
+        descent: DescentStrategy,
+        qbk_k: Optional[int],
+        dimension: int,
+    ) -> None:
+        self.trees = trees
+        self.log_priors = log_priors
+        self.descent = descent
+        self.qbk_k = qbk_k
+        self.dimension = dimension
+
+    # -- construction -----------------------------------------------------------------------
+    @classmethod
+    def from_classifier(cls, classifier: "AnytimeBayesClassifier") -> "FlatForest":  # noqa: F821
+        """Compile every class tree of a fitted live forest."""
+        if not classifier.is_fitted:
+            raise ValueError("classifier has not been fitted")
+        trees = {
+            label: FlatTree.compile(tree) for label, tree in classifier.trees.items()
+        }
+        log_priors = dict(classifier.log_priors)
+        return cls(
+            trees=trees,
+            log_priors=log_priors,
+            descent=classifier.descent,
+            qbk_k=classifier.qbk_k,
+            dimension=int(classifier.dimension),
+        )
+
+    # -- serialization ----------------------------------------------------------------------
+    @property
+    def labels(self) -> List[Hashable]:
+        """Class labels in stored order (parallel to the serialized columns)."""
+        return list(self.trees.keys())
+
+    def to_columns(self) -> Dict[str, np.ndarray]:
+        """All trees' columns under ``t{i}__`` prefixes plus the forest priors."""
+        arrays: Dict[str, np.ndarray] = {}
+        for position, label in enumerate(self.labels):
+            for name, array in self.trees[label].to_columns().items():
+                arrays[f"t{position}__{name}"] = array
+        arrays["forest__log_priors"] = np.array(
+            [self.log_priors[label] for label in self.labels], dtype=float
+        )
+        return arrays
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, np.ndarray],
+        labels: Sequence[Hashable],
+        descent: str | DescentStrategy,
+        qbk_k: Optional[int],
+        dimension: int,
+    ) -> "FlatForest":
+        """Rebuild a forest from prefixed columns (inverse of :meth:`to_columns`).
+
+        ``labels`` (typically from the snapshot manifest) names tree ``i``'s
+        class.  Raises :class:`ValueError` on structural problems; the
+        persistence layer converts those into :class:`SnapshotError`.
+        """
+        if "forest__log_priors" not in columns:
+            raise ValueError("flat forest columns missing 'forest__log_priors'")
+        priors_column = np.asarray(columns["forest__log_priors"], dtype=float).ravel()
+        if priors_column.shape[0] != len(labels):
+            raise ValueError(
+                "flat forest prior column length disagrees with the class list"
+            )
+        trees: Dict[Hashable, FlatTree] = {}
+        for position, label in enumerate(labels):
+            prefix = f"t{position}__"
+            tree_columns = {
+                name[len(prefix) :]: array
+                for name, array in columns.items()
+                if name.startswith(prefix)
+            }
+            trees[label] = FlatTree.from_columns(tree_columns)
+        log_priors = {
+            label: float(priors_column[position])
+            for position, label in enumerate(labels)
+        }
+        if not isinstance(descent, DescentStrategy):
+            descent = make_descent_strategy(descent)
+        return cls(
+            trees=trees,
+            log_priors=log_priors,
+            descent=descent,
+            qbk_k=qbk_k,
+            dimension=int(dimension),
+        )
+
+    # -- classification ---------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.trees)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of known classes, including currently empty ones."""
+        return len(self.trees)
+
+    def _alive_trees(self) -> Dict[Hashable, FlatTree]:
+        alive = {label: tree for label, tree in self.trees.items() if tree.n_objects > 0}
+        if not alive:
+            raise ValueError("classifier holds no training observations (all expired)")
+        return alive
+
+    def _effective_k(self) -> int:
+        if self.qbk_k is not None:
+            return max(1, min(self.qbk_k, self.n_classes))
+        return min(default_qbk_k(self.n_classes), self.n_classes)
+
+    def classify_anytime(
+        self, query: Sequence[float] | np.ndarray, max_nodes: int
+    ) -> AnytimeClassification:
+        """Anytime classification over the flat columns (bit-identical trace)."""
+        if not self.is_fitted:
+            raise ValueError("classifier has not been fitted")
+        if max_nodes < 0:
+            raise ValueError("max_nodes must be non-negative")
+        return drive_classify_anytime(
+            self._alive_trees(),
+            self.log_priors,
+            self.descent,
+            self._effective_k(),
+            np.asarray(query, dtype=float),
+            max_nodes,
+        )
+
+    def classify_anytime_batch(
+        self,
+        queries: np.ndarray,
+        max_nodes: "int | Sequence[int] | np.ndarray",
+        record_history: bool = True,
+    ) -> List[AnytimeClassification]:
+        """Lockstep batch classification over the flat columns."""
+        if not self.is_fitted:
+            raise ValueError("classifier has not been fitted")
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2:
+            raise ValueError("queries must be an (m, d) array")
+        budgets = validate_batch_budgets(queries, max_nodes)
+        return drive_classify_anytime_batch(
+            self._alive_trees(),
+            self.log_priors,
+            self.descent,
+            self._effective_k(),
+            queries,
+            budgets,
+            record_history,
+        )
+
+    def predict_batch(
+        self, queries: np.ndarray, node_budget: Optional[int] = None
+    ) -> List[Hashable]:
+        """Batch label prediction (full kernel model when ``node_budget`` is None)."""
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2:
+            raise ValueError("queries must be an (m, d) array")
+        if not self.is_fitted:
+            raise ValueError("classifier has not been fitted")
+        if node_budget is None:
+            return drive_predict_full(self._alive_trees(), self.log_priors, queries)
+        results = self.classify_anytime_batch(
+            queries, max_nodes=node_budget, record_history=False
+        )
+        return [result.final_prediction for result in results]
+
+    # -- structure health --------------------------------------------------------------------
+    def structure_stats(self) -> Dict[str, object]:
+        """Forest-wide structural health summary (JSON-serialisable).
+
+        Per-class metrics come from :meth:`FlatTree.structure_stats` (pure
+        column reductions); the roll-up aggregates entry/node counts, the
+        height range and the total stored kernels — the serving ``/stats``
+        endpoint reports this verbatim.
+        """
+        per_class = {}
+        totals = {"n_entries": 0, "n_kernels": 0, "n_nodes": 0}
+        heights: List[int] = []
+        for label, tree in self.trees.items():
+            stats = tree.structure_stats()
+            per_class[str(label)] = stats
+            totals["n_entries"] += stats["n_entries"]
+            totals["n_kernels"] += stats["n_kernels"]
+            totals["n_nodes"] += stats["n_nodes"]
+            if tree.n_objects:
+                heights.append(stats["height"])
+        return {
+            "classes": per_class,
+            "n_classes": self.n_classes,
+            "total_entries": totals["n_entries"],
+            "total_kernels": totals["n_kernels"],
+            "total_nodes": totals["n_nodes"],
+            "min_height": min(heights) if heights else 0,
+            "max_height": max(heights) if heights else 0,
+        }
+
+    def nbytes(self) -> int:
+        """Total byte size of all serialized columns."""
+        return int(sum(tree.nbytes() for tree in self.trees.values())) + 8 * len(
+            self.trees
+        )

@@ -274,8 +274,13 @@ class FrontierItem:
 
     @property
     def is_refinable(self) -> bool:
-        """Directory entries can be replaced by their children; kernels cannot."""
-        return isinstance(self.entry, DirectoryEntry)
+        """Directory entries can be replaced by their children; kernels cannot.
+
+        Duck-typed on ``entry.is_directory`` (not ``isinstance``) so the
+        flat-forest entry proxies of :mod:`repro.core.flat` refine through
+        the identical machinery.
+        """
+        return self.entry.is_directory
 
 
 def _entry_density(
@@ -440,8 +445,7 @@ class Frontier:
         )
         root_entries = list(root_entries)
         levels = [
-            root_level - 1 if isinstance(entry, DirectoryEntry) else -1
-            for entry in root_entries
+            root_level - 1 if entry.is_directory else -1 for entry in root_entries
         ]
         self._append_entries(
             root_entries, levels, log_densities=root_log_densities, params=root_params
@@ -587,9 +591,16 @@ class Frontier:
         self._remove_item(item)
         children = list(child_node.entries)
         levels = [
-            child_node.level - 1 if isinstance(child_entry, DirectoryEntry) else -1
+            child_node.level - 1 if child_entry.is_directory else -1
             for child_entry in children
         ]
+        if child_params is None:
+            # Compiled flat nodes carry their packed component parameters as
+            # zero-copy column slices; consuming them here replaces the
+            # per-entry packing loop with an array slice (the XPath-style
+            # "children are a range" payoff).  Object-graph nodes leave the
+            # attribute None and take the packing path unchanged.
+            child_params = child_node.packed_params
         self._append_entries(
             children, levels, log_densities=child_log_densities, params=child_params
         )

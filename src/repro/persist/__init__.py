@@ -8,13 +8,21 @@ restores a forest whose predictions, refinement traces and future training
 behaviour are bit-identical to the saved one.  No pickle is involved at any
 point, so snapshots can be exchanged between untrusting processes (the
 sharded serving engine in :mod:`repro.serving` is built on exactly that).
+
+Snapshots additionally carry the compiled flat-forest columns
+(:class:`repro.core.flat.FlatForest`) as uncompressed, memory-mappable
+members: ``load_flat_forest`` opens the read-optimised twin of the same
+forest without rebuilding an object graph, and ``read_flat_columns`` exposes
+the raw columns for the serving engine to place in shared memory.
 """
 
 from .snapshot import (
     FORMAT_VERSION,
     SnapshotError,
     SnapshotVersionError,
+    load_flat_forest,
     load_forest,
+    read_flat_columns,
     read_manifest,
     save_forest,
 )
@@ -23,7 +31,9 @@ __all__ = [
     "FORMAT_VERSION",
     "SnapshotError",
     "SnapshotVersionError",
+    "load_flat_forest",
     "load_forest",
+    "read_flat_columns",
     "read_manifest",
     "save_forest",
 ]

@@ -1,17 +1,28 @@
 """Snapshot container format for Bayes forests.
 
-Layout: one ``.npz`` archive (zip of ``.npy`` members, written with
-``numpy.savez_compressed``) holding
+Layout: one ``.npz`` archive (zip of ``.npy`` members) holding
 
 * ``manifest`` — a UTF-8 JSON document (stored as a ``uint8`` array) with the
   magic string, format version, classifier-level settings (configuration,
-  descent strategy, qbk k, dimension) and the per-class label tables,
+  descent strategy, qbk k, dimension), the per-class label tables and the
+  ``flat`` flag announcing the columnar members,
 * ``forest__floats`` — forest-level float state (the logical "now"),
 * ``t{i}__*`` — per-class-tree arrays: the exact index topology
   (:meth:`repro.index.rstar.RStarTree.export_structure`), the
   insertion-ordered leaf buffer with per-observation timestamps, the decayed
   running ``(n, LS, SS)`` statistics, the shared Silverman bandwidth and the
-  expiry bookkeeping (:meth:`repro.core.bayes_tree.BayesTree.export_state`).
+  expiry bookkeeping (:meth:`repro.core.bayes_tree.BayesTree.export_state`),
+* ``flat__*`` — optionally, the compiled :class:`repro.core.flat.FlatForest`
+  columns (``flat__t{i}__*`` per tree plus ``flat__forest__log_priors``), a
+  read-optimised twin of the same forest for serving.
+
+Since format version 2 the archive members are **stored uncompressed**
+(``numpy.savez``): every ``.npy`` member sits verbatim inside the zip, so
+:func:`read_flat_columns` can hand out ``numpy.memmap`` views straight into
+the file — a serving worker "loads" a multi-gigabyte forest by mapping pages,
+not by copying them.  ``numpy.load`` reads compressed members too, so
+externally recompressed snapshots still load (the mmap fast path simply falls
+back to a plain read).
 
 Design constraints, in order:
 
@@ -21,6 +32,9 @@ Design constraints, in order:
 2. **Bit-identical restore.**  Every float is stored verbatim (numpy arrays
    in the archive; JSON floats round-trip exactly through ``repr``), topology
    and entry order are restored 1:1, and nothing is re-derived from the data.
+   The flat columns are held to the same bar: a forest restored through
+   :func:`load_flat_forest` produces refinement traces hash-identical to the
+   live forest the snapshot was saved from.
 3. **Versioned.**  ``FORMAT_VERSION`` gates the loader: snapshots from a
    different format version are rejected with :class:`SnapshotVersionError`
    instead of being misinterpreted; corrupt or truncated containers raise
@@ -30,6 +44,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Dict, Hashable, List, Optional
 
@@ -39,6 +54,7 @@ from ..core.bayes_tree import BayesTree
 from ..core.classifier import AnytimeBayesClassifier
 from ..core.config import BayesTreeConfig
 from ..core.descent import DESCENT_STRATEGIES
+from ..core.flat import FlatForest
 
 __all__ = [
     "FORMAT_VERSION",
@@ -46,13 +62,20 @@ __all__ = [
     "SnapshotVersionError",
     "save_forest",
     "load_forest",
+    "load_flat_forest",
+    "read_flat_columns",
     "read_manifest",
 ]
 
 #: Bumped whenever the container layout changes incompatibly.
-FORMAT_VERSION = 1
+#: Version 2: flat forest columns (``flat__*`` members, ``flat`` manifest
+#: flag) and uncompressed (mmap-able) archive members.
+FORMAT_VERSION = 2
 
 _MAGIC = "repro-bayes-forest"
+
+#: Member-name prefix of the compiled flat-forest columns.
+_FLAT_PREFIX = "flat__"
 
 #: Kernel families are stored as indices into this table.
 _KERNELS = ("gaussian", "epanechnikov")
@@ -132,8 +155,15 @@ def _decode_label(spec: list) -> Hashable:
 
 # -- saving -----------------------------------------------------------------------------------
 
-def save_forest(classifier: AnytimeBayesClassifier, path) -> Path:
+def save_forest(
+    classifier: AnytimeBayesClassifier, path, include_flat: bool = True
+) -> Path:
     """Serialize a fitted forest into the snapshot container at ``path``.
+
+    With ``include_flat`` (the default) the snapshot additionally carries the
+    compiled flat-forest columns, which serving loads zero-copy via
+    :func:`load_flat_forest`; ``include_flat=False`` writes the object-graph
+    state only (smaller file, serving recompiles on load).
 
     Returns the path written.  Raises :class:`SnapshotError` for classifiers
     that cannot be represented (unfitted, custom descent strategies outside
@@ -206,6 +236,15 @@ def save_forest(classifier: AnytimeBayesClassifier, path) -> Path:
             arrays[prefix + "leaf_bw_values"] = np.stack(explicit).astype(float)
         trees_meta.append({"n": int(state["n"]), "label_table": label_table})
 
+    if include_flat:
+        # Compile the read-optimised columnar twin and store it alongside the
+        # object-graph state.  ``FlatForest.from_classifier`` iterates
+        # ``classifier.trees`` in the same order as the loop above, so the
+        # ``flat__t{i}__`` indices align with the manifest's class table.
+        flat = FlatForest.from_classifier(classifier)
+        for name, array in flat.to_columns().items():
+            arrays[_FLAT_PREFIX + name] = np.ascontiguousarray(array)
+
     manifest = {
         "magic": _MAGIC,
         "format_version": FORMAT_VERSION,
@@ -215,15 +254,17 @@ def save_forest(classifier: AnytimeBayesClassifier, path) -> Path:
         "config": classifier.config.to_dict(),
         "classes": classes,
         "trees": trees_meta,
+        "flat": bool(include_flat),
     }
     arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
     arrays["forest__floats"] = np.array([classifier._now], dtype=float)
 
     path = Path(path)
     # savez appends ".npz" to bare filenames; writing through a file object
-    # keeps the caller's path verbatim.
+    # keeps the caller's path verbatim.  Members are deliberately
+    # uncompressed (STORED) so loaders can memory-map them in place.
     with open(path, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
+        np.savez(handle, **arrays)
     return path
 
 
@@ -268,6 +309,7 @@ def read_manifest(path) -> dict:
             "config": manifest["config"],
             "classes": [_decode_label(spec) for spec in manifest["classes"]],
             "class_counts": [tree["n"] for tree in manifest["trees"]],
+            "has_flat": bool(manifest.get("flat", False)),
         }
     except SnapshotError:
         raise
@@ -350,6 +392,111 @@ def _restore(data) -> AnytimeBayesClassifier:
         classifier.trees[label] = tree
     classifier._invalidate_priors()
     return classifier
+
+
+def _member_memmap(path, member: str) -> Optional[np.ndarray]:
+    """Memory-map one uncompressed ``.npy`` member inside the ``.npz`` zip.
+
+    Returns a read-only ``np.memmap`` view into the snapshot file, or ``None``
+    when the member cannot be mapped (compressed, Fortran-ordered, object
+    dtype, unknown npy version) — callers fall back to a plain copying read.
+    The offset arithmetic walks the zip *local* file header (30 fixed bytes +
+    name + extra field; the extra field may differ from the central
+    directory's copy) and then the npy header, after which the file cursor
+    sits exactly on the raw array bytes.
+    """
+    with zipfile.ZipFile(path) as archive:
+        try:
+            info = archive.getinfo(member + ".npy")
+        except KeyError:
+            return None
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+        with open(path, "rb") as handle:
+            handle.seek(info.header_offset)
+            header = handle.read(30)
+            if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                return None
+            name_length = int.from_bytes(header[26:28], "little")
+            extra_length = int.from_bytes(header[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_length + extra_length)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+            if fortran or dtype.hasobject:
+                return None
+            offset = handle.tell()
+    return np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=offset)
+
+
+def read_flat_columns(path, mmap: bool = True) -> Dict[str, np.ndarray]:
+    """Read the flat-forest columns of a snapshot (``flat__`` prefix stripped).
+
+    With ``mmap`` (the default) every uncompressed member is returned as a
+    read-only memory map into the snapshot file — opening a multi-gigabyte
+    forest touches no data pages until they are actually queried.  Members
+    that cannot be mapped are read normally.  Raises :class:`SnapshotError`
+    when the snapshot carries no flat columns or is unreadable.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            manifest = _parse_manifest(data)
+            if not manifest.get("flat", False):
+                raise SnapshotError(
+                    f"snapshot {path} carries no flat forest columns "
+                    "(saved with include_flat=False?)"
+                )
+            names = [name for name in data.files if name.startswith(_FLAT_PREFIX)]
+            if not mmap:
+                return {name[len(_FLAT_PREFIX) :]: data[name] for name in names}
+        columns: Dict[str, np.ndarray] = {}
+        unmapped: List[str] = []
+        for name in names:
+            view = _member_memmap(path, name)
+            if view is None:
+                unmapped.append(name)
+            else:
+                columns[name[len(_FLAT_PREFIX) :]] = view
+        if unmapped:
+            with np.load(path, allow_pickle=False) as data:
+                for name in unmapped:
+                    columns[name[len(_FLAT_PREFIX) :]] = data[name]
+        return columns
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
+
+
+def load_flat_forest(path, mmap: bool = True) -> FlatForest:
+    """Restore the compiled flat forest from a snapshot (zero-copy capable).
+
+    The returned :class:`FlatForest` serves the full prediction surface with
+    refinement traces hash-identical to :func:`load_forest` of the same
+    snapshot, but its columns are (by default) memory-mapped views into the
+    file rather than rebuilt object graphs — this is the milliseconds-order
+    warm-start path of the serving engine.  Raises
+    :class:`SnapshotVersionError` / :class:`SnapshotError` like the other
+    loaders, including for structurally inconsistent flat columns.
+    """
+    try:
+        info = read_manifest(path)
+        columns = read_flat_columns(path, mmap=mmap)
+        return FlatForest.from_columns(
+            columns,
+            labels=info["classes"],
+            descent=info["descent"],
+            qbk_k=info["qbk_k"],
+            dimension=int(info["dimension"]),
+        )
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
 
 
 def load_forest(path) -> AnytimeBayesClassifier:

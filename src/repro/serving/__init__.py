@@ -1,21 +1,29 @@
 """Multi-process sharded serving of snapshotted Bayes forests.
 
-:class:`ServingEngine` restores a :mod:`repro.persist` snapshot into a pool
-of worker processes — each worker warm-loads the snapshot at startup and
-serves a shard of the per-class trees — and exposes batched classification
-with exactly the predictions of the in-process classifier.  A micro-batching
-request scheduler, graceful snapshot hot-swap and a synchronous single-process
-fallback make it the compute building block for production-style traffic.
+:class:`ServingEngine` serves a :mod:`repro.persist` snapshot from a pool of
+worker processes and exposes batched classification with exactly the
+predictions of the in-process classifier.  By default the snapshot's flat
+forest columns (:mod:`repro.core.flat`) live in one POSIX shared-memory
+segment (:mod:`repro.serving.shared_mem`) that every shard worker attaches
+to zero-copy — warm-start in milliseconds and one physical forest copy
+regardless of worker count — with classes packed onto shards by an LPT
+greedy over per-class kernel counts (:func:`plan_shard_assignment`).  A
+micro-batching request scheduler, graceful snapshot hot-swap (segments are
+prepared outside the serving guard and unlinked only after every worker has
+re-attached) and a synchronous single-process fallback make it the compute
+building block for production-style traffic.
 
 On top of it, :mod:`repro.serving.frontend` adds the asyncio request layer:
 :class:`AsyncServingClient` coalesces concurrent ``await classify(...)``
 calls into engine rounds with bounded-queue backpressure, per-request
 deadlines and load-adaptive node budgets (:data:`ADAPTIVE`), and
 :class:`HttpFrontend` exposes the whole stack over a minimal stdlib HTTP
-endpoint for external load generators.
+endpoint for external load generators — including ``/stats``, which reports
+the engine's worker warm-start latency, shared/private RSS split and forest
+structure health.
 """
 
-from .engine import ServingEngine, ServingStats
+from .engine import ServingEngine, ServingStats, plan_shard_assignment
 from .frontend import (
     ADAPTIVE,
     AdaptiveBudgetPolicy,
@@ -30,10 +38,15 @@ from .frontend import (
     QueueFullError,
     drive_open_loop,
 )
+from .shared_mem import SharedColumnStore, attach_columns, memory_profile
 
 __all__ = [
     "ServingEngine",
     "ServingStats",
+    "plan_shard_assignment",
+    "SharedColumnStore",
+    "attach_columns",
+    "memory_profile",
     "ADAPTIVE",
     "AdaptiveBudgetPolicy",
     "ArrivalRateEstimator",

@@ -2,13 +2,22 @@
 
 Architecture (see DESIGN.md, snapshots & serving):
 
-* **Shard workers.**  The engine owns one single-process
-  ``ProcessPoolExecutor`` per shard.  Each worker warm-loads the snapshot in
-  its initializer and keeps the class trees of its shard (classes are
-  repr-sorted and dealt round-robin), plus the *forest-wide* log priors — a
-  per-class posterior score ``log P(c) + log pdq_c(x)`` never mixes data
-  across classes, which is what makes the class dimension embarrassingly
-  parallel for full-refinement scoring.
+* **Zero-copy shard workers.**  By default the engine places the snapshot's
+  flat forest columns (:mod:`repro.core.flat`) into one POSIX shared-memory
+  segment (:mod:`repro.serving.shared_mem`) and each shard worker *attaches*
+  instead of loading: warm-start is an ``shm_open`` plus building thin
+  :class:`~repro.core.flat.FlatForest` wrappers over borrowed pages —
+  milliseconds instead of a full snapshot parse — and the forest occupies one
+  physical copy regardless of worker count (O(1) memory in workers).  When a
+  snapshot predates the flat columns the engine compiles them on the fly
+  (the same hook keeps hot swaps working for legacy snapshots), and
+  ``zero_copy=False`` restores the old per-worker object-graph loading.
+* **LPT shard packing.**  Classes are packed onto shards with a
+  longest-processing-time greedy over the manifest's per-class kernel counts
+  — the heaviest unassigned class goes to the least-loaded shard — instead
+  of dealing round-robin, so full-refinement rounds (cost is dominated by a
+  shard's total kernel count) finish together instead of waiting for an
+  unlucky stride.  ``plan_shard_assignment`` is the pure planning kernel.
 * **Scatter/gather scoring.**  ``predict_batch`` broadcasts the query block
   to every shard, each worker scores its classes with one vectorised
   ``log_density_batch`` per tree, and the front-end reassembles the full
@@ -17,22 +26,33 @@ Architecture (see DESIGN.md, snapshots & serving):
   bit-identical to the in-process classifier.
 * **Budgeted (anytime) requests** cannot be class-sharded: the qbk rotation
   interleaves classes through one shared posterior.  They are sharded by
-  *query* instead — each worker lazily restores the full forest once and
-  drives ``classify_anytime_batch``'s lockstep refinement over its slice of
-  the batch (per-query results are independent of the slicing).
+  *query* instead — each worker drives the full forest's (zero-copy, or
+  lazily restored) ``classify_anytime_batch`` lockstep refinement over its
+  slice of the batch (per-query results are independent of the slicing).
 * **Micro-batching scheduler.**  ``submit`` enqueues single queries; a
   dispatcher thread groups them (up to ``max_batch``, waiting at most
   ``linger_s`` after the first request) and serves each group with one
   scatter/gather round — the serving-side analogue of the stream driver's
   micro-batched chunks.
-* **Hot swap.**  ``swap_snapshot`` validates the new container, waits out
-  in-flight serving rounds (a readers-writer guard — a round must never tear
-  across two snapshots or gather against a stale label layout), then reloads
-  every shard and the front-end label order together.  A background trainer
-  can ``partial_fit`` on the side, write a fresh snapshot and swap it in
-  without dropping a request.
+* **Hot swap.**  ``swap_snapshot`` validates the new container and prepares
+  its shared segment *outside* the serving guard, then waits out in-flight
+  rounds (a round must never tear across two snapshots or gather against a
+  stale label layout), re-attaches every shard and switches the front-end
+  label layout together, and finally unlinks the old segment.
+* **Observability.**  ``stats_snapshot`` reports, next to the serving
+  counters, the shared segment (name, bytes), per-worker warm-start latency
+  and shared-vs-private RSS (``/proc``-based), and the forest structure
+  health summary computed from the flat interval columns — this is what the
+  async front-end's ``/stats`` endpoint returns verbatim.
 * **Fallback.**  ``workers=0`` (or a failed pool spin-up) serves synchronously
-  from an in-process restored forest with the identical API and results.
+  from an in-process forest with the identical API and results.
+
+Shared-memory lifecycle: the engine owns every segment it creates and is the
+only unlinker — ``close()`` (or garbage collection of the engine's store)
+disposes the current segment, a completed swap disposes the previous one,
+and workers only ever close their own attachment.  A worker that crashes
+cannot leak the segment: its attachment dies with the process and the name
+still belongs to the engine.
 """
 
 from __future__ import annotations
@@ -45,18 +65,51 @@ import warnings
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.classifier import AnytimeBayesClassifier
-from ..persist import load_forest, read_manifest
+from ..core.flat import FlatForest
+from ..persist import load_forest, read_flat_columns, read_manifest
+from .shared_mem import (
+    SharedColumnStore,
+    attach_columns,
+    memory_profile,
+    release_attachment,
+)
 
-__all__ = ["ServingEngine", "ServingStats"]
+__all__ = ["ServingEngine", "ServingStats", "plan_shard_assignment"]
 
 # Process-global state of a shard worker (one worker process per shard, so a
 # plain module dict is per-shard state).
 _WORKER: dict = {}
+
+
+def plan_shard_assignment(counts: Sequence[float], n_shards: int) -> List[List[int]]:
+    """Pack class indices onto shards, balancing total per-shard count (LPT).
+
+    Longest-processing-time greedy: visit classes by descending ``counts``
+    (ties by index, for determinism) and give each to the currently
+    least-loaded shard.  Full-refinement scoring costs one vectorised pass
+    over every kernel of a shard, so balancing kernel counts balances the
+    critical path of a scatter/gather round — LPT is within 4/3 of the
+    optimal makespan, versus unbounded skew for round-robin when class sizes
+    differ.  Returns ``n_shards`` lists of class indices, each sorted
+    ascending (so gathered score blocks stay in global column order).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    order = sorted(range(len(counts)), key=lambda index: (-counts[index], index))
+    loads = [0.0] * n_shards
+    bins: List[List[int]] = [[] for _ in range(n_shards)]
+    for index in order:
+        shard = min(range(n_shards), key=lambda s: (loads[s], s))
+        bins[shard].append(index)
+        loads[shard] += counts[index]
+    for contents in bins:
+        contents.sort()
+    return bins
 
 
 def _serving_labels(forest: AnytimeBayesClassifier) -> List[Hashable]:
@@ -66,32 +119,82 @@ def _serving_labels(forest: AnytimeBayesClassifier) -> List[Hashable]:
     )
 
 
-def _load_into_worker(snapshot_path: str, shard_index: int, n_shards: int) -> None:
-    forest = load_forest(snapshot_path)
-    labels = _serving_labels(forest)
-    mine = labels[shard_index::n_shards]
-    _WORKER.clear()
-    _WORKER.update(
-        {
-            "snapshot_path": snapshot_path,
-            "shard_index": shard_index,
-            "n_shards": n_shards,
+def _load_into_worker(spec: dict) -> None:
+    """(Re)initialise this worker process from an engine-built spec.
+
+    ``spec["mode"]`` selects the path:
+
+    * ``"flat"`` — attach to the engine's shared segment and wrap zero-copy
+      :class:`FlatForest` views: the full forest (for budgeted rounds) plus
+      this shard's tree subset (for class-sharded scoring).  No snapshot
+      I/O happens in the worker at all.
+    * ``"object"`` — legacy per-worker ``load_forest`` of the snapshot,
+      keeping only this shard's trees.
+
+    Either way the previous attachment (if any) is released *after* the new
+    state is in place, so a failed swap leaves the worker serving the old
+    forest.  Records the warm-start latency for ``stats_snapshot``.
+    """
+    start = time.perf_counter()
+    old_shm = _WORKER.get("shm")
+    if spec["mode"] == "flat":
+        shm, columns = attach_columns(spec["shm_name"], spec["layout"])
+        full = FlatForest.from_columns(
+            columns,
+            labels=spec["labels"],
+            descent=spec["descent"],
+            qbk_k=spec["qbk_k"],
+            dimension=spec["dimension"],
+        )
+        state = {
+            "mode": "flat",
+            "shm": shm,
+            "snapshot_path": spec["snapshot_path"],
+            "trees": {label: full.trees[label] for label in spec["assigned"]},
+            "log_priors": dict(full.log_priors),
+            "full": full,
+        }
+    else:
+        forest = load_forest(spec["snapshot_path"])
+        state = {
+            "mode": "object",
+            "shm": None,
+            "snapshot_path": spec["snapshot_path"],
             # Shard trees in global column order; the other classes' trees are
             # dropped so per-worker memory scales with the shard.
-            "trees": {label: forest.trees[label] for label in mine},
+            "trees": {label: forest.trees[label] for label in spec["assigned"]},
             "log_priors": dict(forest.log_priors),
             "full": None,
         }
-    )
+    state["warm_start_ms"] = (time.perf_counter() - start) * 1e3
+    _WORKER.clear()
+    _WORKER.update(state)
+    release_attachment(old_shm)
 
 
-def _init_worker(snapshot_path: str, shard_index: int, n_shards: int) -> None:
-    _load_into_worker(snapshot_path, shard_index, n_shards)
+def _init_worker(spec: dict) -> None:
+    _load_into_worker(spec)
 
 
 def _ping() -> int:
     """Warm-up no-op: forces the initializer to run before traffic arrives."""
     return os.getpid()
+
+
+def _worker_profile() -> dict:
+    """This worker's warm-start latency and memory split, for ``/stats``.
+
+    ``shared_kb`` counts pages mapped by more than one process — with
+    zero-copy workers that is dominated by the one physical copy of the
+    forest columns — while ``private_kb`` is the worker's own incremental
+    footprint, the quantity that stays O(1) as workers are added.
+    """
+    return {
+        "pid": os.getpid(),
+        "mode": _WORKER.get("mode"),
+        "warm_start_ms": _WORKER.get("warm_start_ms"),
+        **memory_profile(),
+    }
 
 
 def _score_shard(queries: np.ndarray) -> np.ndarray:
@@ -113,8 +216,9 @@ def _score_shard(queries: np.ndarray) -> np.ndarray:
 def _predict_budgeted(queries: np.ndarray, budgets) -> List[Hashable]:
     """Anytime predictions for a query slice under per-query node budgets.
 
-    Runs the full forest (restored lazily, once per worker, then cached) so
-    the qbk rotation sees every class — identical per-query results to the
+    Runs the full forest so the qbk rotation sees every class — zero-copy
+    workers already hold it as shared-column views; object workers restore
+    it lazily, once, then cache it.  Per-query results are identical to the
     in-process ``classify_anytime_batch``.
     """
     forest = _WORKER.get("full")
@@ -127,8 +231,8 @@ def _predict_budgeted(queries: np.ndarray, budgets) -> List[Hashable]:
     return [result.final_prediction for result in results]
 
 
-def _swap_snapshot(snapshot_path: str, shard_index: int, n_shards: int) -> int:
-    _load_into_worker(snapshot_path, shard_index, n_shards)
+def _swap_snapshot(spec: dict) -> int:
+    _load_into_worker(spec)
     return os.getpid()
 
 
@@ -175,6 +279,13 @@ class ServingEngine:
         passed since the round's first request.
     mp_context:
         Optional multiprocessing start method (``"fork"``/``"spawn"``).
+    zero_copy:
+        ``True`` serves the flat-forest columns from one shared-memory
+        segment that every worker attaches to (compiling the columns
+        engine-side when the snapshot predates them); ``False`` restores the
+        object graph per worker (legacy).  Default ``None`` means ``True`` —
+        the zero-copy path is trace-identical and strictly cheaper; the knob
+        exists for comparison benchmarks and as an escape hatch.
     """
 
     def __init__(
@@ -184,6 +295,7 @@ class ServingEngine:
         max_batch: int = 256,
         linger_s: float = 0.002,
         mp_context: Optional[str] = None,
+        zero_copy: Optional[bool] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -200,6 +312,7 @@ class ServingEngine:
         workers = int(workers)
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        self.zero_copy = True if zero_copy is None else bool(zero_copy)
         self.n_shards = min(workers, len(self._labels))
         self.max_batch = int(max_batch)
         self.linger_s = float(linger_s)
@@ -219,10 +332,24 @@ class ServingEngine:
         self._swap_cond = threading.Condition()
         self._active_rounds = 0
         self._swapping = False
-        self._local_forest: Optional[AnytimeBayesClassifier] = None
+        self._local_forest: Optional[Union[AnytimeBayesClassifier, FlatForest]] = None
         self._pools: Optional[List[ProcessPoolExecutor]] = None
+        self._store: Optional[SharedColumnStore] = None
+        self._structure_stats: Optional[dict] = None
+        self._assignment = self._plan_assignment(manifest, self._labels, self.n_shards)
         if self.n_shards > 0:
-            self._spin_up(mp_context)
+            spec_base: Optional[dict] = None
+            if self.zero_copy:
+                self._store, spec_base, self._structure_stats = self._build_store(
+                    self._snapshot_path, manifest
+                )
+            self._spin_up(mp_context, spec_base)
+            if self.n_shards == 0 and self._store is not None:
+                # Spin-up fell back to in-process serving; nothing attaches.
+                self._store.dispose()
+                self._store = None
+        if self.zero_copy and self._structure_stats is None:
+            self._refresh_local_structure()
         # Micro-batcher state (dispatcher thread started on first submit).
         self._pending: deque = deque()
         self._cond = threading.Condition()
@@ -238,7 +365,79 @@ class ServingEngine:
         ]
         return sorted(alive, key=repr)
 
-    def _spin_up(self, mp_context: Optional[str]) -> None:
+    @staticmethod
+    def _plan_assignment(
+        manifest: dict, labels: List[Hashable], n_shards: int
+    ) -> List[np.ndarray]:
+        """Per-shard global column index arrays from LPT kernel-count packing."""
+        if n_shards < 1:
+            return []
+        counts_by_label = {
+            label: count
+            for label, count in zip(manifest["classes"], manifest["class_counts"])
+        }
+        bins = plan_shard_assignment(
+            [counts_by_label[label] for label in labels], n_shards
+        )
+        return [np.asarray(contents, dtype=np.intp) for contents in bins]
+
+    def _build_store(
+        self, path: str, manifest: dict
+    ) -> Tuple[SharedColumnStore, dict, dict]:
+        """Place the snapshot's flat columns in shared memory.
+
+        Returns ``(store, worker spec base, structure stats)``.  Prefers the
+        snapshot's own memory-mappable flat members; a snapshot that predates
+        them (``include_flat=False`` or format v1) is restored once
+        engine-side and compiled — the compile-on-swap hook that keeps
+        zero-copy serving working for any loadable snapshot.  The structure
+        health summary is computed from the columns while they are at hand.
+        """
+        if manifest.get("has_flat"):
+            columns = read_flat_columns(path, mmap=True)
+        else:
+            columns = FlatForest.from_classifier(load_forest(path)).to_columns()
+        flat = FlatForest.from_columns(
+            columns,
+            labels=manifest["classes"],
+            descent=manifest["descent"],
+            qbk_k=manifest["qbk_k"],
+            dimension=int(manifest["dimension"]),
+        )
+        structure = flat.structure_stats()
+        store = SharedColumnStore(columns)
+        spec = {
+            "mode": "flat",
+            "snapshot_path": path,
+            "shm_name": store.name,
+            "layout": store.layout,
+            "labels": list(manifest["classes"]),
+            "descent": manifest["descent"],
+            "qbk_k": manifest["qbk_k"],
+            "dimension": int(manifest["dimension"]),
+        }
+        return store, spec, structure
+
+    def _shard_spec(self, spec_base: Optional[dict], shard: int) -> dict:
+        assigned = [self._labels[index] for index in self._assignment[shard]]
+        if spec_base is None:
+            return {
+                "mode": "object",
+                "snapshot_path": self._snapshot_path,
+                "assigned": assigned,
+            }
+        return {**spec_base, "assigned": assigned}
+
+    def _refresh_local_structure(self) -> None:
+        """Structure stats for fallback mode, from the local flat forest."""
+        try:
+            local = self._local()
+            if isinstance(local, FlatForest):
+                self._structure_stats = local.structure_stats()
+        except Exception:  # pragma: no cover - diagnostics must not break serving
+            self._structure_stats = None
+
+    def _spin_up(self, mp_context: Optional[str], spec_base: Optional[dict]) -> None:
         context = multiprocessing.get_context(mp_context) if mp_context else None
         pools: List[ProcessPoolExecutor] = []
         try:
@@ -248,7 +447,7 @@ class ServingEngine:
                         max_workers=1,
                         mp_context=context,
                         initializer=_init_worker,
-                        initargs=(self._snapshot_path, shard, self.n_shards),
+                        initargs=(self._shard_spec(spec_base, shard),),
                     )
                 )
             # Warm every worker now: the snapshot is restored before the first
@@ -273,7 +472,7 @@ class ServingEngine:
 
     # -- lifecycle ----------------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the dispatcher and shut down the shard processes."""
+        """Stop the dispatcher, shut down the shards, unlink the shared segment."""
         with self._cond:
             if self._closed:
                 return
@@ -285,6 +484,10 @@ class ServingEngine:
             for pool in self._pools:
                 pool.shutdown(wait=True)
             self._pools = None
+        if self._store is not None:
+            # Workers are gone; the engine is the owner and sole unlinker.
+            self._store.dispose()
+            self._store = None
 
     def __enter__(self) -> "ServingEngine":
         return self
@@ -307,6 +510,13 @@ class ServingEngine:
         """Path of the snapshot currently being served (updated by swaps)."""
         return self._snapshot_path
 
+    @property
+    def shard_assignment(self) -> List[List[Hashable]]:
+        """Per-shard servable labels from the LPT packing (global column order)."""
+        return [
+            [self._labels[index] for index in indices] for indices in self._assignment
+        ]
+
     def node_cost_estimate(self) -> Optional[float]:
         """EWMA estimate of seconds per lockstep node-read round, or ``None``.
 
@@ -318,13 +528,33 @@ class ServingEngine:
         with self._stats_lock:
             return self._node_cost_ewma
 
+    def worker_profiles(self) -> List[dict]:
+        """Live per-worker warm-start latency and RSS split (one dict per shard).
+
+        Round-trips a profiling task through every shard pool; empty in
+        fallback mode.  ``warm_start_ms`` measures the worker's most recent
+        (re)initialisation — a shared-memory attach for zero-copy workers, a
+        full snapshot restore for object workers — and the memory fields
+        split the worker's RSS into shared and private pages.
+        """
+        if self._pools is None:
+            return []
+        try:
+            futures = [pool.submit(_worker_profile) for pool in self._pools]
+            return [future.result() for future in futures]
+        except Exception:  # pragma: no cover - a broken pool is reported empty
+            return []
+
     def stats_snapshot(self) -> dict:
         """One consistent, JSON-able view of the engine state and counters.
 
         Returns a dict with the :class:`ServingStats` counters plus the
         deployment facts a monitoring endpoint wants: snapshot path, shard
-        count, multiprocess flag, servable class count and the current
-        node-cost estimate.  Safe to call concurrently with serving.
+        count and per-shard class packing, multiprocess flag, the zero-copy
+        deployment (shared segment name and size, per-worker warm-start
+        latency and shared/private RSS) and the forest structure-health
+        summary computed from the flat interval columns.  Safe to call
+        concurrently with serving.
         """
         with self._stats_lock:
             counters = {
@@ -335,6 +565,12 @@ class ServingEngine:
                 "total_round_s": self.stats.total_round_s,
                 "node_cost_s": self._node_cost_ewma,
             }
+        workers = self.worker_profiles()
+        warm_starts = [
+            profile["warm_start_ms"]
+            for profile in workers
+            if profile.get("warm_start_ms") is not None
+        ]
         counters.update(
             {
                 "snapshot_path": self._snapshot_path,
@@ -343,13 +579,37 @@ class ServingEngine:
                 "n_classes": len(self._labels),
                 "max_batch": self.max_batch,
                 "linger_s": self.linger_s,
+                "mode": "zero_copy" if self.zero_copy else "object",
+                "shm_name": self._store.name if self._store is not None else None,
+                "shm_bytes": self._store.size if self._store is not None else None,
+                "shard_classes": [
+                    [str(label) for label in shard] for shard in self.shard_assignment
+                ],
+                "warm_start_ms": max(warm_starts) if warm_starts else None,
+                "workers": workers,
+                "structure": self._structure_stats,
             }
         )
         return counters
 
-    def _local(self) -> AnytimeBayesClassifier:
+    def _local(self) -> Union[AnytimeBayesClassifier, FlatForest]:
         if self._local_forest is None:
-            self._local_forest = load_forest(self._snapshot_path)
+            if self.zero_copy:
+                manifest = read_manifest(self._snapshot_path)
+                if manifest.get("has_flat"):
+                    self._local_forest = FlatForest.from_columns(
+                        read_flat_columns(self._snapshot_path, mmap=True),
+                        labels=manifest["classes"],
+                        descent=manifest["descent"],
+                        qbk_k=manifest["qbk_k"],
+                        dimension=int(manifest["dimension"]),
+                    )
+                else:
+                    self._local_forest = FlatForest.from_classifier(
+                        load_forest(self._snapshot_path)
+                    )
+            else:
+                self._local_forest = load_forest(self._snapshot_path)
         return self._local_forest
 
     # -- batched serving ----------------------------------------------------------------------
@@ -456,10 +716,11 @@ class ServingEngine:
         futures = [pool.submit(_score_shard, queries) for pool in self._pools]
         blocks = [future.result() for future in futures]
         scores = np.empty((queries.shape[0], len(self._labels)))
-        for shard, block in enumerate(blocks):
-            # Shard `shard` holds labels[shard::n_shards]; its columns slot
-            # straight into the global repr-sorted score matrix.
-            scores[:, shard :: self.n_shards] = block
+        for indices, block in zip(self._assignment, blocks):
+            # Shard score blocks follow each shard's sorted index list; the
+            # LPT packing is not a stride, so gather through the explicit
+            # per-shard column indices into the global repr-sorted matrix.
+            scores[:, indices] = block
         best = np.argmax(scores, axis=1)
         return [self._labels[index] for index in best]
 
@@ -569,13 +830,18 @@ class ServingEngine:
     def swap_snapshot(self, snapshot_path) -> None:
         """Atomically switch serving to a new snapshot (graceful hot swap).
 
-        The container is validated first (manifest parse).  The swap then
-        takes the writer side of the serving guard: in-flight rounds finish
-        on the old forest, new rounds wait, and every shard plus the
-        front-end label layout switch together — no round ever mixes score
-        blocks from two snapshots.  Typical flow: a background trainer keeps
-        a live forest learning via ``partial_fit``, periodically
-        ``save_forest``s it and swaps the engine over.
+        The container is validated and — in zero-copy mode — its flat
+        columns are compiled and placed in a *new* shared segment first,
+        entirely outside the serving guard, so the expensive part of a swap
+        steals no serving time.  The swap then takes the writer side of the
+        guard: in-flight rounds finish on the old forest, new rounds wait,
+        every shard re-attaches (releasing its old attachment) and the
+        front-end label layout and shard packing switch together — no round
+        ever mixes score blocks from two snapshots.  The old segment is
+        unlinked only after every worker runs on the new one.  Typical flow:
+        a background trainer keeps a live forest learning via
+        ``partial_fit``, periodically ``save_forest``s it and swaps the
+        engine over.
         """
         manifest = read_manifest(snapshot_path)
         if int(manifest["dimension"]) != self.dimension:
@@ -587,6 +853,14 @@ class ServingEngine:
         if not labels:
             raise ValueError("snapshot holds no servable (non-empty) classes")
         path = str(snapshot_path)
+        assignment = self._plan_assignment(manifest, labels, self.n_shards)
+        new_store: Optional[SharedColumnStore] = None
+        spec_base: Optional[dict] = None
+        new_structure: Optional[dict] = None
+        if self._pools is not None and self.zero_copy:
+            # Prepare the new segment before touching the serving guard: the
+            # compile / mmap / copy-in work happens while rounds keep flowing.
+            new_store, spec_base, new_structure = self._build_store(path, manifest)
         # Writer side of the swap guard: wait out in-flight serving rounds
         # (they complete on the old forest), keep new rounds parked until
         # every shard and the label layout have switched together.
@@ -597,16 +871,33 @@ class ServingEngine:
             while self._active_rounds > 0:
                 self._swap_cond.wait()
         try:
+            old_labels, old_assignment = self._labels, self._assignment
+            self._labels, self._assignment = labels, assignment
             if self._pools is not None:
-                futures = [
-                    pool.submit(_swap_snapshot, path, shard, self.n_shards)
-                    for shard, pool in enumerate(self._pools)
-                ]
-                for future in futures:
-                    future.result()
+                try:
+                    futures = [
+                        pool.submit(_swap_snapshot, self._shard_spec(spec_base, shard))
+                        for shard, pool in enumerate(self._pools)
+                    ]
+                    for future in futures:
+                        future.result()
+                except Exception:
+                    # Workers still serve the old forest (their re-init is
+                    # atomic); roll the front-end layout back and drop the
+                    # unused segment.
+                    self._labels, self._assignment = old_labels, old_assignment
+                    if new_store is not None:
+                        new_store.dispose()
+                    raise
+                if new_store is not None:
+                    old_store, self._store = self._store, new_store
+                    self._structure_stats = new_structure
+                    if old_store is not None:
+                        old_store.dispose()
             self._snapshot_path = path
-            self._labels = labels
             self._local_forest = None
+            if self._pools is None and self.zero_copy:
+                self._refresh_local_structure()
             with self._stats_lock:
                 self.stats.swaps += 1
         finally:

@@ -24,7 +24,11 @@ layer so real (network) arrivals feed the same scatter/gather rounds:
   (:func:`asyncio.start_server`; no third-party dependency) speaking one JSON
   document per request/response on ``/classify``, ``/classify_batch``,
   ``/healthz``, ``/stats`` and ``/swap``, so external load generators can
-  drive the engine over a socket.
+  drive the engine over a socket.  ``/stats`` merges the front-end counters
+  with ``ServingEngine.stats_snapshot()``, which now includes the zero-copy
+  deployment facts: shared-segment name and size, per-worker warm-start
+  (attach) latency, each worker's shared-vs-private RSS split and the forest
+  structure-health summary derived from the flat interval columns.
 * :func:`drive_open_loop` — an open-loop load driver that replays a
   :class:`~repro.stream.DataStream` against a client at its arrival
   timestamps and returns per-request records for

@@ -1,0 +1,137 @@
+"""Flat forest encoding: descent over columns must be bit-identical.
+
+The acceptance bar of ISSUE 6's tentpole: compiling a live forest into the
+pre/post-order column encoding (:mod:`repro.core.flat`) and classifying over
+the flat representation yields hash-equal classification traces — same
+predictions, same nodes-read counts, same per-step log posteriors to the
+last float64 bit — including under active exponential decay and across every
+descent strategy.  Column serialisation round-trips exactly and malformed
+columns are rejected with :class:`ValueError` before anything serves them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnytimeBayesClassifier, BayesTreeConfig, FlatForest, FlatTree
+from repro.core.descent import DESCENT_STRATEGIES
+from repro.data import make_dataset
+from repro.evaluation import classification_trace_hash
+
+
+def _streamed_forest(size=260, decay_rate=0.02, descent="glo", seed=3):
+    dataset = make_dataset("pendigits", size=size, random_state=seed)
+    config = BayesTreeConfig(
+        decay_rate=decay_rate, expiry_threshold=1e-3 if decay_rate else 0.0
+    )
+    classifier = AnytimeBayesClassifier(config=config, descent=descent)
+    for i in range(size - 60):
+        classifier.partial_fit(
+            dataset.features[i], dataset.labels[i], timestamp=float(i) * 0.5
+        )
+    if decay_rate:
+        classifier.advance_time((size - 60) * 0.5 + 3.0)
+    return classifier, dataset.features[-40:]
+
+
+def _trace(forest, queries, max_nodes=25):
+    return classification_trace_hash(
+        forest.classify_anytime(query, max_nodes=max_nodes) for query in queries
+    )
+
+
+@pytest.mark.parametrize("descent", sorted(DESCENT_STRATEGIES))
+def test_flat_descent_trace_is_bit_identical(descent):
+    classifier, queries = _streamed_forest(descent=descent)
+    flat = classifier.compile_flat()
+    assert isinstance(flat, FlatForest)
+    assert _trace(flat, queries) == _trace(classifier, queries)
+
+
+@pytest.mark.parametrize("decay_rate", [0.0, 0.05])
+def test_flat_batch_paths_are_bit_identical(decay_rate):
+    classifier, queries = _streamed_forest(decay_rate=decay_rate)
+    flat = classifier.compile_flat()
+    assert flat.predict_batch(queries) == classifier.predict_batch(queries)
+    assert flat.predict_batch(queries, node_budget=12) == classifier.predict_batch(
+        queries, node_budget=12
+    )
+    budgets = np.asarray([4, 9, 17] * (len(queries) // 3 + 1))[: len(queries)]
+    assert classification_trace_hash(
+        flat.classify_anytime_batch(queries, max_nodes=budgets)
+    ) == classification_trace_hash(
+        classifier.classify_anytime_batch(queries, max_nodes=budgets)
+    )
+
+
+def test_column_roundtrip_preserves_traces():
+    classifier, queries = _streamed_forest()
+    flat = classifier.compile_flat()
+    rebuilt = FlatForest.from_columns(
+        flat.to_columns(),
+        labels=flat.labels,
+        descent=classifier.descent,
+        qbk_k=classifier.qbk_k,
+        dimension=classifier.dimension,
+    )
+    assert rebuilt.labels == flat.labels
+    assert rebuilt.log_priors == flat.log_priors
+    assert _trace(rebuilt, queries) == _trace(classifier, queries)
+
+
+def test_structure_stats_reflect_the_object_graph():
+    classifier, _ = _streamed_forest()
+    stats = classifier.compile_flat().structure_stats()
+    assert stats["n_classes"] == len(classifier.trees)
+    total_kernels = sum(
+        1 for tree in classifier.trees.values() for _ in tree.index.iter_leaf_entries()
+    )
+    assert stats["total_kernels"] == total_kernels
+    for label, tree in classifier.trees.items():
+        per_class = stats["classes"][str(label)]
+        assert per_class["height"] == tree.index.height
+        assert per_class["n_kernels"] == sum(1 for _ in tree.index.iter_leaf_entries())
+        # Depth profile covers every kernel exactly once.
+        assert sum(per_class["depth_profile"]) == per_class["n_kernels"]
+        if per_class["n_kernels"]:
+            assert 0.0 < per_class["leaf_occupancy"] <= 1.0
+            assert per_class["max_kernel_depth"] >= per_class["mean_kernel_depth"]
+        # Roots partition the kernels via the [pre, post) interval columns.
+        assert sum(per_class["root_subtree_kernels"]) == per_class["n_kernels"]
+
+
+def test_malformed_columns_are_rejected():
+    classifier, _ = _streamed_forest(size=160)
+    label = next(iter(classifier.trees))
+    tree = classifier.trees[label]
+    columns = FlatTree.compile(tree).to_columns()
+
+    missing = dict(columns)
+    missing.pop("entry_means")
+    with pytest.raises(ValueError, match="entry_means"):
+        FlatTree.from_columns(missing)
+
+    truncated = dict(columns)
+    truncated["entry_n"] = truncated["entry_n"][:-1]
+    with pytest.raises(ValueError):
+        FlatTree.from_columns(truncated)
+
+    # Subtree intervals that disagree with the column lengths must not load:
+    # a descent over them would slice out of bounds.
+    torn = dict(columns)
+    post = np.array(torn["post"], copy=True)
+    post[post >= 0] = post[post >= 0] + 1
+    torn["post"] = post
+    with pytest.raises(ValueError):
+        FlatTree.from_columns(torn)
+
+
+def test_flat_forest_is_read_only_surface():
+    classifier, queries = _streamed_forest(size=160)
+    flat = classifier.compile_flat()
+    assert not hasattr(flat, "partial_fit")
+    assert flat.nbytes() > 0
+    # Validation mirrors the live classifier's error contract.
+    with pytest.raises(ValueError, match="max_nodes"):
+        flat.classify_anytime(queries[0], max_nodes=-1)
+    with pytest.raises(ValueError, match="(m, d)"):
+        flat.predict_batch(queries[0])

@@ -1,0 +1,162 @@
+"""Flat snapshot members: mmap loading must be exact, corruption must be typed.
+
+Format v2 carries the compiled flat-forest columns as uncompressed,
+memory-mappable ``flat__*`` members next to the object-graph state.  These
+tests pin the new surface: ``load_flat_forest`` (mmap and plain) serves
+traces hash-identical to ``load_forest``, snapshots written without flat
+members refuse the flat API with :class:`SnapshotError`, and corrupted flat
+columns — truncated members, interval/length disagreement — are rejected
+with :class:`SnapshotError` instead of loading garbage.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AnytimeBayesClassifier, BayesTreeConfig
+from repro.data import make_dataset
+from repro.evaluation import classification_trace_hash
+from repro.persist import (
+    SnapshotError,
+    load_flat_forest,
+    load_forest,
+    read_flat_columns,
+    read_manifest,
+    save_forest,
+)
+
+
+def _decayed_forest(size=220, decay_rate=0.02, seed=5):
+    dataset = make_dataset("pendigits", size=size, random_state=seed)
+    config = BayesTreeConfig(decay_rate=decay_rate, expiry_threshold=1e-3)
+    classifier = AnytimeBayesClassifier(config=config)
+    for i in range(size - 40):
+        classifier.partial_fit(
+            dataset.features[i], dataset.labels[i], timestamp=float(i) * 0.5
+        )
+    classifier.advance_time((size - 40) * 0.5 + 2.0)
+    return classifier, dataset.features[-30:]
+
+
+def _trace(forest, queries, max_nodes=20):
+    return classification_trace_hash(
+        forest.classify_anytime(query, max_nodes=max_nodes) for query in queries
+    )
+
+
+def _rewrite(source, target, mutate_arrays):
+    """Copy a snapshot, applying ``mutate_arrays`` to its raw member dict."""
+    with np.load(source, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files}
+    mutate_arrays(arrays)
+    with open(target, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def test_flat_members_load_trace_identical(tmp_path):
+    classifier, queries = _decayed_forest()
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+    assert read_manifest(path)["has_flat"] is True
+
+    reference = _trace(load_forest(path), queries)
+    for mmap in (True, False):
+        flat = load_flat_forest(path, mmap=mmap)
+        assert _trace(flat, queries) == reference
+        assert flat.predict_batch(queries) == classifier.predict_batch(queries)
+
+
+def test_mmap_columns_are_read_only_views(tmp_path):
+    classifier, _ = _decayed_forest(size=140)
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+    columns = read_flat_columns(path, mmap=True)
+    assert columns, "expected flat columns"
+    memmapped = [
+        array for array in columns.values() if isinstance(array, np.memmap)
+    ]
+    assert memmapped, "uncompressed members should memory-map"
+    for array in memmapped:
+        assert not array.flags.writeable
+
+
+def test_snapshot_without_flat_members_refuses_flat_api(tmp_path):
+    classifier, queries = _decayed_forest(size=140)
+    path = tmp_path / "legacy.npz"
+    save_forest(classifier, path, include_flat=False)
+    manifest = read_manifest(path)
+    assert manifest["has_flat"] is False
+    # The object-graph path is untouched...
+    assert load_forest(path).predict_batch(queries) == classifier.predict_batch(queries)
+    # ...while the flat API fails loudly instead of inventing columns.
+    with pytest.raises(SnapshotError, match="flat"):
+        read_flat_columns(path)
+    with pytest.raises(SnapshotError, match="flat"):
+        load_flat_forest(path)
+
+
+def test_truncated_flat_member_is_rejected(tmp_path):
+    classifier, _ = _decayed_forest(size=140)
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+
+    def truncate(arrays):
+        name = next(n for n in arrays if n.endswith("__entry_means"))
+        arrays[name] = arrays[name][:-1]
+
+    broken = tmp_path / "truncated_member.npz"
+    _rewrite(path, broken, truncate)
+    with pytest.raises(SnapshotError):
+        load_flat_forest(broken)
+    # The object-graph members are intact; only the flat surface is poisoned.
+    assert load_forest(broken).is_fitted
+
+
+def test_interval_column_disagreement_is_rejected(tmp_path):
+    classifier, _ = _decayed_forest(size=140)
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+
+    def tear_intervals(arrays):
+        name = next(n for n in arrays if n.endswith("t0__post"))
+        post = np.array(arrays[name], copy=True)
+        post[post >= 0] += 3
+        arrays[name] = post
+
+    torn = tmp_path / "torn_intervals.npz"
+    _rewrite(path, torn, tear_intervals)
+    with pytest.raises(SnapshotError):
+        load_flat_forest(torn)
+
+
+def test_missing_flat_member_is_rejected(tmp_path):
+    classifier, _ = _decayed_forest(size=140)
+    path = tmp_path / "forest.npz"
+    save_forest(classifier, path)
+
+    def drop_priors(arrays):
+        del arrays["flat__forest__log_priors"]
+
+    gutted = tmp_path / "gutted_flat.npz"
+    _rewrite(path, gutted, drop_priors)
+    with pytest.raises(SnapshotError, match="log_priors"):
+        load_flat_forest(gutted)
+
+
+def test_flat_and_manifest_stay_aligned_after_continued_stream(tmp_path):
+    classifier, queries = _decayed_forest()
+    dataset = make_dataset("pendigits", size=300, random_state=11)
+    for i in range(60):
+        classifier.partial_fit(
+            dataset.features[i], dataset.labels[i], timestamp=200.0 + float(i)
+        )
+    path = tmp_path / "evolved.npz"
+    save_forest(classifier, path)
+    manifest = read_manifest(path)
+    flat = load_flat_forest(path)
+    assert flat.labels == manifest["classes"]
+    assert [flat.trees[label].n_objects for label in flat.labels] == manifest[
+        "class_counts"
+    ]
+    assert _trace(flat, queries) == _trace(classifier, queries)
