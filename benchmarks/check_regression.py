@@ -23,6 +23,8 @@ but do not fail.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import argparse
 import json
 import sys
@@ -73,7 +75,7 @@ def check(baseline: dict, candidate: dict, tolerance: float, min_tolerance: floa
     return failures
 
 
-def main(argv=None) -> int:
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("candidate", help="freshly collected JSON")

@@ -17,6 +17,8 @@ fully deterministic (seeded generators, seeded streams).
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import argparse
 import json
 import os
@@ -300,7 +302,7 @@ def collect() -> dict:
     }
 
 
-def main(argv=None) -> int:
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_pr6.json", help="where to write the JSON report")
     args = parser.parse_args(argv)

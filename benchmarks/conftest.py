@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import sys
+from typing import Any
 
 # Make the src/ layout importable when the package is not installed.
 _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
@@ -23,7 +24,7 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 
-def run_once(benchmark, function, *args, **kwargs):
+def run_once(benchmark: Any, function: Any, *args: Any, **kwargs: Any) -> Any:
     """Run ``function`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
 

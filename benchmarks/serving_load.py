@@ -16,7 +16,12 @@ import asyncio
 import os
 import sys
 import time
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.data.synthetic import Dataset
 
 import numpy as np
 
@@ -38,11 +43,11 @@ from repro.stream import DataStream, PoissonArrival  # noqa: E402
 
 
 def build_serving_snapshot(
-    path,
+    path: "str | Path",
     train_size: int = 1600,
     query_size: int = 256,
     random_state: int = 0,
-):
+) -> np.ndarray:
     """Train a forest, snapshot it to ``path``, return the query block.
 
     The queries are test objects tiled to ``query_size`` rows — one serving
@@ -60,7 +65,7 @@ def build_serving_snapshot(
 
 def build_labelled_tail(
     train_size: int = 1600, tail_size: int = 200, random_state: int = 0
-):
+) -> "Dataset":
     """The labelled holdout tail matching :func:`build_serving_snapshot`.
 
     Returns a :class:`~repro.data.synthetic.Dataset` view of the last
@@ -72,7 +77,7 @@ def build_labelled_tail(
 
 
 def run_serving_load(
-    snapshot_path,
+    snapshot_path: "str | Path",
     workers: int,
     queries: np.ndarray,
     batches: int = 8,
@@ -89,7 +94,7 @@ def run_serving_load(
     with ServingEngine(snapshot_path, workers=workers) as engine:
         for _ in range(warmup):
             engine.predict_batch(queries, node_budget=node_budget)
-        samples = []
+        samples: List[float] = []
         start = time.perf_counter()
         for _ in range(batches):
             tick = time.perf_counter()
@@ -107,7 +112,7 @@ def run_serving_load(
 
 
 def run_frontend_closed_loop(
-    snapshot_path,
+    snapshot_path: "str | Path",
     queries: np.ndarray,
     batches: int = 6,
     warmup: int = 2,
@@ -129,7 +134,7 @@ def run_frontend_closed_loop(
             async with AsyncServingClient(engine, max_pending=4 * queries.shape[0]) as client:
                 for _ in range(warmup):
                     await client.classify_batch(queries, node_budget=node_budget)
-                samples = []
+                samples: List[float] = []
                 start = time.perf_counter()
                 for _ in range(batches):
                     tick = time.perf_counter()
@@ -148,8 +153,8 @@ def run_frontend_closed_loop(
 
 
 def run_frontend_open_loop(
-    snapshot_path,
-    tail_dataset,
+    snapshot_path: "str | Path",
+    tail_dataset: "Dataset",
     speed: float,
     limit: int = 160,
     workers: int = 0,
@@ -195,7 +200,7 @@ def run_frontend_open_loop(
 
 
 def run_frontend_trace_identity(
-    snapshot_path, queries: np.ndarray, node_budget: int = 8
+    snapshot_path: "str | Path", queries: np.ndarray, node_budget: int = 8
 ) -> Dict[str, object]:
     """Pin the fixed-budget trace identity of the async front-end.
 
@@ -208,7 +213,7 @@ def run_frontend_trace_identity(
     hashed trace).
     """
 
-    async def frontend_predictions():
+    async def frontend_predictions() -> "Tuple[List[object], List[object]]":
         with ServingEngine(snapshot_path, workers=0, linger_s=0.001) as engine:
             async with AsyncServingClient(engine) as client:
                 via_frontend = await client.classify_batch(queries, node_budget=node_budget)
@@ -231,7 +236,7 @@ def run_frontend_trace_identity(
 
 
 def run_flat_descent_comparison(
-    snapshot_path, queries: np.ndarray, max_nodes: int = 20, repeats: int = 3
+    snapshot_path: "str | Path", queries: np.ndarray, max_nodes: int = 20, repeats: int = 3
 ) -> Dict[str, object]:
     """Flat-column descent vs object-graph descent on the same snapshot.
 
@@ -252,7 +257,7 @@ def run_flat_descent_comparison(
         flat_forest.classify_anytime_batch(queries, max_nodes=max_nodes)
     )
 
-    def best_of(forest) -> float:
+    def best_of(forest: Any) -> float:
         best = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
@@ -276,7 +281,7 @@ def run_flat_descent_comparison(
 
 
 def run_warm_start_comparison(
-    snapshot_path, queries: np.ndarray, workers: int = 4
+    snapshot_path: "str | Path", queries: np.ndarray, workers: int = 4
 ) -> Dict[str, object]:
     """Zero-copy shared-memory workers vs per-worker snapshot loading.
 

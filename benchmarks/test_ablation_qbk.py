@@ -44,7 +44,7 @@ def test_ablation_qbk_k(benchmark):
         print(f"{k:<6d}" + cells + f"{curve.mean():9.3f}")
 
     means = {k: curve.mean() for k, curve in curves.items()}
-    for k, curve in curves.items():
+    for curve in curves.values():
         assert np.all((0.0 <= curve) & (curve <= 1.0))
         # All k start from the same root models.
         assert curve[0] == curves[2][0]

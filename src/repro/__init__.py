@@ -20,6 +20,8 @@ Quickstart
 True
 """
 
+from typing import TYPE_CHECKING, Any
+
 from .core import (
     AnytimeBayesClassifier,
     AnytimeClassification,
@@ -33,6 +35,9 @@ from .core import (
 from .index import RStarTree, TreeParameters
 from .persist import SnapshotError, SnapshotVersionError, load_forest, save_forest
 from .serving import ServingEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .data import Dataset
 
 __version__ = "0.1.0"
 
@@ -57,7 +62,7 @@ __all__ = [
 ]
 
 
-def make_dataset(*args, **kwargs):
+def make_dataset(*args: Any, **kwargs: Any) -> "Dataset":
     """Convenience re-export of :func:`repro.data.make_dataset` (lazy import)."""
     from .data import make_dataset as _make_dataset
 

@@ -35,24 +35,25 @@ class AnytimeNearestNeighbor:
 
     def fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> "AnytimeNearestNeighbor":
         points = np.asarray(points, dtype=float)
-        labels = np.asarray(labels)
-        if points.ndim != 2 or labels.shape[0] != points.shape[0]:
+        label_array = np.asarray(labels)
+        if points.ndim != 2 or label_array.shape[0] != points.shape[0]:
             raise ValueError("points must be (n, d) with one label per row")
         rng = np.random.default_rng(self.random_state)
         order = rng.permutation(points.shape[0])
         self.points = points[order]
-        self.labels = labels[order]
+        self.labels = label_array[order]
         return self
 
     def predict_anytime(self, x: Sequence[float] | np.ndarray, budget: int) -> Hashable:
         """Prediction after scanning ``budget`` training objects (at least one)."""
-        if not self.is_fitted:
+        points, labels = self.points, self.labels
+        if points is None or labels is None:
             raise ValueError("classifier has not been fitted")
         if budget < 1:
             budget = 1
         x = np.asarray(x, dtype=float)
-        scanned_points = self.points[: min(budget, self.points.shape[0])]
-        scanned_labels = self.labels[: scanned_points.shape[0]]
+        scanned_points = points[: min(budget, points.shape[0])]
+        scanned_labels = labels[: scanned_points.shape[0]]
         distances = np.linalg.norm(scanned_points - x, axis=1)
         nearest = np.argsort(distances, kind="stable")[: self.k]
         votes = Counter(scanned_labels[nearest].tolist())

@@ -43,7 +43,7 @@ def chunk_sizes(total: int, capacity: int, minimum: int) -> List[int]:
         raise ValueError("need 1 <= minimum <= capacity")
     if total <= capacity:
         return [total]
-    sizes = []
+    sizes: List[int] = []
     remaining = total
     while remaining > 0:
         if remaining <= capacity:

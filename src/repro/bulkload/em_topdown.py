@@ -27,6 +27,7 @@ from ..index.entry import DirectoryEntry
 from ..index.node import Node
 from ..index.rstar import RStarTree
 from ..stats.em import fit_gmm, hard_assignments
+from ..core.config import BayesTreeConfig
 from .base import BulkLoader
 
 __all__ = ["EMTopDownBulkLoader"]
@@ -39,7 +40,7 @@ class EMTopDownBulkLoader(BulkLoader):
 
     def __init__(
         self,
-        config=None,
+        config: Optional[BayesTreeConfig] = None,
         random_state: Optional[int] = None,
         max_em_iterations: int = 50,
     ) -> None:

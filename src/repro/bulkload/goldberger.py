@@ -31,6 +31,7 @@ from ..index.node import AnyEntry, Node
 from ..index.rstar import RStarTree
 from ..stats.gaussian import MIN_VARIANCE, Gaussian
 from ..stats.kl import kl_gaussian
+from ..core.config import BayesTreeConfig
 from .base import BulkLoader
 
 __all__ = ["GoldbergerBulkLoader"]
@@ -86,7 +87,7 @@ class GoldbergerBulkLoader(BulkLoader):
 
     def __init__(
         self,
-        config=None,
+        config: Optional[BayesTreeConfig] = None,
         max_iterations: int = 20,
         epsilon: float = 0.05,
         bits: int = 10,
@@ -196,9 +197,10 @@ class GoldbergerBulkLoader(BulkLoader):
                 if len(group.members) >= minimum:
                     continue
                 others = [g for j, g in enumerate(result) if j != i]
+                anchor = group.as_gaussian()
                 closest = min(
                     others,
-                    key=lambda other: kl_gaussian(group.as_gaussian(), other.as_gaussian()),
+                    key=lambda other, anchor=anchor: kl_gaussian(anchor, other.as_gaussian()),
                 )
                 closest.members.extend(group.members)
                 closest.refit()
@@ -244,7 +246,7 @@ class GoldbergerBulkLoader(BulkLoader):
         else:
             bandwidth = np.ones(points.shape[1])
         variance = np.maximum(bandwidth ** 2, MIN_VARIANCE)
-        components = []
+        components: List[_Component] = []
         for point in points:
             entry = LeafEntry(point=point, label=label, kernel=self.config.kernel)
             components.append(
@@ -266,7 +268,7 @@ class GoldbergerBulkLoader(BulkLoader):
                 Node(level=level, entries=[member.entry for member in group.members])
                 for group in groups
             ]
-            next_components = []
+            next_components: List[_Component] = []
             for node, group in zip(nodes, groups):
                 entry = DirectoryEntry.for_node(node)
                 assert group.mean is not None and group.variance is not None

@@ -18,6 +18,7 @@ import numpy as np
 from ..curves.hilbert import hilbert_order
 from ..index.entry import DirectoryEntry
 from ..index.rstar import RStarTree
+from ..core.config import BayesTreeConfig
 from .base import BulkLoader, pack_entries_into_nodes, stack_levels
 
 __all__ = ["HilbertBulkLoader"]
@@ -28,7 +29,7 @@ class HilbertBulkLoader(BulkLoader):
 
     name = "hilbert"
 
-    def __init__(self, config=None, bits: int = 10) -> None:
+    def __init__(self, config: Optional[BayesTreeConfig] = None, bits: int = 10) -> None:
         super().__init__(config)
         if not (1 <= bits <= 32):
             raise ValueError("bits must be between 1 and 32")

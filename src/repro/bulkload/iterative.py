@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..index.rstar import RStarTree
+from ..core.config import BayesTreeConfig
 from .base import BulkLoader
 
 __all__ = ["IterativeInsertionLoader"]
@@ -24,7 +25,12 @@ class IterativeInsertionLoader(BulkLoader):
 
     name = "iterative"
 
-    def __init__(self, config=None, shuffle: bool = False, random_state: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[BayesTreeConfig] = None,
+        shuffle: bool = False,
+        random_state: Optional[int] = None,
+    ) -> None:
         super().__init__(config)
         self.shuffle = shuffle
         self.random_state = random_state

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Any, Dict, Optional, Type
 
 from ..core.config import BayesTreeConfig
 from .base import BulkLoader
@@ -29,7 +29,7 @@ BULK_LOADERS: Dict[str, Type[BulkLoader]] = {
 
 
 def make_bulk_loader(
-    name: str, config: Optional[BayesTreeConfig] = None, **kwargs
+    name: str, config: Optional[BayesTreeConfig] = None, **kwargs: Any
 ) -> BulkLoader:
     """Instantiate a bulk loader by name (see :data:`BULK_LOADERS`)."""
     try:

@@ -14,6 +14,7 @@ import numpy as np
 from ..curves.zorder import z_order
 from ..index.entry import DirectoryEntry
 from ..index.rstar import RStarTree
+from ..core.config import BayesTreeConfig
 from .base import BulkLoader, pack_entries_into_nodes, stack_levels
 
 __all__ = ["ZCurveBulkLoader"]
@@ -24,7 +25,7 @@ class ZCurveBulkLoader(BulkLoader):
 
     name = "zcurve"
 
-    def __init__(self, config=None, bits: int = 10) -> None:
+    def __init__(self, config: Optional[BayesTreeConfig] = None, bits: int = 10) -> None:
         super().__init__(config)
         if not (1 <= bits <= 32):
             raise ValueError("bits must be between 1 and 32")

@@ -25,13 +25,14 @@ amortised-append buffer of the leaf kernel centers that backs the packed
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..index.cluster_feature import ClusterFeature
 from ..index.decay import LOG_HALF, DecayClock, DecayedClusterFeature, decay_factor
 from ..index.entry import LeafEntry
+from ..index.node import AnyEntry
 from ..index.node import Node
 from ..index.rstar import RStarTree
 from ..stats.gaussian import logsumexp
@@ -266,7 +267,7 @@ class BayesTree:
         """
         decaying = self.clock.enabled
         now = self.clock.now
-        entries = []
+        entries: List[LeafEntry] = []
         for entry in self.index.iter_leaf_entries():
             if decaying:
                 entry.decay_to(now, self.clock.decay_rate)
@@ -362,7 +363,7 @@ class BayesTree:
             return 0
         now = self.clock.now
         self._last_expiry_sweep = now
-        survivors = []
+        survivors: List[LeafEntry] = []
         dropped = 0
         for entry in self.index.iter_leaf_entries():
             entry.decay_to(now, self.clock.decay_rate)
@@ -689,7 +690,10 @@ class BayesTree:
 
     def density_batch(self, queries: np.ndarray) -> np.ndarray:
         """Linear-space counterpart of :meth:`log_density_batch`."""
-        return np.exp(self.log_density_batch(queries))
+        # Deliberate linear-space public API boundary: the full log-space
+        # density is computed first and only exponentiated on return
+        # (callers who need underflow safety use the log form directly).
+        return np.exp(self.log_density_batch(queries))  # reprolint: disable=RL001 -- linear-space API boundary
 
     def density(self, query: Sequence[float] | np.ndarray, nodes: Optional[int] = None) -> float:
         """Density estimate after reading ``nodes`` additional nodes (all if None).
@@ -719,7 +723,7 @@ class BayesTree:
         if not (0 <= level <= self.root.level):
             raise ValueError(f"level must be between 0 and {self.root.level}")
         self._sync_decay()
-        entries = []
+        entries: List[AnyEntry] = []
         for node in self.index.iter_nodes():
             if node.level == level:
                 entries.extend(node.entries)

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tupl
 
 import numpy as np
 
-from ..stats.gaussian import logsumexp, safe_exp
+from ..stats.gaussian import probabilities_from_log, safe_exp
 from .bayes_tree import BayesTree
 from .config import BayesTreeConfig, default_qbk_k
 from .descent import DescentStrategy, make_descent_strategy
@@ -393,7 +393,9 @@ def drive_predict_full(
     return [labels[index] for index in best]
 
 
-def validate_batch_budgets(queries: np.ndarray, max_nodes) -> np.ndarray:
+def validate_batch_budgets(
+    queries: np.ndarray, max_nodes: int | Sequence[int] | np.ndarray
+) -> np.ndarray:
     """Normalise ``max_nodes`` into one non-negative int budget per query."""
     budgets = np.asarray(max_nodes)
     if budgets.dtype.kind not in "iu":
@@ -540,7 +542,7 @@ class AnytimeBayesClassifier:
         self._invalidate_priors()
 
     # -- persistence ----------------------------------------------------------------------------
-    def save(self, path) -> "Path":
+    def save(self, path: "str | Path") -> "Path":
         """Write a portable snapshot of the whole forest (see :mod:`repro.persist`).
 
         The snapshot is a versioned, pickle-free ``.npz`` container carrying
@@ -552,7 +554,7 @@ class AnytimeBayesClassifier:
         return save_forest(self, path)
 
     @classmethod
-    def load(cls, path) -> "AnytimeBayesClassifier":
+    def load(cls, path: "str | Path") -> "AnytimeBayesClassifier":
         """Restore a forest saved with :meth:`save` (bit-identical behaviour)."""
         from ..persist import load_forest
 
@@ -799,5 +801,5 @@ class AnytimeBayesClassifier:
         values = np.array([log_raw[label] for label in labels])
         if not np.any(np.isfinite(values)):
             return {label: 1.0 / len(labels) for label in labels}
-        normalised = np.exp(values - logsumexp(values))
+        normalised = probabilities_from_log(values)
         return {label: float(p) for label, p in zip(labels, normalised)}

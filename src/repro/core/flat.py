@@ -40,7 +40,7 @@ compile, share — and what makes the columns safe to place in shared memory
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +56,9 @@ from .classifier import (
 from .config import default_qbk_k
 from .descent import DescentStrategy, make_descent_strategy
 from .frontier import Frontier, _entry_batch_params
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..index.node import Node
 
 __all__ = ["FlatTree", "FlatForest"]
 
@@ -298,7 +301,7 @@ class FlatTree:
         # block, and recursing into each directory entry immediately after
         # placing the block makes every descendant set contiguous as well —
         # the invariant behind the [child_start, post) interval columns.
-        def place(node, depth: int) -> None:
+        def place(node: "Node", depth: int) -> None:
             nonlocal cursor, dir_cursor, n_leaf_nodes
             entries = node.entries
             start = cursor
@@ -700,7 +703,7 @@ class FlatTree:
         # Prefix sum over the kernel indicator: kernels inside any subtree
         # interval [start, post) are cumulative[post] - cumulative[start].
         cumulative = np.concatenate(([0], np.cumsum(leaf_mask.astype(np.int64))))
-        root_counts = []
+        root_counts: List[int] = []
         for slot in range(meta["root_count"]):
             if self.entry_levels[slot] >= 0:
                 start = int(self.child_start[slot])
@@ -925,7 +928,7 @@ class FlatForest:
         height range and the total stored kernels — the serving ``/stats``
         endpoint reports this verbatim.
         """
-        per_class = {}
+        per_class: Dict[str, dict] = {}
         totals = {"n_entries": 0, "n_kernels": 0, "n_nodes": 0}
         heights: List[int] = []
         for label, tree in self.trees.items():

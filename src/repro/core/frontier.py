@@ -235,7 +235,9 @@ class FrontierArrays:
         if not np.isfinite(amax):
             # All -inf (query outside every support) stays -inf; +inf saturates.
             return float(amax)
-        return float(np.log(np.exp(contribs - amax).sum()) + amax)
+        # This IS log-sum-exp, hand-inlined for the once-per-node-read hot
+        # path; the exp is max-shifted so it cannot underflow the result.
+        return float(np.log(np.exp(contribs - amax).sum()) + amax)  # reprolint: disable=RL001 -- inlined logsumexp
 
 
 @dataclass(slots=True)

@@ -159,7 +159,9 @@ class SingleTreeAnytimeClassifier:
         return self.priors[label] * self._total_objects
 
     # -- anytime classification --------------------------------------------------------------------------
-    def classify_anytime(self, query: Sequence[float] | np.ndarray, max_nodes: int):
+    def classify_anytime(
+        self, query: Sequence[float] | np.ndarray, max_nodes: int
+    ) -> "AnytimeClassification":
         """Anytime classification; one descent refines every class in parallel.
 
         Returns the same :class:`AnytimeClassification` record as the

@@ -55,7 +55,7 @@ def stratified_k_fold(
         for position, index in enumerate(indices):
             fold_members[position % n_folds].append(int(index))
 
-    folds = []
+    folds: List[Fold] = []
     all_indices = set(range(labels.shape[0]))
     for members in fold_members:
         test = np.array(sorted(members), dtype=int)

@@ -37,7 +37,7 @@ are modelled explicitly (see DESIGN.md, substitutions):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -287,8 +287,8 @@ def make_blobs(
         centers = np.asarray(centers, dtype=float)
         if centers.shape != (n_classes, n_features):
             raise ValueError(f"centers must have shape ({n_classes}, {n_features})")
-    features = []
-    labels = []
+    features: List[np.ndarray] = []
+    labels: List[int] = []
     for class_index in range(n_classes):
         features.append(rng.normal(loc=centers[class_index], scale=1.0, size=(per_class, n_features)))
         labels.extend([class_index] * per_class)
@@ -410,7 +410,7 @@ def make_drift_stream(
     if class_schedule is None:
         labels = np.asarray(rng.integers(0, n_classes, size=size))
     else:
-        windows = {}
+        windows: Dict[int, Tuple[float, float]] = {}
         for label, window in class_schedule.items():
             if not (0 <= int(label) < n_classes):
                 raise ValueError(f"class_schedule label {label!r} out of range")

@@ -8,7 +8,7 @@ exactly those curves for any anytime classifier and any bulk-loading strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from ..core.classifier import BATCH_CHUNK_QUERIES, AnytimeBayesClassifier
 from ..core.config import BayesTreeConfig
 from ..data.splits import stratified_k_fold
 from ..data.synthetic import Dataset
+from ..stream.anytime import AnytimeClassifierLike
 
 __all__ = [
     "anytime_accuracy_curve",
@@ -26,7 +27,7 @@ __all__ = [
 
 
 def anytime_accuracy_curve(
-    classifier,
+    classifier: AnytimeClassifierLike,
     features: np.ndarray,
     labels: Sequence[Hashable],
     max_nodes: int,
@@ -85,7 +86,7 @@ def build_bulkloaded_classifier(
     classifier = AnytimeBayesClassifier(config=config, descent=descent, qbk_k=qbk_k)
     for label in sorted(set(train_labels), key=repr):
         mask = np.array([l == label for l in train_labels])
-        loader_kwargs = {}
+        loader_kwargs: Dict[str, object] = {}
         if strategy in ("em_topdown",):
             loader_kwargs["random_state"] = random_state
         loader = make_bulk_loader(strategy, config=config, **loader_kwargs)

@@ -216,8 +216,8 @@ def run_drift_recovery_experiment(
     dataset = make_drift_stream(
         size=size, drift=drift, n_segments=2, random_state=random_state
     )
-    curves = {}
-    stored = {}
+    curves: Dict[str, np.ndarray] = {}
+    stored: Dict[str, int] = {}
     for name, config in (
         ("plain", replace(base, decay_rate=0.0, expiry_threshold=0.0)),
         ("decayed", replace(base, decay_rate=decay_rate, expiry_threshold=expiry_threshold)),
@@ -254,7 +254,7 @@ def table1_rows(sizes: Optional[Dict[str, int]] = None) -> List[Dict[str, object
     ``sizes`` optionally overrides the generated size per data set; the paper
     sizes are always reported alongside for comparison.
     """
-    rows = []
+    rows: List[dict] = []
     for name, spec in DATASET_SPECS.items():
         generated_size = (sizes or {}).get(name, spec.default_size())
         dataset = make_dataset(name, size=generated_size, random_state=0)
@@ -268,7 +268,7 @@ def format_curve_table(
     result: BulkloadExperimentResult, nodes: Sequence[int] = (0, 10, 20, 40, 60, 80, 100)
 ) -> str:
     """Human-readable table of accuracy-after-n-nodes, like the paper's figures."""
-    lines = []
+    lines: List[str] = []
     header = "strategy/descent".ljust(24) + "".join(f"n={n}".rjust(9) for n in nodes) + "    mean"
     lines.append(header)
     for (strategy, descent), curve in sorted(result.curves.items()):

@@ -47,10 +47,10 @@ def confusion_matrix(
 
 def _prequential_outcomes(outcomes: Sequence[float]) -> np.ndarray:
     """Validate and coerce a 0/1 (or bool) prequential outcome sequence."""
-    outcomes = np.asarray(list(outcomes), dtype=float)
-    if outcomes.ndim != 1:
+    array = np.asarray(list(outcomes), dtype=float)
+    if array.ndim != 1:
         raise ValueError("outcomes must be a 1-d sequence")
-    return outcomes
+    return array
 
 
 def sliding_window_accuracy(outcomes: Sequence[float], window: int) -> np.ndarray:
@@ -103,14 +103,14 @@ def anytime_curve_summary(curve: Sequence[float]) -> Dict[str, float]:
     * ``mean`` — average accuracy over the node axis (the area under the
       anytime curve, the scalar we use to rank bulk-loading strategies).
     """
-    curve = np.asarray(list(curve), dtype=float)
-    if curve.size == 0:
+    array = np.asarray(list(curve), dtype=float)
+    if array.size == 0:
         raise ValueError("curve must contain at least one value")
     return {
-        "initial": float(curve[0]),
-        "final": float(curve[-1]),
-        "best": float(curve.max()),
-        "mean": float(curve.mean()),
+        "initial": float(array[0]),
+        "final": float(array[-1]),
+        "best": float(array.max()),
+        "mean": float(array.mean()),
     }
 
 

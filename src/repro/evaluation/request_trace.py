@@ -13,7 +13,7 @@ whole traces or their summaries.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -66,7 +66,7 @@ class RequestTrace:
         """Build a trace from plain record dicts (the open-loop driver's output)."""
         return cls(RequestRecord(**record) for record in records)
 
-    def record(self, **fields) -> None:
+    def record(self, **fields: Any) -> None:
         """Append one record (same fields as :class:`RequestRecord`)."""
         self._records.append(RequestRecord(**fields))
 

@@ -103,29 +103,42 @@ class DecayClock:
         return math.log2(1.0 / threshold) / self.decay_rate
 
 
-@dataclass
 class DecayedClusterFeature:
     """Cluster feature whose weight decays exponentially with time.
 
     The summaries are valued *as of* ``last_update``; :meth:`decay_to` ages
     them to a later time by multiplying all of ``(n, LS, SS)`` with the decay
     factor (idempotent for equal timestamps, an exact no-op for a zero rate).
+
+    An explicit ``__init__`` (rather than a dataclass field defaulting to
+    ``None``) keeps ``feature`` non-optional after construction: callers may
+    omit it, but every attribute access sees a real :class:`ClusterFeature`.
     """
 
     dimension: int
-    decay_rate: float = 0.01
-    feature: Optional[ClusterFeature] = None
-    last_update: float = 0.0
+    decay_rate: float
+    feature: ClusterFeature
+    last_update: float
 
-    def __post_init__(self) -> None:
-        if self.dimension < 1:
+    def __init__(
+        self,
+        dimension: int,
+        decay_rate: float = 0.01,
+        feature: Optional[ClusterFeature] = None,
+        last_update: float = 0.0,
+    ) -> None:
+        if dimension < 1:
             raise ValueError("dimension must be positive")
-        if self.decay_rate < 0:
+        if decay_rate < 0:
             raise ValueError("decay_rate must be non-negative")
-        if self.feature is None:
-            self.feature = ClusterFeature.zero(self.dimension)
-        if self.feature.dimension != self.dimension:
+        if feature is None:
+            feature = ClusterFeature.zero(dimension)
+        if feature.dimension != dimension:
             raise ValueError("feature dimensionality mismatch")
+        self.dimension = dimension
+        self.decay_rate = decay_rate
+        self.feature = feature
+        self.last_update = last_update
 
     # -- decay handling -------------------------------------------------------------------
     def decay_factor(self, now: float) -> float:

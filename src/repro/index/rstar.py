@@ -232,7 +232,7 @@ class RStarTree:
         entry_cf = entry.cluster_feature
         entry_mbr = entry.mbr
         decaying = self._decaying
-        for depth, (node, parent_entry) in enumerate(path):
+        for depth, (_node, parent_entry) in enumerate(path):
             if parent_entry is None:
                 continue
             parent_entry.mbr = parent_entry.mbr.union(entry_mbr)

@@ -46,7 +46,7 @@ from __future__ import annotations
 import json
 import zipfile
 from pathlib import Path
-from typing import Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional
 
 import numpy as np
 
@@ -156,7 +156,7 @@ def _decode_label(spec: list) -> Hashable:
 # -- saving -----------------------------------------------------------------------------------
 
 def save_forest(
-    classifier: AnytimeBayesClassifier, path, include_flat: bool = True
+    classifier: AnytimeBayesClassifier, path: "str | Path", include_flat: bool = True
 ) -> Path:
     """Serialize a fitted forest into the snapshot container at ``path``.
 
@@ -270,7 +270,7 @@ def save_forest(
 
 # -- loading ----------------------------------------------------------------------------------
 
-def _parse_manifest(data) -> dict:
+def _parse_manifest(data: Any) -> dict:
     if "manifest" not in data.files:
         raise SnapshotError("not a forest snapshot (no manifest member)")
     try:
@@ -288,7 +288,7 @@ def _parse_manifest(data) -> dict:
     return manifest
 
 
-def read_manifest(path) -> dict:
+def read_manifest(path: "str | Path") -> dict:
     """Read and decode only the snapshot manifest (no tree reconstruction).
 
     Returns a dict with ``dimension``, ``descent``, ``qbk_k``, the raw
@@ -317,7 +317,7 @@ def read_manifest(path) -> dict:
         raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
 
 
-def _tree_state(data, index: int, meta: dict, dimension: int) -> dict:
+def _tree_state(data: Any, index: int, meta: dict, dimension: int) -> dict:
     prefix = f"t{index}__"
     floats = np.asarray(data[prefix + "floats"], dtype=float)
     if floats.shape != (4,):
@@ -372,7 +372,7 @@ def _tree_state(data, index: int, meta: dict, dimension: int) -> dict:
     }
 
 
-def _restore(data) -> AnytimeBayesClassifier:
+def _restore(data: Any) -> AnytimeBayesClassifier:
     manifest = _parse_manifest(data)
     config = BayesTreeConfig.from_dict(manifest["config"])
     classifier = AnytimeBayesClassifier(
@@ -394,7 +394,7 @@ def _restore(data) -> AnytimeBayesClassifier:
     return classifier
 
 
-def _member_memmap(path, member: str) -> Optional[np.ndarray]:
+def _member_memmap(path: "str | Path", member: str) -> Optional[np.ndarray]:
     """Memory-map one uncompressed ``.npy`` member inside the ``.npz`` zip.
 
     Returns a read-only ``np.memmap`` view into the snapshot file, or ``None``
@@ -433,7 +433,7 @@ def _member_memmap(path, member: str) -> Optional[np.ndarray]:
     return np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=offset)
 
 
-def read_flat_columns(path, mmap: bool = True) -> Dict[str, np.ndarray]:
+def read_flat_columns(path: "str | Path", mmap: bool = True) -> Dict[str, np.ndarray]:
     """Read the flat-forest columns of a snapshot (``flat__`` prefix stripped).
 
     With ``mmap`` (the default) every uncompressed member is returned as a
@@ -472,7 +472,7 @@ def read_flat_columns(path, mmap: bool = True) -> Dict[str, np.ndarray]:
         raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
 
 
-def load_flat_forest(path, mmap: bool = True) -> FlatForest:
+def load_flat_forest(path: "str | Path", mmap: bool = True) -> FlatForest:
     """Restore the compiled flat forest from a snapshot (zero-copy capable).
 
     The returned :class:`FlatForest` serves the full prediction surface with
@@ -499,7 +499,7 @@ def load_flat_forest(path, mmap: bool = True) -> FlatForest:
         raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
 
 
-def load_forest(path) -> AnytimeBayesClassifier:
+def load_forest(path: "str | Path") -> AnytimeBayesClassifier:
     """Restore a forest from a snapshot written by :func:`save_forest`.
 
     The restored classifier produces bit-identical predictions, refinement

@@ -65,6 +65,7 @@ import warnings
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -80,6 +81,10 @@ from .shared_mem import (
 )
 
 __all__ = ["ServingEngine", "ServingStats", "plan_shard_assignment"]
+
+# Per-query node budgets accepted by the serving surface: one scalar budget
+# for the whole batch, or one budget per query.
+BudgetSpec = Union[int, Sequence[int], np.ndarray]
 
 # Process-global state of a shard worker (one worker process per shard, so a
 # plain module dict is per-shard state).
@@ -213,7 +218,7 @@ def _score_shard(queries: np.ndarray) -> np.ndarray:
     return scores
 
 
-def _predict_budgeted(queries: np.ndarray, budgets) -> List[Hashable]:
+def _predict_budgeted(queries: np.ndarray, budgets: "BudgetSpec") -> List[Hashable]:
     """Anytime predictions for a query slice under per-query node budgets.
 
     Runs the full forest so the qbk rotation sees every class — zero-copy
@@ -290,7 +295,7 @@ class ServingEngine:
 
     def __init__(
         self,
-        snapshot_path,
+        snapshot_path: "str | Path",
         workers: Optional[int] = None,
         max_batch: int = 256,
         linger_s: float = 0.002,
@@ -492,7 +497,7 @@ class ServingEngine:
     def __enter__(self) -> "ServingEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @property
@@ -614,7 +619,7 @@ class ServingEngine:
 
     # -- batched serving ----------------------------------------------------------------------
     def predict_batch(
-        self, queries: np.ndarray, node_budget=None, deadline_s: Optional[float] = None
+        self, queries: np.ndarray, node_budget: "Optional[BudgetSpec]" = None, deadline_s: Optional[float] = None
     ) -> List[Hashable]:
         """Predict labels for a query block, sharded across the workers.
 
@@ -681,7 +686,9 @@ class ServingEngine:
                 self._active_rounds -= 1
                 self._swap_cond.notify_all()
 
-    def _deadline_clamped_budgets(self, count: int, node_budget, deadline_s: float) -> np.ndarray:
+    def _deadline_clamped_budgets(
+        self, count: int, node_budget: "BudgetSpec", deadline_s: float
+    ) -> np.ndarray:
         """Clamp per-query budgets so the round should meet ``deadline_s``."""
         budgets = np.asarray(node_budget)
         if budgets.ndim == 0:
@@ -696,7 +703,7 @@ class ServingEngine:
         affordable = max(1, int(max(deadline_s, 0.0) / cost))
         return np.minimum(budgets, affordable)
 
-    def _observe_round(self, elapsed: float, node_budget) -> None:
+    def _observe_round(self, elapsed: float, node_budget: "Optional[BudgetSpec]") -> None:
         """Record a round's wall-clock; budgeted rounds refresh the node cost."""
         with self._stats_lock:
             self.stats.last_round_s = elapsed
@@ -713,7 +720,10 @@ class ServingEngine:
                 self._node_cost_ewma += 0.3 * (cost - self._node_cost_ewma)
 
     def _scatter_full(self, queries: np.ndarray) -> List[Hashable]:
-        futures = [pool.submit(_score_shard, queries) for pool in self._pools]
+        pools = self._pools
+        if pools is None:
+            raise RuntimeError("serving engine has no worker pools")
+        futures = [pool.submit(_score_shard, queries) for pool in pools]
         blocks = [future.result() for future in futures]
         scores = np.empty((queries.shape[0], len(self._labels)))
         for indices, block in zip(self._assignment, blocks):
@@ -724,17 +734,20 @@ class ServingEngine:
         best = np.argmax(scores, axis=1)
         return [self._labels[index] for index in best]
 
-    def _scatter_budgeted(self, queries: np.ndarray, node_budget) -> List[Hashable]:
+    def _scatter_budgeted(self, queries: np.ndarray, node_budget: "BudgetSpec") -> List[Hashable]:
         budgets = np.asarray(node_budget)
         if budgets.ndim == 0:
             budgets = np.full(queries.shape[0], int(node_budget))
         elif budgets.shape != (queries.shape[0],):
             raise ValueError("per-query node_budget must have one budget per query")
+        pools = self._pools
+        if pools is None:
+            raise RuntimeError("serving engine has no worker pools")
         shards = min(self.n_shards, queries.shape[0])
         query_slices = np.array_split(queries, shards)
         budget_slices = np.array_split(budgets, shards)
         futures = [
-            self._pools[shard].submit(_predict_budgeted, query_slices[shard], budget_slices[shard])
+            pools[shard].submit(_predict_budgeted, query_slices[shard], budget_slices[shard])
             for shard in range(shards)
         ]
         predictions: List[Hashable] = []
@@ -743,7 +756,9 @@ class ServingEngine:
         return predictions
 
     # -- micro-batching request scheduler ----------------------------------------------------
-    def submit(self, features: Sequence[float] | np.ndarray, node_budget=None) -> Future:
+    def submit(
+        self, features: Sequence[float] | np.ndarray, node_budget: "Optional[BudgetSpec]" = None
+    ) -> Future:
         """Enqueue one query; returns a future resolving to its predicted label.
 
         Requests are grouped by the dispatcher into micro-batches served with
@@ -827,7 +842,7 @@ class ServingEngine:
                 future.set_result(prediction)
 
     # -- hot swap ----------------------------------------------------------------------------
-    def swap_snapshot(self, snapshot_path) -> None:
+    def swap_snapshot(self, snapshot_path: "str | Path") -> None:
         """Atomically switch serving to a new snapshot (graceful hot swap).
 
         The container is validated and — in zero-copy mode — its flat

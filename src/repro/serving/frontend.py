@@ -47,11 +47,16 @@ import functools
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Awaitable, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .engine import ServingEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from ..stream.stream import DataStream, StreamItem
 
 __all__ = [
     "ADAPTIVE",
@@ -356,7 +361,7 @@ class AsyncServingClient:
         node_budget: object = _UNSET,
         deadline_ms: Optional[float] = None,
         detail: bool = False,
-    ):
+    ) -> "ClassifyResult | Hashable":
         """Classify one feature vector through the micro-batched engine.
 
         Parameters
@@ -456,7 +461,7 @@ class AsyncServingClient:
 
     async def _await_result(
         self, request: _PendingRequest, deadline_ms: Optional[float], now: float
-    ):
+    ) -> "Tuple[Hashable, Optional[int]]":
         if request.deadline is None:
             return await request.future
         try:
@@ -504,7 +509,7 @@ class AsyncServingClient:
         )
         return [result[0] for result in results]
 
-    async def swap_snapshot(self, snapshot_path) -> None:
+    async def swap_snapshot(self, snapshot_path: "str | Path") -> None:
         """Hot-swap the engine to a new snapshot without dropping requests.
 
         Runs :meth:`ServingEngine.swap_snapshot` in a worker thread: in-flight
@@ -551,7 +556,7 @@ class AsyncServingClient:
     async def __aenter__(self) -> "AsyncServingClient":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.aclose()
 
     # -- micro-batcher ------------------------------------------------------------------------
@@ -598,7 +603,7 @@ class AsyncServingClient:
     async def _serve_round(self, batch: List[_PendingRequest]) -> None:
         # Requests whose waiter gave up (deadline timeout cancels the future)
         # are dropped before any engine work is spent on them.
-        live = []
+        live: List[_PendingRequest] = []
         for request in batch:
             if request.future.done():
                 self.stats.dropped_cancelled += 1
@@ -608,7 +613,7 @@ class AsyncServingClient:
             return
         unbudgeted = [request for request in live if request.node_budget is None]
         budgeted = [request for request in live if request.node_budget is not None]
-        rounds = []
+        rounds: List[Awaitable[None]] = []
         if unbudgeted:
             rounds.append(self._execute_group(unbudgeted, budgets=None))
         if budgeted:
@@ -675,7 +680,7 @@ class AsyncServingClient:
 # -- open-loop load driver --------------------------------------------------------------------
 async def drive_open_loop(
     client: AsyncServingClient,
-    stream,
+    stream: "DataStream",
     speed: float = 1.0,
     limit: Optional[int] = None,
     node_budget: object = _UNSET,
@@ -698,7 +703,7 @@ async def drive_open_loop(
     records: List[dict] = []
     tasks: List[asyncio.Task] = []
 
-    async def one(item) -> None:
+    async def one(item: "StreamItem") -> None:
         record = {
             "index": item.index,
             "arrival_time": item.arrival_time,
@@ -732,7 +737,7 @@ async def drive_open_loop(
 
 
 # -- HTTP shim --------------------------------------------------------------------------------
-def _jsonable(value):
+def _jsonable(value: object) -> object:
     """Coerce numpy scalars/arrays (labels, budgets) into JSON-able values."""
     if isinstance(value, np.generic):
         return value.item()
@@ -820,7 +825,7 @@ class HttpFrontend:
         await self.start()
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.aclose()
 
     # -- connection handling ------------------------------------------------------------------
@@ -869,7 +874,9 @@ class HttpFrontend:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - peer races
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader):
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> "Optional[Tuple[str, str, dict, bytes]]":
         request_line = await reader.readline()
         if not request_line:
             return None
@@ -877,7 +884,7 @@ class HttpFrontend:
         if len(parts) != 3:
             raise _HttpError(400, "malformed request line")
         method, path, _version = parts
-        headers = {}
+        headers: Dict[str, str] = {}
         for _ in range(_MAX_HEADER_LINES):
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
@@ -937,7 +944,7 @@ class HttpFrontend:
             raise _HttpError(400, 'node_budget must be a positive integer, null or "adaptive"')
         return budget
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _dispatch(self, method: str, path: str, body: bytes) -> "Tuple[int, dict]":
         if path == "/healthz" and method == "GET":
             engine = self._client.engine
             return 200, {

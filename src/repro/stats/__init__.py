@@ -1,7 +1,14 @@
 """Statistical substrate: Gaussians, kernels, mixtures, KL divergence and EM."""
 
 from .em import EMResult, fit_gmm, hard_assignments, kmeans_plus_plus_centers
-from .gaussian import MIN_VARIANCE, Gaussian, gaussian_pdf, log_gaussian_pdf
+from .gaussian import (
+    MIN_VARIANCE,
+    Gaussian,
+    gaussian_pdf,
+    log_gaussian_pdf,
+    logsumexp,
+    probabilities_from_log,
+)
 from .kernel import (
     KERNEL_NAMES,
     EpanechnikovKernel,
@@ -22,6 +29,8 @@ __all__ = [
     "Gaussian",
     "gaussian_pdf",
     "log_gaussian_pdf",
+    "logsumexp",
+    "probabilities_from_log",
     "KERNEL_NAMES",
     "EpanechnikovKernel",
     "GaussianKernel",

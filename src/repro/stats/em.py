@@ -121,7 +121,8 @@ def fit_gmm(
     iterations = 0
     responsibilities = np.full((n, k), 1.0 / k)
 
-    for iterations in range(1, max_iterations + 1):
+    while iterations < max_iterations:
+        iterations += 1
         # E step ------------------------------------------------------------------
         log_densities = _log_density_matrix(points, means, variances)
         log_weighted = log_densities + np.log(np.maximum(weights, 1e-300))[None, :]

@@ -21,6 +21,7 @@ __all__ = [
     "log_gaussian_pdf",
     "log_gaussian_pdf_batch",
     "logsumexp",
+    "probabilities_from_log",
     "safe_exp",
     "MIN_VARIANCE",
 ]
@@ -157,6 +158,23 @@ def logsumexp(a: np.ndarray, axis: int | None = None) -> np.ndarray | float:
     if axis is None:
         return float(result.reshape(()))
     return np.squeeze(result, axis=axis)
+
+
+def probabilities_from_log(log_values: np.ndarray) -> np.ndarray:
+    """Normalised linear-space probabilities of a vector of log weights.
+
+    ``exp(v - logsumexp(v))`` — the one sanctioned way to leave log space
+    for a posterior: subtracting the log normaliser first keeps the largest
+    term at ``exp(0)`` so the result never underflows to an all-zero vector
+    (the pre-log-space engine's high-dimension failure mode).  All ``-inf``
+    inputs yield an all-zero vector rather than NaN; callers decide on a
+    fallback (the classifier uses a uniform posterior).
+    """
+    log_values = np.asarray(log_values, dtype=float)
+    normaliser = logsumexp(log_values)
+    if not np.isfinite(normaliser):
+        return np.zeros_like(log_values)
+    return np.exp(log_values - normaliser)
 
 
 @dataclass(frozen=True)

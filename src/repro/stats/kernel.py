@@ -229,7 +229,9 @@ class EpanechnikovKernel:
 KERNEL_NAMES = ("gaussian", "epanechnikov")
 
 
-def make_kernel(name: str, center: np.ndarray, bandwidth: np.ndarray):
+def make_kernel(
+    name: str, center: np.ndarray, bandwidth: np.ndarray
+) -> "GaussianKernel | EpanechnikovKernel":
     """Factory for kernel estimators by name (``gaussian`` or ``epanechnikov``)."""
     if name == "gaussian":
         return GaussianKernel(center=center, bandwidth=bandwidth)

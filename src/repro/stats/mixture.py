@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class GaussianMixture:
     def __len__(self) -> int:
         return len(self.components)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Gaussian]:
         return iter(self.components)
 
     def __getitem__(self, index: int) -> Gaussian:

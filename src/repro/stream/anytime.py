@@ -27,13 +27,39 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional
+from typing import TYPE_CHECKING, Hashable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
 from .stream import DataStream, StreamItem
 
-__all__ = ["StreamStepResult", "StreamRunResult", "run_anytime_stream"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.classifier import AnytimeClassification
+
+__all__ = [
+    "AnytimeClassifierLike",
+    "StreamStepResult",
+    "StreamRunResult",
+    "run_anytime_stream",
+]
+
+
+class AnytimeClassifierLike(Protocol):
+    """Structural interface the anytime drivers require of a classifier.
+
+    Only budgeted scalar classification is mandatory.  The optional
+    capabilities — ``classify_anytime_batch`` (lockstep batching),
+    ``advance_time``/timestamped ``partial_fit`` (temporal decay), plain
+    ``partial_fit`` (online learning) — are discovered with ``hasattr`` at
+    run time and accessed through ``getattr``, so baseline classifiers that
+    lack them still satisfy this protocol.
+    """
+
+    def classify_anytime(
+        self, query: "Sequence[float] | np.ndarray", max_nodes: int
+    ) -> "AnytimeClassification":
+        """Classify ``query`` with at most ``max_nodes`` node reads."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -103,7 +129,7 @@ class StreamRunResult:
 
 
 def _process_chunk(
-    classifier,
+    classifier: AnytimeClassifierLike,
     items: List[StreamItem],
     result: StreamRunResult,
     online_learning: bool,
@@ -124,11 +150,11 @@ def _process_chunk(
     and the batched path trace-identical for every chunk size.
     """
     if timestamped:
-        classifier.advance_time(items[-1].arrival_time)
+        getattr(classifier, "advance_time")(items[-1].arrival_time)
     if batched:
         features = np.stack([item.features for item in items])
         budgets = [item.budget for item in items]
-        classifications = classifier.classify_anytime_batch(
+        classifications = getattr(classifier, "classify_anytime_batch")(
             features, max_nodes=budgets, record_history=False
         )
     else:
@@ -151,15 +177,15 @@ def _process_chunk(
         for item in items:
             if item.label is not None:
                 if timestamped:
-                    classifier.partial_fit(
+                    getattr(classifier, "partial_fit")(
                         item.features, item.label, timestamp=item.arrival_time
                     )
                 else:
-                    classifier.partial_fit(item.features, item.label)
+                    getattr(classifier, "partial_fit")(item.features, item.label)
 
 
 def run_anytime_stream(
-    classifier,
+    classifier: AnytimeClassifierLike,
     stream: DataStream,
     limit: Optional[int] = None,
     online_learning: bool = False,

@@ -77,7 +77,7 @@ class DataStream:
 
     def items(self, limit: Optional[int] = None) -> List[StreamItem]:
         """Materialise the first ``limit`` stream items (all if None)."""
-        result = []
+        result: List[StreamItem] = []
         for item in self:
             result.append(item)
             if limit is not None and len(result) >= limit:

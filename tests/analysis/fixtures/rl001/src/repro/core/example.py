@@ -1,0 +1,50 @@
+"""RL001 golden fixture: probability-space math outside ``stats/``.
+
+Every line carrying an ``# EXPECT: CODE`` marker must be flagged with that
+code; every other line must stay silent.  The aliased-import case pins that
+renaming numpy does not dodge the rule.
+"""
+
+import math
+
+import numpy as np
+import numpy as xp
+
+from repro.stats.gaussian import log_gaussian_pdf, logsumexp, safe_exp
+
+
+def bad_exp(log_density: float) -> float:
+    return np.exp(log_density)  # EXPECT: RL001
+
+
+def bad_math_exp(log_density: float) -> float:
+    return math.exp(log_density)  # EXPECT: RL001
+
+
+def bad_aliased_exp(log_density: float) -> float:
+    return xp.exp(log_density)  # EXPECT: RL001
+
+
+def bad_pdf_product(x, mean, var) -> float:
+    return gaussian_pdf(x, mean, var) * gaussian_pdf(x, mean, var)  # EXPECT: RL001
+
+
+def gaussian_pdf(x, mean, var) -> float:
+    """Stand-in linear-space density used by the product case above."""
+    return 0.0
+
+
+def good_log_space(x, mean, var) -> float:
+    return log_gaussian_pdf(x, mean, var) + log_gaussian_pdf(x, mean, var)
+
+
+def good_logsumexp(values: np.ndarray) -> float:
+    return float(logsumexp(values))
+
+
+def good_sanctioned_helper(log_value: float) -> float:
+    return safe_exp(log_value)
+
+
+def justified_boundary(log_density: float) -> float:
+    return np.exp(log_density)  # reprolint: disable=RL001 -- linear-space API boundary

@@ -1,0 +1,30 @@
+"""RL002 golden fixture: the pickle-free persistence contract."""
+
+import pickle  # EXPECT: RL002
+from pickle import loads  # EXPECT: RL002
+
+import numpy as np
+
+
+def bad_default_load(path: str):
+    return np.load(path)  # EXPECT: RL002
+
+
+def bad_pickled_load(path: str):
+    return np.load(path, allow_pickle=True)  # EXPECT: RL002
+
+
+def bad_pickled_save(path: str, array: np.ndarray) -> None:
+    np.save(path, array, allow_pickle=True)  # EXPECT: RL002
+
+
+def good_load(path: str):
+    return np.load(path, allow_pickle=False)
+
+
+def good_save(path: str, array: np.ndarray) -> None:
+    np.save(path, array, allow_pickle=False)
+
+
+def justified_legacy_reader(path: str):
+    return np.load(path)  # reprolint: disable=RL002 -- fixture: hypothetical migration shim

@@ -1,0 +1,23 @@
+"""RL003 golden fixture, outsider side: shm capability stays in shared_mem."""
+
+from multiprocessing import shared_memory  # EXPECT: RL003
+
+
+def bad_direct_unlink(shm) -> None:
+    shm.unlink()  # EXPECT: RL003
+
+
+def bad_attribute_unlink(store) -> None:
+    store.segment.unlink()  # EXPECT: RL003
+
+
+def good_path_cleanup(path) -> None:
+    # ``unlink`` on a non-shm-like name is filesystem cleanup, not an shm
+    # lifecycle event; the rule must not flag it.
+    path.unlink()
+
+
+def justified_probe(name: str):
+    from multiprocessing import shared_memory as sm  # reprolint: disable=RL003 -- fixture: diagnostic probe
+
+    return sm

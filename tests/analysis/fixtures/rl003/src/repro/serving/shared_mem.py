@@ -1,0 +1,22 @@
+"""RL003 golden fixture, owner side: attaches must pair with the tracker."""
+
+from multiprocessing import resource_tracker, shared_memory
+
+
+def good_create(size: int) -> shared_memory.SharedMemory:
+    # Creating with ``create=True`` is ownership, not an attach; no tracker
+    # handling is required (the creator is the single unlinker).
+    return shared_memory.SharedMemory(name="fixture", create=True, size=size)
+
+
+def good_attach(name: str) -> shared_memory.SharedMemory:
+    original = resource_tracker.register
+    resource_tracker.register = lambda target, rtype: None
+    try:
+        return shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = original
+
+
+def bad_attach(name: str) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(name=name, create=False)  # EXPECT: RL003

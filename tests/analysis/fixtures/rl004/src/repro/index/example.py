@@ -1,0 +1,36 @@
+"""RL004 golden fixture: decay reads thread an explicit logical clock."""
+
+import time
+
+
+def bad_wall_clock_read(entry) -> None:
+    entry.decay_to(time.time())  # EXPECT: RL004
+
+
+def bad_monotonic(entry) -> float:
+    return time.monotonic()  # EXPECT: RL004
+
+
+def bad_pinned_clock(entry) -> None:
+    entry.decay_to(3.0)  # EXPECT: RL004
+
+
+def bad_pinned_decay_factor(rate: float) -> float:
+    return decay_factor(rate, 10.0)  # EXPECT: RL004
+
+
+def decay_factor(rate: float, elapsed: float) -> float:
+    """Stand-in for repro.index.decay.decay_factor."""
+    return 1.0
+
+
+def good_threaded_clock(entry, now: float) -> None:
+    entry.decay_to(now)
+
+
+def good_clock_attribute(entry, clock) -> None:
+    entry.decay_to(clock.now)
+
+
+def justified_epoch_reset(entry) -> None:
+    entry.decay_to(0.0)  # reprolint: disable=RL004 -- fixture: epoch zero is the defined origin

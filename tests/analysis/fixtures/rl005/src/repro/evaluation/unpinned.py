@@ -1,0 +1,18 @@
+"""RL005 golden fixture, scope control: NOT imported by any pinned driver.
+
+The exact patterns flagged in ``repro.core.pinned`` must stay silent here —
+the rule scopes itself by the import closure, not by directory.
+"""
+
+import time
+
+import numpy as np
+
+
+def wall_clock_is_fine_here() -> float:
+    return time.time()
+
+
+def global_rng_is_fine_here(labels):
+    np.random.shuffle(labels)
+    return labels

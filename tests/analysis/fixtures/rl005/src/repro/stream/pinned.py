@@ -1,0 +1,51 @@
+"""RL005 golden fixture: this module is imported by the pinned driver."""
+
+import random
+import time
+
+import numpy as np
+
+
+def bad_wall_clock() -> float:
+    return time.time()  # EXPECT: RL005
+
+
+def bad_global_numpy_rng(labels):
+    np.random.shuffle(labels)  # EXPECT: RL005
+    return labels
+
+
+def bad_unseeded_generator():
+    return np.random.default_rng()  # EXPECT: RL005
+
+
+def bad_stdlib_rng(labels):
+    return random.choice(labels)  # EXPECT: RL005
+
+
+def bad_set_iteration(labels):
+    return [label for label in set(labels)]  # EXPECT: RL005
+
+
+def bad_set_materialisation(labels):
+    return list(set(labels))  # EXPECT: RL005
+
+
+def good_seeded_generator(seed: int):
+    return np.random.default_rng(seed)
+
+
+def good_generator_parameter(rng: np.random.Generator, count: int):
+    return rng.normal(size=count)
+
+
+def good_sorted_set(labels):
+    return [label for label in sorted(set(labels), key=repr)]
+
+
+def justified_jitter():
+    return time.time()  # reprolint: disable=RL005 -- fixture: log timestamp, not in the trace
+
+
+def classify_once(query) -> int:
+    return 0

@@ -1,0 +1,42 @@
+"""RL006 golden fixture: batch hot paths stay vectorised."""
+
+import numpy as np
+
+
+def predict_batch(model, queries: np.ndarray) -> list:
+    results = []
+    for query in queries:  # EXPECT: RL006
+        results.append(model.classify_anytime(query))
+    return results
+
+
+def score_batch(model, queries: np.ndarray) -> list:
+    out = []
+    for index in range(len(queries)):  # EXPECT: RL006
+        out.append(model.density(queries[index]))
+    return out
+
+
+def good_vectorised_batch(model, queries: np.ndarray) -> np.ndarray:
+    return model.log_density_batch(queries)
+
+
+def good_bookkeeping_batch(model, queries: np.ndarray) -> list:
+    scores = model.log_density_batch(queries)
+    results = []
+    for query, score in zip(queries, scores):
+        results.append((query, float(score)))
+    return results
+
+
+def scalar_loop_outside_hot_path(model, queries: np.ndarray) -> list:
+    # Not a hot-path function name: the scalar reference loop is the whole
+    # point of e.g. ``pdq_scalar``-style equivalence tests.
+    return [model.density(query) for query in queries]
+
+
+def justified_fallback_batch(model, queries: np.ndarray) -> list:
+    results = []
+    for query in queries:  # reprolint: disable=RL006 -- fixture: documented scalar fallback
+        results.append(model.classify_anytime(query))
+    return results

@@ -1,0 +1,49 @@
+"""Tier-1 enforcement of the static-analysis gate.
+
+Mirrors ``tests/docs/test_docstring_audit.py``: the dependency-free half
+(reprolint) always runs, so a PR that violates a forest invariant fails the
+unit suite on any machine; the mypy half runs when mypy is installed (the CI
+``typecheck`` job always has it) and skips cleanly in minimal containers.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_is_reprolint_clean():
+    """`python -m tools.reprolint src/ tests/ benchmarks/` exits 0 on the repo."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "src/", "tests/", "benchmarks/"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        "reprolint found invariant violations:\n" + completed.stdout + completed.stderr
+    )
+    assert "reprolint ok" in completed.stdout
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed in this environment (enforced by the CI typecheck job)",
+)
+def test_repo_typechecks_clean():
+    """`mypy src/repro` exits 0 under the pyproject strict-leaning config."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "src/repro"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        "mypy found typing errors:\n" + completed.stdout + completed.stderr
+    )

@@ -1,0 +1,73 @@
+"""Meta-tests over the rule registry: documentation and CLI contracts.
+
+The ISSUE contract is that every rule ships with an error code, a docstring
+and a DESIGN.md entry — this file machine-checks the checker itself, so a
+seventh rule added without documentation fails CI the same way an
+undocumented public API does.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import ALL_RULES, RULES_BY_CODE
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_rule_codes_are_unique_and_well_formed():
+    codes = [rule.code for rule in ALL_RULES]
+    assert len(set(codes)) == len(codes)
+    for code in codes:
+        assert code.startswith("RL") and code[2:].isdigit() and len(code) == 5
+
+
+@pytest.mark.parametrize("code", sorted(RULES_BY_CODE))
+def test_every_rule_is_documented(code):
+    rule = RULES_BY_CODE[code]
+    doc = (rule.__doc__ or "").strip()
+    assert doc, f"{code} has no docstring"
+    assert doc.startswith(f"{code}:"), f"{code} docstring must lead with its code"
+    assert rule.name and rule.name != "abstract-rule"
+    design = (REPO_ROOT / "DESIGN.md").read_text()
+    assert code in design, f"{code} is not documented in DESIGN.md's enforced-invariants section"
+
+
+def test_cli_list_names_every_rule():
+    completed = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "--list"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0
+    for rule in ALL_RULES:
+        assert rule.code in completed.stdout
+
+
+@pytest.mark.parametrize("code", sorted(RULES_BY_CODE))
+def test_cli_explain_prints_rule_documentation(code):
+    completed = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "--explain", code],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0
+    assert code in completed.stdout
+    assert RULES_BY_CODE[code].name in completed.stdout
+
+
+def test_cli_rejects_unknown_rule_code():
+    completed = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "--explain", "RL999"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 2
+    assert "unknown rule code" in completed.stderr

@@ -1,0 +1,102 @@
+"""Golden-fixture tests: every reprolint rule fires, passes and suppresses.
+
+Each fixture tree under ``fixtures/<case>/`` mirrors the real repo layout
+(``src/repro/...``) so path- and import-scoped rules behave exactly as in
+production.  Expected violations are declared in-place: a line carrying an
+``# EXPECT: CODE[,CODE]`` marker must be flagged with exactly those codes,
+every unmarked line must stay silent, and lines carrying a
+``# reprolint: disable=...`` comment double as the suppression cases.
+The comparison is exact in both directions, so a rule growing false
+positives fails this test just as loudly as one going blind.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Set, Tuple
+
+import pytest
+
+from tools.reprolint import ALL_RULES, RULES_BY_CODE, run_paths
+from tools.reprolint.engine import scope_of
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_EXPECT_RE = re.compile(r"#\s*EXPECT:\s*(?P<codes>[A-Z0-9,\s]+?)\s*$")
+
+CASES = sorted(path.name for path in FIXTURES.iterdir() if path.is_dir())
+
+
+def _expected_violations(case_root: Path) -> Set[Tuple[str, int, str]]:
+    expected = set()
+    for path in case_root.rglob("*.py"):
+        rel = scope_of(str(path.relative_to(case_root)))
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            match = _EXPECT_RE.search(line)
+            if match is None:
+                continue
+            for code in match.group("codes").split(","):
+                expected.add((rel, lineno, code.strip()))
+    return expected
+
+
+def _actual_violations(case_root: Path) -> Set[Tuple[str, int, str]]:
+    violations, scanned = run_paths([case_root], ALL_RULES)
+    assert scanned > 0, f"fixture tree {case_root} contained no python files"
+    return {(scope_of(v.relpath), v.line, v.code) for v in violations}
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_fixture_tree_matches_expectations(case):
+    case_root = FIXTURES / case
+    expected = _expected_violations(case_root)
+    actual = _actual_violations(case_root)
+    missing = expected - actual
+    unexpected = actual - expected
+    assert not missing, f"rule(s) failed to fire on marked lines: {sorted(missing)}"
+    assert not unexpected, f"false positives on unmarked lines: {sorted(unexpected)}"
+
+
+@pytest.mark.parametrize("code", sorted(RULES_BY_CODE))
+def test_every_rule_has_flag_pass_and_disable_fixtures(code):
+    """Each rule demonstrably fires, stays quiet, and honours its escape hatch."""
+    case_root = FIXTURES / code.lower()
+    assert case_root.is_dir(), f"no fixture tree for {code}"
+    expected = _expected_violations(case_root)
+    assert any(c == code for _, _, c in expected), f"no flag case for {code}"
+    sources = "\n".join(p.read_text() for p in case_root.rglob("*.py"))
+    assert f"reprolint: disable={code}" in sources, f"no disable-comment case for {code}"
+    # Pass cases: at least one function marked good_*/justified_* conventionally.
+    assert "def good_" in sources, f"no pass case for {code}"
+
+
+def test_cli_reports_fixture_violations_with_nonzero_exit():
+    """End-to-end CLI check on one fixture tree (format + exit status)."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", str(FIXTURES / "rl001")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 1
+    assert "RL001" in completed.stdout
+    # path:line:col: CODE message
+    assert re.search(r"example\.py:\d+:\d+: RL001 ", completed.stdout)
+
+
+def test_disable_comment_requires_matching_code(tmp_path):
+    """A disable comment for a different rule does not suppress a violation."""
+    tree = tmp_path / "src" / "repro" / "core"
+    tree.mkdir(parents=True)
+    source = (
+        "import numpy as np\n"
+        "def f(v):\n"
+        "    return np.exp(v)  # reprolint: disable=RL002 -- wrong code on purpose\n"
+    )
+    (tree / "wrong_code.py").write_text(source)
+    violations, _ = run_paths([tmp_path / "src"], ALL_RULES)
+    assert [v.code for v in violations] == ["RL001"]

@@ -105,7 +105,7 @@ def test_expired_empty_class_survives_roundtrip(tmp_path):
     config = BayesTreeConfig(decay_rate=0.5, expiry_threshold=1e-2)
     classifier = AnytimeBayesClassifier(config=config)
     rng = np.random.default_rng(0)
-    for i in range(20):
+    for _ in range(20):
         classifier.partial_fit(rng.normal(size=2), "ephemeral", timestamp=0.0)
     for i in range(40):
         classifier.partial_fit(rng.normal(size=2) + 4.0, "steady", timestamp=190.0 + i * 0.25)

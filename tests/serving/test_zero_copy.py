@@ -11,7 +11,10 @@ and even when a worker has been killed.
 import os
 import signal
 import time
-from multiprocessing import shared_memory
+# The crash/lifecycle tests below must attach to segments *raw* (bypassing
+# attach_columns) to prove that worker death never unlinks the engine's
+# segment — exactly the misuse RL003 exists to keep out of src/.
+from multiprocessing import shared_memory  # reprolint: disable=RL003 -- lifecycle test needs raw attach
 
 import numpy as np
 import pytest

@@ -1,0 +1,1 @@
+"""Repository maintenance tooling (not shipped with the ``repro`` package)."""

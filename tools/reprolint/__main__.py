@@ -1,0 +1,69 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on unusable
+input (missing path, syntax error).  Violations print one per line in
+``path:line:col: CODE message`` form, ready for editor jump-to-error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import LintError, run_paths
+from .rules import ALL_RULES, RULES_BY_CODE
+
+
+def _list_rules() -> str:
+    lines = ["reprolint rules:"]
+    for rule in ALL_RULES:
+        summary = (rule.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"  {rule.code}  {rule.name:<28} {summary}")
+    return "\n".join(lines)
+
+
+def _explain(code: str) -> str:
+    rule = RULES_BY_CODE.get(code.upper())
+    if rule is None:
+        raise LintError(f"unknown rule code: {code} (try --list)")
+    doc = (rule.__doc__ or "").strip()
+    return f"{rule.code} ({rule.name})\n\n{doc}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Repo-specific invariant linter for the anytime-Bayes forest.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--list", action="store_true", help="list all rules and exit")
+    parser.add_argument("--explain", metavar="CODE", help="print a rule's full documentation")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.list:
+            print(_list_rules())
+            return 0
+        if args.explain:
+            print(_explain(args.explain))
+            return 0
+        if not args.paths:
+            parser.error("no paths given (try: python -m tools.reprolint src/ tests/ benchmarks/)")
+        violations, scanned = run_paths([Path(p) for p in args.paths], ALL_RULES)
+    except LintError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"reprolint: {len(violations)} violation(s) in {scanned} file(s)", file=sys.stderr)
+        return 1
+    print(f"reprolint ok ({scanned} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
