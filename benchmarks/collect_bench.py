@@ -35,8 +35,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.core import AnytimeBayesClassifier  # noqa: E402
 from repro.data import make_dataset  # noqa: E402
-from repro.evaluation import run_drift_recovery_experiment  # noqa: E402
+from repro.evaluation import run_drift_recovery_experiment, run_scenario_battery  # noqa: E402
 from repro.evaluation.experiment import DEFAULT_EXPERIMENT_CONFIG  # noqa: E402
+from repro.scenarios import SMOKE_SCENARIOS  # noqa: E402
 from repro.stream import DataStream, run_anytime_stream  # noqa: E402
 
 from serving_load import (  # noqa: E402
@@ -200,6 +201,27 @@ def _flat_metrics() -> dict:
     return {"descent": descent, "warm_start": warm_start}
 
 
+def _scenario_metrics() -> dict:
+    """Scenario-battery smoke headline numbers (fully deterministic).
+
+    Runs the smoke scenario subset at reduced stream scale — the same run
+    the CI docs job renders into the published report — and extracts the
+    forest win rate over every ``(scenario, budget)`` cell plus two
+    per-scenario anchors: the forest's budget-averaged holdout accuracy on
+    the high-dimensional kernels scenario and its prequential accuracy under
+    collapsing budgets on the adversarial-burst scenario.  Seeded specs plus
+    deterministic classifiers make all three exactly reproducible.
+    """
+    battery = run_scenario_battery(SMOKE_SCENARIOS, size_scale=0.25)
+    highdim = battery.outcome("highdim_kernels")
+    bursts = battery.outcome("adversarial_bursts")
+    return {
+        "forest_win_rate": battery.forest_win_rate,
+        "highdim_forest_auc": highdim.forest_auc,
+        "bursts_forest_prequential": bursts.prequential["bayes_forest"],
+    }
+
+
 def collect() -> dict:
     calibration = _calibration_seconds()
     classification = _classification_metrics()
@@ -207,6 +229,7 @@ def collect() -> dict:
     serving = _serving_metrics()
     frontend = _frontend_metrics()
     flat = _flat_metrics()
+    scenarios = _scenario_metrics()
     drift = run_drift_recovery_experiment(
         size=600, warmup=64, window=100, decay_rate=0.02, expiry_threshold=1e-3, random_state=0
     )
@@ -277,6 +300,24 @@ def collect() -> dict:
             "direction": "higher",
             "note": "object-graph over flat-column classify_anytime_batch wall-clock (same machine, in-process)",
         },
+        "scenario_forest_win_rate": {
+            "value": scenarios["forest_win_rate"],
+            "direction": "higher",
+            "note": (
+                "smoke scenario battery: fraction of (scenario, budget) cells where the "
+                "forest matches or beats every baseline (deterministic)"
+            ),
+        },
+        "scenario_highdim_forest_auc": {
+            "value": scenarios["highdim_forest_auc"],
+            "direction": "higher",
+            "note": "forest budget-averaged holdout accuracy on the 120-d kernels scenario (deterministic)",
+        },
+        "scenario_bursts_forest_prequential": {
+            "value": scenarios["bursts_forest_prequential"],
+            "direction": "higher",
+            "note": "forest prequential accuracy under adversarial burst budgets (deterministic)",
+        },
         "worker_warm_start_ms": {
             "value": flat["warm_start"]["zero_copy"]["warm_start_ms_mean"],
             "direction": "lower",
@@ -299,6 +340,9 @@ def collect() -> dict:
         # zero-copy vs object-loading comparison (per-worker warm-start
         # latency and shared/private RSS split from /proc).
         "flat": flat,
+        # Scenario-battery headline detail (smoke subset; the full battery
+        # runs nightly and in the published docs report).
+        "scenarios": scenarios,
     }
 
 

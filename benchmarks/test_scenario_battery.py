@@ -1,0 +1,39 @@
+"""Scenario battery bench: the smoke subset the regression gate anchors on.
+
+Runs exactly the battery configuration ``collect_bench.py`` uses for the
+``scenario_*`` headline metrics (smoke scenarios, size scale 0.25) and prints
+the per-scenario win/loss table, so the numbers behind the regression gate
+are visible in the CI log.  Asserts the qualitative properties the gate
+relies on: the forest wins a solid majority of (scenario, budget) cells, its
+high-dimensional curve is finite and strong, and the run is deterministic.
+"""
+
+import json
+
+from conftest import print_heading, run_once
+
+from repro.evaluation import BUDGET_GRID, CLASSIFIER_KINDS, format_win_loss_table, run_scenario_battery
+from repro.scenarios import SMOKE_SCENARIOS
+
+
+def test_scenario_battery_smoke(benchmark):
+    result = run_once(benchmark, run_scenario_battery, SMOKE_SCENARIOS, 0.25)
+
+    print_heading("Scenario battery — smoke subset (regression-gate anchor)")
+    print(format_win_loss_table(result))
+
+    assert [o.scenario for o in result.outcomes] == list(SMOKE_SCENARIOS)
+    for outcome in result.outcomes:
+        assert sorted(outcome.curves.keys()) == sorted(CLASSIFIER_KINDS)
+        for curve in outcome.curves.values():
+            assert [budget for budget, _ in curve] == list(BUDGET_GRID)
+            assert all(0.0 <= acc <= 1.0 for _, acc in curve)
+
+    # The headline metrics collected by collect_bench.py:
+    assert result.forest_win_rate >= 0.7
+    assert result.outcome("highdim_kernels").forest_auc >= 0.9
+    assert result.outcome("adversarial_bursts").prequential["bayes_forest"] >= 0.9
+
+    # The whole result must serialise — the report generator depends on it.
+    payload = json.dumps(result.to_dict())
+    assert "highdim_kernels" in payload

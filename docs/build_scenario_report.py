@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Build the scenario-battery report: anytime-accuracy curves per scenario.
+
+Runs (or loads) a :func:`repro.evaluation.battery.run_scenario_battery`
+result and renders it as a dependency-free static site — one HTML page with
+a per-scenario curve table (accuracy at every node budget for each
+classifier), the prequential live-stream metrics, the win/loss summary, and
+the full provenance of every scenario (serialized spec, seed, stream
+fingerprint) so any number in the report can be regenerated bit-for-bit.
+A ``scenario_report.md`` twin and a machine-readable ``results.json`` are
+written next to it, and ``--landing`` emits the ``docs`` site index that ties
+the pdoc API reference and this report together.
+
+CI usage (the ``docs`` job; see ``.github/workflows/ci.yml``)::
+
+    PYTHONPATH=src python docs/build_scenario_report.py \
+        --output docs/site/scenarios --smoke --landing docs/site/index.html
+
+Nightly runs drop ``--smoke`` to cover every registered scenario at full
+stream size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif; margin: 2rem auto;
+       max-width: 70rem; color: #1a1a2e; line-height: 1.5; padding: 0 1rem; }
+h1, h2 { border-bottom: 2px solid #e0e0ef; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #d0d0e0; padding: .35rem .7rem; text-align: right; }
+th { background: #f0f0fa; }
+td.name, th.name { text-align: left; }
+td.win { background: #e6f7e6; }
+td.loss { background: #fae9e9; }
+code, pre { background: #f6f6fb; border-radius: 4px; }
+pre { padding: .7rem; overflow-x: auto; font-size: .85rem; }
+details { margin: .6rem 0; }
+.meta { color: #666; font-size: .9rem; }
+"""
+
+
+def _curve_table_html(outcome: Dict[str, Any], budgets: List[int]) -> str:
+    """One scenario's accuracy-vs-budget table, forest wins highlighted."""
+    rows = []
+    header = "".join(f"<th>b={budget}</th>" for budget in budgets)
+    rows.append(f"<tr><th class='name'>classifier</th>{header}<th>prequential</th></tr>")
+    curves = outcome["curves"]
+    best_at = []
+    for position in range(len(budgets)):
+        best_at.append(
+            max(curves[kind][position][1] for kind in curves if kind != "bayes_forest")
+        )
+    for kind in sorted(curves.keys()):
+        cells = []
+        for position, (_, acc) in enumerate(curves[kind]):
+            marker = ""
+            if kind == "bayes_forest":
+                marker = " class='win'" if acc >= best_at[position] - 1e-9 else " class='loss'"
+            cells.append(f"<td{marker}>{acc:.3f}</td>")
+        preq = outcome["prequential"][kind]
+        rows.append(
+            f"<tr><td class='name'>{html.escape(kind)}</td>{''.join(cells)}<td>{preq:.3f}</td></tr>"
+        )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def _provenance_html(outcome: Dict[str, Any]) -> str:
+    """Collapsible provenance block: spec, seed and stream fingerprint."""
+    spec_json = json.dumps(outcome["spec"], indent=2, sort_keys=True)
+    return (
+        "<details><summary>provenance (spec, seed, fingerprint)</summary>"
+        f"<p class='meta'>stream fingerprint <code>{outcome['fingerprint']}</code> · "
+        f"{outcome['size']} objects, {outcome['labeled_count']} labelled</p>"
+        f"<pre>{html.escape(spec_json)}</pre></details>"
+    )
+
+
+def render_html(result: Dict[str, Any]) -> str:
+    """Render a battery result dict as the standalone report page."""
+    budgets = [int(b) for b in result["budgets"]]
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>Scenario battery — anytime accuracy report</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>Scenario battery — anytime accuracy report</h1>",
+        "<p>Each scenario is a seeded, declarative stream spec "
+        "(<code>repro.scenarios</code>) run through the anytime Bayes forest and three "
+        "baseline classifiers. Cells show holdout accuracy at each node budget; green "
+        "marks budgets where the forest matches or beats every baseline, red where a "
+        "baseline wins. The <em>prequential</em> column is test-then-train accuracy over "
+        "the live stream region under each object's arrival budget.</p>",
+        f"<p class='meta'>size scale {result['size_scale']} · {result['config_note']} · "
+        f"forest win rate <strong>{result['forest_win_rate']:.3f}</strong> over "
+        f"{len(result['outcomes'])} scenarios × {len(budgets)} budgets</p>",
+    ]
+    for outcome in result["outcomes"]:
+        description = outcome["spec"].get("description", "")
+        parts.append(f"<h2>{html.escape(outcome['scenario'])}</h2>")
+        parts.append(f"<p>{html.escape(description)}</p>")
+        parts.append(_curve_table_html(outcome, budgets))
+        parts.append(_provenance_html(outcome))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def render_markdown(result: Dict[str, Any]) -> str:
+    """Render a battery result dict as the markdown twin of the report."""
+    budgets = [int(b) for b in result["budgets"]]
+    lines = [
+        "# Scenario battery — anytime accuracy report",
+        "",
+        f"Size scale {result['size_scale']}; forest win rate "
+        f"**{result['forest_win_rate']:.3f}** over {len(result['outcomes'])} scenarios × "
+        f"{len(budgets)} budgets.",
+        "",
+    ]
+    for outcome in result["outcomes"]:
+        lines.append(f"## {outcome['scenario']}")
+        lines.append("")
+        lines.append(outcome["spec"].get("description", ""))
+        lines.append("")
+        header = "| classifier | " + " | ".join(f"b={b}" for b in budgets) + " | prequential |"
+        rule = "|" + "---|" * (len(budgets) + 2)
+        lines.append(header)
+        lines.append(rule)
+        for kind in sorted(outcome["curves"].keys()):
+            accs = " | ".join(f"{acc:.3f}" for _, acc in outcome["curves"][kind])
+            lines.append(f"| {kind} | {accs} | {outcome['prequential'][kind]:.3f} |")
+        lines.append("")
+        lines.append(
+            f"Provenance: seed `{outcome['spec']['seed']}`, fingerprint "
+            f"`{outcome['fingerprint'][:16]}…`, {outcome['size']} objects "
+            f"({outcome['labeled_count']} labelled)."
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_landing(api_href: str, report_href: str) -> str:
+    """The docs site index tying the API reference and the report together."""
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>Anytime Bayes tree — documentation</title><style>{_CSS}</style></head><body>"
+        "<h1>Anytime Bayes tree — documentation</h1>"
+        "<p>Reproduction of Kranen &amp; Seidl's anytime Bayesian stream classifier.</p>"
+        "<ul>"
+        f"<li><a href='{html.escape(api_href)}'>API reference</a> — pdoc-rendered, "
+        "docstring-audited public surface.</li>"
+        f"<li><a href='{html.escape(report_href)}'>Scenario battery report</a> — "
+        "anytime-accuracy-vs-budget curves for every classifier on every stress "
+        "scenario, with full provenance.</li>"
+        "</ul></body></html>"
+    )
+
+
+def build(
+    output: str,
+    smoke: bool,
+    size_scale: Optional[float],
+    landing: Optional[str],
+    results_in: Optional[str],
+) -> int:
+    """Run/load the battery and write the HTML+markdown+JSON report."""
+    if results_in:
+        with open(results_in, "r", encoding="utf-8") as handle:
+            result = json.load(handle)
+    else:
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        if repo_src not in sys.path:
+            sys.path.insert(0, repo_src)
+        from repro.evaluation import run_scenario_battery
+        from repro.scenarios import SMOKE_SCENARIOS
+
+        names = SMOKE_SCENARIOS if smoke else None
+        scale = size_scale if size_scale is not None else (0.25 if smoke else 1.0)
+        result = run_scenario_battery(names=names, size_scale=scale).to_dict()
+    os.makedirs(output, exist_ok=True)
+    with open(os.path.join(output, "results.json"), "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+    with open(os.path.join(output, "index.html"), "w", encoding="utf-8") as handle:
+        handle.write(render_html(result))
+    with open(os.path.join(output, "scenario_report.md"), "w", encoding="utf-8") as handle:
+        handle.write(render_markdown(result))
+    print(
+        f"scenario report written to {output} "
+        f"({len(result['outcomes'])} scenarios, win rate {result['forest_win_rate']:.3f})"
+    )
+    if landing:
+        os.makedirs(os.path.dirname(landing) or ".", exist_ok=True)
+        api_href = "api/index.html"
+        report_href = os.path.relpath(os.path.join(output, "index.html"), os.path.dirname(landing))
+        with open(landing, "w", encoding="utf-8") as handle:
+            handle.write(render_landing(api_href, report_href))
+        print(f"landing page written to {landing}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="docs/site/scenarios", help="report output directory")
+    parser.add_argument(
+        "--smoke", action="store_true", help="run only the smoke scenario subset at reduced scale"
+    )
+    parser.add_argument(
+        "--size-scale", type=float, default=None,
+        help="stream size multiplier (default 1.0, 0.25 with --smoke)",
+    )
+    parser.add_argument(
+        "--landing", default=None, help="also write the docs site index page at this path"
+    )
+    parser.add_argument(
+        "--results", default=None, help="render a previously saved results.json instead of re-running"
+    )
+    args = parser.parse_args(argv)
+    return build(args.output, args.smoke, args.size_scale, args.landing, args.results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

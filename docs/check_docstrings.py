@@ -36,6 +36,9 @@ AUDITED_MODULES = [
     "repro.serving",
     "repro.stream",
     "repro.evaluation",
+    "repro.scenarios",
+    "repro.baselines",
+    "repro.data.synthetic",
 ]
 
 

@@ -4,6 +4,14 @@ The "infinite time" reference: the Bayes tree converges to exactly this
 classifier when every node has been read (the frontier consists of all leaf
 kernels), so it upper-bounds the anytime accuracy curves and is used in the
 benchmarks as the asymptote of Figures 2-4.
+
+Scoring runs in log space through :func:`repro.stats.kernel.log_kernel_density_batch`
+(one vectorised call per class instead of a Python loop over training
+objects), which keeps the posterior finite in the high-dimensional scenarios
+where a linear-space sum of kernel pdf values underflows to an all-zero
+density.  :meth:`KernelBayesClassifier.partial_fit` appends stream objects to
+the per-class kernel sets — classes appearing mid-stream simply open a new
+one-kernel density instead of raising.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from typing import Dict, Hashable, List, Sequence
 
 import numpy as np
 
-from ..stats.kernel import make_kernel, silverman_bandwidth
+from ..stats.kernel import kernel_density_batch, log_kernel_density_batch, silverman_bandwidth
 
 __all__ = ["KernelBayesClassifier"]
 
@@ -31,13 +39,32 @@ class KernelBayesClassifier:
 
     @property
     def is_fitted(self) -> bool:
+        """True once at least one labelled observation has been seen."""
         return bool(self.class_points)
 
     @property
     def classes(self) -> List[Hashable]:
+        """Known class labels in model insertion order."""
         return list(self.class_points.keys())
 
+    def _refresh_bandwidth(self, label: Hashable) -> None:
+        """Re-derive one class's Silverman bandwidth from its current points."""
+        class_points = self.class_points[label]
+        if class_points.shape[0] > 1:
+            bandwidth = silverman_bandwidth(class_points) * self.bandwidth_scale
+        else:
+            bandwidth = np.ones(class_points.shape[1]) * self.bandwidth_scale
+        self.bandwidths[label] = bandwidth
+
+    def _refresh_priors(self) -> None:
+        """Recompute class priors from the stored per-class point counts."""
+        total = sum(points.shape[0] for points in self.class_points.values())
+        self.priors = {
+            label: points.shape[0] / total for label, points in self.class_points.items()
+        }
+
     def fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> "KernelBayesClassifier":
+        """Train from scratch on a labelled batch (replaces any previous model)."""
         points = np.asarray(points, dtype=float)
         labels = list(labels)
         if points.ndim != 2 or len(labels) != points.shape[0]:
@@ -45,31 +72,81 @@ class KernelBayesClassifier:
         self.class_points = {}
         self.bandwidths = {}
         self.priors = {}
-        total = points.shape[0]
         for label in sorted(set(labels), key=repr):
             mask = np.array([l == label for l in labels])
-            class_points = points[mask]
-            self.class_points[label] = class_points
-            if class_points.shape[0] > 1:
-                bandwidth = silverman_bandwidth(class_points) * self.bandwidth_scale
-            else:
-                bandwidth = np.ones(points.shape[1]) * self.bandwidth_scale
-            self.bandwidths[label] = bandwidth
-            self.priors[label] = class_points.shape[0] / total
+            self.class_points[label] = points[mask]
+            self._refresh_bandwidth(label)
+        self._refresh_priors()
         return self
 
-    def class_density(self, x: Sequence[float] | np.ndarray, label: Hashable) -> float:
-        """Kernel density estimate p(x | c) for one class."""
+    def partial_fit(
+        self, points: np.ndarray, labels: Sequence[Hashable]
+    ) -> "KernelBayesClassifier":
+        """Append a labelled batch of stream objects to the kernel sets.
+
+        Every object becomes one more kernel of its class density (exactly
+        how the Bayes tree's leaf level grows); the touched classes' Silverman
+        bandwidths and all priors are refreshed.  Classes never seen before —
+        the mid-stream class-appearance case — are opened as new single-kernel
+        densities instead of raising.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points[None, :]
+        labels = list(labels)
+        if points.ndim != 2 or len(labels) != points.shape[0]:
+            raise ValueError("points must be (n, d) with one label per row")
+        touched = sorted(set(labels), key=repr)
+        for label in touched:
+            mask = np.array([l == label for l in labels])
+            new_points = points[mask]
+            existing = self.class_points.get(label)
+            if existing is None:
+                self.class_points[label] = new_points.copy()
+            else:
+                self.class_points[label] = np.vstack([existing, new_points])
+            self._refresh_bandwidth(label)
+        self._refresh_priors()
+        return self
+
+    def class_log_density(self, x: Sequence[float] | np.ndarray, label: Hashable) -> float:
+        """Log kernel density estimate ``log p(x | c)`` for one class.
+
+        Unknown labels have zero density everywhere (``-inf``) rather than
+        raising — a query can legitimately ask about a class that has not
+        appeared in the stream yet.
+        """
         x = np.asarray(x, dtype=float)
-        points = self.class_points[label]
-        bandwidth = self.bandwidths[label]
-        total = 0.0
-        for point in points:
-            total += make_kernel(self.kernel, point, bandwidth).pdf(x)
-        return total / points.shape[0]
+        if label not in self.class_points:
+            return float("-inf")
+        return float(
+            log_kernel_density_batch(
+                x, self.class_points[label], self.bandwidths[label], kernel=self.kernel
+            )
+        )
+
+    def class_density(self, x: Sequence[float] | np.ndarray, label: Hashable) -> float:
+        """Kernel density estimate p(x | c) for one class (0.0 when unknown)."""
+        x = np.asarray(x, dtype=float)
+        if label not in self.class_points:
+            return 0.0
+        return float(
+            kernel_density_batch(
+                x, self.class_points[label], self.bandwidths[label], kernel=self.kernel
+            )
+        )
+
+    def log_posterior(self, x: Sequence[float] | np.ndarray) -> Dict[Hashable, float]:
+        """Unnormalised log posterior ``log P(c) + log p(x | c)`` per class."""
+        if not self.is_fitted:
+            raise ValueError("classifier has not been fitted")
+        return {
+            label: float(np.log(self.priors[label])) + self.class_log_density(x, label)
+            for label in self.class_points
+        }
 
     def posterior(self, x: Sequence[float] | np.ndarray) -> Dict[Hashable, float]:
-        """Unnormalised posterior P(c) * p(x | c) per class."""
+        """Unnormalised posterior P(c) * p(x | c) per class (may underflow; see log_posterior)."""
         if not self.is_fitted:
             raise ValueError("classifier has not been fitted")
         return {
@@ -77,8 +154,24 @@ class KernelBayesClassifier:
         }
 
     def predict(self, x: Sequence[float] | np.ndarray) -> Hashable:
-        scores = self.posterior(x)
+        """Most probable class label for one feature vector (log-space scoring)."""
+        scores = self.log_posterior(x)
         return max(sorted(scores.keys(), key=repr), key=lambda label: scores[label])
 
     def predict_batch(self, points: np.ndarray) -> List[Hashable]:
-        return [self.predict(x) for x in np.asarray(points, dtype=float)]
+        """Most probable class label per row, one vectorised density call per class."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError("points must be an (m, d) array")
+        if not self.is_fitted:
+            raise ValueError("classifier has not been fitted")
+        labels = sorted(self.class_points.keys(), key=repr)
+        scores = np.empty((points.shape[0], len(labels)))
+        for column, label in enumerate(labels):
+            scores[:, column] = float(np.log(self.priors[label])) + log_kernel_density_batch(
+                points, self.class_points[label], self.bandwidths[label], kernel=self.kernel
+            )
+        # argmax over repr-sorted labels: first maximum wins, matching the
+        # scalar predict()'s deterministic tie break.
+        best = np.argmax(scores, axis=1)
+        return [labels[int(i)] for i in best]

@@ -31,9 +31,11 @@ class AnytimeNearestNeighbor:
 
     @property
     def is_fitted(self) -> bool:
+        """True once training objects are available to scan."""
         return self.points is not None
 
     def fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> "AnytimeNearestNeighbor":
+        """Store the training set in a reproducibly shuffled scan order."""
         points = np.asarray(points, dtype=float)
         label_array = np.asarray(labels)
         if points.ndim != 2 or label_array.shape[0] != points.shape[0]:
@@ -42,6 +44,32 @@ class AnytimeNearestNeighbor:
         order = rng.permutation(points.shape[0])
         self.points = points[order]
         self.labels = label_array[order]
+        return self
+
+    def partial_fit(
+        self, points: np.ndarray, labels: Sequence[Hashable]
+    ) -> "AnytimeNearestNeighbor":
+        """Append stream objects to the end of the scan order.
+
+        Unlike :meth:`fit` (which shuffles once, reproducibly), incremental
+        objects are appended in arrival order — the natural scan order of a
+        stream, and the only one that keeps earlier anytime prefixes stable.
+        Labels never seen before simply enter the candidate vote set, so
+        classes appearing mid-stream are handled instead of raising; calling
+        this on an unfitted classifier bootstraps it from the batch.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points[None, :]
+        label_array = np.asarray(labels)
+        if points.ndim != 2 or label_array.shape[0] != points.shape[0]:
+            raise ValueError("points must be (n, d) with one label per row")
+        if self.points is None or self.labels is None:
+            self.points = points.copy()
+            self.labels = label_array.copy()
+        else:
+            self.points = np.vstack([self.points, points])
+            self.labels = np.concatenate([self.labels, label_array])
         return self
 
     def predict_anytime(self, x: Sequence[float] | np.ndarray, budget: int) -> Hashable:
@@ -67,6 +95,7 @@ class AnytimeNearestNeighbor:
         return self.predict_anytime(x, budget=self.points.shape[0])
 
     def predict_batch(self, points: np.ndarray, budget: Optional[int] = None) -> List[Hashable]:
+        """Predict each row, optionally under a shared anytime scan budget."""
         points = np.asarray(points, dtype=float)
         if budget is None:
             return [self.predict(x) for x in points]

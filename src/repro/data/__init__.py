@@ -6,6 +6,7 @@ from .synthetic import (
     Dataset,
     DatasetSpec,
     make_blobs,
+    make_curve_dataset,
     make_dataset,
     make_drift_stream,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "Dataset",
     "DatasetSpec",
     "make_blobs",
+    "make_curve_dataset",
     "make_dataset",
     "make_drift_stream",
 ]

@@ -1,5 +1,13 @@
 """Evaluation harness: metrics, cross-validation and the figure experiments."""
 
+from .battery import (
+    BUDGET_GRID,
+    CLASSIFIER_KINDS,
+    BatteryResult,
+    ScenarioOutcome,
+    format_win_loss_table,
+    run_scenario_battery,
+)
 from .anytime_eval import (
     CrossValidatedCurve,
     anytime_accuracy_curve,
@@ -30,6 +38,12 @@ from .metrics import (
 from .request_trace import RequestRecord, RequestTrace
 
 __all__ = [
+    "BUDGET_GRID",
+    "CLASSIFIER_KINDS",
+    "BatteryResult",
+    "ScenarioOutcome",
+    "format_win_loss_table",
+    "run_scenario_battery",
     "CrossValidatedCurve",
     "anytime_accuracy_curve",
     "build_bulkloaded_classifier",

@@ -1,0 +1,413 @@
+"""Scenario battery: every classifier through every scenario, reproducibly.
+
+The battery drives the anytime Bayes forest plus the three ``baselines/``
+classifiers through the streams materialised from
+:mod:`repro.scenarios`, with a three-phase protocol per scenario:
+
+1. **warm start** — the labelled objects in the leading ``warmup_fraction``
+   of the stream train the initial model (the history a deployed system has
+   on hand before going live);
+2. **prequential live region** — test-then-train in small chunks: each
+   object is first classified under its *arrival budget* (the node budget
+   implied by the scenario's arrival process), then labels whose delivery
+   time has passed are folded in via ``partial_fit``.  Label delay and
+   partial labelling are honoured exactly: a delayed label trains the model
+   only after its delivery position, a withheld label never does;
+3. **frozen holdout** — the trailing ``holdout_fraction`` is classified at
+   every budget of a fixed grid without further learning, yielding the
+   anytime-accuracy-vs-budget curve per classifier.
+
+Budget-insensitive baselines (naive Bayes, kernel Bayes) are evaluated once
+and their accuracy replicated across the grid — they appear in the curves as
+flat lines, which is exactly the paper's point: they cannot trade answer
+quality for time.  The per-scenario win/loss summary marks the forest as
+winning a ``(scenario, budget)`` cell when it is at least as accurate as the
+best baseline at that budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import AnytimeNearestNeighbor, GaussianNaiveBayes, KernelBayesClassifier
+from ..core.classifier import AnytimeBayesClassifier
+from ..scenarios import ScenarioStream, build_scenario, scenario_names
+from .experiment import DEFAULT_EXPERIMENT_CONFIG
+from .metrics import accuracy
+
+__all__ = [
+    "CLASSIFIER_KINDS",
+    "BUDGET_GRID",
+    "ScenarioOutcome",
+    "BatteryResult",
+    "run_scenario_battery",
+    "format_win_loss_table",
+]
+
+#: Classifier line-up every scenario is run through.
+CLASSIFIER_KINDS: Tuple[str, ...] = ("bayes_forest", "naive_bayes", "kernel_bayes", "anytime_knn")
+
+#: Node-budget grid of the holdout anytime-accuracy curves.
+BUDGET_GRID: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: Objects an exhaustive k-NN scan covers per "node" of budget — the leaf
+#: capacity of the default experiment tree, so a budget of ``b`` nodes is
+#: comparable work for both classifier families.
+KNN_SCAN_PER_NODE = 8
+
+
+class _Adapter:
+    """Uniform train/predict facade over one classifier kind."""
+
+    #: Whether predictions react to the node budget at all.
+    budget_sensitive = True
+
+    def __init__(self) -> None:
+        self.fitted = False
+
+    def warm_start(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        """Train the initial model from the warm-up batch."""
+        if len(labels) == 0:
+            return
+        self._fit(points, labels)
+        self.fitted = True
+
+    def learn(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        """Fold newly delivered labels into the model."""
+        if len(labels) == 0:
+            return
+        if not self.fitted:
+            self.warm_start(points, labels)
+            return
+        self._partial_fit(points, labels)
+
+    def predict_budgeted(self, points: np.ndarray, budgets: np.ndarray) -> List[Optional[Hashable]]:
+        """Predict each row under its own node budget (``None`` when unfitted)."""
+        if not self.fitted:
+            return [None] * points.shape[0]
+        return self._predict(points, np.maximum(budgets, 1))
+
+    def _fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        raise NotImplementedError
+
+    def _partial_fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        raise NotImplementedError
+
+    def _predict(self, points: np.ndarray, budgets: np.ndarray) -> List[Optional[Hashable]]:
+        raise NotImplementedError
+
+
+class _ForestAdapter(_Adapter):
+    """The anytime Bayes forest under its configured experiment parameters."""
+
+    def __init__(self, config: Any = None) -> None:
+        super().__init__()
+        self.classifier = AnytimeBayesClassifier(config=config or DEFAULT_EXPERIMENT_CONFIG)
+
+    def _fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        self.classifier.fit(points, labels)
+
+    def _partial_fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        for point, label in zip(points, labels):
+            self.classifier.partial_fit(point, label)
+
+    def _predict(self, points: np.ndarray, budgets: np.ndarray) -> List[Optional[Hashable]]:
+        results = self.classifier.classify_anytime_batch(points, max_nodes=budgets, record_history=False)
+        return [result.final_prediction for result in results]
+
+
+class _NaiveBayesAdapter(_Adapter):
+    """Gaussian naive Bayes — the budget-insensitive left anchor."""
+
+    budget_sensitive = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.classifier = GaussianNaiveBayes()
+
+    def _fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        self.classifier.fit(points, labels)
+
+    def _partial_fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        self.classifier.partial_fit(points, labels)
+
+    def _predict(self, points: np.ndarray, budgets: np.ndarray) -> List[Optional[Hashable]]:
+        return list(self.classifier.predict_batch(points))
+
+
+class _KernelBayesAdapter(_Adapter):
+    """Full kernel-density Bayes — the budget-insensitive asymptote."""
+
+    budget_sensitive = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.classifier = KernelBayesClassifier()
+
+    def _fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        self.classifier.fit(points, labels)
+
+    def _partial_fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        self.classifier.partial_fit(points, labels)
+
+    def _predict(self, points: np.ndarray, budgets: np.ndarray) -> List[Optional[Hashable]]:
+        return list(self.classifier.predict_batch(points))
+
+
+class _KnnAdapter(_Adapter):
+    """Anytime nearest neighbour; node budgets map to scanned objects."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.classifier = AnytimeNearestNeighbor(random_state=0)
+
+    def _fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        self.classifier.fit(points, labels)
+
+    def _partial_fit(self, points: np.ndarray, labels: Sequence[Hashable]) -> None:
+        self.classifier.partial_fit(points, labels)
+
+    def _predict(self, points: np.ndarray, budgets: np.ndarray) -> List[Optional[Hashable]]:
+        return [
+            self.classifier.predict_anytime(point, int(budget) * KNN_SCAN_PER_NODE)
+            for point, budget in zip(points, budgets)
+        ]
+
+
+def _make_adapters(config: Any = None) -> Dict[str, _Adapter]:
+    """Fresh adapter per classifier kind (one line-up per scenario)."""
+    return {
+        "bayes_forest": _ForestAdapter(config=config),
+        "naive_bayes": _NaiveBayesAdapter(),
+        "kernel_bayes": _KernelBayesAdapter(),
+        "anytime_knn": _KnnAdapter(),
+    }
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Everything the battery measured on one scenario.
+
+    ``curves`` maps classifier kind to ``[(budget, accuracy), ...]`` on the
+    frozen holdout; ``prequential`` maps classifier kind to the test-then-
+    train accuracy over the live region under arrival budgets; ``spec`` and
+    ``fingerprint`` are the provenance the published report embeds.
+    """
+
+    scenario: str
+    spec: Dict[str, Any]
+    fingerprint: str
+    size: int
+    labeled_count: int
+    curves: Dict[str, List[Tuple[int, float]]]
+    prequential: Dict[str, float]
+
+    @property
+    def forest_auc(self) -> float:
+        """Mean holdout accuracy of the forest across the budget grid."""
+        curve = self.curves["bayes_forest"]
+        return float(np.mean([acc for _, acc in curve]))
+
+    def win_cells(self) -> List[Tuple[int, bool]]:
+        """Per-budget: did the forest match or beat every baseline?"""
+        cells: List[Tuple[int, bool]] = []
+        baselines = [kind for kind in self.curves if kind != "bayes_forest"]
+        for position, (budget, forest_acc) in enumerate(self.curves["bayes_forest"]):
+            best = max(self.curves[kind][position][1] for kind in baselines)
+            cells.append((budget, forest_acc >= best - 1e-9))
+        return cells
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (the report's per-scenario payload)."""
+        return {
+            "scenario": self.scenario,
+            "spec": self.spec,
+            "fingerprint": self.fingerprint,
+            "size": self.size,
+            "labeled_count": self.labeled_count,
+            "curves": {
+                kind: [[int(b), float(a)] for b, a in curve] for kind, curve in self.curves.items()
+            },
+            "prequential": {kind: float(value) for kind, value in self.prequential.items()},
+            "forest_auc": self.forest_auc,
+        }
+
+
+@dataclass(frozen=True)
+class BatteryResult:
+    """The full battery run: one :class:`ScenarioOutcome` per scenario."""
+
+    outcomes: List[ScenarioOutcome]
+    budgets: Tuple[int, ...]
+    size_scale: float
+    config_note: str = field(default="default experiment config")
+
+    @property
+    def forest_win_rate(self) -> float:
+        """Fraction of ``(scenario, budget)`` cells the forest wins (weakly)."""
+        cells = [won for outcome in self.outcomes for _, won in outcome.win_cells()]
+        return float(np.mean(cells)) if cells else 0.0
+
+    def outcome(self, scenario: str) -> ScenarioOutcome:
+        """Look up one scenario's outcome by name."""
+        for candidate in self.outcomes:
+            if candidate.scenario == scenario:
+                return candidate
+        raise KeyError(f"scenario {scenario!r} not part of this battery run")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation consumed by the report generator."""
+        return {
+            "budgets": list(self.budgets),
+            "size_scale": self.size_scale,
+            "config_note": self.config_note,
+            "forest_win_rate": self.forest_win_rate,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+def _prequential_pass(
+    adapters: Dict[str, _Adapter],
+    stream: ScenarioStream,
+    live_start: int,
+    live_end: int,
+    chunk: int,
+) -> Dict[str, float]:
+    """Test-then-train over ``[live_start, live_end)`` under arrival budgets.
+
+    Labels are delivered between chunks once their delivery position has
+    passed (within-chunk delivery is coalesced to the chunk boundary — the
+    standard chunked-prequential approximation); holdout labels, beyond
+    ``live_end``, are never delivered so the holdout stays frozen.
+    """
+    schedule = [
+        (available, index)
+        for available, index in stream.label_deliveries()
+        if live_start <= index < live_end
+    ]
+    cursor = 0
+    correct: Dict[str, int] = {kind: 0 for kind in adapters}
+    total = 0
+    for start in range(live_start, live_end, chunk):
+        end = min(start + chunk, live_end)
+        points = stream.features[start:end]
+        budgets = stream.budgets[start:end]
+        truth = stream.labels[start:end]
+        total += end - start
+        for kind, adapter in adapters.items():
+            predictions = adapter.predict_budgeted(points, budgets)
+            correct[kind] += int(
+                sum(1 for predicted, actual in zip(predictions, truth) if predicted == actual)
+            )
+        due_indexes: List[int] = []
+        while cursor < len(schedule) and schedule[cursor][0] < end:
+            due_indexes.append(schedule[cursor][1])
+            cursor += 1
+        if due_indexes:
+            train_points = stream.features[due_indexes]
+            train_labels = [stream.labels[index] for index in due_indexes]
+            for adapter in adapters.values():
+                adapter.learn(train_points, train_labels)
+    if total == 0:
+        return {kind: 0.0 for kind in adapters}
+    return {kind: correct[kind] / total for kind in adapters}
+
+
+def _holdout_curves(
+    adapters: Dict[str, _Adapter],
+    stream: ScenarioStream,
+    holdout_start: int,
+    budgets: Tuple[int, ...],
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Frozen-model anytime-accuracy curve per classifier on the holdout."""
+    points = stream.features[holdout_start:]
+    truth = list(stream.labels[holdout_start:])
+    curves: Dict[str, List[Tuple[int, float]]] = {}
+    for kind, adapter in adapters.items():
+        if adapter.budget_sensitive:
+            curve: List[Tuple[int, float]] = []
+            for budget in budgets:
+                constant = np.full(points.shape[0], budget, dtype=np.int64)
+                predictions = adapter.predict_budgeted(points, constant)
+                curve.append((budget, accuracy(predictions, truth)))
+            curves[kind] = curve
+        else:
+            constant = np.full(points.shape[0], budgets[-1], dtype=np.int64)
+            predictions = adapter.predict_budgeted(points, constant)
+            flat = accuracy(predictions, truth)
+            curves[kind] = [(budget, flat) for budget in budgets]
+    return curves
+
+
+def run_scenario_battery(
+    names: Optional[Sequence[str]] = None,
+    size_scale: float = 1.0,
+    config: Any = None,
+    budgets: Tuple[int, ...] = BUDGET_GRID,
+    warmup_fraction: float = 0.25,
+    holdout_fraction: float = 0.2,
+    chunk: int = 32,
+) -> BatteryResult:
+    """Run the scenario battery and return all curves and metrics.
+
+    ``names`` defaults to every registered scenario; pass
+    :data:`repro.scenarios.SMOKE_SCENARIOS` with a small ``size_scale`` for
+    the CI smoke variant.  The run is deterministic: streams come from
+    seeded specs and every classifier in the line-up is seeded or
+    deterministic, so the same arguments always yield the same
+    :class:`BatteryResult`.
+    """
+    if not (0.0 < warmup_fraction < 1.0) or not (0.0 < holdout_fraction < 1.0):
+        raise ValueError("warmup_fraction and holdout_fraction must be in (0, 1)")
+    if warmup_fraction + holdout_fraction >= 1.0:
+        raise ValueError("warmup and holdout fractions must leave a live region")
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+    selected = list(names) if names is not None else scenario_names()
+    outcomes: List[ScenarioOutcome] = []
+    for name in selected:
+        stream = build_scenario(name, size_scale=size_scale)
+        size = stream.size
+        warmup_end = max(1, int(size * warmup_fraction))
+        holdout_start = max(warmup_end, int(size * (1.0 - holdout_fraction)))
+        adapters = _make_adapters(config=config)
+        warm_indexes = [
+            index for index in range(warmup_end) if int(stream.label_available_at[index]) >= 0
+        ]
+        if warm_indexes:
+            warm_points = stream.features[warm_indexes]
+            warm_labels = [stream.labels[index] for index in warm_indexes]
+            for adapter in adapters.values():
+                adapter.warm_start(warm_points, warm_labels)
+        prequential = _prequential_pass(adapters, stream, warmup_end, holdout_start, chunk)
+        curves = _holdout_curves(adapters, stream, holdout_start, budgets)
+        outcomes.append(
+            ScenarioOutcome(
+                scenario=name,
+                spec=stream.spec.to_dict(),
+                fingerprint=stream.fingerprint(),
+                size=size,
+                labeled_count=stream.labeled_count,
+                curves=curves,
+                prequential=prequential,
+            )
+        )
+    return BatteryResult(outcomes=outcomes, budgets=tuple(budgets), size_scale=float(size_scale))
+
+
+def format_win_loss_table(result: BatteryResult) -> str:
+    """Human-readable win/loss summary (one row per scenario)."""
+    lines = ["scenario              wins  cells  forest_auc  best_preq"]
+    for outcome in result.outcomes:
+        cells = outcome.win_cells()
+        wins = sum(1 for _, won in cells if won)
+        best = max(outcome.prequential.items(), key=lambda item: (item[1], item[0]))
+        lines.append(
+            f"{outcome.scenario:<20}  {wins:>4}  {len(cells):>5}  {outcome.forest_auc:>10.3f}"
+            f"  {best[0]} ({best[1]:.3f})"
+        )
+    lines.append(f"forest win rate: {result.forest_win_rate:.3f}")
+    return "\n".join(lines)

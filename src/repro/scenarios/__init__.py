@@ -1,0 +1,34 @@
+"""Declarative, seeded stream scenarios for the anytime-classification battery.
+
+The package has two halves: :mod:`repro.scenarios.spec` defines the
+:class:`ScenarioSpec` recipe language (generator + stream transforms +
+arrival process, all derived from one seed) and the materialised
+:class:`ScenarioStream`; :mod:`repro.scenarios.registry` ships the built-in
+battery and the registration API.  The battery runner lives in
+:mod:`repro.evaluation.battery` and the published report generator in
+``docs/build_scenario_report.py``.
+"""
+
+from .registry import (
+    BUILTIN_SCENARIOS,
+    SMOKE_SCENARIOS,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from .spec import ARRIVAL_KINDS, GENERATOR_KINDS, NEVER_LABELED, ScenarioSpec, ScenarioStream
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "BUILTIN_SCENARIOS",
+    "GENERATOR_KINDS",
+    "NEVER_LABELED",
+    "SMOKE_SCENARIOS",
+    "ScenarioSpec",
+    "ScenarioStream",
+    "build_scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]

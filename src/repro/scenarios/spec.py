@@ -1,0 +1,322 @@
+"""Declarative scenario specifications for the stream-mining battery.
+
+A :class:`ScenarioSpec` is a named, fully seeded recipe that composes the
+repo's generators (:func:`repro.data.synthetic.make_drift_stream`,
+:func:`repro.data.synthetic.make_curve_dataset`) and arrival processes
+(:mod:`repro.stream.arrival`) into one reproducible labelled stream — the
+unit the scenario battery (:mod:`repro.evaluation.battery`) runs classifiers
+through.  On top of the base generator a spec can layer stream-level
+semantics the drift generator alone cannot express:
+
+* **feature drift** — a covariate shift: the whole input distribution
+  migrates along a seeded direction while the class structure *relative to
+  the moving cloud* stays intact (contrast with concept drift, where class
+  regions are reassigned in place);
+* **label delay** — an object's true label only becomes available for
+  training ``label_delay`` arrivals later (verification lag in the paper's
+  health-monitoring motivation);
+* **partial labels** — only a seeded ``label_fraction`` of objects ever get
+  a training label (the rest are classified but never learned from);
+* **adversarial bursts** — arrival-gap compression through
+  :class:`repro.stream.arrival.BurstArrival`, collapsing the anytime budget
+  exactly when traffic surges.
+
+Specs round-trip losslessly through :meth:`ScenarioSpec.to_dict` /
+:meth:`ScenarioSpec.from_dict` (the provenance block of the published
+scenario report), and ``build()`` is a pure function of ``(spec, size_scale)``
+— the same spec and seed always produce a stream with the same
+:meth:`ScenarioStream.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..data.synthetic import DRIFT_KINDS, Dataset, DatasetSpec, make_curve_dataset, make_drift_stream
+from ..stream.arrival import BurstArrival, ConstantArrival, PoissonArrival, gaps_to_node_budgets
+
+__all__ = ["GENERATOR_KINDS", "ARRIVAL_KINDS", "NEVER_LABELED", "ScenarioSpec", "ScenarioStream"]
+
+#: Base feature/label generators a spec may compose.
+GENERATOR_KINDS = ("drift", "curves")
+
+#: Arrival processes a spec may compose (see :mod:`repro.stream.arrival`).
+ARRIVAL_KINDS = ("constant", "poisson", "bursty")
+
+#: Sentinel in ``label_available_at`` for objects whose label never arrives.
+NEVER_LABELED = -1
+
+#: Version stamp embedded in serialized specs (bump on incompatible change).
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, seeded, declarative stream scenario.
+
+    The generator fields select and parameterise the base data: ``"drift"``
+    delegates to :func:`repro.data.synthetic.make_drift_stream` (evolving
+    class regions, arbitrary class counts), ``"curves"`` to
+    :func:`repro.data.synthetic.make_curve_dataset` (stationary curved-
+    manifold classes with arbitrary dimensionality and class priors — the
+    high-dimensional and imbalanced scenarios).  The transform fields layer
+    label-delay / partial-label semantics and the arrival process on top.
+    All randomness derives from ``seed`` alone.
+    """
+
+    name: str
+    description: str
+    size: int
+    n_classes: int
+    n_features: int
+    seed: int
+    generator: str = "drift"
+    # -- "drift" generator knobs (make_drift_stream) --------------------------------
+    drift: str = "none"
+    drift_speed: float = 0.01
+    n_segments: int = 2
+    transition: float = 0.25
+    # -- "curves" generator knobs (make_curve_dataset) ------------------------------
+    latent_dim: int = 5
+    class_separation: float = 1.0
+    curve_amplitude: float = 2.0
+    noise_scale: float = 0.3
+    ambient_noise: float = 0.1
+    class_weights: Optional[Tuple[float, ...]] = None
+    # -- stream-level transforms ----------------------------------------------------
+    feature_drift: float = 0.0
+    label_delay: int = 0
+    label_fraction: float = 1.0
+    # -- arrival process / anytime budgets ------------------------------------------
+    arrival: str = "constant"
+    burst_quiet: int = 0
+    burst_length: int = 0
+    burst_factor: float = 1.0
+    nodes_per_time_unit: float = 16.0
+    max_budget: Optional[int] = 64
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.size < 1:
+            raise ValueError("size must be positive")
+        if self.n_classes < 1 or self.n_features < 1:
+            raise ValueError("n_classes and n_features must be positive")
+        if self.generator not in GENERATOR_KINDS:
+            raise ValueError(f"unknown generator {self.generator!r}; expected one of {GENERATOR_KINDS}")
+        if self.drift not in DRIFT_KINDS:
+            raise ValueError(f"unknown drift kind {self.drift!r}; expected one of {DRIFT_KINDS}")
+        if self.generator == "curves":
+            if self.latent_dim < 1 or self.latent_dim > self.n_features:
+                raise ValueError("curves generator needs 1 <= latent_dim <= n_features")
+            if self.drift != "none":
+                raise ValueError(
+                    "the curves generator is stationary; use feature_drift or the drift generator"
+                )
+        if self.class_weights is not None:
+            if self.generator != "curves":
+                raise ValueError("class_weights require the curves generator")
+            if len(self.class_weights) != self.n_classes:
+                raise ValueError("class_weights must carry one weight per class")
+        if self.feature_drift < 0:
+            raise ValueError("feature_drift must be non-negative")
+        if self.label_delay < 0:
+            raise ValueError("label_delay must be non-negative")
+        if not (0.0 < self.label_fraction <= 1.0):
+            raise ValueError("label_fraction must be in (0, 1]")
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(f"unknown arrival kind {self.arrival!r}; expected one of {ARRIVAL_KINDS}")
+        if self.arrival == "bursty" and (self.burst_quiet < 1 or self.burst_length < 1):
+            raise ValueError("bursty arrival needs positive burst_quiet and burst_length")
+        if self.arrival == "bursty" and self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if self.nodes_per_time_unit <= 0:
+            raise ValueError("nodes_per_time_unit must be positive")
+        if self.max_budget is not None and self.max_budget < 1:
+            raise ValueError("max_budget must be positive (or None for unbounded)")
+
+    # -- serialization --------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-safe representation (the report's provenance block)."""
+        payload = asdict(self)
+        payload["spec_version"] = SPEC_VERSION
+        if payload["class_weights"] is not None:
+            payload["class_weights"] = list(payload["class_weights"])
+        payload["tags"] = list(payload["tags"])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`; validates version and field names."""
+        data = dict(payload)
+        version = data.pop("spec_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(f"unsupported scenario spec version {version!r} (expected {SPEC_VERSION})")
+        known = {name for name in cls.__dataclass_fields__}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown scenario spec fields: {unknown}")
+        if data.get("class_weights") is not None:
+            data["class_weights"] = tuple(float(w) for w in data["class_weights"])
+        data["tags"] = tuple(data.get("tags", ()))
+        return cls(**data)
+
+    # -- stream construction --------------------------------------------------------
+    def scaled_size(self, size_scale: float = 1.0) -> int:
+        """The stream length at a given scale (floored to stay runnable)."""
+        if size_scale <= 0:
+            raise ValueError("size_scale must be positive")
+        return max(32, int(round(self.size * size_scale)))
+
+    def _base_dataset(self, size: int, data_seed: int) -> Dataset:
+        """Generate the base features/labels via the composed generator."""
+        if self.generator == "curves":
+            spec = DatasetSpec(
+                name=self.name,
+                paper_size=self.size,
+                n_classes=self.n_classes,
+                n_features=self.n_features,
+                class_separation=self.class_separation,
+                curve_amplitude=self.curve_amplitude,
+                noise_scale=self.noise_scale,
+                latent_dim=self.latent_dim,
+                ambient_noise=self.ambient_noise,
+            )
+            return make_curve_dataset(
+                spec,
+                size=max(size, self.n_classes),
+                random_state=data_seed,
+                class_weights=self.class_weights,
+            )
+        return make_drift_stream(
+            size=size,
+            n_classes=self.n_classes,
+            n_features=self.n_features,
+            drift=self.drift,
+            drift_speed=self.drift_speed,
+            n_segments=self.n_segments,
+            transition=self.transition,
+            random_state=data_seed,
+        )
+
+    def build(self, size_scale: float = 1.0) -> "ScenarioStream":
+        """Materialise the reproducible stream this spec describes.
+
+        ``size_scale`` shrinks (or grows) the stream length for smoke runs
+        while keeping every other dial — class count, dimensionality, drift
+        shape, delay, arrival pattern — untouched; the scaled stream is just
+        as reproducible (the fingerprint is a function of spec + scale).
+        """
+        size = self.scaled_size(size_scale)
+        root = np.random.default_rng(self.seed)
+        data_seed, transform_seed, label_seed, arrival_seed = (
+            int(value) for value in root.integers(0, 2**31 - 1, size=4)
+        )
+        base = self._base_dataset(size, data_seed)
+        features = np.array(base.features[:size], dtype=float)
+        labels = np.array(base.labels[:size])
+
+        if self.feature_drift > 0.0:
+            transform_rng = np.random.default_rng(transform_seed)
+            direction = transform_rng.normal(size=self.n_features)
+            direction /= np.linalg.norm(direction)
+            ramp = np.linspace(0.0, 1.0, size)
+            features = features + self.feature_drift * ramp[:, None] * direction[None, :]
+
+        label_rng = np.random.default_rng(label_seed)
+        labeled = label_rng.random(size) < self.label_fraction
+        available = np.where(labeled, np.arange(size) + self.label_delay, NEVER_LABELED)
+
+        arrival_rng = np.random.default_rng(arrival_seed)
+        if self.arrival == "poisson":
+            gaps = PoissonArrival(rate=1.0).gaps(size, arrival_rng)
+        elif self.arrival == "bursty":
+            gaps = BurstArrival(
+                quiet_length=self.burst_quiet,
+                burst_length=self.burst_length,
+                burst_factor=self.burst_factor,
+            ).gaps(size, arrival_rng)
+        else:
+            gaps = ConstantArrival(gap=1.0).gaps(size, arrival_rng)
+        budgets = gaps_to_node_budgets(gaps, self.nodes_per_time_unit, self.max_budget)
+        return ScenarioStream(
+            spec=self,
+            size_scale=float(size_scale),
+            features=features,
+            labels=labels,
+            budgets=budgets.astype(np.int64),
+            arrival_times=np.cumsum(gaps),
+            label_available_at=available.astype(np.int64),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioStream:
+    """A materialised scenario: aligned per-object arrays plus provenance.
+
+    ``label_available_at[t]`` is the stream position from which object ``t``'s
+    true label may be used for training (``t + label_delay``), or
+    :data:`NEVER_LABELED` for objects the partial-label transform left
+    unlabelled; evaluation always scores against ``labels[t]`` regardless —
+    the evaluator knows the truth even when the classifier must not.
+    """
+
+    spec: ScenarioSpec
+    size_scale: float
+    features: np.ndarray
+    labels: np.ndarray
+    budgets: np.ndarray
+    arrival_times: np.ndarray
+    label_available_at: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of stream objects."""
+        return int(self.features.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the feature vectors."""
+        return int(self.features.shape[1])
+
+    @property
+    def labeled_count(self) -> int:
+        """Number of objects whose label is (eventually) revealed for training."""
+        return int(np.sum(self.label_available_at != NEVER_LABELED))
+
+    def label_deliveries(self) -> List[Tuple[int, int]]:
+        """The label delivery schedule as sorted ``(available_at, object_index)`` pairs.
+
+        Every labelled object appears exactly once — the conservation
+        invariant the reproducibility tests pin: delaying or withholding
+        labels reorders or removes deliveries but never duplicates them.
+        Deliveries scheduled past the end of the stream are included (a
+        finite replay simply ends before they happen).
+        """
+        indexes = np.nonzero(self.label_available_at != NEVER_LABELED)[0]
+        schedule = [(int(self.label_available_at[i]), int(i)) for i in indexes]
+        schedule.sort()
+        return schedule
+
+    def fingerprint(self) -> str:
+        """Order-sensitive SHA-256 over the stream's full observable content.
+
+        Covers the spec (serialized), scale, exact float bits of every
+        feature, the labels, the per-object anytime budgets and the label
+        delivery schedule — two builds agree on the fingerprint iff they
+        would drive a battery run identically.
+        """
+        digest = hashlib.sha256()
+        digest.update(json.dumps(self.spec.to_dict(), sort_keys=True).encode("utf-8"))
+        digest.update(np.float64(self.size_scale).tobytes())
+        digest.update(np.ascontiguousarray(self.features, dtype=np.float64).tobytes())
+        digest.update(repr(self.labels.tolist()).encode("utf-8"))
+        digest.update(np.ascontiguousarray(self.budgets, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(self.label_available_at, dtype=np.int64).tobytes())
+        return digest.hexdigest()

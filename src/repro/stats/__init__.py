@@ -13,6 +13,8 @@ from .kernel import (
     KERNEL_NAMES,
     EpanechnikovKernel,
     GaussianKernel,
+    kernel_density_batch,
+    log_kernel_density_batch,
     make_kernel,
     silverman_bandwidth,
     silverman_bandwidth_from_stats,
@@ -34,6 +36,8 @@ __all__ = [
     "KERNEL_NAMES",
     "EpanechnikovKernel",
     "GaussianKernel",
+    "kernel_density_batch",
+    "log_kernel_density_batch",
     "make_kernel",
     "silverman_bandwidth",
     "silverman_bandwidth_from_stats",

@@ -22,6 +22,8 @@ __all__ = [
     "GaussianKernel",
     "EpanechnikovKernel",
     "log_epanechnikov_pdf_batch",
+    "kernel_density_batch",
+    "log_kernel_density_batch",
     "make_kernel",
     "KERNEL_NAMES",
 ]
@@ -227,6 +229,64 @@ class EpanechnikovKernel:
 
 
 KERNEL_NAMES = ("gaussian", "epanechnikov")
+
+
+def log_kernel_density_batch(
+    queries: np.ndarray,
+    centers: np.ndarray,
+    bandwidth: np.ndarray,
+    kernel: str = "gaussian",
+) -> np.ndarray:
+    """Log kernel density estimate ``log( mean_i K_h(x - p_i) )`` at many queries.
+
+    ``centers`` is the ``(n, d)`` training set of one density, ``bandwidth``
+    the shared ``(d,)`` bandwidth vector (a scalar is broadcast), ``queries``
+    one ``(d,)`` vector or an ``(m, d)`` batch.  The mean over kernels is
+    taken with log-sum-exp, so the result is finite wherever any kernel
+    contributes — the high-dimensional regime where a linear-space sum of
+    pdf values underflows to an all-zero density is exactly where the full
+    kernel-Bayes baseline needs this path (RL001 keeps the exp confined to
+    ``stats/``).
+    """
+    centers = np.asarray(centers, dtype=float)
+    if centers.ndim != 2 or centers.shape[0] == 0:
+        raise ValueError("centers must be a non-empty (n, d) array")
+    bandwidth = np.asarray(bandwidth, dtype=float)
+    if bandwidth.ndim == 0:
+        bandwidth = np.full(centers.shape[1], float(bandwidth))
+    if bandwidth.shape != (centers.shape[1],):
+        raise ValueError("bandwidth must be a (d,) vector matching the centers")
+    if np.any(bandwidth <= 0):
+        raise ValueError("bandwidth must be strictly positive")
+    spread = np.broadcast_to(bandwidth, centers.shape)
+    if kernel == "gaussian":
+        from .gaussian import log_gaussian_pdf_batch
+
+        log_kernels = log_gaussian_pdf_batch(queries, centers, spread ** 2)
+    elif kernel == "epanechnikov":
+        log_kernels = log_epanechnikov_pdf_batch(queries, centers, spread)
+    else:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNEL_NAMES}")
+    from .gaussian import logsumexp
+
+    result = logsumexp(log_kernels, axis=-1) - np.log(centers.shape[0])
+    return np.asarray(result)
+
+
+def kernel_density_batch(
+    queries: np.ndarray,
+    centers: np.ndarray,
+    bandwidth: np.ndarray,
+    kernel: str = "gaussian",
+) -> np.ndarray:
+    """Linear-space kernel density estimate at many queries.
+
+    ``exp`` of :func:`log_kernel_density_batch` — the probability-space API
+    boundary for callers that report densities directly (underflows to 0.0
+    where the log density falls below float range; use the log variant for
+    classification posteriors).
+    """
+    return np.exp(log_kernel_density_batch(queries, centers, bandwidth, kernel=kernel))
 
 
 def make_kernel(

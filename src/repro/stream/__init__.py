@@ -2,7 +2,7 @@
 async load generation."""
 
 from .anytime import StreamRunResult, StreamStepResult, run_anytime_stream
-from .arrival import ArrivalProcess, ConstantArrival, PoissonArrival, gaps_to_node_budgets
+from .arrival import ArrivalProcess, BurstArrival, ConstantArrival, PoissonArrival, gaps_to_node_budgets
 from .load_gen import aiter_items, aiter_query_batches
 from .stream import DataStream, StreamItem
 
@@ -11,6 +11,7 @@ __all__ = [
     "StreamStepResult",
     "run_anytime_stream",
     "ArrivalProcess",
+    "BurstArrival",
     "ConstantArrival",
     "PoissonArrival",
     "gaps_to_node_budgets",

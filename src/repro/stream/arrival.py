@@ -14,7 +14,13 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["ArrivalProcess", "ConstantArrival", "PoissonArrival", "gaps_to_node_budgets"]
+__all__ = [
+    "ArrivalProcess",
+    "ConstantArrival",
+    "PoissonArrival",
+    "BurstArrival",
+    "gaps_to_node_budgets",
+]
 
 
 class ArrivalProcess(ABC):
@@ -53,6 +59,47 @@ class PoissonArrival(ArrivalProcess):
         if count < 0:
             raise ValueError("count must be non-negative")
         return rng.exponential(scale=1.0 / self.rate, size=count)
+
+
+class BurstArrival(ArrivalProcess):
+    """Adversarial bursts: quiet stretches interrupted by dense arrival storms.
+
+    The stream cycles deterministically through ``quiet_length`` objects with
+    gap ``quiet_gap`` followed by ``burst_length`` objects whose gaps are
+    compressed by ``burst_factor`` (a factor of 50 shrinks the anytime budget
+    to ~2% of its quiet-period value).  This is the worst case for an anytime
+    classifier — exactly when traffic surges, the time per object collapses —
+    and the scenario battery uses it to measure how gracefully accuracy
+    degrades compared to budget-oblivious baselines.  The cycle is a fixed
+    schedule (no rng use), so a seeded stream is reproducible bit for bit.
+    """
+
+    def __init__(
+        self,
+        quiet_length: int,
+        burst_length: int,
+        burst_factor: float,
+        quiet_gap: float = 1.0,
+    ) -> None:
+        if quiet_length < 1 or burst_length < 1:
+            raise ValueError("quiet_length and burst_length must be positive")
+        if burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1 (gaps compress during bursts)")
+        if quiet_gap <= 0:
+            raise ValueError("quiet_gap must be positive")
+        self.quiet_length = quiet_length
+        self.burst_length = burst_length
+        self.burst_factor = burst_factor
+        self.quiet_gap = quiet_gap
+
+    def gaps(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``count`` gaps following the quiet/burst cycle (rng unused)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        period = self.quiet_length + self.burst_length
+        phase = np.arange(count) % period
+        in_burst = phase >= self.quiet_length
+        return np.where(in_burst, self.quiet_gap / self.burst_factor, self.quiet_gap)
 
 
 def gaps_to_node_budgets(gaps: np.ndarray, nodes_per_time_unit: float, max_nodes: Optional[int] = None) -> np.ndarray:

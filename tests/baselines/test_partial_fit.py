@@ -1,0 +1,119 @@
+"""Incremental training of the baseline classifiers, including mid-stream classes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AnytimeNearestNeighbor, GaussianNaiveBayes, KernelBayesClassifier
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(42)
+    a = rng.normal(loc=[0.0, 0.0], scale=0.3, size=(30, 2))
+    b = rng.normal(loc=[4.0, 4.0], scale=0.3, size=(30, 2))
+    c = rng.normal(loc=[-4.0, 4.0], scale=0.3, size=(30, 2))
+    return a, b, c
+
+
+class TestGaussianNaiveBayesPartialFit:
+    def test_unseen_class_mid_stream_does_not_raise(self, blobs):
+        a, b, c = blobs
+        clf = GaussianNaiveBayes().fit(np.vstack([a, b]), [0] * 30 + [1] * 30)
+        clf.partial_fit(c[0], [2])
+        assert 2 in clf.classes
+        assert clf.predict(c[0]) == 2
+
+    def test_single_point_class_widens_with_more_data(self, blobs):
+        a, b, c = blobs
+        clf = GaussianNaiveBayes().fit(np.vstack([a, b]), [0] * 30 + [1] * 30)
+        clf.partial_fit(c, [2] * 30)
+        predictions = clf.predict_batch(c)
+        assert all(p == 2 for p in predictions)
+
+    def test_partial_fit_matches_batch_fit(self, blobs):
+        a, b, _ = blobs
+        points = np.vstack([a, b])
+        labels = [0] * 30 + [1] * 30
+        batch = GaussianNaiveBayes().fit(points, labels)
+        incremental = GaussianNaiveBayes()
+        for point, label in zip(points, labels):
+            incremental.partial_fit(point, [label])
+        for label in (0, 1):
+            np.testing.assert_allclose(batch.models[label].mean, incremental.models[label].mean)
+            np.testing.assert_allclose(
+                batch.models[label].variance, incremental.models[label].variance, rtol=1e-9
+            )
+            assert batch.priors[label] == pytest.approx(incremental.priors[label])
+
+    def test_priors_track_stream_frequencies(self, blobs):
+        a, b, _ = blobs
+        clf = GaussianNaiveBayes().fit(a[:10], [0] * 10)
+        clf.partial_fit(b, [1] * 30)
+        assert clf.priors[1] == pytest.approx(0.75)
+
+    def test_bootstrap_from_unfitted(self, blobs):
+        a, _, _ = blobs
+        clf = GaussianNaiveBayes()
+        clf.partial_fit(a, [0] * 30)
+        assert clf.is_fitted
+        assert clf.predict(a[0]) == 0
+
+
+class TestKernelBayesPartialFit:
+    def test_unseen_class_mid_stream_does_not_raise(self, blobs):
+        a, b, c = blobs
+        clf = KernelBayesClassifier().fit(np.vstack([a, b]), [0] * 30 + [1] * 30)
+        clf.partial_fit(c[0], [2])
+        assert 2 in clf.classes
+        clf.partial_fit(c[1:], [2] * 29)
+        assert clf.predict(c[5]) == 2
+
+    def test_unknown_label_density_is_zero(self, blobs):
+        a, _, _ = blobs
+        clf = KernelBayesClassifier().fit(a, [0] * 30)
+        assert clf.class_density(a[0], "never-seen") == 0.0
+        assert clf.class_log_density(a[0], "never-seen") == float("-inf")
+
+    def test_log_space_survives_high_dimensions(self):
+        rng = np.random.default_rng(0)
+        d = 120
+        a = rng.normal(loc=0.0, scale=0.5, size=(25, d))
+        b = rng.normal(loc=3.0, scale=0.5, size=(25, d))
+        clf = KernelBayesClassifier().fit(np.vstack([a, b]), [0] * 25 + [1] * 25)
+        predictions = clf.predict_batch(np.vstack([a[:5], b[:5]]))
+        assert predictions == [0] * 5 + [1] * 5
+        scores = clf.log_posterior(a[0])
+        assert all(np.isfinite(score) or score == float("-inf") for score in scores.values())
+
+    def test_batch_predict_matches_scalar_predict(self, blobs):
+        a, b, _ = blobs
+        clf = KernelBayesClassifier().fit(np.vstack([a, b]), [0] * 30 + [1] * 30)
+        queries = np.vstack([a[:3], b[:3]])
+        assert clf.predict_batch(queries) == [clf.predict(q) for q in queries]
+
+
+class TestAnytimeNearestNeighborPartialFit:
+    def test_unseen_class_mid_stream_does_not_raise(self, blobs):
+        a, b, c = blobs
+        clf = AnytimeNearestNeighbor(k=3, random_state=0).fit(
+            np.vstack([a, b]), [0] * 30 + [1] * 30
+        )
+        clf.partial_fit(c, [2] * 30)
+        assert clf.predict(c[0]) == 2
+
+    def test_appends_preserve_existing_prefix(self, blobs):
+        a, b, c = blobs
+        clf = AnytimeNearestNeighbor(k=3, random_state=0).fit(
+            np.vstack([a, b]), [0] * 30 + [1] * 30
+        )
+        prefix = clf.points[:10].copy()
+        clf.partial_fit(c[0], [2])
+        np.testing.assert_array_equal(clf.points[:10], prefix)
+        assert clf.points.shape[0] == 61
+
+    def test_bootstrap_from_unfitted(self, blobs):
+        a, _, _ = blobs
+        clf = AnytimeNearestNeighbor(k=1)
+        clf.partial_fit(a, [0] * 30)
+        assert clf.is_fitted
+        assert clf.predict(a[0]) == 0

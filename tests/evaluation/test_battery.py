@@ -1,0 +1,81 @@
+"""Scenario battery runner tests (tier-1 smoke subset)."""
+
+import json
+
+import pytest
+
+from repro.evaluation import (
+    BUDGET_GRID,
+    CLASSIFIER_KINDS,
+    format_win_loss_table,
+    run_scenario_battery,
+)
+from repro.scenarios import SMOKE_SCENARIOS
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_scenario_battery(SMOKE_SCENARIOS[:2], size_scale=0.1)
+
+
+class TestBatteryStructure:
+    def test_one_outcome_per_scenario(self, smoke_result):
+        assert [o.scenario for o in smoke_result.outcomes] == list(SMOKE_SCENARIOS[:2])
+
+    def test_every_classifier_has_a_full_curve(self, smoke_result):
+        for outcome in smoke_result.outcomes:
+            assert sorted(outcome.curves.keys()) == sorted(CLASSIFIER_KINDS)
+            for curve in outcome.curves.values():
+                assert [budget for budget, _ in curve] == list(BUDGET_GRID)
+                assert all(0.0 <= acc <= 1.0 for _, acc in curve)
+
+    def test_prequential_metrics_present_and_bounded(self, smoke_result):
+        for outcome in smoke_result.outcomes:
+            assert sorted(outcome.prequential.keys()) == sorted(CLASSIFIER_KINDS)
+            assert all(0.0 <= value <= 1.0 for value in outcome.prequential.values())
+
+    def test_provenance_embedded(self, smoke_result):
+        for outcome in smoke_result.outcomes:
+            assert outcome.spec["name"] == outcome.scenario
+            assert len(outcome.fingerprint) == 64
+
+    def test_win_cells_cover_budget_grid(self, smoke_result):
+        for outcome in smoke_result.outcomes:
+            assert [budget for budget, _ in outcome.win_cells()] == list(BUDGET_GRID)
+
+    def test_to_dict_is_json_safe(self, smoke_result):
+        payload = json.loads(json.dumps(smoke_result.to_dict()))
+        assert payload["budgets"] == list(BUDGET_GRID)
+        assert len(payload["outcomes"]) == 2
+        assert 0.0 <= payload["forest_win_rate"] <= 1.0
+
+    def test_format_win_loss_table_mentions_each_scenario(self, smoke_result):
+        table = format_win_loss_table(smoke_result)
+        for outcome in smoke_result.outcomes:
+            assert outcome.scenario in table
+        assert "forest win rate" in table
+
+
+class TestBatteryDeterminism:
+    def test_same_arguments_same_result(self):
+        first = run_scenario_battery(SMOKE_SCENARIOS[:1], size_scale=0.1)
+        second = run_scenario_battery(SMOKE_SCENARIOS[:1], size_scale=0.1)
+        assert first.to_dict() == second.to_dict()
+
+
+class TestBatteryValidation:
+    def test_fractions_must_leave_live_region(self):
+        with pytest.raises(ValueError, match="live region"):
+            run_scenario_battery(
+                SMOKE_SCENARIOS[:1], size_scale=0.1, warmup_fraction=0.6, holdout_fraction=0.5
+            )
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_scenario_battery(["does-not-exist"], size_scale=0.1)
+
+    def test_outcome_lookup(self, ):
+        result = run_scenario_battery(SMOKE_SCENARIOS[:1], size_scale=0.1)
+        assert result.outcome(SMOKE_SCENARIOS[0]).scenario == SMOKE_SCENARIOS[0]
+        with pytest.raises(KeyError):
+            result.outcome("missing")

@@ -1,0 +1,198 @@
+"""Scenario spec reproducibility, serialization and label-conservation tests."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    NEVER_LABELED,
+    SMOKE_SCENARIOS,
+    ScenarioSpec,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+
+def _tiny_spec(**overrides):
+    base = dict(
+        name="tiny",
+        description="unit-test scenario",
+        size=120,
+        n_classes=3,
+        n_features=4,
+        seed=7,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestDeterminism:
+    def test_same_spec_same_seed_identical_fingerprint(self):
+        spec = _tiny_spec()
+        assert spec.build().fingerprint() == spec.build().fingerprint()
+
+    def test_identical_streams_bit_for_bit(self):
+        spec = _tiny_spec(label_fraction=0.5, label_delay=10, arrival="poisson")
+        first, second = spec.build(), spec.build()
+        np.testing.assert_array_equal(first.features, second.features)
+        np.testing.assert_array_equal(first.labels, second.labels)
+        np.testing.assert_array_equal(first.budgets, second.budgets)
+        np.testing.assert_array_equal(first.label_available_at, second.label_available_at)
+
+    def test_different_seed_different_fingerprint(self):
+        assert _tiny_spec(seed=7).build().fingerprint() != _tiny_spec(seed=8).build().fingerprint()
+
+    def test_every_builtin_scenario_fingerprint_stable(self):
+        for name in scenario_names():
+            assert build_scenario(name, 0.1).fingerprint() == build_scenario(name, 0.1).fingerprint()
+
+    def test_size_scale_changes_fingerprint(self):
+        spec = _tiny_spec()
+        assert spec.build(1.0).fingerprint() != spec.build(0.5).fingerprint()
+
+
+class TestSerialization:
+    def test_round_trip_every_builtin(self):
+        for spec in BUILTIN_SCENARIOS:
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_preserves_build(self):
+        spec = get_scenario("adversarial_bursts")
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt.build(0.1).fingerprint() == spec.build(0.1).fingerprint()
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        for spec in BUILTIN_SCENARIOS:
+            payload = json.loads(json.dumps(spec.to_dict()))
+            assert ScenarioSpec.from_dict(payload) == spec
+
+    def test_unknown_field_rejected(self):
+        payload = _tiny_spec().to_dict()
+        payload["mystery_knob"] = 3
+        with pytest.raises(ValueError, match="mystery_knob"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_wrong_version_rejected(self):
+        payload = _tiny_spec().to_dict()
+        payload["spec_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            ScenarioSpec.from_dict(payload)
+
+
+class TestLabelSemantics:
+    def test_full_labels_by_default(self):
+        stream = _tiny_spec().build()
+        assert stream.labeled_count == stream.size
+        np.testing.assert_array_equal(stream.label_available_at, np.arange(stream.size))
+
+    def test_label_delay_conserves_label_count(self):
+        plain = _tiny_spec().build()
+        delayed = _tiny_spec(label_delay=25).build()
+        assert delayed.labeled_count == plain.labeled_count == delayed.size
+        np.testing.assert_array_equal(
+            delayed.label_available_at, np.arange(delayed.size) + 25
+        )
+
+    def test_partial_labels_conserve_count_and_never_duplicate(self):
+        stream = _tiny_spec(label_fraction=0.4, label_delay=10).build()
+        deliveries = stream.label_deliveries()
+        assert len(deliveries) == stream.labeled_count
+        assert 0 < stream.labeled_count < stream.size
+        delivered_indexes = [index for _, index in deliveries]
+        assert len(set(delivered_indexes)) == len(delivered_indexes)
+        for available, index in deliveries:
+            assert available == index + 10
+        unlabeled = np.sum(stream.label_available_at == NEVER_LABELED)
+        assert unlabeled + stream.labeled_count == stream.size
+
+    def test_deliveries_sorted_by_availability(self):
+        deliveries = _tiny_spec(label_fraction=0.5, label_delay=5).build().label_deliveries()
+        availability = [available for available, _ in deliveries]
+        assert availability == sorted(availability)
+
+
+class TestStreamShape:
+    def test_aligned_array_lengths(self):
+        stream = _tiny_spec(arrival="poisson").build()
+        n = stream.size
+        assert stream.features.shape == (n, stream.n_features)
+        for array in (stream.labels, stream.budgets, stream.arrival_times, stream.label_available_at):
+            assert array.shape[0] == n
+
+    def test_feature_drift_moves_the_cloud(self):
+        still = _tiny_spec().build()
+        drifted = _tiny_spec(feature_drift=8.0).build()
+        # Same underlying data seed: the early stream barely moved, the late
+        # stream has migrated far from its stationary twin.
+        early = np.linalg.norm(drifted.features[:10] - still.features[:10])
+        late = np.linalg.norm(drifted.features[-10:] - still.features[-10:])
+        assert late > early + 1.0
+
+    def test_bursty_budgets_collapse_inside_bursts(self):
+        stream = _tiny_spec(
+            arrival="bursty", burst_quiet=20, burst_length=10, burst_factor=50.0
+        ).build()
+        assert stream.budgets.min() < stream.budgets.max()
+
+    def test_highdim_scenario_dimensionality(self):
+        stream = build_scenario("highdim_kernels", 0.1)
+        assert stream.n_features >= 100
+
+    def test_extreme_classes_scenario_opens_many_classes(self):
+        stream = build_scenario("extreme_classes", 0.5)
+        assert len(np.unique(stream.labels)) > 500
+
+
+class TestRegistry:
+    def test_at_least_six_builtins(self):
+        assert len(scenario_names()) >= 6
+
+    def test_smoke_subset_is_registered(self):
+        for name in SMOKE_SCENARIOS:
+            assert get_scenario(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("does-not-exist")
+
+    def test_register_rejects_collision_unless_overwrite(self):
+        spec = _tiny_spec(name="highdim_kernels")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(spec)
+
+    def test_register_and_build_custom(self):
+        spec = _tiny_spec(name="custom-unit-test-scenario")
+        try:
+            register_scenario(spec)
+            stream = build_scenario("custom-unit-test-scenario", 0.5)
+            assert stream.spec == spec
+        finally:
+            from repro.scenarios import registry
+
+            registry._REGISTRY.pop("custom-unit-test-scenario", None)
+
+
+class TestValidation:
+    def test_bad_generator(self):
+        with pytest.raises(ValueError, match="generator"):
+            _tiny_spec(generator="mystery")
+
+    def test_bad_label_fraction(self):
+        with pytest.raises(ValueError, match="label_fraction"):
+            _tiny_spec(label_fraction=0.0)
+
+    def test_curves_needs_latent_dim_within_features(self):
+        with pytest.raises(ValueError, match="latent_dim"):
+            _tiny_spec(generator="curves", latent_dim=10, n_features=4)
+
+    def test_class_weights_require_curves(self):
+        with pytest.raises(ValueError, match="class_weights"):
+            _tiny_spec(class_weights=(0.5, 0.3, 0.2))
+
+    def test_bursty_needs_cycle_lengths(self):
+        with pytest.raises(ValueError, match="bursty"):
+            _tiny_spec(arrival="bursty")
