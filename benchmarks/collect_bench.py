@@ -50,6 +50,7 @@ from serving_load import (  # noqa: E402
     run_serving_load,
     run_warm_start_comparison,
 )
+from tenant_churn import run_registry_trace_identity, run_tenant_churn_soak  # noqa: E402
 
 SCHEMA = 1
 
@@ -201,6 +202,37 @@ def _flat_metrics() -> dict:
     return {"descent": descent, "warm_start": warm_start}
 
 
+def _tenant_metrics() -> dict:
+    """Multi-tenant registry: churn-bounded memory, cold loads, trace identity.
+
+    The churn soak rotates 32 tenants through a 4-entry LRU registry — every
+    round to a non-resident tenant is a cold reload plus an eviction — and
+    reports whether resident shared-memory bytes stayed within the capacity
+    bound and whether every evicted segment was actually unlinked (both
+    deterministic verdicts).  The identity run then serves the PR 6
+    fixed-budget batch through a registry-only deployment over *both* HTTP
+    route families (legacy alias and ``/v1``), requiring byte-identical
+    payloads and the unchanged single-tenant classification trace hash.
+    """
+    with tempfile.TemporaryDirectory() as tmpdir:
+        snapshots = []
+        for index in range(4):
+            snapshot = Path(tmpdir) / f"tenant-{index}.npz"
+            build_serving_snapshot(
+                snapshot, train_size=600, query_size=64, random_state=index
+            )
+            snapshots.append(snapshot)
+        main_snapshot = Path(tmpdir) / "forest.npz"
+        queries = build_serving_snapshot(
+            main_snapshot, train_size=1600, query_size=256, random_state=0
+        )
+        churn = run_tenant_churn_soak(
+            snapshots, queries, n_tenants=32, capacity=4, rounds=96, batch=32
+        )
+        identity = run_registry_trace_identity(main_snapshot, queries[:96], node_budget=8)
+    return {"churn": churn, "identity": identity}
+
+
 def _scenario_metrics() -> dict:
     """Scenario-battery smoke headline numbers (fully deterministic).
 
@@ -229,6 +261,7 @@ def collect() -> dict:
     serving = _serving_metrics()
     frontend = _frontend_metrics()
     flat = _flat_metrics()
+    tenant = _tenant_metrics()
     scenarios = _scenario_metrics()
     drift = run_drift_recovery_experiment(
         size=600, warmup=64, window=100, decay_rate=0.02, expiry_threshold=1e-3, random_state=0
@@ -300,6 +333,40 @@ def collect() -> dict:
             "direction": "higher",
             "note": "object-graph over flat-column classify_anytime_batch wall-clock (same machine, in-process)",
         },
+        "tenant_churn_bounded": {
+            "value": (
+                1.0
+                if (
+                    tenant["churn"]["bounded"]
+                    and tenant["churn"]["leaked_segments"] == 0
+                    and tenant["churn"]["leaked_after_close"] == 0
+                )
+                else 0.0
+            ),
+            "direction": "higher",
+            "note": (
+                "32-tenant churn over a 4-entry registry: resident shm bytes within "
+                "capacity bound AND zero leaked segments (deterministic; 1.0 or broken)"
+            ),
+        },
+        "tenant_trace_identical": {
+            "value": 1.0 if tenant["identity"]["identical"] else 0.0,
+            "direction": "higher",
+            "note": (
+                "registry-served fixed-budget batch byte-identical across legacy and /v1 "
+                "routes and equal to the lockstep trace predictions (deterministic; 1.0 or broken)"
+            ),
+        },
+        "tenant_churn_p99_norm": {
+            "value": tenant["churn"]["p99_ms"] / 1000.0 / calibration,
+            "direction": "lower",
+            "note": "p99 round latency under tenant churn / calibration seconds (cold reloads included)",
+        },
+        "tenant_cold_load_norm": {
+            "value": tenant["churn"]["cold_load_ms_mean"] / 1000.0 / calibration,
+            "direction": "lower",
+            "note": "mean cold tenant load (manifest read + compile + shm publish) / calibration seconds",
+        },
         "scenario_forest_win_rate": {
             "value": scenarios["forest_win_rate"],
             "direction": "higher",
@@ -340,6 +407,11 @@ def collect() -> dict:
         # zero-copy vs object-loading comparison (per-worker warm-start
         # latency and shared/private RSS split from /proc).
         "flat": flat,
+        # Multi-tenant registry detail for the PR 9 acceptance record: the
+        # full churn-soak report (bounded-memory and no-leak verdicts, cold
+        # reload latencies) and the both-route-families trace-identity run
+        # whose hash must match the PR 6 single-tenant front-end hash.
+        "tenant": tenant,
         # Scenario-battery headline detail (smoke subset; the full battery
         # runs nightly and in the published docs report).
         "scenarios": scenarios,
@@ -348,7 +420,7 @@ def collect() -> dict:
 
 def main(argv: "Optional[Sequence[str]]" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_pr6.json", help="where to write the JSON report")
+    parser.add_argument("--output", default="BENCH_pr9.json", help="where to write the JSON report")
     args = parser.parse_args(argv)
     report = collect()
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")

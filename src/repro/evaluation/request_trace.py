@@ -44,6 +44,10 @@ class RequestRecord:
         choice, the caller's fixed value, or ``None`` for full refinement.
     latency_s:
         Enqueue-to-result wall-clock seconds (``None`` for failed requests).
+    tenant:
+        The tenant whose model served the request, when the trace comes from
+        multi-tenant serving (``None`` for single-tenant traces — the
+        pre-multi-tenant record shape is unchanged).
     """
 
     index: int
@@ -53,6 +57,7 @@ class RequestRecord:
     prediction: Optional[Hashable] = None
     node_budget: Optional[int] = None
     latency_s: Optional[float] = None
+    tenant: Optional[str] = None
 
 
 class RequestTrace:
@@ -88,6 +93,17 @@ class RequestTrace:
         for record in self._records:
             counts[record.status] = counts.get(record.status, 0) + 1
         return counts
+
+    def by_tenant(self) -> "Dict[Optional[str], RequestTrace]":
+        """Split the trace into per-tenant sub-traces (insertion order kept).
+
+        Untagged records group under the ``None`` key, so single-tenant
+        traces come back unchanged as ``{None: trace}``.
+        """
+        groups: "Dict[Optional[str], List[RequestRecord]]" = {}
+        for record in self._records:
+            groups.setdefault(record.tenant, []).append(record)
+        return {tenant: RequestTrace(records) for tenant, records in groups.items()}
 
     def latency_summary(self, percentiles: Sequence[float] = (50.0, 99.0)) -> Dict[str, float]:
         """Latency percentiles (ms) over the served requests.
@@ -125,6 +141,13 @@ class RequestTrace:
         }
         if served:
             summary["latency_ms"] = self.latency_summary()
+        tenants = self.by_tenant()
+        if tenants and set(tenants) != {None}:
+            # Multi-tenant trace: nest one summary per tenant (tagged only —
+            # recursion stops because sub-traces are single-tenant).
+            summary["tenants"] = {
+                tenant: sub.summary() for tenant, sub in tenants.items() if tenant is not None
+            }
         return summary
 
     def to_jsonable(self) -> List[dict]:

@@ -14,6 +14,12 @@ Snapshots additionally carry the compiled flat-forest columns
 members: ``load_flat_forest`` opens the read-optimised twin of the same
 forest without rebuilding an object graph, and ``read_flat_columns`` exposes
 the raw columns for the serving engine to place in shared memory.
+
+Multi-tenant deployments additionally persist a *tenant manifest*
+(:mod:`repro.persist.tenants`): a small versioned JSON catalogue mapping
+tenant names to snapshot paths and per-tenant serving policies, plus an
+optional shared global-prior snapshot — the durable half of
+:class:`repro.serving.ModelRegistry`.
 """
 
 from .snapshot import (
@@ -26,14 +32,22 @@ from .snapshot import (
     read_manifest,
     save_forest,
 )
+from .tenants import (
+    TENANT_MANIFEST_VERSION,
+    read_tenant_manifest,
+    save_tenant_manifest,
+)
 
 __all__ = [
     "FORMAT_VERSION",
+    "TENANT_MANIFEST_VERSION",
     "SnapshotError",
     "SnapshotVersionError",
     "load_flat_forest",
     "load_forest",
     "read_flat_columns",
     "read_manifest",
+    "read_tenant_manifest",
     "save_forest",
+    "save_tenant_manifest",
 ]

@@ -21,24 +21,43 @@ deadlines and load-adaptive node budgets (:data:`ADAPTIVE`), and
 endpoint for external load generators — including ``/stats``, which reports
 the engine's worker warm-start latency, shared/private RSS split and forest
 structure health.
+
+Multi-tenant serving (:mod:`repro.serving.registry`) scales the same stack
+to many independent forests: :class:`ModelRegistry` keeps an LRU cache of
+per-tenant flat-snapshot segments (bounded count and bytes, drain-before-
+unlink eviction), applies per-tenant :class:`TenantPolicy` budget clamps,
+falls back to a shared global prior for unknown tenants, and plugs into
+:class:`AsyncServingClient` / :class:`HttpFrontend` via ``tenant=`` and the
+versioned ``/v1/tenants/{tenant}/...`` routes.  Every request failure across
+the stack derives from :class:`ServingError` (:mod:`repro.serving.errors`),
+which carries the stable wire code the HTTP error envelope exposes.
 """
 
 from .engine import ServingEngine, ServingStats, plan_shard_assignment
+from .errors import (
+    ERROR_CODES,
+    DeadlineExceededError,
+    FrontendClosedError,
+    FrontendError,
+    QueueFullError,
+    RegistryCapacityError,
+    RegistryClosedError,
+    ServingError,
+    TenantNotFoundError,
+    error_envelope,
+)
 from .frontend import (
     ADAPTIVE,
     AdaptiveBudgetPolicy,
     ArrivalRateEstimator,
     AsyncServingClient,
     ClassifyResult,
-    DeadlineExceededError,
-    FrontendClosedError,
-    FrontendError,
     FrontendStats,
     HttpFrontend,
-    QueueFullError,
     drive_open_loop,
 )
-from .shared_mem import SharedColumnStore, attach_columns, memory_profile
+from .registry import ModelRegistry, RegistryStats, TenantPolicy
+from .shared_mem import SharedColumnStore, attach_columns, memory_profile, segment_exists
 
 __all__ = [
     "ServingEngine",
@@ -47,16 +66,26 @@ __all__ = [
     "SharedColumnStore",
     "attach_columns",
     "memory_profile",
+    "segment_exists",
+    "ModelRegistry",
+    "RegistryStats",
+    "TenantPolicy",
     "ADAPTIVE",
     "AdaptiveBudgetPolicy",
     "ArrivalRateEstimator",
     "AsyncServingClient",
     "ClassifyResult",
+    "ERROR_CODES",
     "DeadlineExceededError",
     "FrontendClosedError",
     "FrontendError",
+    "QueueFullError",
+    "RegistryCapacityError",
+    "RegistryClosedError",
+    "ServingError",
+    "TenantNotFoundError",
+    "error_envelope",
     "FrontendStats",
     "HttpFrontend",
-    "QueueFullError",
     "drive_open_loop",
 ]

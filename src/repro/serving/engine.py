@@ -559,10 +559,13 @@ class ServingEngine:
         deployment (shared segment name and size, per-worker warm-start
         latency and shared/private RSS) and the forest structure-health
         summary computed from the flat interval columns.  Safe to call
-        concurrently with serving.
+        concurrently with serving.  The document carries a
+        ``schema_version`` key (currently ``2``) stamping its shape, shared
+        with :meth:`repro.serving.ModelRegistry.stats_snapshot`.
         """
         with self._stats_lock:
             counters = {
+                "schema_version": 2,
                 "requests": self.stats.requests,
                 "batches": self.stats.batches,
                 "swaps": self.stats.swaps,
@@ -756,7 +759,7 @@ class ServingEngine:
         return predictions
 
     # -- micro-batching request scheduler ----------------------------------------------------
-    def submit(
+    def classify(
         self, features: Sequence[float] | np.ndarray, node_budget: "Optional[BudgetSpec]" = None
     ) -> Future:
         """Enqueue one query; returns a future resolving to its predicted label.
@@ -769,7 +772,8 @@ class ServingEngine:
         asyncio callers prefer
         :meth:`repro.serving.AsyncServingClient.classify`, which adds
         deadlines, backpressure and adaptive budgets on top of the same
-        engine rounds.
+        engine rounds.  (Known as ``submit`` before the v1 API redesign;
+        the old name survives as a deprecated alias.)
         """
         features = np.asarray(features, dtype=float)
         if features.shape != (self.dimension,):
@@ -786,6 +790,24 @@ class ServingEngine:
                 self._dispatcher.start()
             self._cond.notify_all()
         return future
+
+    def submit(
+        self, features: Sequence[float] | np.ndarray, node_budget: "Optional[BudgetSpec]" = None
+    ) -> Future:
+        """Deprecated alias of :meth:`classify` (pre-v1 name; warns, still works).
+
+        The v1 API redesign settled on ``classify`` across the engine, the
+        async client and the HTTP surface; ``submit`` collided with
+        :meth:`concurrent.futures.Executor.submit` and said nothing about
+        *what* is being done.  Existing callers keep working — they just see
+        a :class:`DeprecationWarning`.
+        """
+        warnings.warn(
+            "ServingEngine.submit() is deprecated; use ServingEngine.classify()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.classify(features, node_budget=node_budget)
 
     def flush(self) -> None:
         """Block until every request submitted so far has been dispatched."""

@@ -32,7 +32,17 @@ layer so real (network) arrivals feed the same scatter/gather rounds:
 * :func:`drive_open_loop` — an open-loop load driver that replays a
   :class:`~repro.stream.DataStream` against a client at its arrival
   timestamps and returns per-request records for
-  :class:`~repro.evaluation.RequestTrace`.
+  :class:`~repro.evaluation.RequestTrace` (optionally tenant-tagged).
+
+Since the v1 API redesign the front-end is **multi-tenant**: the client can
+route requests to a :class:`~repro.serving.ModelRegistry` (``tenant="acme"``)
+as well as to a single :class:`ServingEngine`, and the HTTP shim exposes the
+versioned ``/v1/tenants/{tenant}/...`` surface plus ``/v1/registry``.  The
+pre-v1 unversioned routes survive as thin aliases onto the ``default``
+tenant — same handlers, byte-identical payloads.  All endpoints share one
+structured error envelope (see :mod:`repro.serving.errors`)::
+
+    {"error": {"code": "queue_full", "message": "...", "retry_after_ms": 50}}
 
 Fixed-budget and full-refinement requests are served by exactly the same
 engine entry point a direct caller would use, so their predictions are
@@ -47,11 +57,20 @@ import functools
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Awaitable, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Awaitable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .engine import ServingEngine
+from .errors import (
+    DeadlineExceededError,
+    FrontendClosedError,
+    FrontendError,
+    QueueFullError,
+    TenantNotFoundError,
+    error_envelope,
+)
+from .registry import ModelRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from pathlib import Path
@@ -78,22 +97,6 @@ __all__ = [
 ADAPTIVE = "adaptive"
 
 _UNSET = object()
-
-
-class FrontendError(RuntimeError):
-    """Base class of the async front-end's request failures."""
-
-
-class QueueFullError(FrontendError):
-    """Raised when the bounded request queue is full (backpressure, HTTP 503)."""
-
-
-class DeadlineExceededError(FrontendError):
-    """Raised when a request's deadline passed before its result (HTTP 504)."""
-
-
-class FrontendClosedError(FrontendError):
-    """Raised for requests submitted to (or abandoned by) a closed client."""
 
 
 @dataclass(frozen=True)
@@ -281,6 +284,7 @@ class _PendingRequest:
     deadline: Optional[float]  # absolute loop time, None = no deadline
     future: asyncio.Future = field(repr=False)
     enqueued: float = 0.0
+    tenant: str = "default"
 
 
 class AsyncServingClient:
@@ -301,10 +305,20 @@ class AsyncServingClient:
     Parameters
     ----------
     engine:
-        The engine to serve from.  The client does not take ownership:
-        closing the client leaves the engine running.
+        The engine serving the *default tenant*.  Optional when ``registry``
+        is given (then every tenant, the default included, routes to the
+        registry).  The client does not take ownership: closing the client
+        leaves the engine running.
+    registry:
+        Optional :class:`~repro.serving.ModelRegistry` serving the
+        non-default tenants (and the default one too when no ``engine`` is
+        given).  At least one of ``engine``/``registry`` is required.
+    default_tenant:
+        The tenant name requests without an explicit ``tenant=`` resolve to
+        (the tenant the legacy unversioned HTTP routes alias onto).
     max_batch / linger_s:
-        Micro-batching knobs; default to the engine's settings.
+        Micro-batching knobs; default to the engine's settings (or the
+        engine constructor defaults when only a registry is given).
     max_pending:
         Bound of the request queue (backpressure threshold).
     default_budget:
@@ -317,21 +331,31 @@ class AsyncServingClient:
 
     def __init__(
         self,
-        engine: ServingEngine,
+        engine: Optional[ServingEngine] = None,
         max_batch: Optional[int] = None,
         linger_s: Optional[float] = None,
         max_pending: int = 1024,
         default_budget: object = None,
         budget_policy: Optional[AdaptiveBudgetPolicy] = None,
         estimator: Optional[ArrivalRateEstimator] = None,
+        registry: Optional[ModelRegistry] = None,
+        default_tenant: str = "default",
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
+        if engine is None and registry is None:
+            raise ValueError("need an engine, a registry, or both")
+        if not default_tenant:
+            raise ValueError("default_tenant must be a non-empty string")
         self._engine = engine
-        self.max_batch = int(max_batch if max_batch is not None else engine.max_batch)
+        self._registry = registry
+        self.default_tenant = str(default_tenant)
+        engine_batch = engine.max_batch if engine is not None else 256
+        engine_linger = engine.linger_s if engine is not None else 0.002
+        self.max_batch = int(max_batch if max_batch is not None else engine_batch)
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
-        self.linger_s = float(engine.linger_s if linger_s is None else linger_s)
+        self.linger_s = float(engine_linger if linger_s is None else linger_s)
         if self.linger_s < 0:
             raise ValueError("linger_s must be non-negative")
         self.max_pending = int(max_pending)
@@ -346,9 +370,40 @@ class AsyncServingClient:
 
     # -- public API ---------------------------------------------------------------------------
     @property
-    def engine(self) -> ServingEngine:
-        """The wrapped serving engine."""
+    def engine(self) -> Optional[ServingEngine]:
+        """The default tenant's serving engine (``None`` in registry-only mode)."""
         return self._engine
+
+    @property
+    def registry(self) -> Optional[ModelRegistry]:
+        """The model registry serving non-default tenants, when configured."""
+        return self._registry
+
+    def _resolve_tenant(self, tenant: Optional[str]) -> str:
+        """Map the request's ``tenant=`` (``None`` = default) to a concrete name."""
+        if tenant is None:
+            return self.default_tenant
+        if not isinstance(tenant, str) or not tenant:
+            raise ValueError("tenant must be a non-empty string")
+        return tenant
+
+    def _expected_dimension(self, tenant: str) -> Optional[int]:
+        """Feature dimension to validate against now, if any backend knows it."""
+        if tenant == self.default_tenant and self._engine is not None:
+            return self._engine.dimension
+        if self._registry is not None:
+            return self._registry.expected_dimension(tenant)
+        return None
+
+    def _node_cost(self) -> Optional[float]:
+        """The calibrated seconds-per-node-read hint from whichever backend has one."""
+        if self._engine is not None:
+            cost = self._engine.node_cost_estimate()
+            if cost is not None:
+                return cost
+        if self._registry is not None:
+            return self._registry.node_cost_estimate()
+        return None
 
     @property
     def queue_depth(self) -> int:
@@ -361,6 +416,7 @@ class AsyncServingClient:
         node_budget: object = _UNSET,
         deadline_ms: Optional[float] = None,
         detail: bool = False,
+        tenant: Optional[str] = None,
     ) -> "ClassifyResult | Hashable":
         """Classify one feature vector through the micro-batched engine.
 
@@ -380,6 +436,9 @@ class AsyncServingClient:
         detail:
             When true, return a :class:`ClassifyResult` (prediction, granted
             budget, latency) instead of the bare label.
+        tenant:
+            Which tenant's model serves the request (``None`` = the client's
+            ``default_tenant``).  Non-default tenants require a registry.
 
         Returns
         -------
@@ -393,12 +452,17 @@ class AsyncServingClient:
             If the deadline passes before the result is available.
         FrontendClosedError
             If the client is closed (or closes without draining).
+        TenantNotFoundError
+            If the tenant resolves to no model (no registry, or an
+            unregistered tenant without a prior snapshot).
         ValueError
-            If ``features`` does not match the engine dimension.
+            If ``features`` does not match the tenant's model dimension.
         """
         features = np.asarray(features, dtype=float)
-        if features.shape != (self._engine.dimension,):
-            raise ValueError(f"features must have shape ({self._engine.dimension},)")
+        resolved_tenant = self._resolve_tenant(tenant)
+        expected = self._expected_dimension(resolved_tenant)
+        if features.ndim != 1 or (expected is not None and features.shape != (expected,)):
+            raise ValueError(f"features must have shape ({expected or 'dimension'},)")
         if self._closed:
             raise FrontendClosedError("async serving client is closed")
         loop = asyncio.get_running_loop()
@@ -412,7 +476,7 @@ class AsyncServingClient:
                 f"request queue is full ({self.max_pending} pending); retry later"
             )
         budget = self._normalize_budget(node_budget)
-        request = self._enqueue(features, budget, deadline_ms, now, loop)
+        request = self._enqueue(features, budget, deadline_ms, now, loop, resolved_tenant)
         result = await self._await_result(request, deadline_ms, now)
         if detail:
             return ClassifyResult(
@@ -440,6 +504,7 @@ class AsyncServingClient:
         deadline_ms: Optional[float],
         now: float,
         loop: asyncio.AbstractEventLoop,
+        tenant: str,
     ) -> _PendingRequest:
         """Append one validated request to the queue and wake the batcher.
 
@@ -452,6 +517,7 @@ class AsyncServingClient:
             deadline=None if deadline_ms is None else now + float(deadline_ms) / 1e3,
             future=loop.create_future(),
             enqueued=now,
+            tenant=tenant,
         )
         self._pending.append(request)
         self.stats.submitted += 1
@@ -477,6 +543,7 @@ class AsyncServingClient:
         queries: np.ndarray,
         node_budget: object = _UNSET,
         deadline_ms: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> List[Hashable]:
         """Classify a ``(m, dimension)`` block; returns labels in query order.
 
@@ -484,12 +551,15 @@ class AsyncServingClient:
         it coalesces with concurrent callers); admission is all-or-nothing
         and atomic — every row is enqueued without yielding to the event
         loop, so either the whole block is queued or none of it is and
-        :class:`QueueFullError` is raised.  Raises like :meth:`classify`
-        otherwise.
+        :class:`QueueFullError` is raised.  ``tenant`` routes the whole
+        block to one tenant's model, as in :meth:`classify`.  Raises like
+        :meth:`classify` otherwise.
         """
         queries = np.asarray(queries, dtype=float)
-        if queries.ndim != 2 or queries.shape[1] != self._engine.dimension:
-            raise ValueError(f"queries must be an (m, {self._engine.dimension}) array")
+        resolved_tenant = self._resolve_tenant(tenant)
+        expected = self._expected_dimension(resolved_tenant)
+        if queries.ndim != 2 or (expected is not None and queries.shape[1] != expected):
+            raise ValueError(f"queries must be an (m, {expected or 'dimension'}) array")
         if self._closed:
             raise FrontendClosedError("async serving client is closed")
         loop = asyncio.get_running_loop()
@@ -503,23 +573,41 @@ class AsyncServingClient:
                 f"({self.max_pending - len(self._pending)} slots free)"
             )
         budget = self._normalize_budget(node_budget)
-        requests = [self._enqueue(row, budget, deadline_ms, now, loop) for row in queries]
+        requests = [
+            self._enqueue(row, budget, deadline_ms, now, loop, resolved_tenant)
+            for row in queries
+        ]
         results = await asyncio.gather(
             *(self._await_result(request, deadline_ms, now) for request in requests)
         )
         return [result[0] for result in results]
 
-    async def swap_snapshot(self, snapshot_path: "str | Path") -> None:
-        """Hot-swap the engine to a new snapshot without dropping requests.
+    async def swap_snapshot(
+        self, snapshot_path: "str | Path", tenant: Optional[str] = None
+    ) -> None:
+        """Hot-swap one tenant's model to a new snapshot without dropping requests.
 
-        Runs :meth:`ServingEngine.swap_snapshot` in a worker thread: in-flight
-        rounds finish on the old snapshot, queued requests are served by the
-        new one once the swap completes.  Raises whatever the engine-side
-        validation raises (bad container, dimension mismatch).
+        For the engine-backed default tenant this runs
+        :meth:`ServingEngine.swap_snapshot` in a worker thread; for
+        registry-backed tenants it runs :meth:`ModelRegistry.load` (which
+        registers the tenant if needed).  Either way in-flight rounds finish
+        on the old snapshot and queued requests are served by the new one
+        once the swap completes.  Raises whatever the backend validation
+        raises (bad container, dimension mismatch).
         """
+        resolved_tenant = self._resolve_tenant(tenant)
         loop = asyncio.get_running_loop()
+        if resolved_tenant == self.default_tenant and self._engine is not None:
+            await loop.run_in_executor(
+                None, functools.partial(self._engine.swap_snapshot, snapshot_path)
+            )
+            return
+        if self._registry is None:
+            raise TenantNotFoundError(
+                f"tenant {resolved_tenant!r} cannot be swapped: no model registry"
+            )
         await loop.run_in_executor(
-            None, functools.partial(self._engine.swap_snapshot, snapshot_path)
+            None, functools.partial(self._registry.load, resolved_tenant, snapshot_path)
         )
 
     def stats_snapshot(self) -> dict:
@@ -611,13 +699,17 @@ class AsyncServingClient:
                 live.append(request)
         if not live:
             return
-        unbudgeted = [request for request in live if request.node_budget is None]
-        budgeted = [request for request in live if request.node_budget is not None]
+        # Rounds are homogeneous in (tenant, budgeted-ness): different tenants
+        # hit different models, and full-refinement vs budgeted requests take
+        # different sharding paths.  Grouping preserves arrival order within
+        # each group, which is what keeps per-tenant traces deterministic.
+        groups: "Dict[Tuple[str, bool], List[_PendingRequest]]" = {}
+        for request in live:
+            groups.setdefault((request.tenant, request.node_budget is None), []).append(request)
         rounds: List[Awaitable[None]] = []
-        if unbudgeted:
-            rounds.append(self._execute_group(unbudgeted, budgets=None))
-        if budgeted:
-            rounds.append(self._execute_group(budgeted, budgets=self._resolve_budgets(budgeted)))
+        for (tenant, unbudgeted), group in groups.items():
+            budgets = None if unbudgeted else self._resolve_budgets(group)
+            rounds.append(self._execute_group(group, budgets=budgets, tenant=tenant))
         # The engine supports concurrent serving rounds (readers side of the
         # swap guard), so the slow full-refinement round must not delay the
         # deadline-carrying budgeted one behind it.
@@ -638,11 +730,11 @@ class AsyncServingClient:
         chosen: Optional[int] = None
         if adaptive:
             chosen = self.budget_policy.budget(
-                self.estimator.mean_gap_s, node_cost_hint=self._engine.node_cost_estimate()
+                self.estimator.mean_gap_s, node_cost_hint=self._node_cost()
             )
             deadlines = [request.deadline for request in adaptive if request.deadline is not None]
             if deadlines:
-                cost = self._engine.node_cost_estimate()
+                cost = self._node_cost()
                 if cost is not None and cost > 0:
                     loop = asyncio.get_running_loop()
                     remaining = max(min(deadlines) - loop.time(), 0.0)
@@ -655,12 +747,40 @@ class AsyncServingClient:
             for request in budgeted
         ]
 
+    def _backend_call(
+        self, tenant: str, features: np.ndarray, budgets: Optional[List[int]]
+    ) -> "functools.partial[List[Hashable]]":
+        """The blocking one-round call for a tenant: engine or registry.
+
+        The engine serves the default tenant when present (the pre-v1
+        single-model deployment — byte- and trace-identical to the legacy
+        path); everything else goes through the registry.  A tenant with no
+        backend fails the whole group with
+        :class:`~repro.serving.TenantNotFoundError`.
+        """
+        if tenant == self.default_tenant and self._engine is not None:
+            return functools.partial(self._engine.predict_batch, features, node_budget=budgets)
+        if self._registry is None:
+            raise TenantNotFoundError(
+                f"tenant {tenant!r} has no serving backend (no model registry configured)"
+            )
+        return functools.partial(
+            self._registry.predict_batch, tenant, features, node_budget=budgets
+        )
+
     async def _execute_group(
-        self, group: List[_PendingRequest], budgets: Optional[List[int]]
+        self, group: List[_PendingRequest], budgets: Optional[List[int]], tenant: str
     ) -> None:
         loop = asyncio.get_running_loop()
         features = np.stack([request.features for request in group])
-        call = functools.partial(self._engine.predict_batch, features, node_budget=budgets)
+        try:
+            call = self._backend_call(tenant, features, budgets)
+        except TenantNotFoundError as error:
+            for request in group:
+                if not request.future.done():
+                    self.stats.failed += 1
+                    request.future.set_exception(error)
+            return
         self.stats.batches += 1
         try:
             predictions = await loop.run_in_executor(None, call)
@@ -685,6 +805,7 @@ async def drive_open_loop(
     limit: Optional[int] = None,
     node_budget: object = _UNSET,
     deadline_ms: Optional[float] = None,
+    tenant: Optional[str] = None,
 ) -> List[dict]:
     """Replay a :class:`~repro.stream.DataStream` against a client, open loop.
 
@@ -696,7 +817,10 @@ async def drive_open_loop(
     ``arrival_time``, ``label``, ``status`` of ``"ok" | "deadline" |
     "rejected" | "closed"``, and for served requests ``prediction``,
     ``node_budget``, ``latency_s``) suitable for
-    :meth:`repro.evaluation.RequestTrace.from_records`.
+    :meth:`repro.evaluation.RequestTrace.from_records`.  When ``tenant`` is
+    given, every request routes to that tenant's model and every record is
+    tagged with a ``tenant`` key, so traces from a multi-tenant soak can be
+    sliced per tenant.
     """
     from ..stream.load_gen import aiter_items
 
@@ -709,9 +833,15 @@ async def drive_open_loop(
             "arrival_time": item.arrival_time,
             "label": item.label,
         }
+        if tenant is not None:
+            record["tenant"] = tenant
         try:
             result = await client.classify(
-                item.features, node_budget=node_budget, deadline_ms=deadline_ms, detail=True
+                item.features,
+                node_budget=node_budget,
+                deadline_ms=deadline_ms,
+                detail=True,
+                tenant=tenant,
             )
         except DeadlineExceededError:
             record.update(status="deadline")
@@ -747,11 +877,12 @@ def _jsonable(value: object) -> object:
 
 
 class _HttpError(Exception):
-    """Internal: an HTTP error response with status and message."""
+    """Internal: an HTTP error response with status, stable code and message."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, code: Optional[str] = None) -> None:
         super().__init__(message)
         self.status = status
+        self.code = code if code is not None else ("not_found" if status == 404 else "bad_request")
 
 
 _STATUS_TEXT = {
@@ -770,21 +901,83 @@ _MAX_HEADER_LINES = 64
 class HttpFrontend:
     """Minimal stdlib HTTP/1.1 shim over an :class:`AsyncServingClient`.
 
-    One JSON document per request and response body.  Endpoints:
+    One JSON document per request and response body.  The **v1 surface** is
+    tenant-scoped; the pre-v1 unversioned routes are kept as thin aliases
+    onto the client's default tenant (same handlers, byte-identical
+    payloads).
 
-    * ``POST /classify`` — body ``{"features": [...], "node_budget":
-      int | null | "adaptive", "deadline_ms": number}`` (budget and deadline
-      optional); responds ``{"prediction": ..., "node_budget": ...,
-      "latency_ms": ...}``.
-    * ``POST /classify_batch`` — ``{"features": [[...], ...], ...}``;
-      responds ``{"predictions": [...], "count": n}``.
-    * ``GET /healthz`` — liveness plus the served snapshot path.
-    * ``GET /stats`` — engine + front-end counters and the arrival estimate.
-    * ``POST /swap`` — ``{"snapshot_path": "..."}``; hot-swaps the engine.
+    ``POST /v1/tenants/{tenant}/classify`` (alias ``POST /classify``)
+        Body ``{"features": [...], "node_budget": int | null | "adaptive",
+        "deadline_ms": number}`` (budget and deadline optional).  Example
+        response::
+
+            {"prediction": 4, "node_budget": 8, "latency_ms": 1.93}
+
+    ``POST /v1/tenants/{tenant}/classify_batch`` (alias ``POST /classify_batch``)
+        Body ``{"features": [[...], ...], ...}`` — one budget/deadline for
+        the whole block.  Example response::
+
+            {"predictions": [4, 0, 9], "count": 3}
+
+    ``POST /v1/tenants/{tenant}/swap`` (alias ``POST /swap``)
+        Body ``{"snapshot_path": "..."}``; hot-swaps that tenant's model
+        (engine swap for the engine-backed default tenant, registry load
+        otherwise).  Example response::
+
+            {"swapped": true, "tenant": "default", "snapshot_path": "/tmp/f.npz"}
+
+    ``GET /v1/tenants/{tenant}/stats``
+        That tenant's stats document (per-tenant nesting of the registry's
+        ``stats_snapshot()``).  Example response::
+
+            {"tenant": "acme", "resident": true, "shm_bytes": 1048576,
+             "decay_rate": 0.01, "requests": 128, "cold_load_ms": 2.4,
+             "policy": {"max_node_budget": 32, "pinned": false}, ...}
+
+    ``GET /v1/registry``
+        Registry-wide view: bounds, counters and the per-tenant nesting.
+        Example response::
+
+            {"schema_version": 2, "capacity": 4, "resident": 2,
+             "resident_bytes": 2097152, "counters": {"loads": 7,
+             "evictions": 3, ...}, "tenants": {"acme": {...}, ...}}
+
+    ``POST /v1/registry/load`` / ``POST /v1/registry/evict``
+        Body ``{"tenant": "acme", "snapshot_path": "..."}`` (path optional
+        for registered tenants) / ``{"tenant": "acme"}``.  Load responds
+        with the tenant's stats document; evict responds
+        ``{"evicted": true, "tenant": "acme"}``.
+
+    ``GET /healthz``
+        Liveness plus deployment facts.  Example response::
+
+            {"status": "ok", "snapshot_path": "/tmp/forest.npz",
+             "multiprocess": false, "n_shards": 1, "tenants": 2}
+
+    ``GET /stats``
+        One merged document: ``schema_version``, the engine's
+        ``stats_snapshot()`` (``null`` in registry-only mode), the
+        front-end counters and, when a registry is configured, its
+        tenant-nested snapshot.  Example response (abridged)::
+
+            {"schema_version": 2,
+             "engine": {"schema_version": 2, "requests": 512, "swaps": 1,
+                        "mode": "zero_copy", "shm_bytes": 1048576, ...},
+             "frontend": {"submitted": 512, "served": 510,
+                          "rejected_queue_full": 2, "queue_depth": 0,
+                          "arrival": {"rate_per_s": 350.0, ...}, ...},
+             "registry": {"schema_version": 2, "tenants": {...}, ...}}
+
+    Every error, on every endpoint, uses one structured envelope
+    (:func:`repro.serving.errors.error_envelope`)::
+
+        {"error": {"code": "queue_full", "message": "...", "retry_after_ms": 50}}
 
     Backpressure and deadlines map onto status codes: a full queue responds
-    ``503`` (with ``Retry-After: 0``), a missed deadline ``504``, malformed
-    requests ``400``.  The server binds with :func:`asyncio.start_server`;
+    ``503``, a missed deadline ``504``, malformed requests (including
+    malformed JSON bodies) ``400``, unknown tenants ``404``.  **Every 503
+    carries a ``Retry-After`` header** derived from the envelope's
+    ``retry_after_ms``.  The server binds with :func:`asyncio.start_server`;
     no third-party HTTP stack is required (an ``aiohttp`` front could serve
     the same client, but the stdlib shim keeps the dependency surface at
     zero).
@@ -842,9 +1035,10 @@ class HttpFrontend:
                     # Unparseable request: answer 400 and drop the connection
                     # (framing is unknown from here on) instead of letting the
                     # task die with no response on the wire.
-                    await self._write_response(
-                        writer, error.status, {"error": str(error)}, keep_alive=False
+                    status, payload = error_envelope(
+                        error, code=error.code, status=error.status
                     )
+                    await self._write_response(writer, status, payload, keep_alive=False)
                     break
                 if parsed is None:
                     break
@@ -853,17 +1047,14 @@ class HttpFrontend:
                 try:
                     status, payload = await self._dispatch(method, path, body)
                 except _HttpError as error:
-                    status, payload = error.status, {"error": str(error)}
-                except (QueueFullError,) as error:
-                    status, payload = 503, {"error": str(error)}
-                except DeadlineExceededError as error:
-                    status, payload = 504, {"error": str(error)}
-                except (ValueError, KeyError, TypeError) as error:
-                    status, payload = 400, {"error": str(error)}
-                except FrontendClosedError as error:
-                    status, payload = 503, {"error": str(error)}
+                    status, payload = error_envelope(
+                        error, code=error.code, status=error.status
+                    )
                 except Exception as error:  # noqa: BLE001 - survive handler bugs per-request
-                    status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+                    # One taxonomy for everything else: ServingError subclasses
+                    # carry their own code/status/retry hint, the bad-request
+                    # families map to 400, genuine bugs to a diagnosable 500.
+                    status, payload = error_envelope(error)
                 await self._write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -914,7 +1105,11 @@ class HttpFrontend:
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
         if status == 503:
-            headers.append("Retry-After: 0")
+            # Retry-After is whole seconds on the wire; the envelope's
+            # retry_after_ms (present on every 503) keeps the precision.
+            error_body = payload.get("error") if isinstance(payload.get("error"), dict) else {}
+            retry_ms = error_body.get("retry_after_ms", 0) or 0
+            headers.append(f"Retry-After: {max(0, int(round(retry_ms / 1000.0)))}")
         writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
         await writer.drain()
 
@@ -944,44 +1139,140 @@ class HttpFrontend:
             raise _HttpError(400, 'node_budget must be a positive integer, null or "adaptive"')
         return budget
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> "Tuple[int, dict]":
-        if path == "/healthz" and method == "GET":
-            engine = self._client.engine
+    @staticmethod
+    def _tenant_route(path: str) -> "Optional[Tuple[str, str]]":
+        """Split ``/v1/tenants/{tenant}/{action}`` into ``(tenant, action)``."""
+        if not path.startswith("/v1/tenants/"):
+            return None
+        remainder = path[len("/v1/tenants/") :]
+        tenant, separator, action = remainder.partition("/")
+        if not tenant or not separator or not action or "/" in action:
+            raise _HttpError(404, f"malformed tenant route {path!r}")
+        return tenant, action
+
+    def _registry_or_404(self) -> ModelRegistry:
+        registry = self._client.registry
+        if registry is None:
+            raise _HttpError(404, "no model registry is configured on this server")
+        return registry
+
+    async def _handle_classify(self, tenant: Optional[str], body: bytes) -> "Tuple[int, dict]":
+        payload = self._parse_body(body)
+        result = await self._client.classify(
+            np.asarray(payload["features"], dtype=float),
+            node_budget=self._budget_from(payload),
+            deadline_ms=payload.get("deadline_ms"),
+            detail=True,
+            tenant=tenant,
+        )
+        return 200, {
+            "prediction": result.prediction,
+            "node_budget": result.node_budget,
+            "latency_ms": result.latency_s * 1e3,
+        }
+
+    async def _handle_classify_batch(
+        self, tenant: Optional[str], body: bytes
+    ) -> "Tuple[int, dict]":
+        payload = self._parse_body(body)
+        queries = np.asarray(payload["features"], dtype=float)
+        predictions = await self._client.classify_batch(
+            queries,
+            node_budget=self._budget_from(payload),
+            deadline_ms=payload.get("deadline_ms"),
+            tenant=tenant,
+        )
+        return 200, {"predictions": predictions, "count": len(predictions)}
+
+    async def _handle_swap(self, tenant: Optional[str], body: bytes) -> "Tuple[int, dict]":
+        payload = self._parse_body(body)
+        snapshot_path = str(payload["snapshot_path"])
+        await self._client.swap_snapshot(snapshot_path, tenant=tenant)
+        resolved = tenant if tenant is not None else self._client.default_tenant
+        engine = self._client.engine
+        if resolved == self._client.default_tenant and engine is not None:
+            snapshot_path = engine.snapshot_path
+        return 200, {"swapped": True, "tenant": resolved, "snapshot_path": snapshot_path}
+
+    def _handle_tenant_stats(self, tenant: str) -> "Tuple[int, dict]":
+        registry = self._client.registry
+        if registry is not None and tenant in registry.known_tenants():
+            return 200, registry.tenant_stats(tenant)
+        engine = self._client.engine
+        if tenant == self._client.default_tenant and engine is not None:
             return 200, {
-                "status": "ok",
+                "tenant": tenant,
+                "resident": True,
                 "snapshot_path": engine.snapshot_path,
-                "multiprocess": engine.is_multiprocess,
-                "n_shards": engine.n_shards,
+                "engine": engine.stats_snapshot(),
             }
+        raise _HttpError(404, f"tenant {tenant!r} is not registered", code="tenant_not_found")
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> "Tuple[int, dict]":
+        client = self._client
+        tenant_route = self._tenant_route(path)
+        if tenant_route is not None:
+            tenant, action = tenant_route
+            if action == "classify" and method == "POST":
+                return await self._handle_classify(tenant, body)
+            if action == "classify_batch" and method == "POST":
+                return await self._handle_classify_batch(tenant, body)
+            if action == "swap" and method == "POST":
+                return await self._handle_swap(tenant, body)
+            if action == "stats" and method == "GET":
+                return self._handle_tenant_stats(tenant)
+            raise _HttpError(404, f"no route for {method} {path}")
+        if path == "/v1/registry" and method == "GET":
+            return 200, self._registry_or_404().stats_snapshot()
+        if path == "/v1/registry/load" and method == "POST":
+            registry = self._registry_or_404()
+            payload = self._parse_body(body)
+            tenant_name = str(payload["tenant"])
+            snapshot = payload.get("snapshot_path")
+            loop = asyncio.get_running_loop()
+            stats = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    registry.load,
+                    tenant_name,
+                    None if snapshot is None else str(snapshot),
+                ),
+            )
+            return 200, stats
+        if path == "/v1/registry/evict" and method == "POST":
+            registry = self._registry_or_404()
+            payload = self._parse_body(body)
+            tenant_name = str(payload["tenant"])
+            loop = asyncio.get_running_loop()
+            evicted = await loop.run_in_executor(None, registry.evict, tenant_name)
+            return 200, {"evicted": bool(evicted), "tenant": tenant_name}
+        if path == "/healthz" and method == "GET":
+            engine = client.engine
+            health: dict = {"status": "ok"}
+            if engine is not None:
+                health.update(
+                    snapshot_path=engine.snapshot_path,
+                    multiprocess=engine.is_multiprocess,
+                    n_shards=engine.n_shards,
+                )
+            if client.registry is not None:
+                health["tenants"] = len(client.registry.known_tenants())
+            return 200, health
         if path == "/stats" and method == "GET":
-            return 200, {
-                "engine": self._client.engine.stats_snapshot(),
-                "frontend": self._client.stats_snapshot(),
+            engine = client.engine
+            stats_doc: dict = {
+                "schema_version": 2,
+                "engine": engine.stats_snapshot() if engine is not None else None,
+                "frontend": client.stats_snapshot(),
             }
+            if client.registry is not None:
+                stats_doc["registry"] = client.registry.stats_snapshot()
+            return 200, stats_doc
+        # Legacy unversioned aliases: same handlers, default tenant.
         if path == "/classify" and method == "POST":
-            payload = self._parse_body(body)
-            result = await self._client.classify(
-                np.asarray(payload["features"], dtype=float),
-                node_budget=self._budget_from(payload),
-                deadline_ms=payload.get("deadline_ms"),
-                detail=True,
-            )
-            return 200, {
-                "prediction": result.prediction,
-                "node_budget": result.node_budget,
-                "latency_ms": result.latency_s * 1e3,
-            }
+            return await self._handle_classify(None, body)
         if path == "/classify_batch" and method == "POST":
-            payload = self._parse_body(body)
-            queries = np.asarray(payload["features"], dtype=float)
-            predictions = await self._client.classify_batch(
-                queries,
-                node_budget=self._budget_from(payload),
-                deadline_ms=payload.get("deadline_ms"),
-            )
-            return 200, {"predictions": predictions, "count": len(predictions)}
+            return await self._handle_classify_batch(None, body)
         if path == "/swap" and method == "POST":
-            payload = self._parse_body(body)
-            await self._client.swap_snapshot(str(payload["snapshot_path"]))
-            return 200, {"swapped": True, "snapshot_path": self._client.engine.snapshot_path}
+            return await self._handle_swap(None, body)
         raise _HttpError(404, f"no route for {method} {path}")

@@ -1,0 +1,936 @@
+"""Multi-tenant model registry: many forests, one serving engine.
+
+The paper's anytime Bayes forest is *one* classifier; production traffic from
+millions of users means *many* — per-tenant models with independent
+drift/decay clocks, loaded and retired on demand.  PR 6's flat snapshot
+encoding made a per-tenant load nearly free (mmap the columns, copy into one
+shared segment, wrap zero-copy views); this module adds the missing control
+plane:
+
+* **Per-tenant flat-snapshot entries.**  Each resident tenant owns one
+  :class:`~repro.serving.shared_mem.SharedColumnStore` segment holding its
+  flat forest columns plus a zero-copy :class:`~repro.core.flat.FlatForest`
+  wrapper.  Classification goes through exactly the same lockstep drivers as
+  single-tenant serving, so a tenant's anytime refinement traces
+  (``classification_trace_hash``) are bit-identical to serving that tenant's
+  snapshot alone.
+* **LRU load/evict cache with bounded shared memory.**  At most ``capacity``
+  tenants are resident, and their segments total at most ``capacity_bytes``.
+  Loading past a bound evicts the least-recently-used tenants; an evicted
+  tenant stays *registered* and transparently reloads on its next request
+  (the measured cold-load path).  Eviction reuses the PR 6 swap discipline:
+  it waits for the tenant's in-flight rounds to drain, then releases the
+  registry's attachment and unlinks the segment via the store — the registry
+  and the engine are the only modules allowed to trigger segment disposal
+  (machine-checked by reprolint RL003).
+* **Per-tenant decay clocks and budget policies.**  Every tenant's snapshot
+  carries its own logical :class:`~repro.index.decay.DecayClock`, so tenants
+  age and drift independently by construction; the registry surfaces each
+  tenant's decay rate in its stats and applies a per-tenant
+  :class:`TenantPolicy` (anytime budget clamp) at serving time.
+* **Cold-start fallback.**  A request for a tenant the registry has never
+  seen is served by a shared global *prior* forest (when configured) instead
+  of failing — the personalisation story's "new user" path — and counted
+  per tenant so promotion to a real model is observable.
+* **One shared worker pool.**  With ``workers > 0`` all tenants share a
+  single process pool; rounds are query-sharded across it and each worker
+  keeps a small LRU of tenant segment attachments (attach once, serve many).
+  ``workers=0`` (default) serves in-process through the identical code path.
+
+Durability comes from :mod:`repro.persist.tenants`: a versioned JSON tenant
+manifest maps names to snapshot paths and policies, and
+:meth:`ModelRegistry.from_manifest` registers the whole catalogue lazily.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from ..core.classifier import AnytimeClassification
+from ..core.flat import FlatForest
+from ..persist import load_forest, read_flat_columns, read_manifest, read_tenant_manifest
+from .errors import RegistryClosedError, TenantNotFoundError
+from .shared_mem import SharedColumnStore, attach_columns, release_attachment
+
+__all__ = ["ModelRegistry", "RegistryStats", "TenantPolicy"]
+
+#: Per-query node budgets accepted by the tenant serving surface (mirrors
+#: :data:`repro.serving.engine.BudgetSpec`).
+BudgetSpec = Union[int, Sequence[int], np.ndarray]
+
+#: Per-process attachment cache of the shared worker pool: ``shm name ->
+#: (shm handle, FlatForest)``.  One worker process per pool slot, so a plain
+#: module dict is per-worker state.
+_POOL_STATE: dict = {}
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant serving policy applied by the registry at request time.
+
+    Attributes
+    ----------
+    max_node_budget:
+        Upper clamp on per-query anytime node budgets for this tenant
+        (``None`` = unclamped).  Full-refinement requests (``node_budget is
+        None``) are never clamped — they are exact by definition; the clamp
+        bounds how much *anytime* refinement a tenant may buy per query, the
+        budget-fairness knob between tenants sharing one worker pool.
+    pinned:
+        A pinned tenant is exempt from LRU eviction (it still counts against
+        the capacity bounds and is disposed on :meth:`ModelRegistry.close`).
+    """
+
+    max_node_budget: Optional[int] = None
+    pinned: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_node_budget is not None and self.max_node_budget < 1:
+            raise ValueError("max_node_budget must be at least 1 (or None)")
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (the tenant-manifest ``policy`` entry)."""
+        return {"max_node_budget": self.max_node_budget, "pinned": self.pinned}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TenantPolicy":
+        """Validate and build a policy from a tenant-manifest ``policy`` dict."""
+        unknown = sorted(set(data) - {"max_node_budget", "pinned"})
+        if unknown:
+            raise ValueError(f"unknown tenant policy keys: {unknown}")
+        budget = data.get("max_node_budget")
+        return cls(
+            max_node_budget=None if budget is None else int(budget),  # type: ignore[call-overload]
+            pinned=bool(data.get("pinned", False)),
+        )
+
+
+@dataclass
+class RegistryStats:
+    """Registry-wide counters (loads, evictions, swaps, serving rounds).
+
+    Attributes
+    ----------
+    requests / batches:
+        Queries accepted and scatter rounds executed, summed over tenants.
+    loads:
+        Completed segment builds — initial loads plus cold reloads.
+    reloads:
+        The subset of ``loads`` that re-materialised an evicted tenant on
+        demand (the measured cold-start-latency path).
+    evictions:
+        Completed drain-and-unlink evictions (LRU pressure or explicit).
+    swaps:
+        In-place snapshot replacements of a resident tenant.
+    cold_start_requests:
+        Queries served by the shared global prior forest because the tenant
+        was unregistered.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    loads: int = 0
+    reloads: int = 0
+    evictions: int = 0
+    swaps: int = 0
+    cold_start_requests: int = 0
+
+
+@dataclass
+class _TenantEntry:
+    """One resident tenant: its segment, zero-copy forest and counters."""
+
+    tenant: str
+    snapshot_path: str
+    policy: TenantPolicy
+    store: SharedColumnStore
+    shm: object
+    forest: Optional[FlatForest]
+    spec: dict
+    dimension: int
+    n_classes: int
+    decay_rate: float
+    cold_load_ms: float
+    active: int = 0
+    requests: int = 0
+    batches: int = 0
+    loaded_generation: int = 0
+    last_round_s: float = 0.0
+
+
+@dataclass
+class _TenantSpec:
+    """Registration record of a known (possibly non-resident) tenant."""
+
+    snapshot_path: str
+    policy: TenantPolicy
+    loads: int = 0
+    cold_starts: int = 0
+
+
+def _pool_initializer(cache_size: int) -> None:
+    """Initialise a shared-pool worker's attachment cache."""
+    _POOL_STATE["cache"] = OrderedDict()
+    _POOL_STATE["cache_size"] = int(cache_size)
+
+
+def _pool_forest(spec: dict) -> FlatForest:
+    """This worker's zero-copy forest for a tenant spec (attach-once LRU).
+
+    Keyed by segment name: a tenant reload builds a *new* segment, so stale
+    cache entries for disposed segments simply age out (their mapping stays
+    valid until closed — POSIX keeps unlinked segments alive for attached
+    processes, which is what makes engine-side eviction safe mid-round).
+    """
+    cache: "OrderedDict[str, Tuple[object, FlatForest]]" = _POOL_STATE.setdefault(
+        "cache", OrderedDict()
+    )
+    key = spec["shm_name"]
+    cached = cache.get(key)
+    if cached is not None:
+        cache.move_to_end(key)
+        return cached[1]
+    shm, columns = attach_columns(spec["shm_name"], spec["layout"])
+    forest = FlatForest.from_columns(
+        columns,
+        labels=spec["labels"],
+        descent=spec["descent"],
+        qbk_k=spec["qbk_k"],
+        dimension=spec["dimension"],
+    )
+    cache[key] = (shm, forest)
+    limit = int(_POOL_STATE.get("cache_size", 8))
+    while len(cache) > limit:
+        _, (old_shm, old_forest) = cache.popitem(last=False)
+        del old_forest
+        release_attachment(old_shm)  # type: ignore[arg-type]
+    return forest
+
+
+def _pool_predict(
+    spec: dict, queries: np.ndarray, budgets: Optional[np.ndarray]
+) -> List[Hashable]:
+    """Serve one query slice for one tenant inside a pool worker."""
+    forest = _pool_forest(spec)
+    if budgets is None:
+        return forest.predict_batch(queries)
+    results = forest.classify_anytime_batch(queries, max_nodes=budgets, record_history=False)
+    return [result.final_prediction for result in results]
+
+
+class ModelRegistry:
+    """Serve many independent forest snapshots from one shared engine.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident tenants (the LRU bound); at least 1.
+    capacity_bytes:
+        Optional bound on the summed size of resident tenants' shared-memory
+        segments.  Loading past it evicts LRU tenants first; the most
+        recently loaded tenant is always kept (a single model larger than
+        the bound still serves).
+    prior_snapshot:
+        Optional shared global-prior snapshot.  Requests for *unregistered*
+        tenants are served by this forest (cold-start fallback) instead of
+        raising :class:`~repro.serving.TenantNotFoundError`.
+    workers:
+        Size of the shared process pool.  ``0`` (default) serves in-process;
+        ``N > 0`` query-shards every round across one pool shared by all
+        tenants, each worker keeping an LRU of segment attachments.
+    mp_context:
+        Optional multiprocessing start method for the pool.
+    worker_cache_size:
+        Per-worker attachment-cache bound (defaults to ``capacity + 1`` so a
+        steady-state worker can hold every resident tenant plus the prior).
+
+    Thread safety: all public methods may be called concurrently; eviction
+    and per-tenant snapshot swaps wait for that tenant's in-flight rounds to
+    drain (the PR 6 swap discipline) and never tear a round across two
+    snapshots.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        capacity_bytes: Optional[int] = None,
+        prior_snapshot: "str | Path | None" = None,
+        workers: int = 0,
+        mp_context: Optional[str] = None,
+        worker_cache_size: Optional[int] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be positive (or None)")
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.capacity = int(capacity)
+        self.capacity_bytes = None if capacity_bytes is None else int(capacity_bytes)
+        self.stats = RegistryStats()
+        self._cond = threading.Condition()
+        self._entries: "OrderedDict[str, _TenantEntry]" = OrderedDict()
+        self._known: Dict[str, _TenantSpec] = {}
+        self._busy: Set[str] = set()  # tenants mid-load/evict/swap: acquires park
+        self._generation = 0
+        self._closed = False
+        self._node_cost_ewma: Optional[float] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+        if workers > 0:
+            cache_size = int(worker_cache_size or (self.capacity + 1))
+            self._spin_up_pool(int(workers), mp_context, cache_size)
+        self._prior: Optional[_TenantEntry] = None
+        if prior_snapshot is not None:
+            self._prior = self._build_entry(
+                "__prior__", str(prior_snapshot), TenantPolicy(pinned=True)
+            )
+
+    @classmethod
+    def from_manifest(cls, manifest_path: "str | Path", **kwargs: object) -> "ModelRegistry":
+        """Build a registry from a persisted tenant manifest.
+
+        Every catalogued tenant is *registered* (lazily resident: its model
+        loads on first use, within the LRU bounds) and the manifest's
+        ``prior_snapshot`` becomes the cold-start fallback unless the caller
+        overrides it via ``kwargs``.  See
+        :func:`repro.persist.read_tenant_manifest` for the document format.
+        """
+        catalogue = read_tenant_manifest(manifest_path)
+        if "prior_snapshot" not in kwargs and catalogue["prior_snapshot"] is not None:
+            kwargs["prior_snapshot"] = catalogue["prior_snapshot"]
+        registry = cls(**kwargs)  # type: ignore[arg-type]
+        for tenant, entry in catalogue["tenants"].items():
+            registry.register(
+                tenant, entry["snapshot"], policy=TenantPolicy.from_dict(entry["policy"])
+            )
+        return registry
+
+    # -- lifecycle ---------------------------------------------------------------------------
+    def close(self) -> None:
+        """Evict every tenant (and the prior), dispose all segments, stop the pool."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for tenant in list(self.resident_tenants()):
+            self.evict(tenant, _count=False)
+        if self._prior is not None:
+            with self._cond:
+                while self._prior.active > 0:
+                    self._cond.wait()
+            self._destroy_entry(self._prior)
+            self._prior = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ModelRegistry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- registration and residency ----------------------------------------------------------
+    def register(
+        self, tenant: str, snapshot_path: "str | Path", policy: Optional[TenantPolicy] = None
+    ) -> None:
+        """Register a tenant's snapshot without making it resident.
+
+        The model loads lazily on the tenant's first request (within the LRU
+        bounds).  Re-registering an absent tenant updates its path/policy;
+        re-registering a *resident* tenant with a different path is a swap —
+        use :meth:`load` for that (this method raises ``ValueError`` to keep
+        registration side-effect-free).
+        """
+        name = self._valid_tenant(tenant)
+        resolved = TenantPolicy() if policy is None else policy
+        with self._cond:
+            entry = self._entries.get(name)
+            if entry is not None and entry.snapshot_path != str(snapshot_path):
+                raise ValueError(
+                    f"tenant {name!r} is resident on a different snapshot; "
+                    "use load() to swap it"
+                )
+            if entry is not None:
+                entry.policy = resolved
+            spec = self._known.get(name)
+            if spec is None:
+                self._known[name] = _TenantSpec(str(snapshot_path), resolved)
+            else:
+                spec.snapshot_path = str(snapshot_path)
+                spec.policy = resolved
+
+    def load(
+        self,
+        tenant: str,
+        snapshot_path: "str | Path | None" = None,
+        policy: Optional[TenantPolicy] = None,
+    ) -> dict:
+        """Make a tenant resident (registering it first if needed).
+
+        Idempotent for a tenant already resident on the same snapshot (the
+        call only refreshes its LRU position).  A resident tenant loaded
+        with a *different* snapshot path is hot-swapped: the new segment is
+        built first, in-flight rounds drain, and only then is the old
+        segment unlinked — no round ever tears across two snapshots.
+        Returns the tenant's stats dict (including ``cold_load_ms`` for
+        fresh loads).
+
+        Raises
+        ------
+        ValueError
+            For an invalid tenant name, or when ``snapshot_path`` is omitted
+            for an unregistered tenant.
+        repro.persist.SnapshotError
+            When the container is unreadable.
+        """
+        name = self._valid_tenant(tenant)
+        with self._cond:
+            self._ensure_open()
+            known = self._known.get(name)
+            if snapshot_path is None:
+                if known is None:
+                    raise ValueError(
+                        f"tenant {name!r} is not registered; pass snapshot_path"
+                    )
+                snapshot_path = known.snapshot_path
+            path = str(snapshot_path)
+            resolved_policy = policy if policy is not None else (
+                known.policy if known is not None else TenantPolicy()
+            )
+            if known is None:
+                known = _TenantSpec(path, resolved_policy)
+                self._known[name] = known
+            else:
+                known.snapshot_path = path
+                known.policy = resolved_policy
+            entry = self._entries.get(name)
+            if entry is not None and entry.snapshot_path == path:
+                # Double-load idempotence: touch the LRU, update the policy.
+                entry.policy = resolved_policy
+                self._entries.move_to_end(name)
+                return self._tenant_stats_locked(name)
+            self._wait_not_busy(name)
+            self._busy.add(name)
+            swapping = name in self._entries
+        try:
+            new_entry = self._build_entry(name, path, resolved_policy)
+        except BaseException:
+            with self._cond:
+                self._busy.discard(name)
+                self._cond.notify_all()
+            raise
+        evicted: List[_TenantEntry] = []
+        with self._cond:
+            old = self._entries.pop(name, None)
+            if old is not None:
+                while old.active > 0:
+                    self._cond.wait()
+            self._entries[name] = new_entry
+            known.loads += 1
+            self.stats.loads += 1
+            if swapping:
+                self.stats.swaps += 1
+            evicted = self._evict_overflow_locked(keep=name)
+            self._busy.discard(name)
+            self._cond.notify_all()
+            result = self._tenant_stats_locked(name)
+        if old is not None:
+            self._destroy_entry(old)
+        for victim in evicted:
+            self._destroy_entry(victim)
+        return result
+
+    def evict(self, tenant: str, _count: bool = True) -> bool:
+        """Evict a tenant's model, unlinking its segment after rounds drain.
+
+        The tenant stays registered: its next request transparently reloads
+        the snapshot (cold start).  Returns ``False`` when the tenant was
+        not resident.  Blocks until the tenant's in-flight serving rounds
+        complete — the caller observes the segment gone, not merely doomed.
+        """
+        name = self._valid_tenant(tenant)
+        with self._cond:
+            self._wait_not_busy(name)
+            entry = self._entries.get(name)
+            if entry is None:
+                return False
+            self._busy.add(name)
+            while entry.active > 0:
+                self._cond.wait()
+            self._entries.pop(name, None)
+            if _count:
+                self.stats.evictions += 1
+            self._busy.discard(name)
+            self._cond.notify_all()
+        self._destroy_entry(entry)
+        return True
+
+    def resident_tenants(self) -> List[str]:
+        """Resident tenant names in LRU order (least recently used first)."""
+        with self._cond:
+            return list(self._entries)
+
+    def known_tenants(self) -> List[str]:
+        """Every registered tenant name (resident or not), sorted."""
+        with self._cond:
+            return sorted(self._known)
+
+    def memory_bytes(self) -> int:
+        """Total bytes of resident shared-memory segments (including the prior)."""
+        with self._cond:
+            total = sum(entry.store.size for entry in self._entries.values())
+            if self._prior is not None:
+                total += self._prior.store.size
+            return total
+
+    def expected_dimension(self, tenant: str) -> Optional[int]:
+        """The feature dimension a tenant's requests must have, if known now.
+
+        Advisory (no residency is triggered): the resident entry's dimension,
+        else the prior's for unregistered tenants, else ``None`` — callers
+        without an answer defer validation to the serving round.
+        """
+        with self._cond:
+            entry = self._entries.get(tenant)
+            if entry is not None:
+                return entry.dimension
+            if tenant not in self._known and self._prior is not None:
+                return self._prior.dimension
+            return None
+
+    def node_cost_estimate(self) -> Optional[float]:
+        """EWMA seconds per lockstep node read over budgeted rounds (or ``None``)."""
+        with self._cond:
+            return self._node_cost_ewma
+
+    # -- serving -----------------------------------------------------------------------------
+    def predict_batch(
+        self,
+        tenant: str,
+        queries: np.ndarray,
+        node_budget: "Optional[BudgetSpec]" = None,
+    ) -> List[Hashable]:
+        """Predict labels for one tenant's query block.
+
+        ``node_budget=None`` runs full refinement; an int (or per-query
+        sequence) runs the anytime lockstep path, clamped by the tenant's
+        :class:`TenantPolicy.max_node_budget`.  A registered-but-evicted
+        tenant is reloaded first (cold start); an unregistered tenant is
+        served by the shared prior forest when one is configured, else
+        :class:`~repro.serving.TenantNotFoundError` is raised.  Predictions
+        are bit-identical to serving the tenant's snapshot alone.
+        """
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2:
+            raise ValueError("queries must be an (m, dimension) array")
+        entry = self._acquire(tenant)
+        self._note_cold_start(entry, queries.shape[0])
+        start = time.perf_counter()
+        try:
+            if queries.shape[1] != entry.dimension:
+                raise ValueError(f"queries must be an (m, {entry.dimension}) array")
+            budgets = self._resolve_budgets(queries.shape[0], node_budget, entry.policy)
+            if queries.shape[0] == 0:
+                return []
+            if self._pool is not None:
+                predictions = self._pool_round(entry, queries, budgets)
+            else:
+                forest = entry.forest
+                assert forest is not None  # entries hold a forest until destroyed
+                if budgets is None:
+                    predictions = forest.predict_batch(queries)
+                else:
+                    results = forest.classify_anytime_batch(
+                        queries, max_nodes=budgets, record_history=False
+                    )
+                    predictions = [result.final_prediction for result in results]
+            self._observe_round(entry, queries.shape[0], time.perf_counter() - start, budgets)
+            return predictions
+        finally:
+            self._release(entry)
+
+    def classify_anytime_batch(
+        self,
+        tenant: str,
+        queries: np.ndarray,
+        max_nodes: "BudgetSpec",
+        record_history: bool = True,
+    ) -> List[AnytimeClassification]:
+        """Full anytime results (with refinement history) for one tenant.
+
+        The in-process analogue of :meth:`predict_batch`'s budgeted path,
+        returning the :class:`~repro.core.classifier.AnytimeClassification`
+        objects whose histories feed ``classification_trace_hash`` — the
+        hook the trace-identity tests and benches pin multi-tenant serving
+        with.  Budgets are clamped by the tenant policy exactly as in
+        :meth:`predict_batch`.
+        """
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2:
+            raise ValueError("queries must be an (m, dimension) array")
+        entry = self._acquire(tenant)
+        self._note_cold_start(entry, queries.shape[0])
+        try:
+            if queries.shape[1] != entry.dimension:
+                raise ValueError(f"queries must be an (m, {entry.dimension}) array")
+            budgets = self._resolve_budgets(queries.shape[0], max_nodes, entry.policy)
+            assert budgets is not None
+            forest = entry.forest
+            assert forest is not None
+            return forest.classify_anytime_batch(
+                queries, max_nodes=budgets, record_history=record_history
+            )
+        finally:
+            self._release(entry)
+
+    # -- observability -----------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """One consistent JSON-able view: registry bounds, counters, tenants.
+
+        The ``tenants`` mapping nests one stats dict per *registered* tenant
+        (resident or not) — the per-tenant nesting the v1 ``/stats`` schema
+        exposes.  ``schema_version`` stamps the document shape.
+        """
+        with self._cond:
+            tenants = {name: self._tenant_stats_locked(name) for name in sorted(self._known)}
+            resident_bytes = sum(entry.store.size for entry in self._entries.values())
+            snapshot = {
+                "schema_version": 2,
+                "capacity": self.capacity,
+                "capacity_bytes": self.capacity_bytes,
+                "resident": len(self._entries),
+                "registered": len(self._known),
+                "resident_bytes": resident_bytes,
+                "workers": self._pool_size,
+                "node_cost_s": self._node_cost_ewma,
+                "counters": {
+                    "requests": self.stats.requests,
+                    "batches": self.stats.batches,
+                    "loads": self.stats.loads,
+                    "reloads": self.stats.reloads,
+                    "evictions": self.stats.evictions,
+                    "swaps": self.stats.swaps,
+                    "cold_start_requests": self.stats.cold_start_requests,
+                },
+                "tenants": tenants,
+                "prior": None,
+            }
+            if self._prior is not None:
+                snapshot["prior"] = {
+                    "snapshot_path": self._prior.snapshot_path,
+                    "shm_bytes": self._prior.store.size,
+                    "requests": self._prior.requests,
+                }
+            return snapshot
+
+    def tenant_stats(self, tenant: str) -> dict:
+        """The stats dict of one registered tenant (see :meth:`stats_snapshot`)."""
+        with self._cond:
+            if tenant not in self._known:
+                raise TenantNotFoundError(f"tenant {tenant!r} is not registered")
+            return self._tenant_stats_locked(tenant)
+
+    # -- internals ---------------------------------------------------------------------------
+    @staticmethod
+    def _valid_tenant(tenant: str) -> str:
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 128:
+            raise ValueError("tenant must be a non-empty string of at most 128 characters")
+        return tenant
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RegistryClosedError("model registry is closed")
+
+    def _wait_not_busy(self, tenant: str) -> None:
+        while tenant in self._busy:
+            self._cond.wait()
+
+    def _spin_up_pool(self, workers: int, mp_context: Optional[str], cache_size: int) -> None:
+        context = get_context(mp_context) if mp_context else None
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_pool_initializer,
+                initargs=(cache_size,),
+            )
+            # Force worker start-up now so pool failures surface here, not on
+            # the first tenant's critical path.
+            for future in [pool.submit(int, 0) for _ in range(workers)]:
+                future.result()
+        except Exception as error:  # pragma: no cover - environment dependent
+            warnings.warn(
+                f"registry worker pool unavailable ({error!r}); "
+                "falling back to in-process serving",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        self._pool = pool
+        self._pool_size = workers
+
+    def _build_entry(self, tenant: str, path: str, policy: TenantPolicy) -> _TenantEntry:
+        """Materialise a tenant: snapshot columns -> shared segment -> forest."""
+        start = time.perf_counter()
+        manifest = read_manifest(path)
+        if manifest.get("has_flat"):
+            columns = read_flat_columns(path, mmap=True)
+        else:
+            columns = FlatForest.from_classifier(load_forest(path)).to_columns()
+        store = SharedColumnStore(columns)
+        del columns  # drop the mmap references; the segment owns the bytes now
+        shm, views = attach_columns(store.name, store.layout)
+        forest = FlatForest.from_columns(
+            views,
+            labels=manifest["classes"],
+            descent=manifest["descent"],
+            qbk_k=manifest["qbk_k"],
+            dimension=int(manifest["dimension"]),
+        )
+        config = manifest.get("config") or {}
+        self._generation += 1
+        return _TenantEntry(
+            tenant=tenant,
+            snapshot_path=path,
+            policy=policy,
+            store=store,
+            shm=shm,
+            forest=forest,
+            spec={
+                "tenant": tenant,
+                "shm_name": store.name,
+                "layout": store.layout,
+                "labels": manifest["classes"],
+                "descent": manifest["descent"],
+                "qbk_k": manifest["qbk_k"],
+                "dimension": int(manifest["dimension"]),
+            },
+            dimension=int(manifest["dimension"]),
+            n_classes=len(manifest["classes"]),
+            decay_rate=float(config.get("decay_rate", 0.0)),
+            cold_load_ms=(time.perf_counter() - start) * 1e3,
+            loaded_generation=self._generation,
+        )
+
+    def _destroy_entry(self, entry: _TenantEntry) -> None:
+        """Release the registry's attachment and unlink the tenant's segment.
+
+        The zero-copy forest holds views into the attachment, so references
+        are dropped first; the store's dispose is the segment's single
+        unlink (reprolint RL003 allows it exactly here and in the engine).
+        """
+        entry.forest = None
+        entry.spec = {}
+        release_attachment(entry.shm)  # type: ignore[arg-type]
+        entry.shm = None
+        entry.store.dispose()
+
+    def _evict_overflow_locked(self, keep: str) -> List[_TenantEntry]:
+        """Pop LRU entries past the capacity bounds (caller disposes them).
+
+        Called with the condition held.  ``keep`` (the just-loaded tenant)
+        and pinned tenants are never chosen; each victim's in-flight rounds
+        are drained before it is popped, preserving the swap discipline.
+        """
+        victims: List[_TenantEntry] = []
+        while True:
+            over_count = len(self._entries) > self.capacity
+            over_bytes = (
+                self.capacity_bytes is not None
+                and sum(entry.store.size for entry in self._entries.values())
+                > self.capacity_bytes
+                and len(self._entries) > 1
+            )
+            if not (over_count or over_bytes):
+                return victims
+            victim_name = next(
+                (
+                    name
+                    for name, entry in self._entries.items()
+                    if name != keep and not entry.policy.pinned
+                ),
+                None,
+            )
+            if victim_name is None:
+                return victims
+            victim = self._entries[victim_name]
+            self._busy.add(victim_name)
+            while victim.active > 0:
+                self._cond.wait()
+            self._entries.pop(victim_name, None)
+            self._busy.discard(victim_name)
+            self.stats.evictions += 1
+            victims.append(victim)
+            self._cond.notify_all()
+
+    def _acquire(self, tenant: str) -> _TenantEntry:
+        """Pin a servable entry for one round (reload / prior fallback inside)."""
+        name = self._valid_tenant(tenant)
+        while True:
+            with self._cond:
+                self._ensure_open()
+                if name in self._busy:
+                    self._cond.wait()
+                    continue
+                entry = self._entries.get(name)
+                if entry is not None:
+                    self._entries.move_to_end(name)
+                    entry.active += 1
+                    return entry
+                known = self._known.get(name)
+                if known is None:
+                    if self._prior is None:
+                        raise TenantNotFoundError(
+                            f"tenant {name!r} is not registered and no prior "
+                            "snapshot is configured for cold-start fallback"
+                        )
+                    self._prior.active += 1
+                    return self._prior
+            # Registered but evicted: reload outside the lock, then retry.
+            self._reload(name)
+
+    def _reload(self, tenant: str) -> None:
+        """Cold-reload a registered tenant that LRU pressure evicted."""
+        with self._cond:
+            self._wait_not_busy(tenant)
+            if tenant in self._entries or tenant not in self._known:
+                return
+            spec = self._known[tenant]
+            self._busy.add(tenant)
+        try:
+            entry = self._build_entry(tenant, spec.snapshot_path, spec.policy)
+        except BaseException:
+            with self._cond:
+                self._busy.discard(tenant)
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            self._entries[tenant] = entry
+            spec.loads += 1
+            self.stats.loads += 1
+            self.stats.reloads += 1
+            evicted = self._evict_overflow_locked(keep=tenant)
+            self._busy.discard(tenant)
+            self._cond.notify_all()
+        for victim in evicted:
+            self._destroy_entry(victim)
+
+    def _note_cold_start(self, entry: _TenantEntry, count: int) -> None:
+        if entry is self._prior:
+            with self._cond:
+                self.stats.cold_start_requests += count
+
+    def _release(self, entry: _TenantEntry) -> None:
+        with self._cond:
+            entry.active -= 1
+            self._cond.notify_all()
+
+    @staticmethod
+    def _resolve_budgets(
+        count: int, node_budget: "Optional[BudgetSpec]", policy: TenantPolicy
+    ) -> Optional[np.ndarray]:
+        """Per-query budget array for a round, clamped by the tenant policy."""
+        if node_budget is None:
+            return None
+        budgets = np.asarray(node_budget)
+        if budgets.ndim == 0:
+            budgets = np.full(count, int(node_budget))  # type: ignore[arg-type]
+        elif budgets.shape != (count,):
+            raise ValueError("per-query node_budget must have one budget per query")
+        if np.any(budgets < 1):
+            raise ValueError("node budgets must be at least 1")
+        if policy.max_node_budget is not None:
+            budgets = np.minimum(budgets, policy.max_node_budget)
+        return budgets.astype(np.int64, copy=False)
+
+    def _pool_round(
+        self, entry: _TenantEntry, queries: np.ndarray, budgets: Optional[np.ndarray]
+    ) -> List[Hashable]:
+        """Query-shard one tenant round across the shared worker pool."""
+        pool = self._pool
+        assert pool is not None
+        shards = max(1, min(self._pool_size, queries.shape[0]))
+        query_slices = np.array_split(queries, shards)
+        budget_slices: List[Optional[np.ndarray]]
+        if budgets is None:
+            budget_slices = [None] * shards
+        else:
+            budget_slices = list(np.array_split(budgets, shards))
+        futures = [
+            pool.submit(_pool_predict, entry.spec, query_slices[shard], budget_slices[shard])
+            for shard in range(shards)
+        ]
+        predictions: List[Hashable] = []
+        for future in futures:
+            predictions.extend(future.result())
+        return predictions
+
+    def _observe_round(
+        self,
+        entry: _TenantEntry,
+        count: int,
+        elapsed: float,
+        budgets: Optional[np.ndarray],
+    ) -> None:
+        with self._cond:
+            self.stats.requests += count
+            self.stats.batches += 1
+            entry.requests += count
+            entry.batches += 1
+            entry.last_round_s = elapsed
+            if budgets is None or budgets.size == 0:
+                return
+            steps = int(np.max(budgets))
+            if steps < 1:
+                return
+            cost = elapsed / steps
+            if self._node_cost_ewma is None:
+                self._node_cost_ewma = cost
+            else:
+                self._node_cost_ewma += 0.3 * (cost - self._node_cost_ewma)
+
+    def _tenant_stats_locked(self, tenant: str) -> dict:
+        """Per-tenant stats dict (caller holds the condition)."""
+        known = self._known.get(tenant)
+        entry = self._entries.get(tenant)
+        stats: dict = {
+            "tenant": tenant,
+            "resident": entry is not None,
+            "snapshot_path": entry.snapshot_path if entry is not None else (
+                known.snapshot_path if known is not None else None
+            ),
+            "policy": (
+                entry.policy if entry is not None else (
+                    known.policy if known is not None else TenantPolicy()
+                )
+            ).to_dict(),
+            "loads": known.loads if known is not None else (1 if entry is not None else 0),
+        }
+        if entry is not None:
+            stats.update(
+                {
+                    "shm_name": entry.store.name,
+                    "shm_bytes": entry.store.size,
+                    "dimension": entry.dimension,
+                    "n_classes": entry.n_classes,
+                    "decay_rate": entry.decay_rate,
+                    "cold_load_ms": entry.cold_load_ms,
+                    "requests": entry.requests,
+                    "batches": entry.batches,
+                    "in_flight": entry.active,
+                }
+            )
+        return stats

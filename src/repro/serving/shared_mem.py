@@ -43,6 +43,7 @@ __all__ = [
     "attach_columns",
     "release_attachment",
     "memory_profile",
+    "segment_exists",
 ]
 
 #: Byte alignment of member arrays inside the segment; cache-line friendly
@@ -194,6 +195,22 @@ def release_attachment(shm: Optional[shared_memory.SharedMemory]) -> None:
         pass
     except Exception:
         pass
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a shared-memory segment with this name is still linked.
+
+    Probe for leak assertions: after an eviction or swap has disposed a
+    :class:`SharedColumnStore`, its name must no longer resolve.  The probe
+    attaches tracker-suppressed and closes immediately, so it neither adopts
+    nor extends the segment's lifetime.
+    """
+    try:
+        shm = _attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
 
 
 def memory_profile() -> Dict[str, float]:

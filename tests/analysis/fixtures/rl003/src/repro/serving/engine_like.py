@@ -11,6 +11,16 @@ def bad_attribute_unlink(store) -> None:
     store.segment.unlink()  # EXPECT: RL003
 
 
+def bad_outsider_dispose(store) -> None:
+    store.dispose()  # EXPECT: RL003
+
+
+def good_unrelated_dispose(widget) -> None:
+    # ``dispose`` on a non-store-like receiver is someone else's API, not a
+    # segment lifecycle event; the rule must not flag it.
+    widget.dispose()
+
+
 def good_path_cleanup(path) -> None:
     # ``unlink`` on a non-shm-like name is filesystem cleanup, not an shm
     # lifecycle event; the rule must not flag it.

@@ -70,15 +70,23 @@ def test_more_workers_than_classes_is_clamped(snapshot, expected):
 def test_micro_batcher_groups_requests(snapshot, expected):
     path, queries = snapshot
     with ServingEngine(path, workers=2, max_batch=16, linger_s=0.01) as engine:
-        futures = [engine.submit(query) for query in queries[:24]]
-        budgeted = [engine.submit(query, node_budget=8) for query in queries[:8]]
+        futures = [engine.classify(query) for query in queries[:24]]
+        budgeted = [engine.classify(query, node_budget=8) for query in queries[:8]]
         assert [future.result(timeout=120) for future in futures] == expected["full"][:24]
         assert [future.result(timeout=120) for future in budgeted] == expected["budget_8"][:8]
         # 32 submissions were served in far fewer dispatch rounds.
         assert engine.stats.requests == 32
         assert engine.stats.batches < 32
     with pytest.raises(RuntimeError, match="closed"):
-        engine.submit(queries[0])
+        engine.classify(queries[0])
+
+
+def test_submit_is_a_deprecated_alias_of_classify(snapshot, expected):
+    path, queries = snapshot
+    with ServingEngine(path, workers=0) as engine:
+        with pytest.warns(DeprecationWarning, match="classify"):
+            future = engine.submit(queries[0])
+        assert future.result(timeout=120) == expected["full"][0]
 
 
 def test_hot_swap_switches_models_gracefully(snapshot, tmp_path):
@@ -169,7 +177,7 @@ def test_engine_validates_inputs(snapshot):
         with pytest.raises(ValueError, match="queries"):
             engine.predict_batch(queries[0])
         with pytest.raises(ValueError, match="features"):
-            engine.submit(queries)
+            engine.classify(queries)
         with pytest.raises(ValueError, match="budget per query"):
             engine.predict_batch(queries, node_budget=np.asarray([1, 2]))
     with pytest.raises(ValueError, match="workers"):

@@ -139,10 +139,13 @@ def test_error_codes(snapshot):
         path, scenario, linger_s=0.1
     )
     assert not_found[0] == 404
-    assert bad_json[0] == 400 and "JSON" in bad_json[1]["error"]
+    assert not_found[1]["error"]["code"] == "not_found"
+    assert bad_json[0] == 400 and "JSON" in bad_json[1]["error"]["message"]
+    assert bad_json[1]["error"]["code"] == "bad_request"
     assert bad_budget[0] == 400
     assert bad_shape[0] == 400
     assert timeout[0] == 504
+    assert timeout[1]["error"]["code"] == "deadline_exceeded"
 
 
 def test_malformed_framing_gets_a_400_response(snapshot):
@@ -189,7 +192,9 @@ def test_queue_full_maps_to_503(snapshot):
 
     status, body = _serve(path, scenario, max_pending=3, linger_s=0.3)
     assert status == 503
-    assert "full" in body["error"]
+    assert body["error"]["code"] == "queue_full"
+    assert "full" in body["error"]["message"]
+    assert body["error"]["retry_after_ms"] >= 0
 
 
 def test_swap_endpoint_switches_snapshots(snapshot, tmp_path):

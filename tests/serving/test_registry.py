@@ -1,0 +1,240 @@
+"""ModelRegistry lifecycle: LRU eviction, drains, cold starts, idempotence."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import AnytimeBayesClassifier
+from repro.data import make_dataset
+from repro.evaluation import classification_trace_hash
+from repro.persist import load_flat_forest, save_forest, save_tenant_manifest
+from repro.serving import (
+    ModelRegistry,
+    RegistryClosedError,
+    TenantNotFoundError,
+    TenantPolicy,
+    segment_exists,
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    dataset = make_dataset("pendigits", size=280, random_state=21)
+    classifier = AnytimeBayesClassifier()
+    classifier.fit(dataset.features[:220], dataset.labels[:220])
+    path = tmp_path_factory.mktemp("registry") / "forest.npz"
+    save_forest(classifier, path)
+    return path, dataset.features[220:252]
+
+
+@pytest.fixture(scope="module")
+def other_snapshot(tmp_path_factory):
+    dataset = make_dataset("pendigits", size=240, random_state=5)
+    classifier = AnytimeBayesClassifier()
+    classifier.fit(dataset.features[:200], dataset.labels[:200])
+    path = tmp_path_factory.mktemp("registry-other") / "other.npz"
+    save_forest(classifier, path)
+    return path
+
+
+def _shm_name(registry, tenant):
+    return registry.tenant_stats(tenant)["shm_name"]
+
+
+def test_lru_eviction_order_and_segment_unlink(snapshot):
+    path, queries = snapshot
+    with ModelRegistry(capacity=2) as registry:
+        registry.load("a", path)
+        registry.load("b", path)
+        name_a = _shm_name(registry, "a")
+        registry.load("c", path)  # capacity 2: LRU tenant "a" must go
+        assert registry.resident_tenants() == ["b", "c"]
+        assert not segment_exists(name_a)
+        assert registry.stats.evictions == 1
+        # Serving "b" touches it; the next overflow must evict "c" instead.
+        registry.predict_batch("b", queries[:4])
+        registry.load("d", path)
+        assert registry.resident_tenants() == ["b", "d"]
+        # Evicted tenants stay registered for transparent reload.
+        assert registry.known_tenants() == ["a", "b", "c", "d"]
+
+
+def test_capacity_bytes_bound_evicts_down(snapshot):
+    path, _ = snapshot
+    with ModelRegistry(capacity=8) as registry:
+        registry.load("a", path)
+        per_tenant = registry.tenant_stats("a")["shm_bytes"]
+        registry.close()
+    with ModelRegistry(capacity=8, capacity_bytes=int(per_tenant * 2.5)) as registry:
+        registry.load("a", path)
+        registry.load("b", path)
+        registry.load("c", path)  # 3 segments > bound: LRU "a" must go
+        assert registry.resident_tenants() == ["b", "c"]
+        assert registry.memory_bytes() <= int(per_tenant * 2.5)
+
+
+def test_evict_waits_for_in_flight_rounds(snapshot):
+    path, _ = snapshot
+    with ModelRegistry(capacity=2) as registry:
+        registry.load("a", path)
+        entry = registry._acquire("a")  # pin an in-flight round by hand
+        name = entry.store.name
+        evictor = threading.Thread(target=registry.evict, args=("a",), daemon=True)
+        evictor.start()
+        time.sleep(0.15)
+        # The eviction must be parked on the drain, segment still linked.
+        assert evictor.is_alive()
+        assert segment_exists(name)
+        registry._release(entry)
+        evictor.join(timeout=10)
+        assert not evictor.is_alive()
+        assert not segment_exists(name)
+        assert registry.resident_tenants() == []
+
+
+def test_cold_start_prior_fallback(snapshot):
+    path, queries = snapshot
+    with ModelRegistry(capacity=2, prior_snapshot=path) as registry:
+        direct = load_flat_forest(path).predict_batch(queries[:6])
+        served = registry.predict_batch("never-seen", queries[:6])
+        assert served == direct
+        assert registry.stats.cold_start_requests == 6
+        assert registry.resident_tenants() == []  # the prior is not a tenant
+    with ModelRegistry(capacity=2) as registry:
+        with pytest.raises(TenantNotFoundError, match="never-seen"):
+            registry.predict_batch("never-seen", queries[:2])
+
+
+def test_double_load_is_idempotent(snapshot):
+    path, _ = snapshot
+    with ModelRegistry(capacity=2) as registry:
+        first = registry.load("a", path)
+        name = first["shm_name"]
+        second = registry.load("a", path)
+        assert second["shm_name"] == name  # same segment, no rebuild
+        assert registry.stats.loads == 1
+        assert segment_exists(name)
+
+
+def test_evicted_tenant_reloads_on_demand(snapshot):
+    path, queries = snapshot
+    with ModelRegistry(capacity=1) as registry:
+        registry.load("a", path)
+        registry.load("b", path)  # evicts "a"
+        assert registry.resident_tenants() == ["b"]
+        predictions = registry.predict_batch("a", queries[:4])  # cold reload
+        assert len(predictions) == 4
+        assert registry.stats.reloads == 1
+        assert registry.resident_tenants() == ["a"]
+
+
+def test_swap_replaces_resident_snapshot(snapshot, other_snapshot):
+    path, queries = snapshot
+    with ModelRegistry(capacity=2) as registry:
+        registry.load("a", path)
+        old_name = _shm_name(registry, "a")
+        before = registry.predict_batch("a", queries)
+        registry.load("a", other_snapshot)
+        assert registry.stats.swaps == 1
+        assert not segment_exists(old_name)
+        after = registry.predict_batch("a", queries)
+        assert after == load_flat_forest(other_snapshot).predict_batch(queries)
+        assert before == load_flat_forest(path).predict_batch(queries)
+
+
+def test_tenant_policy_clamps_anytime_budgets(snapshot):
+    path, queries = snapshot
+    with ModelRegistry(capacity=2) as registry:
+        registry.load("free", path)
+        registry.load("capped", path, policy=TenantPolicy(max_node_budget=4))
+        capped = registry.predict_batch("capped", queries, node_budget=64)
+        assert capped == registry.predict_batch("free", queries, node_budget=4)
+        # Full refinement is exact by definition and never clamped.
+        full = registry.predict_batch("capped", queries)
+        assert full == load_flat_forest(path).predict_batch(queries)
+
+
+def test_per_tenant_trace_hash_matches_single_tenant(snapshot):
+    path, queries = snapshot
+    direct = load_flat_forest(path).classify_anytime_batch(queries, max_nodes=8)
+    with ModelRegistry(capacity=2) as registry:
+        registry.load("a", path)
+        registry.load("b", path)
+        registry.predict_batch("b", queries[:4])  # interleave other-tenant traffic
+        served = registry.classify_anytime_batch("a", queries, max_nodes=8)
+    assert classification_trace_hash(served) == classification_trace_hash(direct)
+
+
+def test_stats_snapshot_schema(snapshot):
+    path, queries = snapshot
+    with ModelRegistry(capacity=2, prior_snapshot=path) as registry:
+        registry.load("a", path, policy=TenantPolicy(max_node_budget=16))
+        registry.predict_batch("a", queries[:4], node_budget=4)
+        stats = registry.stats_snapshot()
+        assert stats["schema_version"] == 2
+        assert stats["capacity"] == 2
+        assert stats["resident"] == 1 and stats["registered"] == 1
+        assert stats["resident_bytes"] > 0
+        tenant = stats["tenants"]["a"]
+        assert tenant["resident"] is True
+        assert tenant["requests"] == 4
+        assert tenant["policy"] == {"max_node_budget": 16, "pinned": False}
+        assert tenant["cold_load_ms"] > 0
+        assert stats["prior"]["snapshot_path"] == str(path)
+
+
+def test_shared_worker_pool_matches_in_process(snapshot):
+    path, queries = snapshot
+    with ModelRegistry(capacity=2) as in_process:
+        in_process.load("a", path)
+        expected_full = in_process.predict_batch("a", queries)
+        expected_budgeted = in_process.predict_batch("a", queries, node_budget=8)
+    with ModelRegistry(capacity=2, workers=2) as pooled:
+        pooled.load("a", path)
+        assert pooled.predict_batch("a", queries) == expected_full
+        assert pooled.predict_batch("a", queries, node_budget=8) == expected_budgeted
+
+
+def test_from_manifest_registers_lazily(snapshot, tmp_path):
+    path, queries = snapshot
+    manifest = tmp_path / "tenants.json"
+    save_tenant_manifest(
+        manifest,
+        {
+            "acme": {"snapshot": path},
+            "capped": {"snapshot": path, "policy": {"max_node_budget": 4}},
+        },
+        prior_snapshot=path,
+    )
+    with ModelRegistry.from_manifest(manifest, capacity=2) as registry:
+        assert registry.known_tenants() == ["acme", "capped"]
+        assert registry.resident_tenants() == []  # lazy: nothing loaded yet
+        assert len(registry.predict_batch("acme", queries[:4])) == 4
+        assert registry.resident_tenants() == ["acme"]
+        # The manifest's prior serves unknown tenants.
+        assert len(registry.predict_batch("stranger", queries[:2])) == 2
+
+
+def test_registry_validates_inputs(snapshot):
+    path, queries = snapshot
+    with pytest.raises(ValueError, match="capacity"):
+        ModelRegistry(capacity=0)
+    with pytest.raises(ValueError, match="max_node_budget"):
+        TenantPolicy(max_node_budget=0)
+    with pytest.raises(ValueError, match="unknown tenant policy"):
+        TenantPolicy.from_dict({"bogus": 1})
+    registry = ModelRegistry(capacity=2)
+    with pytest.raises(ValueError, match="tenant"):
+        registry.load("", path)
+    with pytest.raises(ValueError, match="not registered"):
+        registry.load("nobody")
+    registry.load("a", path)
+    with pytest.raises(ValueError, match="queries"):
+        registry.predict_batch("a", queries[0])
+    with pytest.raises(ValueError, match="budget"):
+        registry.predict_batch("a", queries[:2], node_budget=0)
+    registry.close()
+    with pytest.raises(RegistryClosedError):
+        registry.predict_batch("a", queries[:2])

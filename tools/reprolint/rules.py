@@ -209,6 +209,13 @@ class SharedMemoryLifecycle(Rule):
     shm-like handles is confined to that module too; and inside it, any
     function attaching to an existing segment (``SharedMemory`` without
     ``create=True``) must touch ``resource_tracker`` in the same scope.
+
+    Segment *disposal* through the sanctioned API (``store.dispose()``) is
+    almost as sensitive: it unlinks the segment for every attached process.
+    Exactly two modules may trigger it — the serving engine (hot swap /
+    close) and the model registry (tenant eviction) — always via the
+    shared_mem API, never a raw ``unlink``.  A ``.dispose()`` on a
+    store-like receiver anywhere else is flagged.
     """
 
     code = "RL003"
@@ -216,6 +223,10 @@ class SharedMemoryLifecycle(Rule):
 
     _OWNER = "src/repro/serving/shared_mem.py"
     _SHMLIKE = ("shm", "segment", "shared_mem", "seg")
+    _STORELIKE = ("store",) + _SHMLIKE
+    #: Modules allowed to call ``.dispose()`` on a SharedColumnStore: the
+    #: engine (swap/close) and the registry (tenant eviction), nothing else.
+    _DISPOSERS = ("/serving/engine.py", "/serving/registry.py")
 
     def applies_to(self, relpath: str, project: ProjectContext) -> bool:
         return relpath.endswith(".py")
@@ -247,7 +258,34 @@ class SharedMemoryLifecycle(Rule):
                             "serving/shared_mem.py; the engine-side store is the single unlinker"
                         )
                     )
+                elif (
+                    node.func.attr == "dispose"
+                    and self._looks_storelike(node.func.value)
+                    and not self._may_dispose(ctx.relpath)
+                ):
+                    found.append(
+                        self.violation(
+                            ctx, node, "segment disposal (`.dispose()` on a column store) is "
+                            "confined to serving/engine.py (swap/close) and "
+                            "serving/registry.py (tenant eviction)"
+                        )
+                    )
         return found
+
+    def _may_dispose(self, relpath: str) -> bool:
+        normalized = "/" + relpath.replace("\\", "/").lstrip("/")
+        return any(normalized.endswith(suffix) for suffix in self._DISPOSERS)
+
+    def _looks_storelike(self, node: ast.expr) -> bool:
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            return False
+        lowered = name.lower().lstrip("_")
+        return any(prefix in lowered for prefix in self._STORELIKE)
 
     def _import_violation(self, ctx: FileContext, node: ast.AST) -> Violation:
         return self.violation(
