@@ -51,6 +51,7 @@ from serving_load import (  # noqa: E402
     run_warm_start_comparison,
 )
 from tenant_churn import run_registry_trace_identity, run_tenant_churn_soak  # noqa: E402
+from tenant_fairness import run_two_tenant_starvation  # noqa: E402
 
 SCHEMA = 1
 
@@ -233,6 +234,24 @@ def _tenant_metrics() -> dict:
     return {"churn": churn, "identity": identity}
 
 
+def _fairness_metrics() -> dict:
+    """Two-tenant starvation: DRR fairness under a 50x hot-tenant storm.
+
+    The background tenant replays the same stream twice through identically
+    configured deployments — once alone, once while the hot tenant offers
+    50x its load — so both gate numbers are same-machine ratios: the served
+    fraction of background requests under contention (1.0 unless the
+    scheduler starves it into deadline misses) and the background p99 over
+    its solo baseline (a broken scheduler parks background requests behind
+    the hot backlog and blows this up by orders of magnitude, not percent).
+    """
+    with tempfile.TemporaryDirectory() as tmpdir:
+        snapshot = Path(tmpdir) / "forest.npz"
+        build_serving_snapshot(snapshot, train_size=800, query_size=128, random_state=0)
+        tail = build_labelled_tail(train_size=800, tail_size=160, random_state=0)
+        return run_two_tenant_starvation(snapshot, tail)
+
+
 def _scenario_metrics() -> dict:
     """Scenario-battery smoke headline numbers (fully deterministic).
 
@@ -262,6 +281,7 @@ def collect() -> dict:
     frontend = _frontend_metrics()
     flat = _flat_metrics()
     tenant = _tenant_metrics()
+    fairness = _fairness_metrics()
     scenarios = _scenario_metrics()
     drift = run_drift_recovery_experiment(
         size=600, warmup=64, window=100, decay_rate=0.02, expiry_threshold=1e-3, random_state=0
@@ -367,6 +387,22 @@ def collect() -> dict:
             "direction": "lower",
             "note": "mean cold tenant load (manifest read + compile + shm publish) / calibration seconds",
         },
+        "tenant_starvation_completion": {
+            "value": fairness["background_completion"],
+            "direction": "higher",
+            "note": (
+                "background tenant's served fraction under a 50x hot-tenant storm "
+                "(deadline-bounded; 1.0 unless the scheduler starves it)"
+            ),
+        },
+        "tenant_fairness_p99_norm": {
+            "value": fairness["p99_ratio"],
+            "direction": "lower",
+            "note": (
+                "background p99 under the 50x storm over its solo-baseline p99 "
+                "(same machine, same client config; starvation blows this up)"
+            ),
+        },
         "scenario_forest_win_rate": {
             "value": scenarios["forest_win_rate"],
             "direction": "higher",
@@ -412,6 +448,11 @@ def collect() -> dict:
         # reload latencies) and the both-route-families trace-identity run
         # whose hash must match the PR 6 single-tenant front-end hash.
         "tenant": tenant,
+        # Fairness battery detail for the admission-control acceptance
+        # record: the solo and contended background trace summaries, the
+        # hot tenant's rejection mix, and the client's DRR admission
+        # snapshot (per-tenant granted shares and deficit counters).
+        "fairness": fairness,
         # Scenario-battery headline detail (smoke subset; the full battery
         # runs nightly and in the published docs report).
         "scenarios": scenarios,

@@ -42,6 +42,7 @@ from repro.serving import (  # noqa: E402
     AsyncServingClient,
     HttpFrontend,
     ModelRegistry,
+    TenantPolicy,
     memory_profile,
     segment_exists,
 )
@@ -158,7 +159,10 @@ def run_tenant_churn_soak(
 
 
 def run_registry_trace_identity(
-    snapshot_path: "str | Path", queries: np.ndarray, node_budget: int = 8
+    snapshot_path: "str | Path",
+    queries: np.ndarray,
+    node_budget: int = 8,
+    policy: Optional[TenantPolicy] = None,
 ) -> Dict[str, object]:
     """Pin single-tenant trace identity through both HTTP route families.
 
@@ -167,13 +171,16 @@ def run_registry_trace_identity(
     requires the two response payloads to be byte-identical, and compares the
     served predictions against the in-process lockstep driver whose full
     refinement trace feeds :func:`classification_trace_hash` — the same hash
-    the single-tenant front-end pinned before the registry existed.
+    the single-tenant front-end pinned before the registry existed.  An
+    optional tenant ``policy`` configures the admission layer (weight, queue
+    depth, quota), so the fairness battery can require that the DRR scheduler
+    leaves this byte-level contract untouched.
     """
 
     async def served_payloads() -> Tuple[bytes, bytes]:
         registry = ModelRegistry(capacity=2)
         try:
-            registry.load("default", snapshot_path)
+            registry.load("default", snapshot_path, policy=policy)
             async with AsyncServingClient(registry=registry, linger_s=0.001) as client:
                 async with HttpFrontend(client) as http:
                     host, port = http.address

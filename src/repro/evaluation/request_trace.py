@@ -31,8 +31,10 @@ class RequestRecord:
     index:
         The stream/object index of the request.
     status:
-        ``"ok"`` for served requests; ``"deadline"``, ``"rejected"`` or
-        ``"closed"`` for requests that failed at the front-end.
+        ``"ok"`` for served requests; ``"deadline"``, ``"quota"``,
+        ``"rejected"`` or ``"closed"`` for requests that failed at the
+        front-end (``"quota"`` = the tenant's ``requests_per_sec`` quota,
+        ``"rejected"`` = queue-full backpressure).
     arrival_time:
         The request's (abstract) arrival timestamp, if known.
     label:
@@ -105,6 +107,33 @@ class RequestTrace:
             groups.setdefault(record.tenant, []).append(record)
         return {tenant: RequestTrace(records) for tenant, records in groups.items()}
 
+    def completion_rate(self) -> Optional[float]:
+        """Fraction of requests that were served (``None`` for empty traces).
+
+        The starvation-bench headline number: a background tenant's
+        completion rate under a hot co-tenant's storm measures whether the
+        admission layer actually protected it.
+        """
+        if not self._records:
+            return None
+        return len(self.served()) / len(self._records)
+
+    def rejection_mix(self) -> Dict[str, float]:
+        """Share of requests per non-``"ok"`` status (empty when all served).
+
+        Fractions of the *total* request count, keyed by status — the
+        front-end's per-tenant rejection mix as seen from the client side
+        (``{"quota": 0.2, "rejected": 0.05}`` reads "20% quota breaches,
+        5% queue-full").
+        """
+        total = len(self._records)
+        if not total:
+            return {}
+        counts = self.status_counts()
+        return {
+            status: count / total for status, count in sorted(counts.items()) if status != "ok"
+        }
+
     def latency_summary(self, percentiles: Sequence[float] = (50.0, 99.0)) -> Dict[str, float]:
         """Latency percentiles (ms) over the served requests.
 
@@ -136,15 +165,19 @@ class RequestTrace:
             "requests": len(self._records),
             "served": len(served),
             "status_counts": self.status_counts(),
+            "completion_rate": self.completion_rate(),
+            "rejection_mix": self.rejection_mix(),
             "accuracy": self.accuracy(),
             "mean_node_budget": self.mean_node_budget(),
         }
         if served:
             summary["latency_ms"] = self.latency_summary()
         tenants = self.by_tenant()
-        if tenants and set(tenants) != {None}:
-            # Multi-tenant trace: nest one summary per tenant (tagged only —
-            # recursion stops because sub-traces are single-tenant).
+        if len(tenants) > 1:
+            # Multi-tenant trace: nest one summary per tenant (tagged only).
+            # Only genuinely mixed traces nest — a uniformly tagged trace is
+            # its own single-tenant summary, and each sub-trace here is one
+            # tenant's group, so the recursion stops after one level.
             summary["tenants"] = {
                 tenant: sub.summary() for tenant, sub in tenants.items() if tenant is not None
             }

@@ -16,7 +16,8 @@ Shape (``TENANT_MANIFEST_VERSION`` 1)::
       "prior_snapshot": "snapshots/global_prior.npz" | null,
       "tenants": {
         "acme": {"snapshot": "snapshots/acme.npz",
-                 "policy": {"max_node_budget": 32}},
+                 "policy": {"max_node_budget": 32, "weight": 2.0,
+                            "max_queue_depth": 256, "requests_per_sec": 500}},
         ...
       }
     }
@@ -25,7 +26,10 @@ Shape (``TENANT_MANIFEST_VERSION`` 1)::
 file); :func:`read_tenant_manifest` resolves relative paths against the
 manifest's own directory so the catalogue stays relocatable.  The policy dict
 is deliberately open-ended plain JSON — :class:`repro.serving.TenantPolicy`
-validates the known keys when a registry loads it.
+validates the known keys when a registry loads it (the admission-control
+fields ``weight`` / ``max_queue_depth`` / ``requests_per_sec`` ride the same
+dict and round-trip verbatim; manifests from before those fields existed
+load unchanged with the policy defaults).
 
 :meth:`repro.serving.ModelRegistry.from_manifest` consumes this format to
 register every tenant lazily (models become resident on first use, within

@@ -28,11 +28,16 @@ per-tenant flat-snapshot segments (bounded count and bytes, drain-before-
 unlink eviction), applies per-tenant :class:`TenantPolicy` budget clamps,
 falls back to a shared global prior for unknown tenants, and plugs into
 :class:`AsyncServingClient` / :class:`HttpFrontend` via ``tenant=`` and the
-versioned ``/v1/tenants/{tenant}/...`` routes.  Every request failure across
-the stack derives from :class:`ServingError` (:mod:`repro.serving.errors`),
-which carries the stable wire code the HTTP error envelope exposes.
+versioned ``/v1/tenants/{tenant}/...`` routes.  Admission across tenants is
+*fair* (:mod:`repro.serving.admission`): a deficit-round-robin scheduler
+over per-tenant queues, weighted by :class:`TenantPolicy.weight`, plus
+per-tenant ``max_queue_depth`` bounds and ``requests_per_sec`` token-bucket
+quotas (the enveloped HTTP 429).  Every request failure across the stack
+derives from :class:`ServingError` (:mod:`repro.serving.errors`), which
+carries the stable wire code the HTTP error envelope exposes.
 """
 
+from .admission import DeficitRoundRobin, TenantQueueStats, TokenBucket
 from .engine import ServingEngine, ServingStats, plan_shard_assignment
 from .errors import (
     ERROR_CODES,
@@ -40,6 +45,7 @@ from .errors import (
     FrontendClosedError,
     FrontendError,
     QueueFullError,
+    QuotaExceededError,
     RegistryCapacityError,
     RegistryClosedError,
     ServingError,
@@ -75,11 +81,15 @@ __all__ = [
     "ArrivalRateEstimator",
     "AsyncServingClient",
     "ClassifyResult",
+    "DeficitRoundRobin",
+    "TenantQueueStats",
+    "TokenBucket",
     "ERROR_CODES",
     "DeadlineExceededError",
     "FrontendClosedError",
     "FrontendError",
     "QueueFullError",
+    "QuotaExceededError",
     "RegistryCapacityError",
     "RegistryClosedError",
     "ServingError",

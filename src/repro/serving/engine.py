@@ -90,6 +90,12 @@ BudgetSpec = Union[int, Sequence[int], np.ndarray]
 # plain module dict is per-shard state).
 _WORKER: dict = {}
 
+# Once-per-process guard for the ServingEngine.submit() deprecation warning.
+# A module-level flag rather than a `warnings` filter: filters are global
+# mutable state tests and applications reconfigure freely (pytest resets
+# them per test), which made the warning fire on every call.
+_SUBMIT_DEPRECATION_WARNED = False
+
 
 def plan_shard_assignment(counts: Sequence[float], n_shards: int) -> List[List[int]]:
     """Pack class indices onto shards, balancing total per-shard count (LPT).
@@ -560,12 +566,12 @@ class ServingEngine:
         latency and shared/private RSS) and the forest structure-health
         summary computed from the flat interval columns.  Safe to call
         concurrently with serving.  The document carries a
-        ``schema_version`` key (currently ``2``) stamping its shape, shared
+        ``schema_version`` key (currently ``3``) stamping its shape, shared
         with :meth:`repro.serving.ModelRegistry.stats_snapshot`.
         """
         with self._stats_lock:
             counters = {
-                "schema_version": 2,
+                "schema_version": 3,
                 "requests": self.stats.requests,
                 "batches": self.stats.batches,
                 "swaps": self.stats.swaps,
@@ -800,13 +806,19 @@ class ServingEngine:
         async client and the HTTP surface; ``submit`` collided with
         :meth:`concurrent.futures.Executor.submit` and said nothing about
         *what* is being done.  Existing callers keep working — they just see
-        a :class:`DeprecationWarning`.
+        a :class:`DeprecationWarning` on the first call in the process (a
+        module-level guard, not ``warnings`` filtering: a migration loop
+        calling ``submit`` per request must not pay a warning — or flood the
+        log — per call).
         """
-        warnings.warn(
-            "ServingEngine.submit() is deprecated; use ServingEngine.classify()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        global _SUBMIT_DEPRECATION_WARNED
+        if not _SUBMIT_DEPRECATION_WARNED:
+            _SUBMIT_DEPRECATION_WARNED = True
+            warnings.warn(
+                "ServingEngine.submit() is deprecated; use ServingEngine.classify()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return self.classify(features, node_budget=node_budget)
 
     def flush(self) -> None:

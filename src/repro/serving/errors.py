@@ -21,7 +21,8 @@ not rely on.  This module is the single point of truth that replaces that:
       {"error": {"code": "queue_full", "message": "...", "retry_after_ms": 50}}
 
   ``retry_after_ms`` is present exactly when the condition is retryable
-  (every 503 carries it); other errors omit the key rather than null it.
+  (every 429 and 503 carries it); other errors omit the key rather than
+  null it.
 
 The legacy exception names (:class:`QueueFullError` and friends) keep their
 historical inheritance via :class:`FrontendError`, so existing ``except``
@@ -41,6 +42,7 @@ __all__ = [
     "FrontendClosedError",
     "FrontendError",
     "QueueFullError",
+    "QuotaExceededError",
     "RegistryCapacityError",
     "RegistryClosedError",
     "ServingError",
@@ -85,6 +87,22 @@ class QueueFullError(FrontendError):
     retry_after_ms = 50
 
 
+class QuotaExceededError(FrontendError):
+    """Raised when a tenant's ``requests_per_sec`` quota rejects a request (HTTP 429).
+
+    Distinct from :class:`QueueFullError`: a 503 means the *system* is out
+    of capacity right now (any tenant may retry shortly), a 429 means *this
+    tenant* exceeded its configured offered-rate budget — retrying before
+    the quota refills cannot help, which is why the instance-level
+    ``retry_after_ms`` is computed from the tenant's token-bucket refill
+    rate at raise time.
+    """
+
+    code = "quota_exceeded"
+    http_status = 429
+    retry_after_ms = 1000
+
+
 class DeadlineExceededError(FrontendError):
     """Raised when a request's deadline passed before its result (HTTP 504)."""
 
@@ -125,6 +143,7 @@ class RegistryCapacityError(ServingError):
 #: exception class; :func:`error_envelope` assigns them by exception family.
 ERROR_CODES: Dict[str, int] = {
     "queue_full": 503,
+    "quota_exceeded": 429,
     "deadline_exceeded": 504,
     "shutting_down": 503,
     "tenant_not_found": 404,
@@ -167,8 +186,8 @@ def error_envelope(
             message = f"{type(error).__name__}: {message}"
     resolved_status = status if status is not None else ERROR_CODES.get(code, 500)
     body: dict = {"code": code, "message": message}
-    if retry_after_ms is None and resolved_status == 503:
-        # Every 503 is by definition retryable; never ship one without a hint.
+    if retry_after_ms is None and resolved_status in (429, 503):
+        # 429 and 503 are by definition retryable; never ship one without a hint.
         retry_after_ms = 100
     if retry_after_ms is not None:
         body["retry_after_ms"] = retry_after_ms

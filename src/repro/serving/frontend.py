@@ -7,11 +7,17 @@ that; this module adds the missing traffic side — an asyncio-native request
 layer so real (network) arrivals feed the same scatter/gather rounds:
 
 * :class:`AsyncServingClient` — ``await classify(x, deadline_ms=...)`` backed
-  by an event-loop-side micro-batcher: a bounded queue coalesces concurrent
-  requests (up to ``max_batch``, waiting at most ``linger_s`` after the first)
-  into one engine round executed off-loop in a worker thread.  Backpressure
-  is explicit: a full queue rejects new work with :class:`QueueFullError`
-  (the 503 of the HTTP shim) instead of queueing unboundedly, and per-request
+  by an event-loop-side micro-batcher: bounded per-tenant queues coalesce
+  concurrent requests (up to ``max_batch``, waiting at most ``linger_s``
+  after the first) into engine rounds executed off-loop in a worker thread.
+  Rounds are assembled by a deficit-round-robin scheduler over the tenant
+  queues (:mod:`repro.serving.admission`), so under contention each tenant's
+  served share tracks its :class:`~repro.serving.TenantPolicy` weight
+  instead of one hot tenant starving the rest.  Backpressure is explicit: a
+  full queue (global ``max_pending`` or the tenant's ``max_queue_depth``)
+  rejects new work with :class:`QueueFullError` (the 503 of the HTTP shim)
+  instead of queueing unboundedly, a tenant over its ``requests_per_sec``
+  quota gets :class:`QuotaExceededError` (the 429), and per-request
   deadlines turn into :class:`DeadlineExceededError` (the 504).
 * **Load-adaptive budgets** — :class:`ArrivalRateEstimator` keeps an EWMA of
   the observed inter-arrival gaps and :class:`AdaptiveBudgetPolicy` maps the
@@ -55,22 +61,34 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
-from collections import deque
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Awaitable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Awaitable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
+from .admission import DeficitRoundRobin, TokenBucket
 from .engine import ServingEngine
 from .errors import (
     DeadlineExceededError,
     FrontendClosedError,
     FrontendError,
     QueueFullError,
+    QuotaExceededError,
     TenantNotFoundError,
     error_envelope,
 )
-from .registry import ModelRegistry
+from .registry import ModelRegistry, TenantPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from pathlib import Path
@@ -89,6 +107,7 @@ __all__ = [
     "FrontendStats",
     "HttpFrontend",
     "QueueFullError",
+    "QuotaExceededError",
     "drive_open_loop",
 ]
 
@@ -133,6 +152,7 @@ class FrontendStats:
     served: int = 0
     batches: int = 0
     rejected_queue_full: int = 0
+    rejected_quota: int = 0
     rejected_deadline: int = 0
     dropped_cancelled: int = 0
     failed: int = 0
@@ -153,6 +173,7 @@ class FrontendStats:
             "served": self.served,
             "batches": self.batches,
             "rejected_queue_full": self.rejected_queue_full,
+            "rejected_quota": self.rejected_quota,
             "rejected_deadline": self.rejected_deadline,
             "dropped_cancelled": self.dropped_cancelled,
             "failed": self.failed,
@@ -294,10 +315,16 @@ class AsyncServingClient:
     event-loop-side micro-batcher into engine rounds: the first queued
     request opens a round, the round dispatches when ``max_batch`` requests
     are pending or ``linger_s`` has passed, and the blocking engine call runs
-    in a worker thread so the event loop stays responsive.  The queue is
-    bounded (``max_pending``): when it is full new requests fail fast with
-    :class:`QueueFullError` — callers see backpressure instead of unbounded
-    latency.
+    in a worker thread so the event loop stays responsive.  Requests wait in
+    per-tenant FIFO queues and rounds are assembled by a deficit-round-robin
+    scheduler (:class:`~repro.serving.admission.DeficitRoundRobin`) weighted
+    by each tenant's :class:`TenantPolicy.weight` — fairness under
+    contention, exact FIFO when a single tenant is active.  Admission is
+    bounded three ways: the global ``max_pending`` and the per-tenant
+    ``max_queue_depth`` fail fast with :class:`QueueFullError`, and a
+    tenant's ``requests_per_sec`` token-bucket quota fails with
+    :class:`QuotaExceededError` — callers see backpressure instead of
+    unbounded latency.
 
     All methods must be called from a single asyncio event loop (the one that
     first used the client).
@@ -320,13 +347,21 @@ class AsyncServingClient:
         Micro-batching knobs; default to the engine's settings (or the
         engine constructor defaults when only a registry is given).
     max_pending:
-        Bound of the request queue (backpressure threshold).
+        Bound of the request queue (backpressure threshold), summed over
+        every tenant's admission queue.
     default_budget:
         Budget used by :meth:`classify` calls that do not pass one:
         ``None`` (full refinement), an ``int``, or :data:`ADAPTIVE`.
     budget_policy / estimator:
         The load-adaptive budget policy and arrival-rate estimator; default
         instances are created when omitted.
+    tenant_policies:
+        Optional explicit per-tenant :class:`TenantPolicy` mapping for the
+        admission layer (DRR ``weight``, ``max_queue_depth``,
+        ``requests_per_sec``).  Looked up before the registry's registered
+        policies — the way to configure admission for engine-only
+        deployments, which have no registry to carry policies.  Tenants in
+        neither source get the default policy (weight 1.0, no bounds).
     """
 
     def __init__(
@@ -340,6 +375,7 @@ class AsyncServingClient:
         estimator: Optional[ArrivalRateEstimator] = None,
         registry: Optional[ModelRegistry] = None,
         default_tenant: str = "default",
+        tenant_policies: "Optional[Mapping[str, TenantPolicy]]" = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
@@ -363,7 +399,10 @@ class AsyncServingClient:
         self.budget_policy = budget_policy or AdaptiveBudgetPolicy()
         self.estimator = estimator or ArrivalRateEstimator()
         self.stats = FrontendStats()
-        self._pending: "deque[_PendingRequest]" = deque()
+        self._tenant_policies: Dict[str, TenantPolicy] = dict(tenant_policies or {})
+        self._default_policy = TenantPolicy()
+        self._admission: "DeficitRoundRobin[_PendingRequest]" = DeficitRoundRobin()
+        self._buckets: Dict[str, Tuple[float, TokenBucket]] = {}
         self._wakeup = asyncio.Event()
         self._batcher: Optional[asyncio.Task] = None
         self._closed = False
@@ -408,7 +447,80 @@ class AsyncServingClient:
     @property
     def queue_depth(self) -> int:
         """Number of requests currently waiting for a micro-batch round."""
-        return len(self._pending)
+        return len(self._admission)
+
+    def _policy_for(self, tenant: str) -> TenantPolicy:
+        """The admission policy governing ``tenant``'s requests right now.
+
+        Explicit ``tenant_policies`` entries win, then the registry's
+        registered policy, then the all-defaults policy — read per request,
+        so a policy change applies to the next admission decision.
+        """
+        policy = self._tenant_policies.get(tenant)
+        if policy is not None:
+            return policy
+        if self._registry is not None:
+            registered = self._registry.tenant_policy(tenant)
+            if registered is not None:
+                return registered
+        return self._default_policy
+
+    def _bucket_for(self, tenant: str, policy: TenantPolicy) -> Optional[TokenBucket]:
+        """The tenant's quota bucket (rebuilt when the policy's rate changes)."""
+        rate = policy.requests_per_sec
+        if rate is None:
+            self._buckets.pop(tenant, None)
+            return None
+        cached = self._buckets.get(tenant)
+        if cached is None or cached[0] != rate:
+            bucket = TokenBucket(rate)
+            self._buckets[tenant] = (rate, bucket)
+            return bucket
+        return cached[1]
+
+    def _admit(self, tenant: str, count: int, now: float) -> TenantPolicy:
+        """Run the admission checks for ``count`` requests of one tenant.
+
+        Order: rate quota (429) first — a quota breach is the tenant's own
+        doing regardless of queue state — then the global queue bound and
+        the tenant's ``max_queue_depth`` (both 503).  All-or-nothing for the
+        whole block, and synchronous (no awaits), so a batch admits
+        atomically with respect to the event loop.  Returns the policy so
+        the caller can enqueue with its DRR weight.
+        """
+        policy = self._policy_for(tenant)
+        if count < 1:  # an empty block admits trivially (nothing to charge)
+            return policy
+        bucket = self._bucket_for(tenant, policy)
+        if bucket is not None and not bucket.try_acquire(now, float(count)):
+            self.stats.rejected_quota += count
+            self._admission.record_rejection(tenant, "quota", count)
+            retry_ms = max(1, math.ceil(bucket.retry_after_s(now, float(count)) * 1e3))
+            noun = "request" if count == 1 else f"batch of {count}"
+            raise QuotaExceededError(
+                f"tenant {tenant!r} quota of {policy.requests_per_sec:g} requests/s "
+                f"cannot admit this {noun}; retry later",
+                retry_after_ms=retry_ms,
+            )
+        if len(self._admission) + count > self.max_pending:
+            self.stats.rejected_queue_full += count
+            self._admission.record_rejection(tenant, "queue_full", count)
+            if count == 1:
+                raise QueueFullError(
+                    f"request queue is full ({self.max_pending} pending); retry later"
+                )
+            raise QueueFullError(
+                f"batch of {count} does not fit the request queue "
+                f"({self.max_pending - len(self._admission)} slots free)"
+            )
+        depth_limit = policy.max_queue_depth
+        if depth_limit is not None and self._admission.queue_depth(tenant) + count > depth_limit:
+            self.stats.rejected_queue_full += count
+            self._admission.record_rejection(tenant, "queue_full", count)
+            raise QueueFullError(
+                f"tenant {tenant!r} queue is full ({depth_limit} pending allowed); retry later"
+            )
+        return policy
 
     async def classify(
         self,
@@ -447,7 +559,11 @@ class AsyncServingClient:
         Raises
         ------
         QueueFullError
-            If ``max_pending`` requests are already queued (backpressure).
+            If ``max_pending`` requests are already queued, or the tenant's
+            own ``max_queue_depth`` is reached (backpressure).
+        QuotaExceededError
+            If the tenant's ``requests_per_sec`` quota is exhausted (the
+            HTTP 429; carries a ``retry_after_ms`` from the refill rate).
         DeadlineExceededError
             If the deadline passes before the result is available.
         FrontendClosedError
@@ -468,15 +584,13 @@ class AsyncServingClient:
         loop = asyncio.get_running_loop()
         now = loop.time()
         # Every arrival — including ones about to be rejected — is load
-        # signal, so the estimator observes before the backpressure check.
+        # signal, so the estimator observes before the admission checks.
         self.estimator.observe(now)
-        if len(self._pending) >= self.max_pending:
-            self.stats.rejected_queue_full += 1
-            raise QueueFullError(
-                f"request queue is full ({self.max_pending} pending); retry later"
-            )
+        policy = self._admit(resolved_tenant, 1, now)
         budget = self._normalize_budget(node_budget)
-        request = self._enqueue(features, budget, deadline_ms, now, loop, resolved_tenant)
+        request = self._enqueue(
+            features, budget, deadline_ms, now, loop, resolved_tenant, policy.weight
+        )
         result = await self._await_result(request, deadline_ms, now)
         if detail:
             return ClassifyResult(
@@ -505,8 +619,9 @@ class AsyncServingClient:
         now: float,
         loop: asyncio.AbstractEventLoop,
         tenant: str,
+        weight: float,
     ) -> _PendingRequest:
-        """Append one validated request to the queue and wake the batcher.
+        """Append one admitted request to its tenant queue and wake the batcher.
 
         Synchronous (no awaits), so a caller can admit a whole block
         atomically with respect to the event loop.
@@ -519,7 +634,7 @@ class AsyncServingClient:
             enqueued=now,
             tenant=tenant,
         )
-        self._pending.append(request)
+        self._admission.enqueue(tenant, request, weight)
         self.stats.submitted += 1
         self._ensure_batcher()
         self._wakeup.set()
@@ -551,9 +666,10 @@ class AsyncServingClient:
         it coalesces with concurrent callers); admission is all-or-nothing
         and atomic — every row is enqueued without yielding to the event
         loop, so either the whole block is queued or none of it is and
-        :class:`QueueFullError` is raised.  ``tenant`` routes the whole
-        block to one tenant's model, as in :meth:`classify`.  Raises like
-        :meth:`classify` otherwise.
+        :class:`QueueFullError` (or :class:`QuotaExceededError`, for a
+        block the tenant's rate quota cannot afford) is raised.  ``tenant``
+        routes the whole block to one tenant's model, as in
+        :meth:`classify`.  Raises like :meth:`classify` otherwise.
         """
         queries = np.asarray(queries, dtype=float)
         resolved_tenant = self._resolve_tenant(tenant)
@@ -566,15 +682,10 @@ class AsyncServingClient:
         now = loop.time()
         for _ in range(queries.shape[0]):
             self.estimator.observe(now)
-        if len(self._pending) + queries.shape[0] > self.max_pending:
-            self.stats.rejected_queue_full += queries.shape[0]
-            raise QueueFullError(
-                f"batch of {queries.shape[0]} does not fit the request queue "
-                f"({self.max_pending - len(self._pending)} slots free)"
-            )
+        policy = self._admit(resolved_tenant, queries.shape[0], now)
         budget = self._normalize_budget(node_budget)
         requests = [
-            self._enqueue(row, budget, deadline_ms, now, loop, resolved_tenant)
+            self._enqueue(row, budget, deadline_ms, now, loop, resolved_tenant, policy.weight)
             for row in queries
         ]
         results = await asyncio.gather(
@@ -611,12 +722,36 @@ class AsyncServingClient:
         )
 
     def stats_snapshot(self) -> dict:
-        """JSON-able front-end stats: counters, queue depth, arrival estimate."""
+        """JSON-able front-end stats: counters, queues, arrival estimate.
+
+        Since schema_version 3 the document nests the admission layer's
+        view under ``"admission"`` — DRR rounds plus, per tenant, queue
+        depth, weight, deficit, granted(-round) share and the rejection mix
+        (see :meth:`DeficitRoundRobin.snapshot`).
+        """
         snapshot = self.stats.snapshot()
         snapshot["queue_depth"] = self.queue_depth
         snapshot["max_pending"] = self.max_pending
         snapshot["arrival"] = self.estimator.snapshot()
+        snapshot["admission"] = self._admission.snapshot()
         return snapshot
+
+    def tenant_admission_snapshot(self, tenant: Optional[str] = None) -> dict:
+        """One tenant's admission view: queue depth, deficit, shares, rejections.
+
+        The per-tenant slice of ``stats_snapshot()["admission"]`` plus the
+        tenant's configured admission policy — the document the
+        ``/v1/tenants/{tenant}/stats`` route nests under ``"admission"``.
+        """
+        resolved = self._resolve_tenant(tenant)
+        doc = self._admission.tenant_snapshot(resolved)
+        policy = self._policy_for(resolved)
+        doc["policy"] = {
+            "weight": policy.weight,
+            "max_queue_depth": policy.max_queue_depth,
+            "requests_per_sec": policy.requests_per_sec,
+        }
+        return doc
 
     async def aclose(self, drain: bool = True) -> None:
         """Shut the client down; idempotent.
@@ -655,15 +790,14 @@ class AsyncServingClient:
             )
 
     def _fail_pending(self, error: Exception) -> None:
-        while self._pending:
-            request = self._pending.popleft()
+        for request in self._admission.drain():
             if not request.future.done():
                 request.future.set_exception(error)
 
     async def _batch_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            while not self._pending:
+            while not len(self._admission):
                 if self._closed:
                     return
                 self._wakeup.clear()
@@ -673,7 +807,7 @@ class AsyncServingClient:
                 # dispatching — the event-loop analogue of the engine
                 # dispatcher thread's wait.
                 round_deadline = loop.time() + self.linger_s
-                while len(self._pending) < self.max_batch and not self._closed:
+                while len(self._admission) < self.max_batch and not self._closed:
                     remaining = round_deadline - loop.time()
                     if remaining <= 0:
                         break
@@ -682,9 +816,10 @@ class AsyncServingClient:
                         await asyncio.wait_for(self._wakeup.wait(), remaining)
                     except asyncio.TimeoutError:
                         break
-            batch: List[_PendingRequest] = []
-            while self._pending and len(batch) < self.max_batch:
-                batch.append(self._pending.popleft())
+            # The DRR scheduler assembles the round: weighted-fair across
+            # backlogged tenants, FIFO within each — a single-tenant queue
+            # degenerates to exactly the old FIFO pop (trace identity).
+            batch = self._admission.take(self.max_batch)
             if batch:
                 await self._serve_round(batch)
 
@@ -812,10 +947,11 @@ async def drive_open_loop(
     Requests are fired at the stream's arrival timestamps (scaled by
     ``speed``; see :func:`repro.stream.aiter_items`) *without waiting for
     earlier responses* — the generator does not slow down when the server
-    falls behind, which is what makes queue-full rejections and deadline
-    misses observable.  Returns one record dict per stream item (``index``,
-    ``arrival_time``, ``label``, ``status`` of ``"ok" | "deadline" |
-    "rejected" | "closed"``, and for served requests ``prediction``,
+    falls behind, which is what makes queue-full rejections, quota breaches
+    and deadline misses observable.  Returns one record dict per stream item
+    (``index``, ``arrival_time``, ``label``, ``status`` of ``"ok" |
+    "deadline" | "quota" | "rejected" | "closed"``, and for served requests
+    ``prediction``,
     ``node_budget``, ``latency_s``) suitable for
     :meth:`repro.evaluation.RequestTrace.from_records`.  When ``tenant`` is
     given, every request routes to that tenant's model and every record is
@@ -845,6 +981,8 @@ async def drive_open_loop(
             )
         except DeadlineExceededError:
             record.update(status="deadline")
+        except QuotaExceededError:
+            record.update(status="quota")
         except QueueFullError:
             record.update(status="rejected")
         except FrontendClosedError:
@@ -889,6 +1027,7 @@ _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
     504: "Gateway Timeout",
@@ -928,11 +1067,16 @@ class HttpFrontend:
 
     ``GET /v1/tenants/{tenant}/stats``
         That tenant's stats document (per-tenant nesting of the registry's
-        ``stats_snapshot()``).  Example response::
+        ``stats_snapshot()``) plus its front-end admission view (queue
+        depth, DRR weight/deficit, granted-round share, rejection mix).
+        Example response::
 
             {"tenant": "acme", "resident": true, "shm_bytes": 1048576,
              "decay_rate": 0.01, "requests": 128, "cold_load_ms": 2.4,
-             "policy": {"max_node_budget": 32, "pinned": false}, ...}
+             "policy": {"max_node_budget": 32, "pinned": false, ...},
+             "admission": {"queue_depth": 3, "weight": 2.0, "deficit": 0.0,
+                           "granted_round_share": 0.4,
+                           "rejected_quota": 7, ...}, ...}
 
     ``GET /v1/registry``
         Registry-wide view: bounds, counters and the per-tenant nesting.
@@ -960,24 +1104,27 @@ class HttpFrontend:
         front-end counters and, when a registry is configured, its
         tenant-nested snapshot.  Example response (abridged)::
 
-            {"schema_version": 2,
-             "engine": {"schema_version": 2, "requests": 512, "swaps": 1,
+            {"schema_version": 3,
+             "engine": {"schema_version": 3, "requests": 512, "swaps": 1,
                         "mode": "zero_copy", "shm_bytes": 1048576, ...},
              "frontend": {"submitted": 512, "served": 510,
-                          "rejected_queue_full": 2, "queue_depth": 0,
-                          "arrival": {"rate_per_s": 350.0, ...}, ...},
-             "registry": {"schema_version": 2, "tenants": {...}, ...}}
+                          "rejected_queue_full": 2, "rejected_quota": 7,
+                          "queue_depth": 0,
+                          "arrival": {"rate_per_s": 350.0, ...},
+                          "admission": {"rounds": 40, "tenants": {...}}, ...},
+             "registry": {"schema_version": 3, "tenants": {...}, ...}}
 
     Every error, on every endpoint, uses one structured envelope
     (:func:`repro.serving.errors.error_envelope`)::
 
         {"error": {"code": "queue_full", "message": "...", "retry_after_ms": 50}}
 
-    Backpressure and deadlines map onto status codes: a full queue responds
-    ``503``, a missed deadline ``504``, malformed requests (including
-    malformed JSON bodies) ``400``, unknown tenants ``404``.  **Every 503
-    carries a ``Retry-After`` header** derived from the envelope's
-    ``retry_after_ms``.  The server binds with :func:`asyncio.start_server`;
+    Backpressure, quotas and deadlines map onto status codes: a full queue
+    (global or per-tenant) responds ``503``, a tenant over its
+    ``requests_per_sec`` quota ``429``, a missed deadline ``504``, malformed
+    requests (including malformed JSON bodies) ``400``, unknown tenants
+    ``404``.  **Every 429 and 503 carries a ``Retry-After`` header** derived
+    from the envelope's ``retry_after_ms``.  The server binds with :func:`asyncio.start_server`;
     no third-party HTTP stack is required (an ``aiohttp`` front could serve
     the same client, but the stdlib shim keeps the dependency surface at
     zero).
@@ -1104,9 +1251,9 @@ class HttpFrontend:
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
-        if status == 503:
+        if status in (429, 503):
             # Retry-After is whole seconds on the wire; the envelope's
-            # retry_after_ms (present on every 503) keeps the precision.
+            # retry_after_ms (present on every 429/503) keeps the precision.
             error_body = payload.get("error") if isinstance(payload.get("error"), dict) else {}
             retry_ms = error_body.get("retry_after_ms", 0) or 0
             headers.append(f"Retry-After: {max(0, int(round(retry_ms / 1000.0)))}")
@@ -1197,7 +1344,9 @@ class HttpFrontend:
     def _handle_tenant_stats(self, tenant: str) -> "Tuple[int, dict]":
         registry = self._client.registry
         if registry is not None and tenant in registry.known_tenants():
-            return 200, registry.tenant_stats(tenant)
+            stats = registry.tenant_stats(tenant)
+            stats["admission"] = self._client.tenant_admission_snapshot(tenant)
+            return 200, stats
         engine = self._client.engine
         if tenant == self._client.default_tenant and engine is not None:
             return 200, {
@@ -1205,6 +1354,7 @@ class HttpFrontend:
                 "resident": True,
                 "snapshot_path": engine.snapshot_path,
                 "engine": engine.stats_snapshot(),
+                "admission": self._client.tenant_admission_snapshot(tenant),
             }
         raise _HttpError(404, f"tenant {tenant!r} is not registered", code="tenant_not_found")
 
@@ -1261,7 +1411,7 @@ class HttpFrontend:
         if path == "/stats" and method == "GET":
             engine = client.engine
             stats_doc: dict = {
-                "schema_version": 2,
+                "schema_version": 3,
                 "engine": engine.stats_snapshot() if engine is not None else None,
                 "frontend": client.stats_snapshot(),
             }

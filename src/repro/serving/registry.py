@@ -89,29 +89,72 @@ class TenantPolicy:
     pinned:
         A pinned tenant is exempt from LRU eviction (it still counts against
         the capacity bounds and is disposed on :meth:`ModelRegistry.close`).
+    weight:
+        The tenant's deficit-round-robin scheduling weight in the front-end
+        admission layer (:mod:`repro.serving.admission`).  Under contention,
+        a tenant's share of served requests is proportional to its weight;
+        must be positive (a zero weight could never earn scheduling credit).
+    max_queue_depth:
+        Per-tenant bound on requests queued in the front-end (``None`` =
+        only the global ``max_pending`` bound applies).  A hot tenant that
+        fills its own queue gets a per-tenant 503 without consuming the
+        shared queue space other tenants need.
+    requests_per_sec:
+        Token-bucket quota on the tenant's sustained offered rate (``None``
+        = unlimited).  Breaches reject with the enveloped HTTP 429
+        (:class:`~repro.serving.errors.QuotaExceededError`) and a
+        ``Retry-After`` computed from the refill rate.
     """
 
     max_node_budget: Optional[int] = None
     pinned: bool = False
+    weight: float = 1.0
+    max_queue_depth: Optional[int] = None
+    requests_per_sec: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_node_budget is not None and self.max_node_budget < 1:
             raise ValueError("max_node_budget must be at least 1 (or None)")
+        if not self.weight > 0:
+            raise ValueError("weight must be positive")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1 (or None)")
+        if self.requests_per_sec is not None and not self.requests_per_sec > 0:
+            raise ValueError("requests_per_sec must be positive (or None)")
 
     def to_dict(self) -> dict:
         """Plain-JSON form (the tenant-manifest ``policy`` entry)."""
-        return {"max_node_budget": self.max_node_budget, "pinned": self.pinned}
+        return {
+            "max_node_budget": self.max_node_budget,
+            "pinned": self.pinned,
+            "weight": self.weight,
+            "max_queue_depth": self.max_queue_depth,
+            "requests_per_sec": self.requests_per_sec,
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "TenantPolicy":
-        """Validate and build a policy from a tenant-manifest ``policy`` dict."""
-        unknown = sorted(set(data) - {"max_node_budget", "pinned"})
+        """Validate and build a policy from a tenant-manifest ``policy`` dict.
+
+        Manifests written before the admission-control fields existed (only
+        ``max_node_budget``/``pinned``) load unchanged — absent keys take
+        the dataclass defaults.
+        """
+        unknown = sorted(
+            set(data)
+            - {"max_node_budget", "pinned", "weight", "max_queue_depth", "requests_per_sec"}
+        )
         if unknown:
             raise ValueError(f"unknown tenant policy keys: {unknown}")
         budget = data.get("max_node_budget")
+        depth = data.get("max_queue_depth")
+        rate = data.get("requests_per_sec")
         return cls(
             max_node_budget=None if budget is None else int(budget),  # type: ignore[call-overload]
             pinned=bool(data.get("pinned", False)),
+            weight=float(data.get("weight", 1.0)),  # type: ignore[arg-type]
+            max_queue_depth=None if depth is None else int(depth),  # type: ignore[call-overload]
+            requests_per_sec=None if rate is None else float(rate),  # type: ignore[arg-type]
         )
 
 
@@ -516,6 +559,19 @@ class ModelRegistry:
         with self._cond:
             return self._node_cost_ewma
 
+    def tenant_policy(self, tenant: str) -> Optional[TenantPolicy]:
+        """The registered policy of ``tenant``, or ``None`` when unregistered.
+
+        Advisory and side-effect free (no residency is triggered): the
+        front-end admission layer reads the DRR ``weight``,
+        ``max_queue_depth`` and ``requests_per_sec`` fields from here on
+        every request, so policy changes via :meth:`register`/:meth:`load`
+        apply to the very next admission decision.
+        """
+        with self._cond:
+            spec = self._known.get(tenant)
+            return spec.policy if spec is not None else None
+
     # -- serving -----------------------------------------------------------------------------
     def predict_batch(
         self,
@@ -608,7 +664,7 @@ class ModelRegistry:
             tenants = {name: self._tenant_stats_locked(name) for name in sorted(self._known)}
             resident_bytes = sum(entry.store.size for entry in self._entries.values())
             snapshot = {
-                "schema_version": 2,
+                "schema_version": 3,
                 "capacity": self.capacity,
                 "capacity_bytes": self.capacity_bytes,
                 "resident": len(self._entries),

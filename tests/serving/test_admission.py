@@ -1,0 +1,249 @@
+"""Property tests for the DRR admission scheduler and the quota token bucket.
+
+The scheduler invariants are pinned over *seeded random arrival
+interleavings* (stdlib ``random.Random(seed)``, no third-party property
+framework): work-conservation (a round is never empty while any queue is
+non-empty), bounded unfairness (a backlogged tenant's granted share stays
+within one max-batch of its weight share), and strict FIFO within a tenant.
+The token bucket runs against an explicit logical clock, so refill behaviour
+is exact, not timing-dependent.
+"""
+
+import random
+
+import pytest
+
+from repro.serving import DeficitRoundRobin, TokenBucket
+
+
+def _random_arrivals(rng, tenants, n_items):
+    """One seeded interleaving: (tenant, sequence_number) in arrival order."""
+    counters = {tenant: 0 for tenant, _weight in tenants}
+    weights = dict(tenants)
+    arrivals = []
+    for _ in range(n_items):
+        tenant = rng.choice([name for name, _weight in tenants])
+        arrivals.append((tenant, counters[tenant], weights[tenant]))
+        counters[tenant] += 1
+    return arrivals
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_work_conservation_over_random_interleavings(seed):
+    """take() never returns an empty round while any queue is non-empty."""
+    rng = random.Random(seed)
+    tenants = [("hot", 1.0), ("warm", 0.5), ("cold", 0.25)]
+    scheduler = DeficitRoundRobin()
+    arrivals = _random_arrivals(rng, tenants, 200)
+    pending = 0
+    taken_total = 0
+    arrival_iter = iter(arrivals)
+    exhausted = False
+    while pending or not exhausted:
+        # Interleave bursts of arrivals with rounds, like live admission.
+        for _ in range(rng.randint(0, 8)):
+            try:
+                tenant, sequence, weight = next(arrival_iter)
+            except StopIteration:
+                exhausted = True
+                break
+            scheduler.enqueue(tenant, (tenant, sequence), weight=weight)
+            pending += 1
+        limit = rng.randint(1, 16)
+        batch = scheduler.take(limit)
+        if pending:
+            assert batch, "idle round while queues were non-empty (not work-conserving)"
+        assert len(batch) <= limit
+        pending -= len(batch)
+        taken_total += len(batch)
+        assert len(scheduler) == pending
+    assert taken_total == len(arrivals)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fifo_within_each_tenant(seed):
+    """A tenant's requests come out in exactly their enqueue order."""
+    rng = random.Random(100 + seed)
+    tenants = [("a", 2.0), ("b", 1.0), ("c", 0.5)]
+    scheduler = DeficitRoundRobin()
+    for tenant, sequence, weight in _random_arrivals(rng, tenants, 300):
+        scheduler.enqueue(tenant, (tenant, sequence), weight=weight)
+    released = {name: [] for name, _weight in tenants}
+    while len(scheduler):
+        for tenant, sequence in scheduler.take(rng.randint(1, 12)):
+            released[tenant].append(sequence)
+    for tenant, sequences in released.items():
+        assert sequences == sorted(sequences), f"tenant {tenant!r} reordered"
+        assert sequences == list(range(len(sequences)))
+
+
+@pytest.mark.parametrize(
+    "weights", [{"a": 1.0, "b": 1.0}, {"a": 3.0, "b": 1.0}, {"a": 4.0, "b": 2.0, "c": 1.0}]
+)
+def test_bounded_unfairness_under_saturation(weights):
+    """Backlogged tenants' granted share tracks weight share within one batch.
+
+    Every tenant keeps a standing backlog (re-fed after each round), so the
+    scheduler is always choosing under contention; after each round, each
+    tenant's cumulative granted count must be within one ``max_batch`` —
+    plus one scheduling visit's credit (``quantum * weight``), the phase
+    error of measuring mid-rotation — of its weight share of the total
+    granted so far.
+    """
+    max_batch = 16
+    scheduler = DeficitRoundRobin()
+    backlog = 64
+    fed = {tenant: 0 for tenant in weights}
+
+    def top_up():
+        for tenant, weight in weights.items():
+            while scheduler.queue_depth(tenant) < backlog:
+                scheduler.enqueue(tenant, (tenant, fed[tenant]), weight=weight)
+                fed[tenant] += 1
+
+    granted = {tenant: 0 for tenant in weights}
+    total_weight = sum(weights.values())
+    for _round in range(200):
+        top_up()
+        for tenant, _sequence in scheduler.take(max_batch):
+            granted[tenant] += 1
+        total_granted = sum(granted.values())
+        for tenant, weight in weights.items():
+            expected = total_granted * weight / total_weight
+            bound = max_batch + scheduler.quantum * weight
+            assert abs(granted[tenant] - expected) <= bound, (
+                f"round {_round}: tenant {tenant!r} granted {granted[tenant]} "
+                f"vs expected {expected:.1f} (bound {bound})"
+            )
+
+
+def test_fractional_weight_earns_fractional_share():
+    """A weight-0.5 tenant gets ~1/3 of the grants against a weight-1.0 one."""
+    scheduler = DeficitRoundRobin()
+    granted = {"full": 0, "half": 0}
+    fed = {"full": 0, "half": 0}
+    for _ in range(150):
+        for tenant, weight in (("full", 1.0), ("half", 0.5)):
+            while scheduler.queue_depth(tenant) < 8:
+                scheduler.enqueue(tenant, (tenant, fed[tenant]), weight=weight)
+                fed[tenant] += 1
+        for tenant, _sequence in scheduler.take(3):
+            granted[tenant] += 1
+    total = sum(granted.values())
+    share = granted["half"] / total
+    assert 0.25 < share < 0.42  # ideal 1/3, loose band for rounding
+
+
+def test_idle_tenant_does_not_accumulate_credit():
+    """Deficit only builds against a backlog: an emptied queue forfeits it."""
+    scheduler = DeficitRoundRobin()
+    scheduler.enqueue("idle", ("idle", 0), weight=10.0)
+    assert scheduler.take(16) == [("idle", 0)]
+    # The tenant was absent for "a long time"; on return it competes from
+    # zero credit, not from banked weight-10 quanta.
+    snapshot = scheduler.tenant_snapshot("idle")
+    assert snapshot["deficit"] == 0.0
+    assert snapshot["queue_depth"] == 0
+
+
+def test_take_limit_cuts_round_mid_tenant_without_losing_requests():
+    scheduler = DeficitRoundRobin()
+    for sequence in range(10):
+        scheduler.enqueue("a", ("a", sequence), weight=8.0)
+    first = scheduler.take(4)
+    second = scheduler.take(16)
+    assert [seq for _tenant, seq in first + second] == list(range(10))
+
+
+def test_scheduler_counters_and_snapshots():
+    scheduler = DeficitRoundRobin()
+    scheduler.enqueue("a", 1, weight=2.0)
+    scheduler.enqueue("b", 2)
+    scheduler.record_rejection("b", "quota", count=3)
+    scheduler.record_rejection("b", "queue_full")
+    assert scheduler.take(10) and len(scheduler) == 0
+    doc = scheduler.snapshot()
+    assert doc["rounds"] == 1 and doc["queue_depth"] == 0
+    a, b = doc["tenants"]["a"], doc["tenants"]["b"]
+    assert a["weight"] == 2.0 and a["granted"] == 1 and a["granted_rounds"] == 1
+    assert a["granted_round_share"] == 1.0
+    assert b["rejected_quota"] == 3 and b["rejected_queue_full"] == 1
+    # Unknown tenants snapshot as zeros instead of KeyError-ing the route.
+    assert scheduler.tenant_snapshot("ghost")["enqueued"] == 0
+
+
+def test_scheduler_validates_inputs():
+    scheduler = DeficitRoundRobin()
+    with pytest.raises(ValueError, match="quantum"):
+        DeficitRoundRobin(quantum=0.0)
+    with pytest.raises(ValueError, match="weight"):
+        scheduler.enqueue("a", 1, weight=0.0)
+    with pytest.raises(ValueError, match="limit"):
+        scheduler.take(0)
+    with pytest.raises(ValueError, match="rejection kind"):
+        scheduler.record_rejection("a", "tuesday")
+
+
+def test_drain_returns_everything_and_resets():
+    scheduler = DeficitRoundRobin()
+    for sequence in range(5):
+        scheduler.enqueue("a", ("a", sequence))
+    scheduler.enqueue("b", ("b", 0))
+    drained = scheduler.drain()
+    assert len(drained) == 6 and len(scheduler) == 0
+    assert [seq for tenant, seq in drained if tenant == "a"] == list(range(5))
+    assert scheduler.take(4) == []
+
+
+# -- token bucket -----------------------------------------------------------------------------
+def test_token_bucket_caps_sustained_rate():
+    bucket = TokenBucket(rate_per_s=10.0)  # burst defaults to 10
+    now = 0.0
+    admitted = 0
+    # Drain the initial burst, then offer 50 requests over 2 seconds.
+    while bucket.try_acquire(now):
+        admitted += 1
+    assert admitted == 10
+    for step in range(50):
+        now = 0.04 * (step + 1)  # 25 req/s offered
+        if bucket.try_acquire(now):
+            admitted += 1
+    # 2 seconds at 10/s refill admits ~20 more, regardless of offered rate.
+    assert 28 <= admitted <= 31
+
+
+def test_token_bucket_retry_after_matches_refill():
+    bucket = TokenBucket(rate_per_s=2.0, burst=2.0)
+    assert bucket.try_acquire(0.0) and bucket.try_acquire(0.0)
+    assert not bucket.try_acquire(0.0)
+    assert bucket.retry_after_s(0.0) == pytest.approx(0.5)
+    # Exactly the advertised wait later, one token has refilled.
+    assert bucket.try_acquire(0.5)
+    assert not bucket.try_acquire(0.5)
+
+
+def test_token_bucket_burst_and_validation():
+    with pytest.raises(ValueError, match="rate_per_s"):
+        TokenBucket(rate_per_s=0.0)
+    with pytest.raises(ValueError, match="burst"):
+        TokenBucket(rate_per_s=5.0, burst=0.5)
+    # Sub-1/s rates still admit single requests (burst floor of 1).
+    slow = TokenBucket(rate_per_s=0.1)
+    assert slow.burst == 1.0
+    assert slow.try_acquire(0.0)
+    assert not slow.try_acquire(0.0)
+    assert slow.retry_after_s(0.0) == pytest.approx(10.0)
+    # Time never runs backwards inside the bucket (clamped elapsed).
+    assert not slow.try_acquire(-5.0)
+
+
+def test_token_bucket_multi_token_batches():
+    bucket = TokenBucket(rate_per_s=4.0, burst=8.0)
+    assert bucket.try_acquire(0.0, tokens=8.0)
+    assert not bucket.try_acquire(0.0, tokens=1.0)
+    assert bucket.retry_after_s(0.0, tokens=4.0) == pytest.approx(1.0)
+    assert bucket.try_acquire(1.0, tokens=4.0)
+    with pytest.raises(ValueError, match="tokens"):
+        bucket.try_acquire(1.0, tokens=0.0)
+    tokens, burst = bucket.snapshot(1.0)
+    assert tokens == pytest.approx(0.0) and burst == 8.0

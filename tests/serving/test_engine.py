@@ -5,6 +5,8 @@ predictions, micro-batching, hot swap, fallback) and leave throughput to
 ``benchmarks/test_serving_throughput.py``.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -81,12 +83,33 @@ def test_micro_batcher_groups_requests(snapshot, expected):
         engine.classify(queries[0])
 
 
-def test_submit_is_a_deprecated_alias_of_classify(snapshot, expected):
+def test_submit_is_a_deprecated_alias_of_classify(snapshot, expected, monkeypatch):
+    from repro.serving import engine as engine_module
+
     path, queries = snapshot
+    # The warning is once-per-process (module-level guard); reset it so this
+    # test sees it regardless of suite ordering.
+    monkeypatch.setattr(engine_module, "_SUBMIT_DEPRECATION_WARNED", False)
     with ServingEngine(path, workers=0) as engine:
         with pytest.warns(DeprecationWarning, match="classify"):
             future = engine.submit(queries[0])
         assert future.result(timeout=120) == expected["full"][0]
+
+
+def test_submit_deprecation_warns_once_per_process(snapshot, monkeypatch):
+    from repro.serving import engine as engine_module
+
+    path, queries = snapshot
+    monkeypatch.setattr(engine_module, "_SUBMIT_DEPRECATION_WARNED", False)
+    with ServingEngine(path, workers=0) as engine:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                engine.submit(queries[0]).result(timeout=120)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        # Five calls, one warning: the guard is a module flag, so even an
+        # "always" warnings filter cannot re-arm it.
+        assert len(deprecations) == 1
 
 
 def test_hot_swap_switches_models_gracefully(snapshot, tmp_path):

@@ -1,0 +1,131 @@
+"""Meta-tests of the serving error taxonomy: codes, statuses, envelopes.
+
+These tests walk the :class:`ServingError` hierarchy reflectively instead of
+naming classes one by one, so a *new* error class cannot ship half-wired: if
+its code is missing from ``ERROR_CODES``, disagrees with the class's
+``http_status``, collides with another class's code, or round-trips through
+:func:`error_envelope` into anything but itself, a test here fails without
+being edited.
+"""
+
+import pytest
+
+from repro.persist import SnapshotError
+from repro.serving import ERROR_CODES, error_envelope
+from repro.serving.errors import ServingError
+
+
+def _all_error_classes():
+    """Every class in the ServingError hierarchy, the base included."""
+    classes = []
+    pending = [ServingError]
+    while pending:
+        cls = pending.pop()
+        classes.append(cls)
+        pending.extend(cls.__subclasses__())
+    return classes
+
+
+def _code_owning_classes():
+    """The classes that *define* a code (subclasses may inherit one)."""
+    return [cls for cls in _all_error_classes() if "code" in vars(cls)]
+
+
+def test_every_declared_code_is_in_error_codes_with_matching_status():
+    for cls in _all_error_classes():
+        assert cls.code in ERROR_CODES, f"{cls.__name__} code {cls.code!r} not in ERROR_CODES"
+        assert ERROR_CODES[cls.code] == cls.http_status, (
+            f"{cls.__name__}: class http_status {cls.http_status} disagrees with "
+            f"ERROR_CODES[{cls.code!r}] == {ERROR_CODES[cls.code]}"
+        )
+
+
+def test_declared_codes_are_unique_per_owning_class():
+    """No two classes may claim the same wire code (inheritance is fine)."""
+    owners = {}
+    for cls in _code_owning_classes():
+        assert cls.code not in owners, (
+            f"code {cls.code!r} declared by both {owners[cls.code].__name__} "
+            f"and {cls.__name__}"
+        )
+        owners[cls.code] = cls
+
+
+def test_every_error_class_round_trips_through_the_envelope():
+    for cls in _all_error_classes():
+        error = cls("synthetic failure")
+        status, payload = error_envelope(error)
+        body = payload["error"]
+        assert status == cls.http_status
+        assert body["code"] == cls.code
+        assert "synthetic failure" in body["message"]
+        if cls.retry_after_ms is not None:
+            assert body["retry_after_ms"] == cls.retry_after_ms
+
+
+def test_retryable_statuses_always_carry_a_hint():
+    """Every 429/503 envelope ships retry_after_ms, however it was produced."""
+    for cls in _all_error_classes():
+        if cls.http_status not in (429, 503):
+            continue
+        status, payload = error_envelope(cls("overloaded"))
+        assert payload["error"]["retry_after_ms"] is not None
+        assert payload["error"]["retry_after_ms"] > 0
+    # Even a code override onto a retryable status gets the default hint.
+    status, payload = error_envelope(RuntimeError("x"), code="queue_full", status=503)
+    assert payload["error"]["retry_after_ms"] == 100
+
+
+def test_non_retryable_envelopes_omit_the_hint_key():
+    for cls in _all_error_classes():
+        if cls.http_status in (429, 503) or cls.retry_after_ms is not None:
+            continue
+        _status, payload = error_envelope(cls("nope"))
+        assert "retry_after_ms" not in payload["error"]
+
+
+def test_instance_retry_override_reaches_the_envelope():
+    for cls in _code_owning_classes():
+        if cls.retry_after_ms is None:
+            continue
+        _status, payload = error_envelope(cls("busy", retry_after_ms=12345))
+        assert payload["error"]["retry_after_ms"] == 12345
+
+
+@pytest.mark.parametrize(
+    "error, expected_code, expected_status",
+    [
+        (SnapshotError("corrupt container"), "bad_snapshot", 400),
+        (ValueError("bad field"), "bad_request", 400),
+        (KeyError("features"), "bad_request", 400),
+        (TypeError("not a list"), "bad_request", 400),
+        (RuntimeError("boom"), "internal", 500),
+    ],
+)
+def test_exception_families_without_classes_map_by_family(error, expected_code, expected_status):
+    status, payload = error_envelope(error)
+    assert status == expected_status
+    assert payload["error"]["code"] == expected_code
+    assert ERROR_CODES[expected_code] == expected_status
+
+
+def test_every_error_code_is_reachable():
+    """ERROR_CODES carries no dead vocabulary: each code is producible.
+
+    Codes with a dedicated exception class are covered by the round-trip
+    test; the family codes must each have a producing path through
+    :func:`error_envelope` — otherwise the documented wire vocabulary and
+    the implementation have drifted apart.
+    """
+    produced = {cls.code for cls in _all_error_classes()}
+    produced.add(error_envelope(SnapshotError("x"))[1]["error"]["code"])
+    produced.add(error_envelope(ValueError("x"))[1]["error"]["code"])
+    produced.add(error_envelope(RuntimeError("x"))[1]["error"]["code"])
+    # not_found has no exception family: the router injects it explicitly.
+    produced.add(error_envelope(Exception("no route"), code="not_found", status=404)[1]["error"]["code"])
+    assert produced == set(ERROR_CODES)
+
+
+def test_internal_errors_stay_diagnosable():
+    _status, payload = error_envelope(ZeroDivisionError("division by zero"))
+    assert payload["error"]["message"].startswith("ZeroDivisionError:")

@@ -14,7 +14,13 @@ import pytest
 from repro.core import AnytimeBayesClassifier
 from repro.data import make_dataset
 from repro.persist import save_forest
-from repro.serving import AsyncServingClient, HttpFrontend, ModelRegistry, ServingEngine
+from repro.serving import (
+    AsyncServingClient,
+    HttpFrontend,
+    ModelRegistry,
+    ServingEngine,
+    TenantPolicy,
+)
 
 
 @pytest.fixture(scope="module")
@@ -180,7 +186,7 @@ def test_v1_registry_load_evict_and_stats(snapshot):
     )
     assert loaded[0] == 200 and loaded[1]["resident"] is True
     assert loaded[1]["cold_load_ms"] > 0
-    assert listing[0] == 200 and listing[1]["schema_version"] == 2
+    assert listing[0] == 200 and listing[1]["schema_version"] == 3
     assert set(listing[1]["tenants"]) == {"acme", "default"}
     assert served[0] == 200 and served[1]["count"] == len(queries)
     assert tenant_stats[0] == 200 and tenant_stats[1]["requests"] == len(queries)
@@ -233,6 +239,117 @@ def test_every_503_carries_retry_after(snapshot):
     envelope = json.loads(content)["error"]
     assert envelope["code"] == "queue_full"
     assert envelope["retry_after_ms"] >= 0
+
+
+def test_quota_breach_is_an_enveloped_429_with_retry_after(snapshot):
+    path, dataset = snapshot
+    queries = dataset.features[220:228]
+
+    async def scenario(engine, client, host, port):
+        # Burst of 2 (rate 2/s): two instant requests pass, the third trips
+        # the tenant's requests_per_sec quota.
+        first = await _request(host, port, "POST", "/classify", {"features": queries[0].tolist()})
+        second = await _request(host, port, "POST", "/classify", {"features": queries[1].tolist()})
+        breach = await _raw_request(
+            host, port, "POST", "/classify", {"features": queries[2].tolist()}
+        )
+        return first, second, breach
+
+    first, second, (status, headers, content) = _serve_engine(
+        path,
+        scenario,
+        tenant_policies={"default": TenantPolicy(requests_per_sec=2.0)},
+    )
+    assert first[0] == 200 and second[0] == 200
+    assert status == 429
+    assert "retry-after" in headers  # the 429 twin of the every-503 contract
+    envelope = json.loads(content)["error"]
+    assert envelope["code"] == "quota_exceeded"
+    assert envelope["retry_after_ms"] > 0
+    # The header is the envelope hint in whole seconds.
+    assert int(headers["retry-after"]) == round(envelope["retry_after_ms"] / 1000.0)
+
+
+def test_tenant_queue_depth_bound_is_a_per_tenant_503(snapshot):
+    path, dataset = snapshot
+    queries = dataset.features[220:228]
+
+    async def scenario(engine, client, host, port):
+        # Long linger parks the first two requests in the tenant queue; the
+        # third breaches max_queue_depth=2 while the global bound (1024) is
+        # nowhere near full.
+        tasks = [asyncio.ensure_future(client.classify(query)) for query in queries[:2]]
+        await asyncio.sleep(0.02)
+        rejected = await _raw_request(
+            host, port, "POST", "/classify", {"features": queries[2].tolist()}
+        )
+        await asyncio.gather(*tasks)
+        return rejected
+
+    status, headers, content = _serve_engine(
+        path,
+        scenario,
+        linger_s=0.3,
+        tenant_policies={"default": TenantPolicy(max_queue_depth=2)},
+    )
+    assert status == 503
+    assert "retry-after" in headers
+    envelope = json.loads(content)["error"]
+    assert envelope["code"] == "queue_full"
+    assert "tenant" in envelope["message"]  # names the per-tenant bound, not the global one
+
+
+def test_legacy_aliases_stay_byte_identical_under_admission_policies(snapshot):
+    """The DRR scheduler + quota layer must not perturb the alias contract."""
+    path, dataset = snapshot
+    queries = dataset.features[220:236]
+
+    async def scenario(engine, client, host, port):
+        body = {"features": queries.tolist(), "node_budget": 6}
+        legacy = await _raw_request(host, port, "POST", "/classify_batch", body)
+        versioned = await _raw_request(
+            host, port, "POST", "/v1/tenants/default/classify_batch", body
+        )
+        return legacy, versioned
+
+    legacy, versioned = _serve_engine(
+        path,
+        scenario,
+        tenant_policies={
+            "default": TenantPolicy(weight=2.0, max_queue_depth=512, requests_per_sec=10_000.0)
+        },
+    )
+    assert legacy[0] == versioned[0] == 200
+    assert legacy[2] == versioned[2]
+
+
+def test_tenant_stats_nest_the_admission_view(snapshot):
+    path, dataset = snapshot
+    queries = dataset.features[220:228]
+
+    async def scenario(registry, client, host, port):
+        await _request(
+            host, port, "POST", "/v1/tenants/default/classify_batch",
+            {"features": queries.tolist()},
+        )
+        stats = await _request(host, port, "GET", "/v1/tenants/default/stats")
+        merged = await _request(host, port, "GET", "/stats")
+        return stats, merged
+
+    stats, merged = _serve_registry(path, scenario, capacity=2)
+    assert stats[0] == 200
+    admission = stats[1]["admission"]
+    assert admission["granted"] == len(queries)
+    assert admission["queue_depth"] == 0
+    assert admission["policy"] == {
+        "weight": 1.0,
+        "max_queue_depth": None,
+        "requests_per_sec": None,
+    }
+    assert merged[0] == 200 and merged[1]["schema_version"] == 3
+    frontend = merged[1]["frontend"]
+    assert frontend["rejected_quota"] == 0
+    assert frontend["admission"]["tenants"]["default"]["granted"] == len(queries)
 
 
 def test_error_envelope_shape_is_uniform(snapshot):

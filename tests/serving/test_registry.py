@@ -173,14 +173,20 @@ def test_stats_snapshot_schema(snapshot):
         registry.load("a", path, policy=TenantPolicy(max_node_budget=16))
         registry.predict_batch("a", queries[:4], node_budget=4)
         stats = registry.stats_snapshot()
-        assert stats["schema_version"] == 2
+        assert stats["schema_version"] == 3
         assert stats["capacity"] == 2
         assert stats["resident"] == 1 and stats["registered"] == 1
         assert stats["resident_bytes"] > 0
         tenant = stats["tenants"]["a"]
         assert tenant["resident"] is True
         assert tenant["requests"] == 4
-        assert tenant["policy"] == {"max_node_budget": 16, "pinned": False}
+        assert tenant["policy"] == {
+            "max_node_budget": 16,
+            "pinned": False,
+            "weight": 1.0,
+            "max_queue_depth": None,
+            "requests_per_sec": None,
+        }
         assert tenant["cold_load_ms"] > 0
         assert stats["prior"]["snapshot_path"] == str(path)
 
